@@ -1,0 +1,36 @@
+//! E5 — the legacy BGP use case: replaying a RouteViews-style trace through
+//! the speakers and the proxy, with provenance capture, at several AS-graph
+//! sizes.
+
+use bgp::{AsTopology, BgpHarness, TraceGenerator};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E5_bgp_provenance");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for (large, medium, stub) in [(2usize, 3usize, 5usize), (3, 6, 12)] {
+        let n = large + medium + stub;
+        group.bench_with_input(BenchmarkId::new("trace_replay", n), &n, |b, _| {
+            let topology = AsTopology::generate(large, medium, stub, 2026);
+            let trace = TraceGenerator {
+                prefixes_per_origin: 1,
+                churn_events: 5,
+                seed: 11,
+            }
+            .generate(&topology);
+            b.iter_batched(
+                || (BgpHarness::new(topology.clone()), trace.clone()),
+                |(mut harness, trace)| {
+                    harness.run_trace(&trace);
+                    harness.provenance().stats().prov_entries
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

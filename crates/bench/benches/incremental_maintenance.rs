@@ -1,0 +1,51 @@
+//! E3 — incremental recomputation after a link failure vs recomputation from
+//! scratch, per protocol.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nettrails_bench::converged;
+use simnet::{Topology, TopologyEvent};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E3_incremental_maintenance");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    let protocols: &[(&str, &str)] = &[
+        ("mincost", protocols::mincost::PROGRAM),
+        ("pathvector", protocols::pathvector::PROGRAM),
+        ("distancevector", protocols::distancevector::PROGRAM),
+    ];
+    for &(name, program) in protocols {
+        group.bench_with_input(
+            BenchmarkId::new("incremental_link_failure", name),
+            &program,
+            |b, program| {
+                b.iter_batched(
+                    || converged(program, Topology::ladder(3), true),
+                    |mut nt| {
+                        nt.apply_topology_event(&TopologyEvent::LinkDown {
+                            a: "n1".into(),
+                            b: "n2".into(),
+                        })
+                    },
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("recompute_from_scratch", name),
+            &program,
+            |b, program| {
+                let mut nt = converged(program, Topology::ladder(3), true);
+                nt.apply_topology_event(&TopologyEvent::LinkDown {
+                    a: "n1".into(),
+                    b: "n2".into(),
+                });
+                b.iter(|| nt.recompute_from_scratch().unwrap().1);
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! E8 — snapshot capture, log-store upload and replay.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use logstore::{LogStore, Replay};
+use nettrails_bench::{capture_snapshot, mincost_ladder};
+use simnet::TopologyEvent;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E8_logstore_replay");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group.bench_function("capture_snapshot", |b| {
+        let nt = mincost_ladder(4);
+        b.iter(|| capture_snapshot(&nt).tuple_count());
+    });
+    group.bench_function("json_round_trip", |b| {
+        let nt = mincost_ladder(3);
+        let mut store = LogStore::new();
+        store.add(capture_snapshot(&nt));
+        b.iter(|| {
+            let json = store.to_json().unwrap();
+            LogStore::from_json(&json).unwrap().len()
+        });
+    });
+    group.bench_function("replay_three_snapshots", |b| {
+        let mut nt = mincost_ladder(3);
+        let mut store = LogStore::new();
+        store.add(capture_snapshot(&nt));
+        nt.apply_topology_event(&TopologyEvent::LinkDown {
+            a: "n1".into(),
+            b: "n2".into(),
+        });
+        store.add(capture_snapshot(&nt));
+        nt.apply_topology_event(&TopologyEvent::LinkUp(simnet::Link::new("n1", "n2", 2)));
+        store.add(capture_snapshot(&nt));
+        b.iter(|| {
+            let mut replay = Replay::new(&store);
+            let mut changes = 0;
+            while let Some(diff) = replay.step() {
+                changes += diff.appeared.len() + diff.disappeared.len();
+            }
+            changes
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! E4 — provenance maintenance overhead: converging MINCOST with and without
+//! provenance capture.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nettrails_bench::converged;
+use simnet::Topology;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E4_maintenance_overhead");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for n in [2usize, 4, 6] {
+        group.bench_with_input(BenchmarkId::new("without_provenance", n), &n, |b, &n| {
+            b.iter(|| converged(protocols::mincost::PROGRAM, Topology::ladder(n), false));
+        });
+        group.bench_with_input(BenchmarkId::new("with_provenance", n), &n, |b, &n| {
+            b.iter(|| converged(protocols::mincost::PROGRAM, Topology::ladder(n), true));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! E2 — cost of running MINCOST with provenance capture and of building the
+//! Figure-2 artifacts (provenance graph assembly, lineage query, hypertree
+//! layout) as the network grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nettrails_bench::{converged, mincost_ladder};
+use provenance::{QueryKind, QueryOptions, QueryResult};
+use simnet::Topology;
+use std::time::Duration;
+use vis::HypertreeLayout;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E2_mincost_provenance");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for n in [2usize, 4, 6] {
+        group.bench_with_input(BenchmarkId::new("converge_with_provenance", n), &n, |b, &n| {
+            b.iter(|| converged(protocols::mincost::PROGRAM, Topology::ladder(n), true));
+        });
+        group.bench_with_input(BenchmarkId::new("graph_and_hypertree", n), &n, |b, &n| {
+            let mut nt = mincost_ladder(n);
+            let (node, target) = nt
+                .relation("minCost")
+                .into_iter()
+                .max_by_key(|(_, t)| t.values[2].as_int())
+                .unwrap();
+            b.iter(|| {
+                let graph = nt.provenance_graph();
+                let (result, _) =
+                    nt.query(&node, &target, QueryKind::Lineage, &QueryOptions::default());
+                let QueryResult::Lineage(tree) = result else {
+                    unreachable!()
+                };
+                (graph.tuple_vertex_count(), HypertreeLayout::of_proof_tree(&tree).len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! E7 — query optimizations: caching, traversal order and threshold pruning
+//! applied to a repeated lineage-query mix.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nettrails_bench::converged;
+use provenance::{QueryKind, QueryOptions, TraversalOrder};
+use simnet::Topology;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E7_query_optimizations");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    let mut nt = converged(protocols::pathvector::PROGRAM, Topology::ladder(4), true);
+    let targets: Vec<_> = nt.relation("bestPathCost").into_iter().take(8).collect();
+    let cases: Vec<(&str, QueryOptions)> = vec![
+        ("baseline", QueryOptions::default()),
+        ("caching", QueryOptions::cached()),
+        (
+            "bfs",
+            QueryOptions {
+                traversal: TraversalOrder::BreadthFirst,
+                ..QueryOptions::default()
+            },
+        ),
+        (
+            "pruned",
+            QueryOptions {
+                max_depth: Some(3),
+                max_derivations_per_vertex: Some(1),
+                ..QueryOptions::default()
+            },
+        ),
+    ];
+    for (name, options) in &cases {
+        group.bench_with_input(BenchmarkId::new("query_mix", name), options, |b, options| {
+            b.iter(|| {
+                nt.clear_query_cache();
+                let mut messages = 0u64;
+                for (node, tuple) in targets.iter().chain(targets.iter()) {
+                    let (_, stats) = nt.query(node, tuple, QueryKind::Lineage, options);
+                    messages += stats.messages;
+                }
+                messages
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

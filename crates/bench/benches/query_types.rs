@@ -1,0 +1,36 @@
+//! E6 — the provenance query types (lineage, base tuples, participating nodes,
+//! derivation count) over a converged path-vector network.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nettrails_bench::converged;
+use provenance::{QueryKind, QueryOptions};
+use simnet::Topology;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E6_query_types");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    let mut nt = converged(protocols::pathvector::PROGRAM, Topology::ladder(4), true);
+    let targets: Vec<_> = nt.relation("bestPathCost").into_iter().take(5).collect();
+    for (name, kind) in [
+        ("lineage", QueryKind::Lineage),
+        ("base_tuples", QueryKind::BaseTuples),
+        ("participating_nodes", QueryKind::ParticipatingNodes),
+        ("derivation_count", QueryKind::DerivationCount),
+    ] {
+        group.bench_with_input(BenchmarkId::new("query", name), &kind, |b, &kind| {
+            b.iter(|| {
+                let mut total = 0u64;
+                for (node, tuple) in &targets {
+                    let (_, stats) = nt.query(node, tuple, kind, &QueryOptions::default());
+                    total += stats.vertices_visited;
+                }
+                total
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

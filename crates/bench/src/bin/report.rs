@@ -1,0 +1,16 @@
+//! Regenerate every NetTrails experiment table (E1–E8 of DESIGN.md) and print
+//! them to stdout. EXPERIMENTS.md records a captured run of this binary.
+//!
+//! ```text
+//! cargo run --release -p nettrails-bench --bin report
+//! ```
+
+fn main() {
+    println!("NetTrails experiment report (see DESIGN.md section 2 and EXPERIMENTS.md)\n");
+    println!(
+        "E1 (architecture / end-to-end flow) is exercised by `cargo run --example quickstart`.\n"
+    );
+    for table in nettrails_bench::all_experiments() {
+        println!("{table}");
+    }
+}

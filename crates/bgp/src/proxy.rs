@@ -1,0 +1,337 @@
+//! The NetTrails legacy-application proxy.
+//!
+//! "In the case of a legacy application, capturing provenance information
+//! requires some additional work [...] we utilize NDlog's concept of *maybe*
+//! rules, which describe possible causal relationships between messages
+//! entering and leaving the legacy application." (Section 2.2.)
+//!
+//! The proxy sits on the wire between BGP speakers. For every intercepted
+//! announcement it records an `inputRoute` observation at the receiving AS and
+//! an `outputRoute` observation at the sending AS, and evaluates the paper's
+//! maybe rule
+//!
+//! ```text
+//! br1 outputRoute(@AS,To,Prefix,Route2) ?-
+//!         inputRoute(@AS,From,Prefix,Route1),
+//!         f_isExtend(Route2,Route1,AS) == 1.
+//! ```
+//!
+//! against the recently observed inputs of the sending AS: every input route
+//! that the output extends by exactly the sender's AS number is inferred to be
+//! a possible cause, and a rule-execution vertex is added to the provenance
+//! graph. Outputs with no matching input (locally originated prefixes) become
+//! base vertices. A `recv` edge links each `inputRoute` to the `outputRoute`
+//! message that carried it across the AS boundary, so derivation histories
+//! trace all the way back to the origin announcement.
+
+use crate::speaker::BgpMessage;
+use ndlog::{BodyElem, Rule, RuleKind};
+use nt_runtime::engine::match_atom;
+use nt_runtime::eval::{eval_filter, Bindings};
+use nt_runtime::{Firing, Tuple, Value, BASE_RULE};
+use std::collections::BTreeMap;
+
+/// The maybe rules used by the BGP proxy (the paper's rule `br1`).
+pub const MAYBE_RULES: &str = "\
+br1 outputRoute(@AS,To,Prefix,Route2) ?- inputRoute(@AS,From,Prefix,Route1), f_isExtend(Route2,Route1,AS) == 1.
+";
+
+/// Name of the synthetic rule linking an `inputRoute` observation to the
+/// `outputRoute` message that carried it.
+pub const RECV_RULE: &str = "recv";
+
+/// An intercepted message on the wire between two ASes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Observation {
+    /// Sending AS.
+    pub from: String,
+    /// Receiving AS.
+    pub to: String,
+    /// The intercepted message.
+    pub message: BgpMessage,
+}
+
+/// The message-interception proxy.
+#[derive(Debug, Clone)]
+pub struct Proxy {
+    maybe_rules: Vec<Rule>,
+    /// Recently observed `inputRoute` tuples per AS (the matching window).
+    recent_inputs: BTreeMap<String, Vec<Tuple>>,
+    /// Outputs whose cause was inferred by a maybe rule.
+    pub matched_outputs: u64,
+    /// Outputs with no inferred cause (treated as locally originated).
+    pub unmatched_outputs: u64,
+}
+
+impl Default for Proxy {
+    fn default() -> Self {
+        Proxy::new()
+    }
+}
+
+impl Proxy {
+    /// A proxy using the paper's `br1` maybe rule.
+    pub fn new() -> Self {
+        Proxy::with_rules(MAYBE_RULES).expect("builtin maybe rules parse")
+    }
+
+    /// A proxy using custom maybe rules (must parse; non-maybe rules are
+    /// ignored).
+    pub fn with_rules(src: &str) -> Result<Self, ndlog::NdlogError> {
+        let program = ndlog::compile(src)?;
+        let maybe_rules = program
+            .rules
+            .into_iter()
+            .filter(|r| r.kind == RuleKind::Maybe)
+            .collect();
+        Ok(Proxy {
+            maybe_rules,
+            recent_inputs: BTreeMap::new(),
+            matched_outputs: 0,
+            unmatched_outputs: 0,
+        })
+    }
+
+    /// The parsed maybe rules.
+    pub fn maybe_rules(&self) -> &[Rule] {
+        &self.maybe_rules
+    }
+
+    /// Build the `inputRoute(@To, From, Prefix, Path)` observation tuple.
+    pub fn input_route_tuple(to: &str, from: &str, prefix: &str, path: &[String]) -> Tuple {
+        Tuple::new(
+            "inputRoute",
+            vec![
+                Value::addr(to),
+                Value::addr(from),
+                Value::str(prefix),
+                Value::List(path.iter().map(|a| Value::addr(a.clone())).collect()),
+            ],
+        )
+    }
+
+    /// Build the `outputRoute(@From, To, Prefix, Path)` observation tuple.
+    pub fn output_route_tuple(from: &str, to: &str, prefix: &str, path: &[String]) -> Tuple {
+        Tuple::new(
+            "outputRoute",
+            vec![
+                Value::addr(from),
+                Value::addr(to),
+                Value::str(prefix),
+                Value::List(path.iter().map(|a| Value::addr(a.clone())).collect()),
+            ],
+        )
+    }
+
+    /// Process one intercepted message and return the provenance events it
+    /// implies. Withdrawals carry no route and produce no provenance (the
+    /// message log is append-only history).
+    pub fn observe(&mut self, observation: &Observation) -> Vec<Firing> {
+        let BgpMessage::Announce { prefix, as_path } = &observation.message else {
+            return Vec::new();
+        };
+        let mut firings = Vec::new();
+        let output = Self::output_route_tuple(&observation.from, &observation.to, prefix, as_path);
+        let input = Self::input_route_tuple(&observation.to, &observation.from, prefix, as_path);
+
+        // 1. Attribute the outputRoute at the sender using the maybe rules.
+        let candidates = self
+            .recent_inputs
+            .get(&observation.from)
+            .cloned()
+            .unwrap_or_default();
+        let causes = self.infer_causes(&observation.from, &output, &candidates);
+        if causes.is_empty() {
+            self.unmatched_outputs += 1;
+            firings.push(Firing {
+                rule: BASE_RULE.to_string(),
+                node: observation.from.clone(),
+                head: output.clone(),
+                head_home: observation.from.clone(),
+                inputs: vec![],
+                input_tuples: vec![],
+                insert: true,
+            });
+        } else {
+            self.matched_outputs += 1;
+            for (rule_name, cause) in causes {
+                firings.push(Firing {
+                    rule: rule_name,
+                    node: observation.from.clone(),
+                    head: output.clone(),
+                    head_home: observation.from.clone(),
+                    inputs: vec![cause.id()],
+                    input_tuples: vec![cause],
+                    insert: true,
+                });
+            }
+        }
+
+        // 2. Link the inputRoute at the receiver to the message that carried
+        // it (executed at the sender, stored at the receiver).
+        firings.push(Firing {
+            rule: RECV_RULE.to_string(),
+            node: observation.from.clone(),
+            head: input.clone(),
+            head_home: observation.to.clone(),
+            inputs: vec![output.id()],
+            input_tuples: vec![output],
+            insert: true,
+        });
+
+        // 3. Remember the input for future maybe-rule matching at the
+        // receiver.
+        self.recent_inputs
+            .entry(observation.to.clone())
+            .or_default()
+            .push(input);
+        firings
+    }
+
+    /// Evaluate the maybe rules: which recently observed inputs could have
+    /// caused `output` at `asn`?
+    fn infer_causes(
+        &self,
+        asn: &str,
+        output: &Tuple,
+        candidates: &[Tuple],
+    ) -> Vec<(String, Tuple)> {
+        let mut causes = Vec::new();
+        for rule in &self.maybe_rules {
+            // Bind the head against the observed output.
+            let mut head_bindings = Bindings::new();
+            if !match_atom(&rule.head, output, &mut head_bindings) {
+                continue;
+            }
+            // The location variable of the head must be this AS.
+            if let Some(loc) = rule.head.location_variable() {
+                if head_bindings.get(loc).and_then(|v| v.as_addr()) != Some(asn) {
+                    continue;
+                }
+            }
+            for candidate in candidates {
+                let mut bindings = head_bindings.clone();
+                let mut ok = true;
+                for elem in &rule.body {
+                    match elem {
+                        BodyElem::Atom(atom) if !atom.negated => {
+                            if !match_atom(atom, candidate, &mut bindings) {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        BodyElem::Filter(expr) => {
+                            if !eval_filter(expr, &bindings).unwrap_or(false) {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        BodyElem::Assign { var, expr } => {
+                            match nt_runtime::eval::eval_expr(expr, &bindings) {
+                                Ok(v) => {
+                                    bindings.insert(var.clone(), v);
+                                }
+                                Err(_) => {
+                                    ok = false;
+                                    break;
+                                }
+                            }
+                        }
+                        BodyElem::Atom(_) => {}
+                    }
+                }
+                if ok {
+                    causes.push((rule.name.clone(), candidate.clone()));
+                }
+            }
+        }
+        causes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn announce(from: &str, to: &str, prefix: &str, path: &[&str]) -> Observation {
+        Observation {
+            from: from.to_string(),
+            to: to.to_string(),
+            message: BgpMessage::Announce {
+                prefix: prefix.to_string(),
+                as_path: path.iter().map(|s| s.to_string()).collect(),
+            },
+        }
+    }
+
+    #[test]
+    fn origin_announcements_become_base_vertices() {
+        let mut proxy = Proxy::new();
+        let firings = proxy.observe(&announce("AS1000", "AS200", "p", &["AS1000"]));
+        assert_eq!(firings.len(), 2);
+        assert_eq!(firings[0].rule, BASE_RULE);
+        assert_eq!(firings[0].head.relation, "outputRoute");
+        assert_eq!(firings[1].rule, RECV_RULE);
+        assert_eq!(firings[1].head.relation, "inputRoute");
+        assert_eq!(firings[1].head_home, "AS200");
+        assert_eq!(proxy.unmatched_outputs, 1);
+    }
+
+    #[test]
+    fn maybe_rule_links_extended_routes() {
+        let mut proxy = Proxy::new();
+        // AS1000 announces to AS200 ...
+        proxy.observe(&announce("AS1000", "AS200", "p", &["AS1000"]));
+        // ... AS200 re-announces to AS100, prepending itself.
+        let firings = proxy.observe(&announce("AS200", "AS100", "p", &["AS200", "AS1000"]));
+        // The outputRoute at AS200 is attributed to the inputRoute it extends.
+        let br1 = firings.iter().find(|f| f.rule == "br1").expect("br1 fired");
+        assert_eq!(br1.node, "AS200");
+        assert_eq!(br1.input_tuples[0].relation, "inputRoute");
+        assert_eq!(proxy.matched_outputs, 1);
+    }
+
+    #[test]
+    fn non_extending_routes_are_not_linked() {
+        let mut proxy = Proxy::new();
+        proxy.observe(&announce("AS1000", "AS200", "p", &["AS1000"]));
+        // AS200 announces a path that does NOT extend the received one
+        // (different origin) — the maybe rule must not match.
+        let firings = proxy.observe(&announce("AS200", "AS100", "p", &["AS200", "AS999"]));
+        assert!(firings.iter().all(|f| f.rule != "br1"));
+        // Both the origin announcement and the non-extending output count as
+        // unmatched.
+        assert_eq!(proxy.unmatched_outputs, 2);
+    }
+
+    #[test]
+    fn different_prefixes_never_match() {
+        let mut proxy = Proxy::new();
+        proxy.observe(&announce("AS1000", "AS200", "p1", &["AS1000"]));
+        let firings = proxy.observe(&announce("AS200", "AS100", "p2", &["AS200", "AS1000"]));
+        assert!(firings.iter().all(|f| f.rule != "br1"));
+    }
+
+    #[test]
+    fn withdrawals_produce_no_provenance() {
+        let mut proxy = Proxy::new();
+        let firings = proxy.observe(&Observation {
+            from: "AS1000".into(),
+            to: "AS200".into(),
+            message: BgpMessage::Withdraw { prefix: "p".into() },
+        });
+        assert!(firings.is_empty());
+    }
+
+    #[test]
+    fn custom_rules_can_be_supplied() {
+        // A stricter rule that additionally requires the next hop to match.
+        let src = "br2 outputRoute(@AS,To,Prefix,R2) ?- inputRoute(@AS,From,Prefix,R1), \
+                   f_isExtend(R2,R1,AS) == 1, f_size(R2) < 4.";
+        let mut proxy = Proxy::with_rules(src).unwrap();
+        assert_eq!(proxy.maybe_rules().len(), 1);
+        proxy.observe(&announce("AS1000", "AS200", "p", &["AS1000"]));
+        let firings = proxy.observe(&announce("AS200", "AS100", "p", &["AS200", "AS1000"]));
+        assert!(firings.iter().any(|f| f.rule == "br2"));
+    }
+}

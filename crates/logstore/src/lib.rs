@@ -1,0 +1,30 @@
+//! # logstore — snapshots, the central Log Store and replay
+//!
+//! "Although NetTrails is designed to execute in a distributed environment,
+//! some state needs to be centralized to facilitate the visualization of
+//! provenance queries and results. In particular, per-node provenance
+//! information and other system state (such as the network topology and
+//! bandwidth utilization) can be periodically captured as system snapshots at
+//! each node, and then propagated to a central Log Store that resides at the
+//! visualization node. These logs are subsequently used for interactive
+//! visualization, query, and replay." — NetTrails, Section 2.3.
+//!
+//! This crate implements exactly that pipeline:
+//!
+//! * [`NodeSnapshot`] — one node's state at a point in time: its visible
+//!   relations, its provenance-store sizes, and simple utilization counters;
+//! * [`SystemSnapshot`] — the combined snapshot of every node plus the
+//!   topology and the assembled provenance graph;
+//! * [`LogStore`] — the central, append-only store of snapshots with JSON
+//!   (de)serialization and upload-size accounting;
+//! * [`Replay`] — iteration over the stored snapshots with per-step diffs
+//!   (which tuples appeared / disappeared between consecutive snapshots),
+//!   which is what the visualizer's replay slider consumes.
+
+pub mod replay;
+pub mod snapshot;
+pub mod store;
+
+pub use replay::{Replay, SnapshotDiff};
+pub use snapshot::{NodeSnapshot, SystemSnapshot};
+pub use store::LogStore;

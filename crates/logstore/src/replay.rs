@@ -1,0 +1,212 @@
+//! Replay of stored snapshots.
+//!
+//! The demonstration replays execution logs: the RapidNet visualizer shows the
+//! topology changing while the provenance visualizer shows the provenance at
+//! the paused instant. [`Replay`] walks the snapshots of a [`LogStore`] in
+//! time order and produces, for every step, the [`SnapshotDiff`] between
+//! consecutive snapshots — which tuples appeared and disappeared, and how the
+//! topology changed — which is exactly what an animation layer needs.
+
+use crate::snapshot::SystemSnapshot;
+use crate::store::LogStore;
+use nt_runtime::{Addr, Tuple};
+use serde::{Deserialize, Serialize};
+use simnet::SimTime;
+use std::collections::BTreeSet;
+
+/// The difference between two consecutive snapshots.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SnapshotDiff {
+    /// Time of the earlier snapshot.
+    pub from: SimTime,
+    /// Time of the later snapshot.
+    pub to: SimTime,
+    /// Tuples present in the later snapshot but not in the earlier one.
+    pub appeared: Vec<(Addr, Tuple)>,
+    /// Tuples present in the earlier snapshot but not in the later one.
+    pub disappeared: Vec<(Addr, Tuple)>,
+    /// Directed links added to the topology.
+    pub links_added: Vec<(String, String)>,
+    /// Directed links removed from the topology.
+    pub links_removed: Vec<(String, String)>,
+}
+
+impl SnapshotDiff {
+    /// True when nothing changed between the two snapshots.
+    pub fn is_empty(&self) -> bool {
+        self.appeared.is_empty()
+            && self.disappeared.is_empty()
+            && self.links_added.is_empty()
+            && self.links_removed.is_empty()
+    }
+
+    /// Compute the diff between two snapshots.
+    pub fn between(a: &SystemSnapshot, b: &SystemSnapshot) -> Self {
+        let tuples = |s: &SystemSnapshot| -> BTreeSet<(Addr, String)> {
+            s.nodes
+                .iter()
+                .flat_map(|(node, ns)| {
+                    ns.relations.values().flatten().map(move |t| (node.clone(), t.to_string()))
+                })
+                .collect()
+        };
+        let set_a = tuples(a);
+        let set_b = tuples(b);
+        let lookup = |s: &SystemSnapshot, key: &(Addr, String)| -> Option<(Addr, Tuple)> {
+            s.nodes.get(&key.0).and_then(|ns| {
+                ns.relations
+                    .values()
+                    .flatten()
+                    .find(|t| t.to_string() == key.1)
+                    .map(|t| (key.0.clone(), t.clone()))
+            })
+        };
+        let appeared = set_b
+            .difference(&set_a)
+            .filter_map(|k| lookup(b, k))
+            .collect();
+        let disappeared = set_a
+            .difference(&set_b)
+            .filter_map(|k| lookup(a, k))
+            .collect();
+
+        let links = |s: &SystemSnapshot| -> BTreeSet<(String, String)> {
+            s.topology
+                .links()
+                .map(|l| (l.from.clone(), l.to.clone()))
+                .collect()
+        };
+        let links_a = links(a);
+        let links_b = links(b);
+        SnapshotDiff {
+            from: a.time,
+            to: b.time,
+            appeared,
+            disappeared,
+            links_added: links_b.difference(&links_a).cloned().collect(),
+            links_removed: links_a.difference(&links_b).cloned().collect(),
+        }
+    }
+}
+
+/// An iterator-style replay cursor over a log store.
+#[derive(Debug)]
+pub struct Replay<'a> {
+    store: &'a LogStore,
+    position: usize,
+}
+
+impl<'a> Replay<'a> {
+    /// Start a replay at the first snapshot.
+    pub fn new(store: &'a LogStore) -> Self {
+        Replay { store, position: 0 }
+    }
+
+    /// The snapshot the cursor currently points at.
+    pub fn current(&self) -> Option<&'a SystemSnapshot> {
+        self.store.get(self.position)
+    }
+
+    /// Advance to the next snapshot, returning the diff from the previous one.
+    pub fn step(&mut self) -> Option<SnapshotDiff> {
+        let current = self.store.get(self.position)?;
+        let next = self.store.get(self.position + 1)?;
+        self.position += 1;
+        Some(SnapshotDiff::between(current, next))
+    }
+
+    /// Remaining steps.
+    pub fn remaining(&self) -> usize {
+        self.store.len().saturating_sub(self.position + 1)
+    }
+
+    /// Jump to the snapshot closest to (at or before) `time`, as when a user
+    /// drags the replay slider.
+    pub fn seek(&mut self, time: SimTime) {
+        let mut pos = 0;
+        for (i, s) in self.store.snapshots().iter().enumerate() {
+            if s.time <= time {
+                pos = i;
+            } else {
+                break;
+            }
+        }
+        self.position = pos;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::NodeSnapshot;
+    use nt_runtime::Value;
+    use simnet::Topology;
+
+    fn snapshot(secs: u64, costs: &[i64], topo: Topology) -> SystemSnapshot {
+        let mut node = NodeSnapshot {
+            node: "n1".into(),
+            ..Default::default()
+        };
+        node.relations.insert(
+            "cost".into(),
+            costs
+                .iter()
+                .map(|c| Tuple::new("cost", vec![Value::addr("n1"), Value::Int(*c)]))
+                .collect(),
+        );
+        let mut snap = SystemSnapshot {
+            time: SimTime::from_secs(secs),
+            topology: topo,
+            ..Default::default()
+        };
+        snap.nodes.insert("n1".into(), node);
+        snap
+    }
+
+    #[test]
+    fn diff_detects_tuple_and_link_changes() {
+        let a = snapshot(1, &[1, 2], Topology::line(3));
+        let b = snapshot(2, &[2, 3], Topology::line(2));
+        let diff = SnapshotDiff::between(&a, &b);
+        assert_eq!(diff.appeared.len(), 1);
+        assert_eq!(diff.disappeared.len(), 1);
+        assert_eq!(diff.links_removed.len(), 2, "n2<->n3 disappeared");
+        assert!(diff.links_added.is_empty());
+        assert!(!diff.is_empty());
+    }
+
+    #[test]
+    fn replay_walks_snapshots_in_order() {
+        let mut store = LogStore::new();
+        store.add(snapshot(1, &[1], Topology::line(2)));
+        store.add(snapshot(2, &[1, 2], Topology::line(2)));
+        store.add(snapshot(3, &[2], Topology::line(2)));
+        let mut replay = Replay::new(&store);
+        assert_eq!(replay.remaining(), 2);
+        let d1 = replay.step().unwrap();
+        assert_eq!(d1.appeared.len(), 1);
+        let d2 = replay.step().unwrap();
+        assert_eq!(d2.disappeared.len(), 1);
+        assert!(replay.step().is_none());
+    }
+
+    #[test]
+    fn seek_moves_to_the_snapshot_before_a_time() {
+        let mut store = LogStore::new();
+        store.add(snapshot(1, &[1], Topology::line(2)));
+        store.add(snapshot(5, &[2], Topology::line(2)));
+        store.add(snapshot(9, &[3], Topology::line(2)));
+        let mut replay = Replay::new(&store);
+        replay.seek(SimTime::from_secs(6));
+        assert_eq!(replay.current().unwrap().time, SimTime::from_secs(5));
+        replay.seek(SimTime::from_secs(0));
+        assert_eq!(replay.current().unwrap().time, SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn identical_snapshots_produce_an_empty_diff() {
+        let a = snapshot(1, &[1], Topology::line(2));
+        let b = snapshot(2, &[1], Topology::line(2));
+        assert!(SnapshotDiff::between(&a, &b).is_empty());
+    }
+}

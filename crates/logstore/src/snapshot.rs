@@ -1,0 +1,147 @@
+//! Snapshot types.
+
+use nt_runtime::{Addr, Database, Tuple};
+use provenance::{ProvGraph, ProvStoreStats, ProvenanceSystem};
+use serde::{Deserialize, Serialize};
+use simnet::{SimTime, Topology, TrafficStats};
+use std::collections::BTreeMap;
+
+/// One node's captured state at a point in (simulated) time.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct NodeSnapshot {
+    /// Node name.
+    pub node: Addr,
+    /// Visible relations and their tuples (internal outbox relations are
+    /// excluded).
+    pub relations: BTreeMap<String, Vec<Tuple>>,
+    /// Size of the node's provenance partition.
+    pub provenance: ProvStoreStats,
+}
+
+impl NodeSnapshot {
+    /// Capture a node's state from its runtime database and provenance store.
+    pub fn capture(node: &str, db: &Database, provenance: &ProvenanceSystem) -> Self {
+        let mut relations = BTreeMap::new();
+        for table in db.tables() {
+            if table.schema.name.starts_with("__out::") || table.is_empty() {
+                continue;
+            }
+            relations.insert(table.schema.name.clone(), table.tuples());
+        }
+        NodeSnapshot {
+            node: node.to_string(),
+            relations,
+            provenance: provenance
+                .store(node)
+                .map(|s| s.stats())
+                .unwrap_or_default(),
+        }
+    }
+
+    /// Total number of tuples in the snapshot.
+    pub fn tuple_count(&self) -> usize {
+        self.relations.values().map(Vec::len).sum()
+    }
+
+    /// Approximate serialized size in bytes — the cost of uploading this
+    /// snapshot to the central log store.
+    pub fn upload_bytes(&self) -> usize {
+        let tuples: usize = self
+            .relations
+            .values()
+            .flat_map(|ts| ts.iter().map(Tuple::wire_size))
+            .sum();
+        tuples + 64
+    }
+}
+
+/// A whole-system snapshot: every node plus the topology and the centralized
+/// provenance graph, stamped with the capture time.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SystemSnapshot {
+    /// Capture time.
+    pub time: SimTime,
+    /// Per-node snapshots, keyed by node name.
+    pub nodes: BTreeMap<Addr, NodeSnapshot>,
+    /// The network topology at capture time.
+    pub topology: Topology,
+    /// The assembled provenance graph (what the provenance visualizer shows).
+    pub graph: ProvGraph,
+    /// Cumulative traffic counters at capture time (the "bandwidth
+    /// utilization" the paper mentions).
+    pub traffic: TrafficStats,
+}
+
+impl SystemSnapshot {
+    /// Total tuples across every node.
+    pub fn tuple_count(&self) -> usize {
+        self.nodes.values().map(NodeSnapshot::tuple_count).sum()
+    }
+
+    /// Total upload size of all per-node snapshots.
+    pub fn upload_bytes(&self) -> usize {
+        self.nodes.values().map(NodeSnapshot::upload_bytes).sum()
+    }
+
+    /// All tuples of a relation across nodes (sorted, for comparisons).
+    pub fn relation(&self, relation: &str) -> Vec<(Addr, Tuple)> {
+        let mut out = Vec::new();
+        for (node, snap) in &self.nodes {
+            if let Some(tuples) = snap.relations.get(relation) {
+                for t in tuples {
+                    out.push((node.clone(), t.clone()));
+                }
+            }
+        }
+        out.sort_by_key(|(n, t)| (n.clone(), t.to_string()));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nt_runtime::{CompiledProgram, EngineConfig, NodeEngine, Value};
+    use std::sync::Arc;
+
+    fn engine_with_links() -> NodeEngine {
+        let program = Arc::new(
+            CompiledProgram::from_source("r1 cost(@S,D,C) :- link(@S,D,C).").unwrap(),
+        );
+        let mut e = NodeEngine::new(program, EngineConfig::new("n1"));
+        e.insert_base(Tuple::new(
+            "link",
+            vec![Value::addr("n1"), Value::addr("n2"), Value::Int(3)],
+        ));
+        e.run();
+        e
+    }
+
+    #[test]
+    fn node_snapshot_captures_visible_relations() {
+        let e = engine_with_links();
+        let prov = ProvenanceSystem::new(["n1"]);
+        let snap = NodeSnapshot::capture("n1", e.database(), &prov);
+        assert_eq!(snap.tuple_count(), 2, "link + cost");
+        assert!(snap.relations.contains_key("link"));
+        assert!(snap.relations.contains_key("cost"));
+        assert!(snap.upload_bytes() > 0);
+    }
+
+    #[test]
+    fn system_snapshot_aggregates_nodes() {
+        let e = engine_with_links();
+        let prov = ProvenanceSystem::new(["n1"]);
+        let mut snapshot = SystemSnapshot {
+            time: SimTime::from_secs(3),
+            ..Default::default()
+        };
+        snapshot
+            .nodes
+            .insert("n1".into(), NodeSnapshot::capture("n1", e.database(), &prov));
+        assert_eq!(snapshot.tuple_count(), 2);
+        assert_eq!(snapshot.relation("cost").len(), 1);
+        assert_eq!(snapshot.relation("nope").len(), 0);
+        assert!(snapshot.upload_bytes() >= snapshot.nodes["n1"].upload_bytes());
+    }
+}

@@ -1,0 +1,130 @@
+//! The central Log Store.
+
+use crate::snapshot::SystemSnapshot;
+use serde::{Deserialize, Serialize};
+use simnet::SimTime;
+
+/// The append-only store of system snapshots that lives at the visualization
+/// node. Snapshots are kept in capture-time order; the store tracks how many
+/// bytes have been uploaded to it (the centralization cost of Section 2.3).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LogStore {
+    snapshots: Vec<SystemSnapshot>,
+    uploaded_bytes: u64,
+}
+
+impl LogStore {
+    /// Create an empty store.
+    pub fn new() -> Self {
+        LogStore::default()
+    }
+
+    /// Append a snapshot (snapshots must arrive in non-decreasing time
+    /// order; out-of-order snapshots are inserted at the right position).
+    pub fn add(&mut self, snapshot: SystemSnapshot) {
+        self.uploaded_bytes += snapshot.upload_bytes() as u64;
+        let pos = self
+            .snapshots
+            .partition_point(|s| s.time <= snapshot.time);
+        self.snapshots.insert(pos, snapshot);
+    }
+
+    /// Number of stored snapshots.
+    pub fn len(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// True when no snapshot is stored.
+    pub fn is_empty(&self) -> bool {
+        self.snapshots.is_empty()
+    }
+
+    /// Total bytes uploaded to the store.
+    pub fn uploaded_bytes(&self) -> u64 {
+        self.uploaded_bytes
+    }
+
+    /// All snapshots in time order.
+    pub fn snapshots(&self) -> &[SystemSnapshot] {
+        &self.snapshots
+    }
+
+    /// The snapshot at a given index.
+    pub fn get(&self, index: usize) -> Option<&SystemSnapshot> {
+        self.snapshots.get(index)
+    }
+
+    /// The latest snapshot taken at or before `time` (what the visualizer
+    /// shows when the user pauses the replay at `time`).
+    pub fn at(&self, time: SimTime) -> Option<&SystemSnapshot> {
+        self.snapshots.iter().rev().find(|s| s.time <= time)
+    }
+
+    /// Serialize the whole store to pretty JSON (the on-disk format consumed
+    /// by the visualizer).
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Load a store from JSON.
+    pub fn from_json(json: &str) -> serde_json::Result<Self> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot_at(secs: u64) -> SystemSnapshot {
+        SystemSnapshot {
+            time: SimTime::from_secs(secs),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn snapshots_are_kept_in_time_order() {
+        let mut store = LogStore::new();
+        store.add(snapshot_at(10));
+        store.add(snapshot_at(5));
+        store.add(snapshot_at(7));
+        let times: Vec<u64> = store
+            .snapshots()
+            .iter()
+            .map(|s| s.time.as_micros() / 1_000_000)
+            .collect();
+        assert_eq!(times, vec![5, 7, 10]);
+        assert_eq!(store.len(), 3);
+    }
+
+    #[test]
+    fn at_returns_latest_snapshot_before_time() {
+        let mut store = LogStore::new();
+        store.add(snapshot_at(5));
+        store.add(snapshot_at(10));
+        assert_eq!(store.at(SimTime::from_secs(7)).unwrap().time, SimTime::from_secs(5));
+        assert_eq!(store.at(SimTime::from_secs(10)).unwrap().time, SimTime::from_secs(10));
+        assert!(store.at(SimTime::from_secs(1)).is_none());
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut store = LogStore::new();
+        store.add(snapshot_at(5));
+        let json = store.to_json().unwrap();
+        let loaded = LogStore::from_json(&json).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded.snapshots()[0].time, SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn upload_bytes_accumulate() {
+        let mut store = LogStore::new();
+        assert_eq!(store.uploaded_bytes(), 0);
+        store.add(snapshot_at(1));
+        assert_eq!(store.uploaded_bytes(), 0, "empty snapshot uploads nothing");
+        assert!(store.get(0).is_some());
+        assert!(store.get(5).is_none());
+    }
+}

@@ -1,0 +1,82 @@
+//! Registry of builtin functions (`f_*`) known to the NDlog dialect.
+//!
+//! The front-end only needs names and arities for validation; the actual
+//! semantics live in the runtime (`nt-runtime::eval`) where values are
+//! available. Keeping the registry here lets the validator reject calls to
+//! unknown functions or calls with the wrong arity before execution, which is
+//! the behaviour of the RapidNet compiler.
+
+/// Description of one builtin function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Builtin {
+    /// Function name as written in programs, e.g. `f_isExtend`.
+    pub name: &'static str,
+    /// Number of arguments the function expects.
+    pub arity: usize,
+    /// Short human-readable description (used in docs and error messages).
+    pub description: &'static str,
+}
+
+/// The table of builtins supported by NetTrails.
+///
+/// * Path / list manipulation (`f_concat`, `f_append`, `f_member`, `f_last`,
+///   `f_size`, `f_prepend`, `f_initlist`) is what path-vector, DSR and BGP
+///   programs use to build AS paths and source routes.
+/// * `f_isExtend` is the function used by the paper's `maybe` rule `br1` to
+///   detect that an outgoing BGP route extends an incoming one by exactly one
+///   AS hop.
+/// * `f_now`, `f_rand`, `f_min`, `f_max`, `f_abs` are general utilities.
+pub const BUILTINS: &[Builtin] = &[
+    Builtin { name: "f_concat", arity: 2, description: "concatenate two lists (or value onto list)" },
+    Builtin { name: "f_append", arity: 2, description: "append a value to the end of a list" },
+    Builtin { name: "f_prepend", arity: 2, description: "prepend a value to the front of a list" },
+    Builtin { name: "f_initlist", arity: 1, description: "create a singleton list" },
+    Builtin { name: "f_initlist2", arity: 2, description: "create a two-element list" },
+    Builtin { name: "f_member", arity: 2, description: "1 if the value is a member of the list, else 0" },
+    Builtin { name: "f_last", arity: 1, description: "last element of a list" },
+    Builtin { name: "f_first", arity: 1, description: "first element of a list" },
+    Builtin { name: "f_size", arity: 1, description: "length of a list" },
+    Builtin { name: "f_isExtend", arity: 3, description: "1 if route A extends route B by appending node N" },
+    Builtin { name: "f_min", arity: 2, description: "minimum of two values" },
+    Builtin { name: "f_max", arity: 2, description: "maximum of two values" },
+    Builtin { name: "f_abs", arity: 1, description: "absolute value" },
+    Builtin { name: "f_sha1", arity: 1, description: "stable 64-bit digest of a value (used for identifiers)" },
+    Builtin { name: "f_tostr", arity: 1, description: "render a value as a string" },
+];
+
+/// Look up a builtin by name.
+pub fn lookup(name: &str) -> Option<&'static Builtin> {
+    BUILTINS.iter().find(|b| b.name == name)
+}
+
+/// True when `name` follows the builtin naming convention (`f_` prefix).
+pub fn is_builtin_name(name: &str) -> bool {
+    name.starts_with("f_")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_finds_is_extend() {
+        let b = lookup("f_isExtend").unwrap();
+        assert_eq!(b.arity, 3);
+    }
+
+    #[test]
+    fn lookup_unknown_is_none() {
+        assert!(lookup("f_unknown").is_none());
+        assert!(is_builtin_name("f_unknown"));
+        assert!(!is_builtin_name("link"));
+    }
+
+    #[test]
+    fn all_builtins_have_unique_names() {
+        for (i, a) in BUILTINS.iter().enumerate() {
+            for b in &BUILTINS[i + 1..] {
+                assert_ne!(a.name, b.name);
+            }
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Error types shared by the NDlog front-end.
+
+use std::fmt;
+
+/// Result alias used throughout the `ndlog` crate.
+pub type Result<T> = std::result::Result<T, NdlogError>;
+
+/// Errors produced while lexing, parsing or validating NDlog programs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NdlogError {
+    /// A character sequence that is not a valid token.
+    Lex {
+        /// 1-based line on which the offending character appears.
+        line: usize,
+        /// 1-based column of the offending character.
+        column: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// The token stream does not form a valid program.
+    Parse {
+        /// 1-based line of the token where parsing failed.
+        line: usize,
+        /// 1-based column of the token where parsing failed.
+        column: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// The program parsed but violates a semantic restriction
+    /// (safety, location well-formedness, aggregate misuse, ...).
+    Validation {
+        /// Name of the rule in which the problem was detected, if any.
+        rule: Option<String>,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl NdlogError {
+    /// Construct a lexer error.
+    pub fn lex(line: usize, column: usize, message: impl Into<String>) -> Self {
+        NdlogError::Lex {
+            line,
+            column,
+            message: message.into(),
+        }
+    }
+
+    /// Construct a parser error.
+    pub fn parse(line: usize, column: usize, message: impl Into<String>) -> Self {
+        NdlogError::Parse {
+            line,
+            column,
+            message: message.into(),
+        }
+    }
+
+    /// Construct a validation error attached to a rule.
+    pub fn validation(rule: Option<&str>, message: impl Into<String>) -> Self {
+        NdlogError::Validation {
+            rule: rule.map(|r| r.to_string()),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for NdlogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NdlogError::Lex {
+                line,
+                column,
+                message,
+            } => write!(f, "lex error at {line}:{column}: {message}"),
+            NdlogError::Parse {
+                line,
+                column,
+                message,
+            } => write!(f, "parse error at {line}:{column}: {message}"),
+            NdlogError::Validation { rule, message } => match rule {
+                Some(rule) => write!(f, "invalid rule `{rule}`: {message}"),
+                None => write!(f, "invalid program: {message}"),
+            },
+        }
+    }
+}
+
+impl std::error::Error for NdlogError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_positions() {
+        let err = NdlogError::lex(3, 7, "unexpected `%`");
+        assert_eq!(err.to_string(), "lex error at 3:7: unexpected `%`");
+        let err = NdlogError::parse(1, 2, "expected `.`");
+        assert_eq!(err.to_string(), "parse error at 1:2: expected `.`");
+        let err = NdlogError::validation(Some("r1"), "unsafe head variable X");
+        assert_eq!(err.to_string(), "invalid rule `r1`: unsafe head variable X");
+        let err = NdlogError::validation(None, "duplicate rule name");
+        assert_eq!(err.to_string(), "invalid program: duplicate rule name");
+    }
+}

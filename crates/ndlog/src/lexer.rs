@@ -1,0 +1,433 @@
+//! Hand-written lexer for NDlog source text.
+//!
+//! The token stream is consumed by [`crate::parser`]. Comments start with
+//! `//` or `/* ... */` and are skipped; whitespace is insignificant.
+
+use crate::error::{NdlogError, Result};
+
+/// Token kinds produced by the lexer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier starting with a lowercase letter (relation / function /
+    /// keyword such as `materialize`, `keys`, `infinity`, `min`, ...).
+    Ident(String),
+    /// Identifier starting with an uppercase letter or underscore: a variable.
+    Variable(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating point literal.
+    Double(f64),
+    /// Quoted string literal (without the quotes).
+    Str(String),
+    /// `@`
+    At,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `:-`
+    Derives,
+    /// `?-`
+    MaybeDerives,
+    /// `:=`
+    Assign,
+    /// `<` used to open an aggregate (`min<C>`); also the less-than operator.
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+    /// `!`
+    Bang,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `_` wildcard.
+    Underscore,
+}
+
+/// A token plus its source position (1-based line/column), used for error
+/// reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedToken {
+    /// The token.
+    pub token: Token,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub column: usize,
+}
+
+struct Lexer<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: usize,
+    column: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            chars: src.chars().peekable(),
+            line: 1,
+            column: 1,
+        }
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next();
+        if let Some(c) = c {
+            if c == '\n' {
+                self.line += 1;
+                self.column = 1;
+            } else {
+                self.column += 1;
+            }
+        }
+        c
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn skip_ws_and_comments(&mut self) -> Result<()> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('/') => {
+                    // Peek second char without consuming the slash: clone the iterator.
+                    let mut it = self.chars.clone();
+                    it.next();
+                    match it.peek() {
+                        Some('/') => {
+                            while let Some(c) = self.bump() {
+                                if c == '\n' {
+                                    break;
+                                }
+                            }
+                        }
+                        Some('*') => {
+                            let (line, column) = (self.line, self.column);
+                            self.bump();
+                            self.bump();
+                            let mut closed = false;
+                            while let Some(c) = self.bump() {
+                                if c == '*' && self.peek() == Some('/') {
+                                    self.bump();
+                                    closed = true;
+                                    break;
+                                }
+                            }
+                            if !closed {
+                                return Err(NdlogError::lex(line, column, "unterminated block comment"));
+                            }
+                        }
+                        _ => return Ok(()),
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn lex_number(&mut self, first: char) -> Result<Token> {
+        let mut s = String::new();
+        s.push(first);
+        let mut is_double = false;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                s.push(c);
+                self.bump();
+            } else if c == '.' {
+                // Only treat as decimal point if followed by a digit; otherwise
+                // it is the statement terminator.
+                let mut it = self.chars.clone();
+                it.next();
+                if it.peek().map(|d| d.is_ascii_digit()).unwrap_or(false) {
+                    is_double = true;
+                    s.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            } else {
+                break;
+            }
+        }
+        if is_double {
+            s.parse::<f64>()
+                .map(Token::Double)
+                .map_err(|_| NdlogError::lex(self.line, self.column, format!("bad float `{s}`")))
+        } else {
+            s.parse::<i64>()
+                .map(Token::Int)
+                .map_err(|_| NdlogError::lex(self.line, self.column, format!("bad integer `{s}`")))
+        }
+    }
+
+    fn lex_ident(&mut self, first: char) -> Token {
+        let mut s = String::new();
+        s.push(first);
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || c == '_' {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if s == "_" {
+            Token::Underscore
+        } else if first.is_uppercase() || first == '_' {
+            Token::Variable(s)
+        } else {
+            Token::Ident(s)
+        }
+    }
+
+    fn lex_string(&mut self) -> Result<Token> {
+        let (line, column) = (self.line, self.column);
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                Some('"') => return Ok(Token::Str(s)),
+                Some('\\') => match self.bump() {
+                    Some('n') => s.push('\n'),
+                    Some('t') => s.push('\t'),
+                    Some(c) => s.push(c),
+                    None => return Err(NdlogError::lex(line, column, "unterminated string")),
+                },
+                Some(c) => s.push(c),
+                None => return Err(NdlogError::lex(line, column, "unterminated string")),
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Option<SpannedToken>> {
+        self.skip_ws_and_comments()?;
+        let (line, column) = (self.line, self.column);
+        let c = match self.bump() {
+            Some(c) => c,
+            None => return Ok(None),
+        };
+        let token = match c {
+            '(' => Token::LParen,
+            ')' => Token::RParen,
+            ',' => Token::Comma,
+            '@' => Token::At,
+            '+' => Token::Plus,
+            '*' => Token::Star,
+            '%' => Token::Percent,
+            '_' => {
+                if self
+                    .peek()
+                    .map(|c| c.is_alphanumeric() || c == '_')
+                    .unwrap_or(false)
+                {
+                    self.lex_ident('_')
+                } else {
+                    Token::Underscore
+                }
+            }
+            '-' => Token::Minus,
+            '/' => Token::Slash,
+            '.' => Token::Dot,
+            '"' => self.lex_string()?,
+            ':' => match self.peek() {
+                Some('-') => {
+                    self.bump();
+                    Token::Derives
+                }
+                Some('=') => {
+                    self.bump();
+                    Token::Assign
+                }
+                _ => return Err(NdlogError::lex(line, column, "expected `:-` or `:=`")),
+            },
+            '?' => match self.peek() {
+                Some('-') => {
+                    self.bump();
+                    Token::MaybeDerives
+                }
+                _ => return Err(NdlogError::lex(line, column, "expected `?-`")),
+            },
+            '<' => match self.peek() {
+                Some('=') => {
+                    self.bump();
+                    Token::Le
+                }
+                _ => Token::Lt,
+            },
+            '>' => match self.peek() {
+                Some('=') => {
+                    self.bump();
+                    Token::Ge
+                }
+                _ => Token::Gt,
+            },
+            '=' => match self.peek() {
+                Some('=') => {
+                    self.bump();
+                    Token::EqEq
+                }
+                _ => return Err(NdlogError::lex(line, column, "expected `==` (use `:=` for assignment)")),
+            },
+            '!' => match self.peek() {
+                Some('=') => {
+                    self.bump();
+                    Token::Ne
+                }
+                _ => Token::Bang,
+            },
+            '&' => match self.peek() {
+                Some('&') => {
+                    self.bump();
+                    Token::AndAnd
+                }
+                _ => return Err(NdlogError::lex(line, column, "expected `&&`")),
+            },
+            '|' => match self.peek() {
+                Some('|') => {
+                    self.bump();
+                    Token::OrOr
+                }
+                _ => return Err(NdlogError::lex(line, column, "expected `||`")),
+            },
+            c if c.is_ascii_digit() => self.lex_number(c)?,
+            c if c.is_alphabetic() => self.lex_ident(c),
+            other => {
+                return Err(NdlogError::lex(
+                    line,
+                    column,
+                    format!("unexpected character `{other}`"),
+                ))
+            }
+        };
+        Ok(Some(SpannedToken {
+            token,
+            line,
+            column,
+        }))
+    }
+}
+
+/// Tokenize a complete NDlog source string.
+pub fn tokenize(src: &str) -> Result<Vec<SpannedToken>> {
+    let mut lexer = Lexer::new(src);
+    let mut out = Vec::new();
+    while let Some(tok) = lexer.next_token()? {
+        out.push(tok);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Token> {
+        tokenize(src).unwrap().into_iter().map(|t| t.token).collect()
+    }
+
+    #[test]
+    fn lexes_simple_rule() {
+        let toks = kinds("r1 cost(@S,D,C) :- link(@S,D,C).");
+        assert_eq!(toks[0], Token::Ident("r1".into()));
+        assert_eq!(toks[1], Token::Ident("cost".into()));
+        assert_eq!(toks[2], Token::LParen);
+        assert_eq!(toks[3], Token::At);
+        assert_eq!(toks[4], Token::Variable("S".into()));
+        assert!(toks.contains(&Token::Derives));
+        assert_eq!(*toks.last().unwrap(), Token::Dot);
+    }
+
+    #[test]
+    fn lexes_maybe_rule_operator() {
+        let toks = kinds("br1 out(A,B) ?- in(A,B).");
+        assert!(toks.contains(&Token::MaybeDerives));
+    }
+
+    #[test]
+    fn lexes_assignment_and_comparison() {
+        let toks = kinds("C := C1 + C2, C1 <= 5, X == 1, Y != 2");
+        assert!(toks.contains(&Token::Assign));
+        assert!(toks.contains(&Token::Le));
+        assert!(toks.contains(&Token::EqEq));
+        assert!(toks.contains(&Token::Ne));
+    }
+
+    #[test]
+    fn lexes_numbers_strings_and_comments() {
+        let toks = kinds("// comment\n f(3, 2.5, \"n1\") /* block */ .");
+        assert!(toks.contains(&Token::Int(3)));
+        assert!(toks.contains(&Token::Double(2.5)));
+        assert!(toks.contains(&Token::Str("n1".into())));
+    }
+
+    #[test]
+    fn integer_followed_by_dot_is_not_a_float() {
+        // `keys(1,2).` — the trailing dot terminates the statement.
+        let toks = kinds("keys(1,2).");
+        assert!(toks.contains(&Token::Int(2)));
+        assert_eq!(*toks.last().unwrap(), Token::Dot);
+    }
+
+    #[test]
+    fn wildcard_and_variables() {
+        let toks = kinds("p(_, X, _y)");
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("p".into()),
+                Token::LParen,
+                Token::Underscore,
+                Token::Comma,
+                Token::Variable("X".into()),
+                Token::Comma,
+                Token::Variable("_y".into()),
+                Token::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let err = tokenize("p(@A)\n  #").unwrap_err();
+        match err {
+            NdlogError::Lex { line, column, .. } => {
+                assert_eq!(line, 2);
+                assert_eq!(column, 3);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        assert!(tokenize("p(\"abc").is_err());
+        assert!(tokenize("/* never closed").is_err());
+    }
+}

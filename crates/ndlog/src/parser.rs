@@ -1,0 +1,651 @@
+//! Recursive-descent parser producing the [`crate::ast`] types.
+
+use crate::ast::{
+    Aggregate, AggregateFunc, BinOp, BodyElem, Expr, Literal, Materialize, Predicate, Program,
+    Rule, RuleKind, Term, UnOp,
+};
+use crate::error::{NdlogError, Result};
+use crate::lexer::{tokenize, SpannedToken, Token};
+
+/// Parse a complete NDlog program (declarations and rules).
+pub fn parse_program(src: &str) -> Result<Program> {
+    let tokens = tokenize(src)?;
+    let mut parser = Parser::new(tokens);
+    parser.program()
+}
+
+/// Parse a single rule. The trailing `.` is required.
+pub fn parse_rule(src: &str) -> Result<Rule> {
+    let tokens = tokenize(src)?;
+    let mut parser = Parser::new(tokens);
+    let rule = parser.rule(0)?;
+    parser.expect_end()?;
+    Ok(rule)
+}
+
+struct Parser {
+    tokens: Vec<SpannedToken>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(tokens: Vec<SpannedToken>) -> Self {
+        Parser { tokens, pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|t| &t.token)
+    }
+
+    fn peek2(&self) -> Option<&Token> {
+        self.tokens.get(self.pos + 1).map(|t| &t.token)
+    }
+
+    fn position(&self) -> (usize, usize) {
+        self.tokens
+            .get(self.pos)
+            .or_else(|| self.tokens.last())
+            .map(|t| (t.line, t.column))
+            .unwrap_or((1, 1))
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|t| t.token.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, msg: impl Into<String>) -> NdlogError {
+        let (line, column) = self.position();
+        NdlogError::parse(line, column, msg)
+    }
+
+    fn expect(&mut self, expected: &Token, what: &str) -> Result<()> {
+        match self.peek() {
+            Some(t) if t == expected => {
+                self.bump();
+                Ok(())
+            }
+            Some(t) => Err(self.error(format!("expected {what}, found {t:?}"))),
+            None => Err(self.error(format!("expected {what}, found end of input"))),
+        }
+    }
+
+    fn expect_end(&self) -> Result<()> {
+        if self.pos == self.tokens.len() {
+            Ok(())
+        } else {
+            Err(self.error("unexpected trailing input"))
+        }
+    }
+
+    fn program(&mut self) -> Result<Program> {
+        let mut program = Program::new();
+        let mut anon_counter = 0usize;
+        while self.peek().is_some() {
+            if matches!(self.peek(), Some(Token::Ident(id)) if id == "materialize") {
+                program.materializations.push(self.materialize()?);
+            } else {
+                anon_counter += 1;
+                program.rules.push(self.rule(anon_counter)?);
+            }
+        }
+        Ok(program)
+    }
+
+    fn materialize(&mut self) -> Result<Materialize> {
+        // `materialize` already peeked.
+        self.bump();
+        self.expect(&Token::LParen, "`(`")?;
+        let relation = match self.bump() {
+            Some(Token::Ident(name)) => name,
+            _ => return Err(self.error("expected relation name in materialize(..)")),
+        };
+        self.expect(&Token::Comma, "`,`")?;
+        let lifetime = self.lifetime_or_size()?;
+        self.expect(&Token::Comma, "`,`")?;
+        let max_size = self.lifetime_or_size()?.map(|v| v as u64);
+        self.expect(&Token::Comma, "`,`")?;
+        match self.bump() {
+            Some(Token::Ident(kw)) if kw == "keys" => {}
+            _ => return Err(self.error("expected `keys(..)` in materialize(..)")),
+        }
+        self.expect(&Token::LParen, "`(`")?;
+        let mut keys = Vec::new();
+        loop {
+            match self.bump() {
+                Some(Token::Int(k)) if k >= 1 => keys.push(k as usize),
+                Some(Token::Int(_)) => return Err(self.error("key columns are 1-based")),
+                _ => return Err(self.error("expected key column index")),
+            }
+            match self.peek() {
+                Some(Token::Comma) => {
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        self.expect(&Token::RParen, "`)` closing keys(..)")?;
+        self.expect(&Token::RParen, "`)` closing materialize(..)")?;
+        self.expect(&Token::Dot, "`.`")?;
+        Ok(Materialize {
+            relation,
+            lifetime,
+            max_size,
+            keys,
+        })
+    }
+
+    fn lifetime_or_size(&mut self) -> Result<Option<f64>> {
+        match self.bump() {
+            Some(Token::Ident(kw)) if kw == "infinity" => Ok(None),
+            Some(Token::Int(v)) => Ok(Some(v as f64)),
+            Some(Token::Double(v)) => Ok(Some(v)),
+            _ => Err(self.error("expected number or `infinity`")),
+        }
+    }
+
+    fn rule(&mut self, anon_index: usize) -> Result<Rule> {
+        // Optional rule name: an identifier immediately followed by another
+        // identifier (the head relation), rather than by `(`.
+        let name = match (self.peek(), self.peek2()) {
+            (Some(Token::Ident(name)), Some(Token::Ident(_))) => {
+                let n = name.clone();
+                self.bump();
+                n
+            }
+            _ => format!("rule_{anon_index}"),
+        };
+        let head = self.predicate(false)?;
+        let kind = match self.bump() {
+            Some(Token::Derives) => RuleKind::Derive,
+            Some(Token::MaybeDerives) => RuleKind::Maybe,
+            _ => return Err(self.error("expected `:-` or `?-` after rule head")),
+        };
+        let mut body = Vec::new();
+        loop {
+            body.push(self.body_elem()?);
+            match self.peek() {
+                Some(Token::Comma) => {
+                    self.bump();
+                }
+                Some(Token::Dot) => {
+                    self.bump();
+                    break;
+                }
+                _ => return Err(self.error("expected `,` or `.` in rule body")),
+            }
+        }
+        Ok(Rule {
+            name,
+            head,
+            body,
+            kind,
+        })
+    }
+
+    fn body_elem(&mut self) -> Result<BodyElem> {
+        // Assignment: Variable := expr
+        if let (Some(Token::Variable(v)), Some(Token::Assign)) = (self.peek(), self.peek2()) {
+            let var = v.clone();
+            self.bump();
+            self.bump();
+            let expr = self.expr()?;
+            return Ok(BodyElem::Assign { var, expr });
+        }
+        // Negated atom: !rel(..)
+        if matches!(self.peek(), Some(Token::Bang))
+            && matches!(self.peek2(), Some(Token::Ident(_)))
+        {
+            self.bump();
+            let mut p = self.predicate(true)?;
+            p.negated = true;
+            return Ok(BodyElem::Atom(p));
+        }
+        // Positive atom: ident( ... ) — but only if it is NOT part of a larger
+        // expression (a function call is an ident starting with `f_`).
+        if let Some(Token::Ident(name)) = self.peek() {
+            if !name.starts_with("f_") && matches!(self.peek2(), Some(Token::LParen)) {
+                let p = self.predicate(true)?;
+                return Ok(BodyElem::Atom(p));
+            }
+        }
+        // Otherwise: a filter expression.
+        let expr = self.expr()?;
+        Ok(BodyElem::Filter(expr))
+    }
+
+    fn predicate(&mut self, in_body: bool) -> Result<Predicate> {
+        let relation = match self.bump() {
+            Some(Token::Ident(name)) => name,
+            other => return Err(self.error(format!("expected relation name, found {other:?}"))),
+        };
+        self.expect(&Token::LParen, "`(`")?;
+        let mut terms = Vec::new();
+        if matches!(self.peek(), Some(Token::RParen)) {
+            self.bump();
+            return Ok(Predicate {
+                relation,
+                terms,
+                negated: false,
+            });
+        }
+        loop {
+            terms.push(self.term(in_body)?);
+            match self.bump() {
+                Some(Token::Comma) => {}
+                Some(Token::RParen) => break,
+                _ => return Err(self.error("expected `,` or `)` in predicate")),
+            }
+        }
+        Ok(Predicate {
+            relation,
+            terms,
+            negated: false,
+        })
+    }
+
+    fn term(&mut self, in_body: bool) -> Result<Term> {
+        match self.peek().cloned() {
+            Some(Token::At) => {
+                self.bump();
+                match self.bump() {
+                    Some(Token::Variable(name)) => Ok(Term::Variable {
+                        name,
+                        location: true,
+                    }),
+                    Some(Token::Str(s)) => Ok(Term::Constant {
+                        value: Literal::Str(s),
+                        location: true,
+                    }),
+                    Some(Token::Int(v)) => Ok(Term::Constant {
+                        value: Literal::Int(v),
+                        location: true,
+                    }),
+                    _ => Err(self.error("expected variable or constant after `@`")),
+                }
+            }
+            Some(Token::Underscore) => {
+                self.bump();
+                Ok(Term::Wildcard)
+            }
+            Some(Token::Variable(name)) => {
+                self.bump();
+                Ok(Term::Variable {
+                    name,
+                    location: false,
+                })
+            }
+            Some(Token::Ident(kw)) => {
+                // Aggregate term in a head: min<C>, count<*>, ...
+                if let Some(func) = AggregateFunc::from_keyword(&kw) {
+                    if !in_body && matches!(self.peek2(), Some(Token::Lt)) {
+                        self.bump(); // keyword
+                        self.bump(); // <
+                        let var = match self.bump() {
+                            Some(Token::Variable(v)) => v,
+                            Some(Token::Star) => "*".to_string(),
+                            _ => return Err(self.error("expected variable inside aggregate <..>")),
+                        };
+                        self.expect(&Token::Gt, "`>` closing aggregate")?;
+                        return Ok(Term::Aggregate(Aggregate { func, var }));
+                    }
+                }
+                if kw == "infinity" {
+                    self.bump();
+                    return Ok(Term::Constant {
+                        value: Literal::Infinity,
+                        location: false,
+                    });
+                }
+                if kw == "true" || kw == "false" {
+                    self.bump();
+                    return Ok(Term::Constant {
+                        value: Literal::Bool(kw == "true"),
+                        location: false,
+                    });
+                }
+                Err(self.error(format!(
+                    "unexpected identifier `{kw}` as a term (variables are uppercase)"
+                )))
+            }
+            Some(Token::Int(v)) => {
+                self.bump();
+                Ok(Term::Constant {
+                    value: Literal::Int(v),
+                    location: false,
+                })
+            }
+            Some(Token::Double(v)) => {
+                self.bump();
+                Ok(Term::Constant {
+                    value: Literal::Double(v),
+                    location: false,
+                })
+            }
+            Some(Token::Str(s)) => {
+                self.bump();
+                Ok(Term::Constant {
+                    value: Literal::Str(s),
+                    location: false,
+                })
+            }
+            Some(Token::Minus) => {
+                self.bump();
+                match self.bump() {
+                    Some(Token::Int(v)) => Ok(Term::Constant {
+                        value: Literal::Int(-v),
+                        location: false,
+                    }),
+                    Some(Token::Double(v)) => Ok(Term::Constant {
+                        value: Literal::Double(-v),
+                        location: false,
+                    }),
+                    _ => Err(self.error("expected number after `-`")),
+                }
+            }
+            other => Err(self.error(format!("expected term, found {other:?}"))),
+        }
+    }
+
+    // -------- expressions (precedence climbing) --------
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.and_expr()?;
+        while matches!(self.peek(), Some(Token::OrOr)) {
+            self.bump();
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary {
+                op: BinOp::Or,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.cmp_expr()?;
+        while matches!(self.peek(), Some(Token::AndAnd)) {
+            self.bump();
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::Binary {
+                op: BinOp::And,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            Some(Token::EqEq) => Some(BinOp::Eq),
+            Some(Token::Ne) => Some(BinOp::Ne),
+            Some(Token::Lt) => Some(BinOp::Lt),
+            Some(Token::Le) => Some(BinOp::Le),
+            Some(Token::Gt) => Some(BinOp::Gt),
+            Some(Token::Ge) => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let rhs = self.add_expr()?;
+            Ok(Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            })
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn add_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinOp::Add,
+                Some(Token::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinOp::Mul,
+                Some(Token::Slash) => BinOp::Div,
+                Some(Token::Percent) => BinOp::Mod,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr> {
+        match self.peek() {
+            Some(Token::Minus) => {
+                self.bump();
+                let expr = self.unary_expr()?;
+                Ok(Expr::Unary {
+                    op: UnOp::Neg,
+                    expr: Box::new(expr),
+                })
+            }
+            Some(Token::Bang) => {
+                self.bump();
+                let expr = self.unary_expr()?;
+                Ok(Expr::Unary {
+                    op: UnOp::Not,
+                    expr: Box::new(expr),
+                })
+            }
+            _ => self.primary_expr(),
+        }
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr> {
+        match self.peek().cloned() {
+            Some(Token::LParen) => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&Token::RParen, "`)`")?;
+                Ok(e)
+            }
+            Some(Token::Variable(v)) => {
+                self.bump();
+                Ok(Expr::Var(v))
+            }
+            Some(Token::Int(v)) => {
+                self.bump();
+                Ok(Expr::Const(Literal::Int(v)))
+            }
+            Some(Token::Double(v)) => {
+                self.bump();
+                Ok(Expr::Const(Literal::Double(v)))
+            }
+            Some(Token::Str(s)) => {
+                self.bump();
+                Ok(Expr::Const(Literal::Str(s)))
+            }
+            Some(Token::Ident(id)) => {
+                self.bump();
+                match id.as_str() {
+                    "true" => Ok(Expr::Const(Literal::Bool(true))),
+                    "false" => Ok(Expr::Const(Literal::Bool(false))),
+                    "infinity" => Ok(Expr::Const(Literal::Infinity)),
+                    _ => {
+                        // Function call.
+                        self.expect(&Token::LParen, "`(` after function name")?;
+                        let mut args = Vec::new();
+                        if !matches!(self.peek(), Some(Token::RParen)) {
+                            loop {
+                                args.push(self.expr()?);
+                                match self.peek() {
+                                    Some(Token::Comma) => {
+                                        self.bump();
+                                    }
+                                    _ => break,
+                                }
+                            }
+                        }
+                        self.expect(&Token::RParen, "`)` closing call")?;
+                        Ok(Expr::Call { func: id, args })
+                    }
+                }
+            }
+            other => Err(self.error(format!("expected expression, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{AggregateFunc, BinOp, RuleKind};
+
+    #[test]
+    fn parses_mincost_program() {
+        let program = parse_program(
+            "materialize(link, infinity, infinity, keys(1,2)).\n\
+             materialize(minCost, infinity, infinity, keys(1,2)).\n\
+             r1 cost(@S,D,C) :- link(@S,D,C).\n\
+             r2 cost(@S,D,C) :- link(@S,Z,C1), minCost(@Z,D,C2), C := C1 + C2.\n\
+             r3 minCost(@S,D,min<C>) :- cost(@S,D,C).",
+        )
+        .unwrap();
+        assert_eq!(program.materializations.len(), 2);
+        assert_eq!(program.rules.len(), 3);
+        assert_eq!(program.rules[1].name, "r2");
+        assert_eq!(program.rules[1].body.len(), 3);
+        let (idx, agg) = program.rules[2].head.aggregate_column().unwrap();
+        assert_eq!(idx, 2);
+        assert_eq!(agg.func, AggregateFunc::Min);
+    }
+
+    #[test]
+    fn parses_maybe_rule_with_function_filter() {
+        let rule = parse_rule(
+            "br1 outputRoute(@AS,R2,Prefix,Route2) ?- \
+                 inputRoute(@AS,R1,Prefix,Route1), \
+                 f_isExtend(Route2,Route1,AS) == 1.",
+        )
+        .unwrap();
+        assert_eq!(rule.kind, RuleKind::Maybe);
+        assert_eq!(rule.body.len(), 2);
+        match &rule.body[1] {
+            BodyElem::Filter(Expr::Binary { op, lhs, .. }) => {
+                assert_eq!(*op, BinOp::Eq);
+                assert!(matches!(**lhs, Expr::Call { .. }));
+            }
+            other => panic!("expected filter, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_unnamed_rules_with_generated_names() {
+        let program =
+            parse_program("reachable(@S,D) :- link(@S,D,C).\nreachable(@S,D) :- link(@S,Z,C), reachable(@Z,D).").unwrap();
+        assert_eq!(program.rules[0].name, "rule_1");
+        assert_eq!(program.rules[1].name, "rule_2");
+    }
+
+    #[test]
+    fn parses_negation_and_wildcards() {
+        let rule =
+            parse_rule("r1 lonely(@N) :- node(@N), !link(@N,_,_).").unwrap();
+        let atoms: Vec<_> = rule.body_atoms().collect();
+        assert_eq!(atoms.len(), 2);
+        assert!(atoms[1].negated);
+        assert!(matches!(atoms[1].terms[1], Term::Wildcard));
+    }
+
+    #[test]
+    fn parses_assignment_precedence() {
+        let rule = parse_rule("r1 out(@A,X) :- in(@A,B,C), X := B + C * 2.").unwrap();
+        match &rule.body[1] {
+            BodyElem::Assign { var, expr } => {
+                assert_eq!(var, "X");
+                // B + (C * 2)
+                match expr {
+                    Expr::Binary { op: BinOp::Add, rhs, .. } => {
+                        assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
+                    }
+                    other => panic!("bad precedence: {other:?}"),
+                }
+            }
+            other => panic!("expected assignment, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_constant_location_specifier() {
+        let rule = parse_rule("r1 ping(@\"n2\",X) :- trigger(@\"n1\",X).").unwrap();
+        assert!(matches!(
+            rule.head.terms[0],
+            Term::Constant {
+                value: Literal::Str(_),
+                location: true
+            }
+        ));
+    }
+
+    #[test]
+    fn parses_count_star_aggregate() {
+        let rule = parse_rule("r1 degree(@N,count<*>) :- link(@N,M,C).").unwrap();
+        let (_, agg) = rule.head.aggregate_column().unwrap();
+        assert_eq!(agg.func, AggregateFunc::Count);
+        assert_eq!(agg.var, "*");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_program("r1 cost(@S :- link(@S,D,C).").is_err());
+        assert!(parse_program("r1 cost(@S,D) - link(@S,D).").is_err());
+        assert!(parse_rule("r1 cost(@S,D) :- link(@S,D)").is_err()); // missing dot
+    }
+
+    #[test]
+    fn materialize_defaults_and_limits() {
+        let program = parse_program("materialize(route, 120, 1000, keys(1,2,3)).").unwrap();
+        let m = &program.materializations[0];
+        assert_eq!(m.lifetime, Some(120.0));
+        assert_eq!(m.max_size, Some(1000));
+        assert_eq!(m.keys, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn display_round_trip_for_programs() {
+        let src = "materialize(link, infinity, infinity, keys(1,2)).\n\
+                   r1 cost(@S,D,C) :- link(@S,D,C), C < 10.\n\
+                   r2 best(@S,D,min<C>) :- cost(@S,D,C).";
+        let p1 = parse_program(src).unwrap();
+        let p2 = parse_program(&p1.to_string()).unwrap();
+        assert_eq!(p1, p2);
+    }
+}

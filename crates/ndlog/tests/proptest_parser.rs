@@ -1,0 +1,70 @@
+//! Property-based tests for the NDlog front-end.
+
+use ndlog::{parse_program, parse_rule, Program};
+use proptest::prelude::*;
+
+/// Strategy for identifiers (relation names).
+fn relation_name() -> impl Strategy<Value = String> {
+    "[a-z][a-zA-Z0-9]{0,6}".prop_filter("avoid keywords", |s| {
+        !matches!(
+            s.as_str(),
+            "materialize" | "keys" | "infinity" | "min" | "max" | "count" | "sum" | "true" | "false"
+        )
+    })
+}
+
+/// Strategy for variable names.
+fn variable_name() -> impl Strategy<Value = String> {
+    "[A-Z][a-zA-Z0-9]{0,4}".prop_map(|s| s)
+}
+
+/// Build a random (syntactically valid, safe) single-atom rule.
+fn simple_rule() -> impl Strategy<Value = String> {
+    (
+        relation_name(),
+        relation_name(),
+        proptest::collection::vec(variable_name(), 1..4),
+        any::<i64>(),
+    )
+        .prop_map(|(head, body, vars, c)| {
+            let head_args = vars.join(",");
+            let body_args = vars.join(",");
+            format!("r1 {head}(@{head_args}) :- {body}(@{body_args}, {c}).",
+                    head_args = head_args, body_args = body_args)
+        })
+}
+
+proptest! {
+    /// The lexer/parser never panic on arbitrary input — they either parse or
+    /// return an error.
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(src in ".{0,200}") {
+        let _ = parse_program(&src);
+    }
+
+    /// Parsing a printed program yields the same AST (print/parse round trip)
+    /// for generated single-atom rules.
+    #[test]
+    fn print_parse_round_trip(rule_src in simple_rule()) {
+        if let Ok(rule) = parse_rule(&rule_src) {
+            let printed = rule.to_string();
+            let reparsed = parse_rule(&printed).expect("printed rule parses");
+            prop_assert_eq!(rule, reparsed);
+        }
+    }
+
+    /// A program's Display output always re-parses to the same program.
+    #[test]
+    fn program_display_round_trip(rules in proptest::collection::vec(simple_rule(), 1..5)) {
+        let parsed: Vec<Program> = rules.iter().filter_map(|r| parse_program(r).ok()).collect();
+        let mut combined = Program::new();
+        for (i, p) in parsed.into_iter().enumerate() {
+            for mut rule in p.rules {
+                rule.name = format!("r{i}_{}", rule.name);
+                combined.rules.push(rule);
+            }
+        }
+        let reparsed = parse_program(&combined.to_string()).expect("display re-parses");
+        prop_assert_eq!(combined, reparsed);
+    }
+}

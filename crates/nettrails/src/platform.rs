@@ -1,0 +1,599 @@
+//! The NetTrails platform: engines + network + provenance, orchestrated.
+
+use nt_runtime::{
+    Addr, CompiledProgram, Delta, Derivation, EngineConfig, EngineStats, NodeEngine, Tuple,
+};
+use provenance::{ProvGraph, ProvenanceSystem, QueryEngine, QueryKind, QueryOptions, QueryResult,
+    QueryStats, SystemStats};
+use serde::{Deserialize, Serialize};
+use simnet::{Network, NetworkConfig, SimTime, Topology, TopologyEvent, TrafficStats};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Traffic category used for protocol (tuple-shipping) messages.
+pub const PROTOCOL_CATEGORY: &str = "protocol";
+
+/// The payload carried by simulator messages between NetTrails nodes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum NetMessage {
+    /// An inserted or deleted tuple together with the derivation that
+    /// justifies it.
+    Delta {
+        /// The change.
+        delta: Delta,
+        /// Why it holds (stored by the receiving engine; used for retraction).
+        derivation: Derivation,
+    },
+}
+
+/// Platform configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetTrailsConfig {
+    /// Capture provenance while the protocol runs (disable to measure the
+    /// bare protocol for the maintenance-overhead experiment).
+    pub capture_provenance: bool,
+    /// Simulated network parameters.
+    pub network: NetworkConfig,
+    /// Safety cap on the number of engine/network rounds per
+    /// [`NetTrails::run_to_fixpoint`] call.
+    pub max_rounds: usize,
+}
+
+impl Default for NetTrailsConfig {
+    fn default() -> Self {
+        NetTrailsConfig {
+            capture_provenance: true,
+            network: NetworkConfig::default(),
+            max_rounds: 1_000_000,
+        }
+    }
+}
+
+impl NetTrailsConfig {
+    /// A configuration with provenance capture disabled.
+    pub fn without_provenance() -> Self {
+        NetTrailsConfig {
+            capture_provenance: false,
+            ..NetTrailsConfig::default()
+        }
+    }
+}
+
+/// What happened during one `run_to_fixpoint` call.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Engine/network scheduling rounds executed.
+    pub rounds: usize,
+    /// Messages delivered by the network during the run.
+    pub deliveries: usize,
+    /// Local tuple insertions observed across all nodes.
+    pub insertions: usize,
+    /// Local tuple deletions observed across all nodes.
+    pub deletions: usize,
+    /// True when the round cap was hit before quiescence.
+    pub truncated: bool,
+}
+
+impl RunReport {
+    /// Tuples touched (inserted + deleted) — the work metric used by the
+    /// incremental-vs-recompute experiment.
+    pub fn tuples_touched(&self) -> usize {
+        self.insertions + self.deletions
+    }
+}
+
+/// Aggregated statistics of a platform instance.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PlatformStats {
+    /// Sum of per-node engine counters.
+    pub engine: EngineStats,
+    /// Protocol / tuple-shipping traffic.
+    pub network: TrafficStats,
+    /// Provenance store sizes and firing counts.
+    pub provenance: SystemStats,
+    /// Cross-node provenance maintenance traffic.
+    pub provenance_traffic: TrafficStats,
+    /// Tuples currently stored across all nodes (excluding internal outbox
+    /// relations).
+    pub stored_tuples: usize,
+}
+
+/// The NetTrails platform (see the crate documentation for an overview).
+#[derive(Debug)]
+pub struct NetTrails {
+    program: Arc<CompiledProgram>,
+    engines: BTreeMap<Addr, NodeEngine>,
+    network: Network<NetMessage>,
+    provenance: ProvenanceSystem,
+    query_engine: QueryEngine,
+    config: NetTrailsConfig,
+    source: String,
+}
+
+impl NetTrails {
+    /// Compile `program_src` and instantiate one engine per topology node.
+    pub fn new(
+        program_src: &str,
+        topology: Topology,
+        config: NetTrailsConfig,
+    ) -> nt_runtime::Result<Self> {
+        let program = Arc::new(CompiledProgram::from_source(program_src)?);
+        let mut engines = BTreeMap::new();
+        for node in topology.nodes() {
+            engines.insert(
+                node.to_string(),
+                NodeEngine::new(program.clone(), EngineConfig::new(node)),
+            );
+        }
+        let provenance = ProvenanceSystem::new(topology.nodes().map(str::to_string));
+        let network = Network::new(topology, config.network.clone());
+        Ok(NetTrails {
+            program,
+            engines,
+            network,
+            provenance,
+            query_engine: QueryEngine::new(),
+            config,
+            source: program_src.to_string(),
+        })
+    }
+
+    /// The compiled program (post-localization).
+    pub fn program(&self) -> &CompiledProgram {
+        &self.program
+    }
+
+    /// The NDlog source the platform was built from.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// Node names, in deterministic order.
+    pub fn nodes(&self) -> Vec<Addr> {
+        self.engines.keys().cloned().collect()
+    }
+
+    /// The simulated network (topology + traffic counters).
+    pub fn network(&self) -> &Network<NetMessage> {
+        &self.network
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.network.now()
+    }
+
+    /// The distributed provenance store.
+    pub fn provenance(&self) -> &ProvenanceSystem {
+        &self.provenance
+    }
+
+    /// The provenance query engine (exposing its cache / cumulative traffic).
+    pub fn query_engine(&self) -> &QueryEngine {
+        &self.query_engine
+    }
+
+    /// Assemble the centralized provenance graph (what the Log Store ships to
+    /// the visualizer).
+    pub fn provenance_graph(&self) -> ProvGraph {
+        ProvGraph::from_system(&self.provenance)
+    }
+
+    /// A node's engine, if it exists.
+    pub fn engine(&self, node: &str) -> Option<&NodeEngine> {
+        self.engines.get(node)
+    }
+
+    // ------------------------------------------------------------------
+    // seeding facts
+    // ------------------------------------------------------------------
+
+    /// Queue the insertion of a base tuple at `node`.
+    pub fn insert_fact(&mut self, node: &str, tuple: Tuple) {
+        if let Some(engine) = self.engines.get_mut(node) {
+            engine.insert_base(tuple);
+        }
+    }
+
+    /// Queue the deletion of a base tuple at `node`.
+    pub fn delete_fact(&mut self, node: &str, tuple: Tuple) {
+        if let Some(engine) = self.engines.get_mut(node) {
+            engine.delete_base(tuple);
+        }
+    }
+
+    /// Insert a `link(@From,To,Cost)` base tuple for every directed link of
+    /// the current topology (the standard way protocols are seeded).
+    pub fn seed_links_from_topology(&mut self) {
+        let links = protocols::link_tuples(self.network.topology());
+        for (node, tuple) in links {
+            self.insert_fact(&node, tuple);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // execution
+    // ------------------------------------------------------------------
+
+    /// Run engines and the network until the whole system is quiescent.
+    pub fn run_to_fixpoint(&mut self) -> RunReport {
+        let mut report = RunReport::default();
+        loop {
+            let mut progressed = false;
+            // 1. Run every engine with pending deltas to its local fixpoint.
+            let nodes: Vec<Addr> = self.engines.keys().cloned().collect();
+            for node in &nodes {
+                let engine = self.engines.get_mut(node).expect("known node");
+                if !engine.has_pending() {
+                    continue;
+                }
+                progressed = true;
+                let out = engine.run();
+                report.truncated |= out.truncated;
+                for change in &out.local_changes {
+                    match change {
+                        Delta::Insert(_) => report.insertions += 1,
+                        Delta::Delete(_) => report.deletions += 1,
+                    }
+                }
+                if self.config.capture_provenance {
+                    self.provenance.apply_firings(out.firings.iter());
+                }
+                for send in out.sends {
+                    let bytes = send.delta.tuple().wire_size();
+                    self.network.send(
+                        node,
+                        &send.dest,
+                        NetMessage::Delta {
+                            delta: send.delta,
+                            derivation: send.derivation,
+                        },
+                        bytes,
+                        PROTOCOL_CATEGORY,
+                    );
+                }
+            }
+            // 2. Deliver the next batch of in-flight messages.
+            if !self.network.idle() {
+                progressed = true;
+                let batch = self.network.advance();
+                report.deliveries += batch.len();
+                for delivered in batch {
+                    if let Some(engine) = self.engines.get_mut(&delivered.to) {
+                        match delivered.payload {
+                            NetMessage::Delta { delta, derivation } => {
+                                engine.apply_remote(delta, derivation)
+                            }
+                        }
+                    }
+                }
+            }
+            if !progressed {
+                break;
+            }
+            report.rounds += 1;
+            if report.rounds >= self.config.max_rounds {
+                report.truncated = true;
+                break;
+            }
+        }
+        report
+    }
+
+    /// Apply a topology event: update the simulated topology, translate it to
+    /// base `link` tuple insertions/deletions at the affected nodes, and run
+    /// the system back to a fixpoint. Returns the work report of the
+    /// incremental recomputation — the quantity compared against
+    /// recompute-from-scratch in the experiments.
+    pub fn apply_topology_event(&mut self, event: &TopologyEvent) -> RunReport {
+        let (added, removed) = self.network.topology_mut().apply(event);
+        for link in removed {
+            self.delete_fact(
+                &link.from.clone(),
+                protocols::link_tuple(&link.from, &link.to, link.cost),
+            );
+        }
+        for link in added {
+            self.insert_fact(
+                &link.from.clone(),
+                protocols::link_tuple(&link.from, &link.to, link.cost),
+            );
+        }
+        self.run_to_fixpoint()
+    }
+
+    /// Build a fresh platform over the *current* topology and recompute all
+    /// state from scratch. Used as the non-incremental baseline (E3).
+    pub fn recompute_from_scratch(&self) -> nt_runtime::Result<(NetTrails, RunReport)> {
+        let mut fresh = NetTrails::new(
+            &self.source,
+            self.network.topology().clone(),
+            self.config.clone(),
+        )?;
+        fresh.seed_links_from_topology();
+        let report = fresh.run_to_fixpoint();
+        Ok((fresh, report))
+    }
+
+    // ------------------------------------------------------------------
+    // inspection
+    // ------------------------------------------------------------------
+
+    /// Tuples of `relation` stored at `node`.
+    pub fn relation_at(&self, node: &str, relation: &str) -> Vec<Tuple> {
+        self.engines
+            .get(node)
+            .map(|e| e.relation(relation))
+            .unwrap_or_default()
+    }
+
+    /// All tuples of `relation` across every node, tagged with their node.
+    pub fn relation(&self, relation: &str) -> Vec<(Addr, Tuple)> {
+        let mut out = Vec::new();
+        for (node, engine) in &self.engines {
+            for t in engine.relation(relation) {
+                out.push((node.clone(), t));
+            }
+        }
+        out
+    }
+
+    /// Find the first tuple of `relation` satisfying a predicate.
+    pub fn find_tuple(
+        &self,
+        relation: &str,
+        predicate: impl Fn(&Tuple) -> bool,
+    ) -> Option<(Addr, Tuple)> {
+        self.relation(relation)
+            .into_iter()
+            .find(|(_, t)| predicate(t))
+    }
+
+    /// Issue a provenance query for `target` from `querier`.
+    pub fn query(
+        &mut self,
+        querier: &str,
+        target: &Tuple,
+        kind: QueryKind,
+        options: &QueryOptions,
+    ) -> (QueryResult, QueryStats) {
+        self.query_engine
+            .query(&self.provenance, querier, target, kind, options)
+    }
+
+    /// Clear the provenance query cache (between benchmark configurations).
+    pub fn clear_query_cache(&mut self) {
+        self.query_engine.clear_cache();
+    }
+
+    /// Aggregated statistics.
+    pub fn stats(&self) -> PlatformStats {
+        let mut engine = EngineStats::default();
+        let mut stored_tuples = 0usize;
+        for e in self.engines.values() {
+            let s = e.stats();
+            engine.deltas_processed += s.deltas_processed;
+            engine.rule_firings += s.rule_firings;
+            engine.retractions += s.retractions;
+            engine.tuples_sent += s.tuples_sent;
+            engine.bytes_sent += s.bytes_sent;
+            engine.join_probes += s.join_probes;
+            engine.agg_recomputes += s.agg_recomputes;
+            for table in e.database().tables() {
+                if !table.schema.name.starts_with("__out::") {
+                    stored_tuples += table.len();
+                }
+            }
+        }
+        PlatformStats {
+            engine,
+            network: self.network.stats().clone(),
+            provenance: self.provenance.stats(),
+            provenance_traffic: self.provenance.maintenance_traffic().clone(),
+            stored_tuples,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nt_runtime::Value;
+    use provenance::TraversalOrder;
+
+    fn mincost_on(topology: Topology) -> NetTrails {
+        let mut nt = NetTrails::new(
+            protocols::mincost::PROGRAM,
+            topology,
+            NetTrailsConfig::default(),
+        )
+        .unwrap();
+        nt.seed_links_from_topology();
+        nt.run_to_fixpoint();
+        nt
+    }
+
+    fn min_cost(nt: &NetTrails, from: &str, to: &str) -> Option<i64> {
+        nt.find_tuple("minCost", |t| {
+            t.values[0].as_addr() == Some(from) && t.values[1].as_addr() == Some(to)
+        })
+        .and_then(|(_, t)| t.values[2].as_int())
+    }
+
+    #[test]
+    fn mincost_converges_on_a_line() {
+        let nt = mincost_on(Topology::line(4));
+        assert_eq!(min_cost(&nt, "n1", "n2"), Some(1));
+        assert_eq!(min_cost(&nt, "n1", "n3"), Some(2));
+        assert_eq!(min_cost(&nt, "n1", "n4"), Some(3));
+        assert_eq!(min_cost(&nt, "n4", "n1"), Some(3));
+    }
+
+    #[test]
+    fn mincost_finds_cheaper_multi_hop_paths() {
+        // Triangle with an expensive direct edge: n1-n3 costs 10, but n1-n2-n3
+        // costs 2.
+        let mut topo = Topology::new();
+        topo.add_bidi("n1", "n2", 1);
+        topo.add_bidi("n2", "n3", 1);
+        topo.add_bidi("n1", "n3", 10);
+        let nt = mincost_on(topo);
+        assert_eq!(min_cost(&nt, "n1", "n3"), Some(2));
+    }
+
+    #[test]
+    fn link_failure_triggers_incremental_recomputation() {
+        let mut nt = mincost_on(Topology::ring(4));
+        assert_eq!(min_cost(&nt, "n1", "n2"), Some(1));
+        // Fail the n1-n2 link: the ring still connects them the long way.
+        let report = nt.apply_topology_event(&TopologyEvent::LinkDown {
+            a: "n1".into(),
+            b: "n2".into(),
+        });
+        assert!(report.tuples_touched() > 0);
+        assert_eq!(min_cost(&nt, "n1", "n2"), Some(3));
+        // The incremental result matches recomputation from scratch.
+        let (fresh, _) = nt.recompute_from_scratch().unwrap();
+        let mut incremental = nt.relation("minCost");
+        let mut scratch = fresh.relation("minCost");
+        incremental.sort_by_key(|(n, t)| (n.clone(), t.to_string()));
+        scratch.sort_by_key(|(n, t)| (n.clone(), t.to_string()));
+        assert_eq!(incremental, scratch);
+    }
+
+    #[test]
+    fn disconnection_removes_derived_state() {
+        let mut nt = mincost_on(Topology::line(3));
+        assert!(min_cost(&nt, "n1", "n3").is_some());
+        nt.apply_topology_event(&TopologyEvent::LinkDown {
+            a: "n2".into(),
+            b: "n3".into(),
+        });
+        assert_eq!(min_cost(&nt, "n1", "n3"), None, "n3 became unreachable");
+        assert_eq!(min_cost(&nt, "n1", "n2"), Some(1), "n2 still reachable");
+    }
+
+    #[test]
+    fn provenance_queries_work_end_to_end() {
+        let mut nt = mincost_on(Topology::line(3));
+        let (_, target) = nt
+            .find_tuple("minCost", |t| {
+                t.values[0].as_addr() == Some("n1") && t.values[1].as_addr() == Some("n3")
+            })
+            .unwrap();
+        let (result, stats) = nt.query(
+            "n3",
+            &target,
+            QueryKind::ParticipatingNodes,
+            &QueryOptions::default(),
+        );
+        let QueryResult::ParticipatingNodes(nodes) = result else {
+            panic!("wrong result type");
+        };
+        assert!(nodes.contains("n1") && nodes.contains("n2"));
+        assert!(stats.messages > 0);
+
+        let (result, _) = nt.query(
+            "n1",
+            &target,
+            QueryKind::BaseTuples,
+            &QueryOptions::default(),
+        );
+        let QueryResult::BaseTuples(bases) = result else {
+            panic!()
+        };
+        assert!(
+            bases
+                .iter()
+                .all(|(_, t)| t.as_ref().map(|t| t.relation == "link").unwrap_or(true)),
+            "base tuples of minCost are links"
+        );
+        assert!(!bases.is_empty());
+    }
+
+    #[test]
+    fn provenance_capture_can_be_disabled() {
+        let mut nt = NetTrails::new(
+            protocols::mincost::PROGRAM,
+            Topology::line(3),
+            NetTrailsConfig::without_provenance(),
+        )
+        .unwrap();
+        nt.seed_links_from_topology();
+        nt.run_to_fixpoint();
+        assert_eq!(nt.stats().provenance.prov_entries, 0);
+        // Protocol state is still computed.
+        assert!(!nt.relation("minCost").is_empty());
+    }
+
+    #[test]
+    fn provenance_shrinks_when_state_is_deleted() {
+        let mut nt = mincost_on(Topology::line(3));
+        let before = nt.stats().provenance.prov_entries;
+        nt.apply_topology_event(&TopologyEvent::LinkDown {
+            a: "n2".into(),
+            b: "n3".into(),
+        });
+        let after = nt.stats().provenance.prov_entries;
+        assert!(
+            after < before,
+            "provenance entries should shrink ({before} -> {after})"
+        );
+    }
+
+    #[test]
+    fn pathvector_paths_carry_the_route() {
+        let mut nt = NetTrails::new(
+            protocols::pathvector::PROGRAM,
+            Topology::line(3),
+            NetTrailsConfig::default(),
+        )
+        .unwrap();
+        nt.seed_links_from_topology();
+        nt.run_to_fixpoint();
+        let (_, best) = nt
+            .find_tuple("bestPathCost", |t| {
+                t.values[0].as_addr() == Some("n1") && t.values[1].as_addr() == Some("n3")
+            })
+            .expect("best path cost derived");
+        assert_eq!(best.values[2].as_int(), Some(2));
+        // The path relation holds the explicit route n1 -> n2 -> n3.
+        let path = nt
+            .find_tuple("path", |t| {
+                t.values[0].as_addr() == Some("n1")
+                    && t.values[1].as_addr() == Some("n3")
+                    && t.values[3].as_int() == Some(2)
+            })
+            .expect("path tuple");
+        let route = path.1.values[2].as_list().unwrap();
+        assert_eq!(route.len(), 3);
+        assert_eq!(route[0], Value::addr("n1"));
+        assert_eq!(route[2], Value::addr("n3"));
+    }
+
+    #[test]
+    fn query_cache_and_traversal_options_are_exposed() {
+        let mut nt = mincost_on(Topology::ladder(3));
+        let (_, target) = nt.relation("minCost").into_iter().next_back().unwrap();
+        let cached = QueryOptions {
+            use_cache: true,
+            traversal: TraversalOrder::BreadthFirst,
+            ..QueryOptions::default()
+        };
+        let (_, first) = nt.query("n1", &target, QueryKind::Lineage, &cached);
+        let (_, second) = nt.query("n1", &target, QueryKind::Lineage, &cached);
+        assert!(second.messages <= first.messages);
+        nt.clear_query_cache();
+        assert_eq!(nt.query_engine().cache_size(), 0);
+    }
+
+    #[test]
+    fn stats_aggregate_engine_network_and_provenance() {
+        let nt = mincost_on(Topology::line(3));
+        let stats = nt.stats();
+        assert!(stats.engine.rule_firings > 0);
+        assert!(stats.network.messages > 0);
+        assert!(stats.provenance.prov_entries > 0);
+        assert!(stats.stored_tuples > 0);
+    }
+}

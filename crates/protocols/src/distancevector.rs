@@ -1,0 +1,48 @@
+//! The distance-vector protocol: shortest costs plus next hops.
+//!
+//! Distance-vector routing is the third classic protocol of the declarative
+//! networking literature; NetTrails' incremental-maintenance experiments use
+//! it because its `route` table (which remembers the next hop) reacts to link
+//! failures differently from MINCOST's cost table. Rule `dv2` uses the same
+//! `C < 255` cost horizon as MINCOST (see `mincost`) to bound
+//! count-to-infinity after disconnections.
+
+use crate::ProtocolSpec;
+
+/// The NDlog source of the distance-vector protocol.
+pub const PROGRAM: &str = "\
+materialize(link, infinity, infinity, keys(1,2)).
+materialize(route, infinity, infinity, keys(1,2,3,4)).
+materialize(shortestCost, infinity, infinity, keys(1,2)).
+
+dv1 route(@S,D,D,C) :- link(@S,D,C).
+dv2 route(@S,D,Z,C) :- link(@S,Z,C1), shortestCost(@Z,D,C2), C := C1 + C2, C < 255.
+dv3 shortestCost(@S,D,min<C>) :- route(@S,D,Z,C).
+";
+
+/// Protocol metadata.
+pub fn spec() -> ProtocolSpec {
+    ProtocolSpec {
+        name: "DISTANCE-VECTOR",
+        source: PROGRAM,
+        link_relation: "link",
+        result_relation: "shortestCost",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn program_compiles() {
+        let compiled = nt_runtime::CompiledProgram::from_source(PROGRAM).unwrap();
+        assert!(compiled.rule("dv3").unwrap().aggregate.is_some());
+    }
+
+    #[test]
+    fn next_hop_column_is_carried() {
+        let program = ndlog::compile(PROGRAM).unwrap();
+        assert_eq!(program.rule("dv2").unwrap().head.arity(), 4);
+    }
+}

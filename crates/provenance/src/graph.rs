@@ -1,0 +1,344 @@
+//! A centralized view of the distributed provenance graph.
+//!
+//! NetTrails keeps provenance distributed, but "some state needs to be
+//! centralized to facilitate the visualization of provenance queries and
+//! results" (Section 2.3): per-node provenance is periodically captured in
+//! snapshots and propagated to the Log Store at the visualization node. This
+//! module builds that centralized graph — the acyclic graph G(V,E) with tuple
+//! vertices and rule-execution vertices — from a [`ProvenanceSystem`], for
+//! consumption by the `vis` crate (DOT export, hypertree layout) and the
+//! `logstore` crate (snapshots).
+
+use crate::store::RuleExecId;
+use crate::system::ProvenanceSystem;
+use nt_runtime::{Addr, Tuple, TupleId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A vertex of the provenance graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ProvVertex {
+    /// A tuple vertex (base tuple or computation result).
+    Tuple {
+        /// Tuple identifier.
+        vid: TupleId,
+        /// Tuple contents when known.
+        tuple: Option<Tuple>,
+        /// Node where the tuple lives.
+        home: Addr,
+        /// True when the tuple has a base derivation.
+        is_base: bool,
+    },
+    /// A rule-execution vertex.
+    RuleExec {
+        /// Execution identifier.
+        rid: RuleExecId,
+        /// Rule name.
+        rule: String,
+        /// Node where the rule fired.
+        node: Addr,
+    },
+}
+
+impl ProvVertex {
+    /// A short label for display.
+    pub fn label(&self) -> String {
+        match self {
+            ProvVertex::Tuple { tuple, vid, .. } => tuple
+                .as_ref()
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| vid.to_string()),
+            ProvVertex::RuleExec { rule, node, .. } => format!("{rule}@{node}"),
+        }
+    }
+
+    /// The node the vertex is stored at.
+    pub fn location(&self) -> &str {
+        match self {
+            ProvVertex::Tuple { home, .. } => home,
+            ProvVertex::RuleExec { node, .. } => node,
+        }
+    }
+}
+
+/// Identifier of a vertex in the assembled graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum VertexId {
+    /// A tuple vertex.
+    Tuple(TupleId),
+    /// A rule-execution vertex.
+    RuleExec(RuleExecId),
+}
+
+/// A directed edge of the provenance graph (dataflow direction: from inputs
+/// toward outputs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ProvEdge {
+    /// Source vertex.
+    pub from: VertexId,
+    /// Destination vertex.
+    pub to: VertexId,
+}
+
+/// The assembled, centralized provenance graph.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ProvGraph {
+    /// Vertices keyed by identifier. Serialized as an entry list so the graph
+    /// can be embedded in JSON snapshots (JSON maps need string keys).
+    #[serde(
+        serialize_with = "serialize_vertices",
+        deserialize_with = "deserialize_vertices"
+    )]
+    pub vertices: BTreeMap<VertexId, ProvVertex>,
+    /// Edges (deduplicated, deterministic order).
+    pub edges: Vec<ProvEdge>,
+}
+
+fn serialize_vertices<S>(
+    vertices: &BTreeMap<VertexId, ProvVertex>,
+    serializer: S,
+) -> Result<S::Ok, S::Error>
+where
+    S: serde::Serializer,
+{
+    serializer.collect_seq(vertices.iter())
+}
+
+fn deserialize_vertices<'de, D>(
+    deserializer: D,
+) -> Result<BTreeMap<VertexId, ProvVertex>, D::Error>
+where
+    D: serde::Deserializer<'de>,
+{
+    let entries = Vec::<(VertexId, ProvVertex)>::deserialize(deserializer)?;
+    Ok(entries.into_iter().collect())
+}
+
+impl ProvGraph {
+    /// Assemble the centralized graph from every node's provenance store.
+    pub fn from_system(system: &ProvenanceSystem) -> Self {
+        let mut graph = ProvGraph::default();
+        // Tuple vertices from prov tables.
+        for store in system.stores() {
+            for (vid, entries) in store.iter_prov() {
+                let is_base = entries.iter().any(|e| e.is_base());
+                graph.vertices.insert(
+                    VertexId::Tuple(*vid),
+                    ProvVertex::Tuple {
+                        vid: *vid,
+                        tuple: system.tuple(*vid).cloned(),
+                        home: store.node.clone(),
+                        is_base,
+                    },
+                );
+            }
+        }
+        // Rule-execution vertices and edges.
+        for store in system.stores() {
+            for exec in store.iter_rule_execs() {
+                let rid = VertexId::RuleExec(exec.rid);
+                graph.vertices.insert(
+                    rid,
+                    ProvVertex::RuleExec {
+                        rid: exec.rid,
+                        rule: exec.rule.clone(),
+                        node: exec.node.clone(),
+                    },
+                );
+                for input in &exec.inputs {
+                    // Input tuples may live on the executing node but it is
+                    // possible the prov table hasn't a vertex (pruned); add a
+                    // placeholder vertex so the edge renders.
+                    graph
+                        .vertices
+                        .entry(VertexId::Tuple(*input))
+                        .or_insert_with(|| ProvVertex::Tuple {
+                            vid: *input,
+                            tuple: system.tuple(*input).cloned(),
+                            home: exec.node.clone(),
+                            is_base: false,
+                        });
+                    graph.edges.push(ProvEdge {
+                        from: VertexId::Tuple(*input),
+                        to: rid,
+                    });
+                }
+            }
+            // Edges from rule executions to the tuples they derive.
+            for (vid, entries) in store.iter_prov() {
+                for entry in entries {
+                    if let Some(rid) = entry.rid {
+                        graph.edges.push(ProvEdge {
+                            from: VertexId::RuleExec(rid),
+                            to: VertexId::Tuple(*vid),
+                        });
+                    }
+                }
+            }
+        }
+        graph.edges.sort();
+        graph.edges.dedup();
+        graph
+    }
+
+    /// Number of tuple vertices.
+    pub fn tuple_vertex_count(&self) -> usize {
+        self.vertices
+            .keys()
+            .filter(|v| matches!(v, VertexId::Tuple(_)))
+            .count()
+    }
+
+    /// Number of rule-execution vertices.
+    pub fn rule_exec_count(&self) -> usize {
+        self.vertices
+            .keys()
+            .filter(|v| matches!(v, VertexId::RuleExec(_)))
+            .count()
+    }
+
+    /// Outgoing edges of a vertex.
+    pub fn successors(&self, v: VertexId) -> Vec<VertexId> {
+        self.edges
+            .iter()
+            .filter(|e| e.from == v)
+            .map(|e| e.to)
+            .collect()
+    }
+
+    /// Incoming edges of a vertex.
+    pub fn predecessors(&self, v: VertexId) -> Vec<VertexId> {
+        self.edges
+            .iter()
+            .filter(|e| e.to == v)
+            .map(|e| e.from)
+            .collect()
+    }
+
+    /// Base tuple vertices (the graph's sources).
+    pub fn base_vertices(&self) -> Vec<VertexId> {
+        self.vertices
+            .iter()
+            .filter_map(|(id, v)| match v {
+                ProvVertex::Tuple { is_base: true, .. } => Some(*id),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// True when the graph contains no directed cycle (it never should; the
+    /// check is used by property tests and by the log-store integrity check).
+    pub fn is_acyclic(&self) -> bool {
+        // Kahn's algorithm.
+        let mut indegree: BTreeMap<VertexId, usize> =
+            self.vertices.keys().map(|v| (*v, 0)).collect();
+        for e in &self.edges {
+            *indegree.entry(e.to).or_insert(0) += 1;
+        }
+        let mut queue: Vec<VertexId> = indegree
+            .iter()
+            .filter(|(_, d)| **d == 0)
+            .map(|(v, _)| *v)
+            .collect();
+        let mut removed = 0usize;
+        while let Some(v) = queue.pop() {
+            removed += 1;
+            for succ in self.successors(v) {
+                let d = indegree.get_mut(&succ).expect("known vertex");
+                *d -= 1;
+                if *d == 0 {
+                    queue.push(succ);
+                }
+            }
+        }
+        removed == indegree.len()
+    }
+
+    /// Per-node vertex counts (how the graph is partitioned across the
+    /// network) — the distribution statistic shown in the demonstration.
+    pub fn vertices_per_node(&self) -> BTreeMap<Addr, usize> {
+        let mut out: BTreeMap<Addr, usize> = BTreeMap::new();
+        for v in self.vertices.values() {
+            *out.entry(v.location().to_string()).or_default() += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nt_runtime::{Firing, Value, BASE_RULE};
+
+    fn tuple(rel: &str, node: &str, x: i64) -> Tuple {
+        Tuple::new(rel, vec![Value::addr(node), Value::Int(x)])
+    }
+
+    fn sample_system() -> ProvenanceSystem {
+        let mut sys = ProvenanceSystem::new(["n1", "n2"]);
+        let link = tuple("link", "n1", 5);
+        let cost = tuple("cost", "n2", 5);
+        sys.apply_firing(&Firing {
+            rule: BASE_RULE.into(),
+            node: "n1".into(),
+            head: link.clone(),
+            head_home: "n1".into(),
+            inputs: vec![],
+            input_tuples: vec![],
+            insert: true,
+        });
+        sys.apply_firing(&Firing {
+            rule: "r1".into(),
+            node: "n1".into(),
+            head: cost.clone(),
+            head_home: "n2".into(),
+            inputs: vec![link.id()],
+            input_tuples: vec![link],
+            insert: true,
+        });
+        sys
+    }
+
+    #[test]
+    fn graph_has_tuple_and_rule_vertices_and_is_acyclic() {
+        let sys = sample_system();
+        let graph = ProvGraph::from_system(&sys);
+        assert_eq!(graph.tuple_vertex_count(), 2);
+        assert_eq!(graph.rule_exec_count(), 1);
+        assert_eq!(graph.edges.len(), 2);
+        assert!(graph.is_acyclic());
+        assert_eq!(graph.base_vertices().len(), 1);
+    }
+
+    #[test]
+    fn successors_and_predecessors_follow_dataflow() {
+        let sys = sample_system();
+        let graph = ProvGraph::from_system(&sys);
+        let base = graph.base_vertices()[0];
+        let succs = graph.successors(base);
+        assert_eq!(succs.len(), 1);
+        assert!(matches!(succs[0], VertexId::RuleExec(_)));
+        let derived = graph.successors(succs[0]);
+        assert_eq!(derived.len(), 1);
+        assert_eq!(graph.predecessors(derived[0]), succs);
+    }
+
+    #[test]
+    fn vertices_per_node_reports_partitioning() {
+        let sys = sample_system();
+        let graph = ProvGraph::from_system(&sys);
+        let per_node = graph.vertices_per_node();
+        // link + ruleExec at n1, cost at n2.
+        assert_eq!(per_node["n1"], 2);
+        assert_eq!(per_node["n2"], 1);
+    }
+
+    #[test]
+    fn labels_show_tuple_contents_when_known() {
+        let sys = sample_system();
+        let graph = ProvGraph::from_system(&sys);
+        let labels: Vec<String> = graph.vertices.values().map(ProvVertex::label).collect();
+        assert!(labels.iter().any(|l| l.contains("link(n1,5)")));
+        assert!(labels.iter().any(|l| l.contains("r1@n1")));
+    }
+}

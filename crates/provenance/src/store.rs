@@ -1,0 +1,321 @@
+//! Per-node provenance storage: the `prov` and `ruleExec` relations.
+//!
+//! ExSPAN partitions the provenance graph across the network:
+//!
+//! * `prov(@Loc, VID, RID, RLoc)` — stored at `Loc`, the home of the tuple
+//!   identified by `VID`. Each entry says "one derivation of this tuple was
+//!   produced by rule execution `RID`, which ran at node `RLoc`". Base tuples
+//!   carry a distinguished entry with no rule execution.
+//! * `ruleExec(@RLoc, RID, Rule, [VID_1..VID_n])` — stored at `RLoc`, the node
+//!   where the rule fired, recording the rule name and the identifiers of the
+//!   body tuples.
+//!
+//! Together these relations are the vertices and edges of the provenance graph
+//! G(V,E) of the paper: tuple vertices (VIDs), rule-execution vertices (RIDs),
+//! and the dataflow edges between them.
+
+use nt_runtime::{Addr, StableHasher, Tuple, TupleId};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Identifier of a rule-execution vertex: a stable digest of the rule name,
+/// the executing node and the input tuple identifiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RuleExecId(pub u64);
+
+impl RuleExecId {
+    /// Compute the RID for a rule execution.
+    pub fn compute(rule: &str, node: &str, inputs: &[TupleId]) -> Self {
+        let mut h = StableHasher::new();
+        h.write_str(rule);
+        h.write_str(node);
+        h.write_u64(inputs.len() as u64);
+        for i in inputs {
+            h.write_u64(i.0);
+        }
+        RuleExecId(h.finish())
+    }
+}
+
+impl fmt::Display for RuleExecId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rid:{:016x}", self.0)
+    }
+}
+
+/// One entry of the `prov` relation: a derivation of a tuple.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ProvEntry {
+    /// The rule execution that produced the tuple; `None` marks a base tuple
+    /// inserted by the environment.
+    pub rid: Option<RuleExecId>,
+    /// The node where that rule executed (equal to the tuple's home for base
+    /// tuples).
+    pub rloc: Addr,
+}
+
+impl ProvEntry {
+    /// True for the base-tuple entry.
+    pub fn is_base(&self) -> bool {
+        self.rid.is_none()
+    }
+
+    /// Approximate wire size of the entry when shipped between nodes.
+    pub fn wire_size(&self) -> usize {
+        8 + 8 + 4 + self.rloc.len()
+    }
+}
+
+/// One entry of the `ruleExec` relation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RuleExec {
+    /// Identifier of this execution.
+    pub rid: RuleExecId,
+    /// Rule name.
+    pub rule: String,
+    /// Node where the rule executed.
+    pub node: Addr,
+    /// Input tuple identifiers, in body order.
+    pub inputs: Vec<TupleId>,
+}
+
+impl RuleExec {
+    /// Approximate wire size of the entry.
+    pub fn wire_size(&self) -> usize {
+        8 + self.rule.len() + self.node.len() + 8 * self.inputs.len()
+    }
+}
+
+/// Size counters for one node's provenance state; the maintenance-overhead
+/// experiment (E4) sums these across nodes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProvStoreStats {
+    /// Number of `prov` entries stored at this node.
+    pub prov_entries: usize,
+    /// Number of `ruleExec` entries stored at this node.
+    pub rule_execs: usize,
+    /// Number of distinct tuple vertices known at this node.
+    pub tuple_vertices: usize,
+    /// Approximate bytes of provenance state.
+    pub bytes: usize,
+}
+
+/// One node's partition of the provenance graph.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ProvenanceStore {
+    /// The node this store belongs to.
+    pub node: Addr,
+    /// `prov` relation: VID -> derivations of the tuple (homed at this node).
+    prov: BTreeMap<TupleId, BTreeSet<ProvEntry>>,
+    /// `ruleExec` relation: RID -> execution record (executed at this node).
+    rule_execs: BTreeMap<RuleExecId, RuleExec>,
+    /// Display information: VID -> tuple content, for tuples homed here.
+    tuples: BTreeMap<TupleId, Tuple>,
+}
+
+impl ProvenanceStore {
+    /// Create an empty store for a node.
+    pub fn new(node: impl Into<Addr>) -> Self {
+        ProvenanceStore {
+            node: node.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Record the content of a tuple homed at this node (so queries and the
+    /// visualizer can show attribute values, as in Figure 2(c) of the paper).
+    pub fn register_tuple(&mut self, tuple: &Tuple) {
+        self.tuples.insert(tuple.id(), tuple.clone());
+    }
+
+    /// Forget a tuple's content (after its last derivation disappears).
+    pub fn unregister_tuple(&mut self, vid: TupleId) {
+        self.tuples.remove(&vid);
+    }
+
+    /// The recorded content of a tuple, if known.
+    pub fn tuple(&self, vid: TupleId) -> Option<&Tuple> {
+        self.tuples.get(&vid)
+    }
+
+    /// Add a `prov` entry (idempotent).
+    pub fn add_prov(&mut self, vid: TupleId, entry: ProvEntry) -> bool {
+        self.prov.entry(vid).or_default().insert(entry)
+    }
+
+    /// Remove a `prov` entry. Returns true when it was present. When the last
+    /// entry of a VID disappears the vertex itself is dropped.
+    pub fn remove_prov(&mut self, vid: TupleId, entry: &ProvEntry) -> bool {
+        let Some(set) = self.prov.get_mut(&vid) else {
+            return false;
+        };
+        let removed = set.remove(entry);
+        if set.is_empty() {
+            self.prov.remove(&vid);
+            self.tuples.remove(&vid);
+        }
+        removed
+    }
+
+    /// The derivations of a tuple homed at this node.
+    pub fn prov_entries(&self, vid: TupleId) -> Vec<ProvEntry> {
+        self.prov
+            .get(&vid)
+            .map(|s| s.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// True when the tuple vertex exists at this node.
+    pub fn has_vertex(&self, vid: TupleId) -> bool {
+        self.prov.contains_key(&vid)
+    }
+
+    /// Iterate over all (VID, entries) pairs.
+    pub fn iter_prov(&self) -> impl Iterator<Item = (&TupleId, &BTreeSet<ProvEntry>)> {
+        self.prov.iter()
+    }
+
+    /// Add a `ruleExec` entry (idempotent).
+    pub fn add_rule_exec(&mut self, exec: RuleExec) -> bool {
+        if self.rule_execs.contains_key(&exec.rid) {
+            false
+        } else {
+            self.rule_execs.insert(exec.rid, exec);
+            true
+        }
+    }
+
+    /// Remove a rule execution record.
+    pub fn remove_rule_exec(&mut self, rid: RuleExecId) -> bool {
+        self.rule_execs.remove(&rid).is_some()
+    }
+
+    /// Look up a rule execution record.
+    pub fn rule_exec(&self, rid: RuleExecId) -> Option<&RuleExec> {
+        self.rule_execs.get(&rid)
+    }
+
+    /// Iterate over rule executions recorded at this node.
+    pub fn iter_rule_execs(&self) -> impl Iterator<Item = &RuleExec> {
+        self.rule_execs.values()
+    }
+
+    /// Size counters.
+    pub fn stats(&self) -> ProvStoreStats {
+        let prov_entries: usize = self.prov.values().map(BTreeSet::len).sum();
+        let bytes: usize = self
+            .prov
+            .values()
+            .flat_map(|s| s.iter().map(ProvEntry::wire_size))
+            .sum::<usize>()
+            + self
+                .rule_execs
+                .values()
+                .map(RuleExec::wire_size)
+                .sum::<usize>()
+            + self.tuples.values().map(Tuple::wire_size).sum::<usize>();
+        ProvStoreStats {
+            prov_entries,
+            rule_execs: self.rule_execs.len(),
+            tuple_vertices: self.prov.len(),
+            bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nt_runtime::Value;
+
+    fn tuple(rel: &str, node: &str, x: i64) -> Tuple {
+        Tuple::new(rel, vec![Value::addr(node), Value::Int(x)])
+    }
+
+    #[test]
+    fn rid_is_stable_and_order_sensitive() {
+        let a = TupleId(1);
+        let b = TupleId(2);
+        assert_eq!(
+            RuleExecId::compute("r1", "n1", &[a, b]),
+            RuleExecId::compute("r1", "n1", &[a, b])
+        );
+        assert_ne!(
+            RuleExecId::compute("r1", "n1", &[a, b]),
+            RuleExecId::compute("r1", "n1", &[b, a])
+        );
+        assert_ne!(
+            RuleExecId::compute("r1", "n1", &[a]),
+            RuleExecId::compute("r1", "n2", &[a])
+        );
+    }
+
+    #[test]
+    fn prov_entries_are_idempotent_and_removable() {
+        let mut store = ProvenanceStore::new("n1");
+        let t = tuple("cost", "n1", 3);
+        let vid = t.id();
+        store.register_tuple(&t);
+        let base = ProvEntry {
+            rid: None,
+            rloc: "n1".into(),
+        };
+        assert!(store.add_prov(vid, base.clone()));
+        assert!(!store.add_prov(vid, base.clone()), "idempotent");
+        let exec = ProvEntry {
+            rid: Some(RuleExecId::compute("r1", "n2", &[TupleId(9)])),
+            rloc: "n2".into(),
+        };
+        store.add_prov(vid, exec.clone());
+        assert_eq!(store.prov_entries(vid).len(), 2);
+        assert!(store.remove_prov(vid, &base));
+        assert!(!store.remove_prov(vid, &base));
+        assert!(store.has_vertex(vid));
+        assert!(store.remove_prov(vid, &exec));
+        assert!(!store.has_vertex(vid), "vertex dropped with last entry");
+        assert!(store.tuple(vid).is_none(), "tuple content dropped too");
+    }
+
+    #[test]
+    fn rule_execs_round_trip() {
+        let mut store = ProvenanceStore::new("n1");
+        let rid = RuleExecId::compute("r2", "n1", &[TupleId(1), TupleId(2)]);
+        let exec = RuleExec {
+            rid,
+            rule: "r2".into(),
+            node: "n1".into(),
+            inputs: vec![TupleId(1), TupleId(2)],
+        };
+        assert!(store.add_rule_exec(exec.clone()));
+        assert!(!store.add_rule_exec(exec.clone()));
+        assert_eq!(store.rule_exec(rid), Some(&exec));
+        assert!(store.remove_rule_exec(rid));
+        assert!(store.rule_exec(rid).is_none());
+    }
+
+    #[test]
+    fn stats_reflect_contents() {
+        let mut store = ProvenanceStore::new("n1");
+        let t = tuple("cost", "n1", 3);
+        store.register_tuple(&t);
+        store.add_prov(
+            t.id(),
+            ProvEntry {
+                rid: None,
+                rloc: "n1".into(),
+            },
+        );
+        store.add_rule_exec(RuleExec {
+            rid: RuleExecId::compute("r1", "n1", &[t.id()]),
+            rule: "r1".into(),
+            node: "n1".into(),
+            inputs: vec![t.id()],
+        });
+        let stats = store.stats();
+        assert_eq!(stats.prov_entries, 1);
+        assert_eq!(stats.rule_execs, 1);
+        assert_eq!(stats.tuple_vertices, 1);
+        assert!(stats.bytes > 0);
+    }
+}

@@ -1,0 +1,342 @@
+//! The distributed provenance maintenance engine.
+//!
+//! A [`ProvenanceSystem`] owns one [`ProvenanceStore`] per node and consumes
+//! the rule-execution events ([`Firing`]) emitted by the per-node runtime
+//! engines. For every derivation it:
+//!
+//! 1. stores a `ruleExec` record at the node where the rule executed, and
+//! 2. stores (or ships, when the head lives elsewhere) a `prov` entry at the
+//!    head tuple's home node.
+//!
+//! Retraction firings remove the corresponding entries, so the provenance
+//! graph is maintained *incrementally* as network state changes — the property
+//! the paper demonstrates with link failures and mobile networks.
+//!
+//! The cross-node shipments of `prov` entries are the **maintenance traffic**
+//! of provenance capture; the system records it in a
+//! [`simnet::TrafficStats`] under the `"prov-maintenance"` category so the
+//! overhead experiment (E4 in DESIGN.md) can report it next to the protocol's
+//! own traffic.
+
+use crate::store::{ProvEntry, ProvStoreStats, ProvenanceStore, RuleExec, RuleExecId};
+use nt_runtime::{Addr, Firing, Tuple, TupleId, BASE_RULE};
+use serde::{Deserialize, Serialize};
+use simnet::TrafficStats;
+use std::collections::BTreeMap;
+
+/// Category name used for provenance-maintenance traffic.
+pub const MAINTENANCE_CATEGORY: &str = "prov-maintenance";
+
+/// Aggregate statistics across every node's provenance store.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SystemStats {
+    /// Total `prov` entries.
+    pub prov_entries: usize,
+    /// Total `ruleExec` entries.
+    pub rule_execs: usize,
+    /// Total tuple vertices.
+    pub tuple_vertices: usize,
+    /// Total approximate bytes of provenance state.
+    pub bytes: usize,
+    /// Firings processed (derivations).
+    pub firings_applied: u64,
+    /// Retractions processed.
+    pub retractions_applied: u64,
+}
+
+/// The distributed provenance maintenance engine (one store per node).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ProvenanceSystem {
+    stores: BTreeMap<Addr, ProvenanceStore>,
+    traffic: TrafficStats,
+    firings_applied: u64,
+    retractions_applied: u64,
+}
+
+impl ProvenanceSystem {
+    /// Create a system with stores for the given nodes.
+    pub fn new(nodes: impl IntoIterator<Item = impl Into<Addr>>) -> Self {
+        let mut system = ProvenanceSystem::default();
+        for n in nodes {
+            let n = n.into();
+            system.stores.insert(n.clone(), ProvenanceStore::new(n));
+        }
+        system
+    }
+
+    /// Access a node's store (creating it lazily if unknown).
+    pub fn store_mut(&mut self, node: &str) -> &mut ProvenanceStore {
+        self.stores
+            .entry(node.to_string())
+            .or_insert_with(|| ProvenanceStore::new(node))
+    }
+
+    /// Access a node's store.
+    pub fn store(&self, node: &str) -> Option<&ProvenanceStore> {
+        self.stores.get(node)
+    }
+
+    /// Iterate over all stores.
+    pub fn stores(&self) -> impl Iterator<Item = &ProvenanceStore> {
+        self.stores.values()
+    }
+
+    /// Node names with provenance state.
+    pub fn nodes(&self) -> Vec<Addr> {
+        self.stores.keys().cloned().collect()
+    }
+
+    /// Cross-node provenance maintenance traffic recorded so far.
+    pub fn maintenance_traffic(&self) -> &TrafficStats {
+        &self.traffic
+    }
+
+    /// Apply one rule-execution event from a runtime engine.
+    pub fn apply_firing(&mut self, firing: &Firing) {
+        if firing.insert {
+            self.firings_applied += 1;
+            self.apply_insert(firing);
+        } else {
+            self.retractions_applied += 1;
+            self.apply_retract(firing);
+        }
+    }
+
+    /// Apply every firing in a batch (the usual pattern after an engine run).
+    pub fn apply_firings<'a>(&mut self, firings: impl IntoIterator<Item = &'a Firing>) {
+        for f in firings {
+            self.apply_firing(f);
+        }
+    }
+
+    fn apply_insert(&mut self, firing: &Firing) {
+        let vid = firing.head.id();
+        if firing.rule == BASE_RULE {
+            let store = self.store_mut(&firing.head_home);
+            store.register_tuple(&firing.head);
+            store.add_prov(
+                vid,
+                ProvEntry {
+                    rid: None,
+                    rloc: firing.head_home.clone(),
+                },
+            );
+            return;
+        }
+        let rid = RuleExecId::compute(&firing.rule, &firing.node, &firing.inputs);
+        // ruleExec lives where the rule fired.
+        {
+            let store = self.store_mut(&firing.node);
+            store.add_rule_exec(RuleExec {
+                rid,
+                rule: firing.rule.clone(),
+                node: firing.node.clone(),
+                inputs: firing.inputs.clone(),
+            });
+            // The input tuples are local to the executing node
+            // (post-localization), so remember their contents for display.
+            for input in &firing.input_tuples {
+                store.register_tuple(input);
+            }
+        }
+        // prov entry lives at the head tuple's home.
+        let entry = ProvEntry {
+            rid: Some(rid),
+            rloc: firing.node.clone(),
+        };
+        if firing.head_home != firing.node {
+            self.traffic.record(
+                &firing.node,
+                &firing.head_home,
+                MAINTENANCE_CATEGORY,
+                entry.wire_size() + firing.head.wire_size(),
+            );
+        }
+        let store = self.store_mut(&firing.head_home);
+        store.register_tuple(&firing.head);
+        store.add_prov(vid, entry);
+    }
+
+    fn apply_retract(&mut self, firing: &Firing) {
+        let vid = firing.head.id();
+        if firing.rule == BASE_RULE {
+            let home = firing.head_home.clone();
+            let store = self.store_mut(&home);
+            store.remove_prov(
+                vid,
+                &ProvEntry {
+                    rid: None,
+                    rloc: home.clone(),
+                },
+            );
+            return;
+        }
+        let rid = RuleExecId::compute(&firing.rule, &firing.node, &firing.inputs);
+        self.store_mut(&firing.node).remove_rule_exec(rid);
+        let entry = ProvEntry {
+            rid: Some(rid),
+            rloc: firing.node.clone(),
+        };
+        if firing.head_home != firing.node {
+            self.traffic.record(
+                &firing.node,
+                &firing.head_home,
+                MAINTENANCE_CATEGORY,
+                entry.wire_size(),
+            );
+        }
+        self.store_mut(&firing.head_home).remove_prov(vid, &entry);
+    }
+
+    /// Find the content of a tuple vertex, looking at its home node first and
+    /// then anywhere (the executing node also knows input tuple contents).
+    pub fn tuple(&self, vid: TupleId) -> Option<&Tuple> {
+        self.stores.values().find_map(|s| s.tuple(vid))
+    }
+
+    /// The home node of a tuple vertex: the node whose `prov` table has it.
+    pub fn vertex_home(&self, vid: TupleId) -> Option<&Addr> {
+        self.stores
+            .values()
+            .find(|s| s.has_vertex(vid))
+            .map(|s| &s.node)
+    }
+
+    /// Aggregate statistics across all stores.
+    pub fn stats(&self) -> SystemStats {
+        let mut stats = SystemStats {
+            firings_applied: self.firings_applied,
+            retractions_applied: self.retractions_applied,
+            ..SystemStats::default()
+        };
+        for store in self.stores.values() {
+            let ProvStoreStats {
+                prov_entries,
+                rule_execs,
+                tuple_vertices,
+                bytes,
+            } = store.stats();
+            stats.prov_entries += prov_entries;
+            stats.rule_execs += rule_execs;
+            stats.tuple_vertices += tuple_vertices;
+            stats.bytes += bytes;
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nt_runtime::Value;
+
+    fn tuple(rel: &str, node: &str, x: i64) -> Tuple {
+        Tuple::new(rel, vec![Value::addr(node), Value::Int(x)])
+    }
+
+    fn base_firing(t: &Tuple, node: &str) -> Firing {
+        Firing {
+            rule: BASE_RULE.to_string(),
+            node: node.to_string(),
+            head: t.clone(),
+            head_home: node.to_string(),
+            inputs: vec![],
+            input_tuples: vec![],
+            insert: true,
+        }
+    }
+
+    fn rule_firing(rule: &str, exec: &str, head: &Tuple, home: &str, inputs: &[Tuple]) -> Firing {
+        Firing {
+            rule: rule.to_string(),
+            node: exec.to_string(),
+            head: head.clone(),
+            head_home: home.to_string(),
+            inputs: inputs.iter().map(Tuple::id).collect(),
+            input_tuples: inputs.to_vec(),
+            insert: true,
+        }
+    }
+
+    #[test]
+    fn base_and_derived_firings_build_the_graph() {
+        let mut sys = ProvenanceSystem::new(["n1", "n2"]);
+        let link = tuple("link", "n1", 5);
+        let cost = tuple("cost", "n2", 5);
+        sys.apply_firing(&base_firing(&link, "n1"));
+        // Rule fires at n1 but the head lives at n2 -> prov entry shipped.
+        sys.apply_firing(&rule_firing("r1", "n1", &cost, "n2", &[link.clone()]));
+
+        let n1 = sys.store("n1").unwrap();
+        let n2 = sys.store("n2").unwrap();
+        assert!(n1.has_vertex(link.id()));
+        assert_eq!(n1.iter_rule_execs().count(), 1);
+        assert!(n2.has_vertex(cost.id()));
+        let entries = n2.prov_entries(cost.id());
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].rloc, "n1");
+        // Maintenance traffic was charged for the cross-node prov entry.
+        assert_eq!(
+            sys.maintenance_traffic()
+                .category_messages(MAINTENANCE_CATEGORY),
+            1
+        );
+        assert_eq!(sys.vertex_home(cost.id()), Some(&"n2".to_string()));
+        assert_eq!(sys.tuple(link.id()), Some(&link));
+    }
+
+    #[test]
+    fn retractions_remove_entries() {
+        let mut sys = ProvenanceSystem::new(["n1"]);
+        let link = tuple("link", "n1", 5);
+        let cost = tuple("cost", "n1", 5);
+        sys.apply_firing(&base_firing(&link, "n1"));
+        let f = rule_firing("r1", "n1", &cost, "n1", &[link.clone()]);
+        sys.apply_firing(&f);
+        assert_eq!(sys.stats().prov_entries, 2);
+        assert_eq!(sys.stats().rule_execs, 1);
+
+        let mut retraction = f.clone();
+        retraction.insert = false;
+        retraction.input_tuples.clear();
+        sys.apply_firing(&retraction);
+        assert_eq!(sys.stats().rule_execs, 0);
+        assert!(!sys.store("n1").unwrap().has_vertex(cost.id()));
+
+        let mut base_retract = base_firing(&link, "n1");
+        base_retract.insert = false;
+        sys.apply_firing(&base_retract);
+        assert_eq!(sys.stats().prov_entries, 0);
+        assert_eq!(sys.stats().retractions_applied, 2);
+    }
+
+    #[test]
+    fn duplicate_firings_are_idempotent() {
+        let mut sys = ProvenanceSystem::new(["n1"]);
+        let link = tuple("link", "n1", 5);
+        let cost = tuple("cost", "n1", 5);
+        sys.apply_firing(&base_firing(&link, "n1"));
+        let f = rule_firing("r1", "n1", &cost, "n1", &[link.clone()]);
+        sys.apply_firing(&f);
+        sys.apply_firing(&f);
+        assert_eq!(sys.stats().prov_entries, 2);
+        assert_eq!(sys.stats().rule_execs, 1);
+    }
+
+    #[test]
+    fn alternative_derivations_accumulate_prov_entries() {
+        let mut sys = ProvenanceSystem::new(["n1"]);
+        let l1 = tuple("link", "n1", 1);
+        let l2 = tuple("link", "n1", 2);
+        let reach = Tuple::new("reach", vec![Value::addr("n1"), Value::addr("n9")]);
+        sys.apply_firing(&base_firing(&l1, "n1"));
+        sys.apply_firing(&base_firing(&l2, "n1"));
+        sys.apply_firing(&rule_firing("r1", "n1", &reach, "n1", &[l1]));
+        sys.apply_firing(&rule_firing("r1", "n1", &reach, "n1", &[l2]));
+        assert_eq!(
+            sys.store("n1").unwrap().prov_entries(reach.id()).len(),
+            2,
+            "two alternative derivations recorded"
+        );
+    }
+}

@@ -1,0 +1,270 @@
+//! Compilation of validated NDlog programs into the runtime representation.
+//!
+//! Compilation performs, in order: validation, automatic localization
+//! ([`crate::transform::localize_program`]), catalog construction, and
+//! per-rule analysis (execution location, aggregate detection, trigger
+//! tables). The result is shared (via `Arc`) by every node engine in a
+//! deployment — nodes differ only in their data, not in their code, just as a
+//! RapidNet binary is identical on every node.
+
+use crate::catalog::Catalog;
+use crate::error::{Result, RuntimeError};
+use ndlog::localize::{localize_rule, RuleLocation};
+use ndlog::{AggregateFunc, BodyElem, Predicate, Program, Rule, RuleKind, Term};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Aggregate specification for rules such as `minCost(@S,D,min<C>) :- ...`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AggSpec {
+    /// The aggregate function.
+    pub func: AggregateFunc,
+    /// Column of the head that receives the aggregate value.
+    pub agg_col: usize,
+    /// The aggregated body variable (`*` for `count<*>`).
+    pub var: String,
+}
+
+/// One executable rule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompiledRule {
+    /// The (localized) source rule.
+    pub rule: Rule,
+    /// Index of this rule within the compiled program.
+    pub index: usize,
+    /// Where the rule executes.
+    pub exec: RuleLocation,
+    /// Location column of the head relation.
+    pub head_loc_col: usize,
+    /// Positive body atoms, in body order.
+    pub positive: Vec<Predicate>,
+    /// Negated body atoms.
+    pub negated: Vec<Predicate>,
+    /// Assignments and filters, in body order.
+    pub steps: Vec<BodyElem>,
+    /// Aggregate specification, if the head contains one.
+    pub aggregate: Option<AggSpec>,
+}
+
+impl CompiledRule {
+    /// True when the rule needs non-monotonic (reconciliation-based)
+    /// maintenance: it has negated body atoms.
+    pub fn has_negation(&self) -> bool {
+        !self.negated.is_empty()
+    }
+}
+
+/// A fully compiled program, shared by all node engines.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompiledProgram {
+    /// The program as written by the user (pre-localization).
+    pub source: Program,
+    /// The localized program that actually executes.
+    pub localized: Program,
+    /// Relation schemas.
+    pub catalog: Catalog,
+    /// Executable rules (maybe rules are excluded — they are evaluated by the
+    /// legacy-application proxy, not by the engine).
+    pub rules: Vec<CompiledRule>,
+    /// relation name -> (rule index, positive-atom index) pairs to evaluate
+    /// when a delta of that relation arrives.
+    pub triggers: HashMap<String, Vec<(usize, usize)>>,
+    /// relation name -> rule indices that must be *reconciled* when the
+    /// relation changes (rules where the relation appears negated).
+    pub negation_triggers: HashMap<String, Vec<usize>>,
+}
+
+impl CompiledProgram {
+    /// Compile NDlog source text (parse, validate, localize, analyze).
+    pub fn from_source(src: &str) -> Result<Self> {
+        let program = ndlog::compile(src)?;
+        Self::from_program(program)
+    }
+
+    /// Compile an already-parsed program (it is re-validated).
+    pub fn from_program(program: Program) -> Result<Self> {
+        ndlog::validate_program(&program)?;
+        let localized = crate::transform::localize_program(&program)?;
+        ndlog::validate_program(&localized)?;
+        let catalog = Catalog::from_program(&localized)?;
+
+        let mut rules = Vec::new();
+        let mut triggers: HashMap<String, Vec<(usize, usize)>> = HashMap::new();
+        let mut negation_triggers: HashMap<String, Vec<usize>> = HashMap::new();
+
+        for rule in &localized.rules {
+            if rule.kind == RuleKind::Maybe {
+                continue;
+            }
+            let index = rules.len();
+            let compiled = compile_rule(rule, index, &catalog)?;
+            for (atom_idx, atom) in compiled.positive.iter().enumerate() {
+                triggers
+                    .entry(atom.relation.clone())
+                    .or_default()
+                    .push((index, atom_idx));
+            }
+            for atom in &compiled.negated {
+                negation_triggers
+                    .entry(atom.relation.clone())
+                    .or_default()
+                    .push(index);
+            }
+            rules.push(compiled);
+        }
+
+        Ok(CompiledProgram {
+            source: program,
+            localized,
+            catalog,
+            rules,
+            triggers,
+            negation_triggers,
+        })
+    }
+
+    /// The `maybe` rules of the source program (used by the legacy proxy).
+    pub fn maybe_rules(&self) -> Vec<&Rule> {
+        self.source
+            .rules
+            .iter()
+            .filter(|r| r.kind == RuleKind::Maybe)
+            .collect()
+    }
+
+    /// Find a compiled rule by name.
+    pub fn rule(&self, name: &str) -> Option<&CompiledRule> {
+        self.rules.iter().find(|r| r.rule.name == name)
+    }
+}
+
+fn compile_rule(rule: &Rule, index: usize, catalog: &Catalog) -> Result<CompiledRule> {
+    let localized = localize_rule(rule)?;
+    if !localized.remote_locations.is_empty() {
+        return Err(RuntimeError::compile(
+            Some(&rule.name),
+            "rule is not local after localization (internal error)",
+        ));
+    }
+    let head_schema = catalog.schema(&rule.head.relation).ok_or_else(|| {
+        RuntimeError::compile(Some(&rule.name), "head relation missing from catalog")
+    })?;
+
+    let mut positive = Vec::new();
+    let mut negated = Vec::new();
+    let mut steps = Vec::new();
+    for elem in &rule.body {
+        match elem {
+            BodyElem::Atom(p) if p.negated => negated.push(p.clone()),
+            BodyElem::Atom(p) => positive.push(p.clone()),
+            other => steps.push(other.clone()),
+        }
+    }
+
+    let aggregate = rule.head.aggregate_column().map(|(col, agg)| AggSpec {
+        func: agg.func,
+        agg_col: col,
+        var: agg.var.clone(),
+    });
+
+    if let Some(spec) = &aggregate {
+        if positive.len() != 1 {
+            return Err(RuntimeError::compile(
+                Some(&rule.name),
+                "aggregate rules must have exactly one positive body atom",
+            ));
+        }
+        if !negated.is_empty() {
+            return Err(RuntimeError::compile(
+                Some(&rule.name),
+                "aggregate rules cannot contain negation",
+            ));
+        }
+        if spec.func == AggregateFunc::Count && spec.var == "*" {
+            // fine: count<*> needs no bound variable
+        }
+    }
+
+    // Wildcards in heads are not executable.
+    if rule.head.terms.iter().any(|t| matches!(t, Term::Wildcard)) {
+        return Err(RuntimeError::compile(
+            Some(&rule.name),
+            "rule heads cannot contain wildcards",
+        ));
+    }
+
+    Ok(CompiledRule {
+        rule: rule.clone(),
+        index,
+        exec: localized.exec_location,
+        head_loc_col: head_schema.location_col,
+        positive,
+        negated,
+        steps,
+        aggregate,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINCOST: &str = "materialize(link, infinity, infinity, keys(1,2,3)).\n\
+         materialize(cost, infinity, infinity, keys(1,2,3)).\n\
+         materialize(minCost, infinity, infinity, keys(1,2)).\n\
+         r1 cost(@S,D,C) :- link(@S,D,C).\n\
+         r2 cost(@S,D,C) :- link(@S,Z,C1), minCost(@Z,D,C2), C := C1 + C2.\n\
+         r3 minCost(@S,D,min<C>) :- cost(@S,D,C).";
+
+    #[test]
+    fn compiles_mincost_with_localization() {
+        let cp = CompiledProgram::from_source(MINCOST).unwrap();
+        // r1, r2_s1, r2, r3
+        assert_eq!(cp.rules.len(), 4);
+        assert!(cp.rule("r2_s1").is_some());
+        let r3 = cp.rule("r3").unwrap();
+        assert!(r3.aggregate.is_some());
+        assert_eq!(r3.aggregate.as_ref().unwrap().agg_col, 2);
+        // link triggers r1 and the ship rule.
+        let link_triggers = &cp.triggers["link"];
+        assert_eq!(link_triggers.len(), 2);
+        // The aux relation exists in the catalog.
+        assert!(cp.catalog.schema("r2_aux").is_some());
+    }
+
+    #[test]
+    fn maybe_rules_are_kept_out_of_the_engine() {
+        let cp = CompiledProgram::from_source(
+            "br1 outputRoute(@AS,R2,P) ?- inputRoute(@AS,R1,P), f_isExtend(R2,R1,AS) == 1.\n\
+             r1 seen(@AS,P) :- inputRoute(@AS,R1,P).",
+        )
+        .unwrap();
+        assert_eq!(cp.rules.len(), 1);
+        assert_eq!(cp.maybe_rules().len(), 1);
+        assert_eq!(cp.maybe_rules()[0].name, "br1");
+    }
+
+    #[test]
+    fn rejects_aggregate_with_join_body() {
+        let err = CompiledProgram::from_source(
+            "r1 agg(@S,min<C>) :- cost(@S,D,C), link(@S,D,C2).",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("exactly one positive body atom"));
+    }
+
+    #[test]
+    fn invalid_programs_are_rejected_at_compile_time() {
+        assert!(CompiledProgram::from_source("r1 out(@A,X) :- link(@A,B).").is_err());
+    }
+
+    #[test]
+    fn negation_triggers_are_recorded() {
+        let cp = CompiledProgram::from_source(
+            "r1 isolated(@N,M) :- node(@N), peer(@N,M), !link(@N,M).",
+        )
+        .unwrap();
+        assert_eq!(cp.negation_triggers["link"], vec![0]);
+        assert!(cp.rules[0].has_negation());
+    }
+}

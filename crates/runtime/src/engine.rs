@@ -1,0 +1,1291 @@
+//! The per-node incremental evaluation engine.
+//!
+//! A [`NodeEngine`] holds one node's partition of every relation and evaluates
+//! the localized rules of a [`CompiledProgram`] using *pipelined semi-naive*
+//! evaluation: every inserted or deleted tuple is a delta that is joined
+//! against the stored tables, producing new deltas, until a local fixpoint is
+//! reached. Derived tuples whose home (location attribute) is another node are
+//! not stored locally; instead the engine records them in an *outbox* and
+//! reports them as [`RemoteDelta`]s for the network layer (crate `simnet`,
+//! orchestrated by the `nettrails` platform) to deliver.
+//!
+//! ## Incremental deletions
+//!
+//! Every derived tuple carries the derivations that support it
+//! ([`crate::store`]). When a tuple disappears, the engine looks up — through
+//! the reverse-dependency index — every derivation that used it, retracts
+//! those derivations, and cascades. This is the counting form of incremental
+//! view maintenance; it is exact for the protocol programs shipped with
+//! NetTrails (their recursion goes through strictly increasing costs or
+//! loop-suppressed paths, so no tuple can support itself). Aggregate rules are
+//! maintained by group recomputation, and rules containing negation are
+//! maintained by per-rule reconciliation.
+//!
+//! ## Provenance hooks
+//!
+//! Every derivation added or retracted is reported as a [`Firing`]; the
+//! `provenance` crate turns firings into the distributed `prov` / `ruleExec`
+//! relations of ExSPAN. Base-tuple insertions are reported too so the
+//! provenance graph contains the base vertices.
+
+use crate::compile::{CompiledProgram, CompiledRule};
+use crate::eval::{eval_expr, eval_filter, literal_value, Bindings};
+use crate::store::{Database, Derivation, Membership, BASE_RULE};
+use crate::tuple::{Delta, Tuple, TupleId};
+use crate::value::{Addr, Value};
+use ndlog::{AggregateFunc, BodyElem, Literal, Predicate, Term};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Prefix for the internal outbox tables that track derivations whose head
+/// lives on another node.
+pub const OUTBOX_PREFIX: &str = "__out::";
+
+/// Engine configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// The node this engine runs on (its address / name).
+    pub node: Addr,
+    /// Safety cap on the number of deltas processed by a single [`NodeEngine::run`]
+    /// call; prevents a diverging program from hanging the simulator.
+    pub max_deltas_per_run: usize,
+}
+
+impl EngineConfig {
+    /// Config for a node with default limits.
+    pub fn new(node: impl Into<Addr>) -> Self {
+        EngineConfig {
+            node: node.into(),
+            max_deltas_per_run: 1_000_000,
+        }
+    }
+}
+
+/// Counters describing the work an engine has done. Used by the maintenance
+/// overhead and incremental-vs-recompute experiments.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// Deltas dequeued and applied.
+    pub deltas_processed: u64,
+    /// Rule firings (derivations created).
+    pub rule_firings: u64,
+    /// Derivations retracted.
+    pub retractions: u64,
+    /// Tuples handed to the network layer.
+    pub tuples_sent: u64,
+    /// Estimated bytes handed to the network layer.
+    pub bytes_sent: u64,
+    /// Join probe operations (scans of candidate tuples).
+    pub join_probes: u64,
+    /// Aggregate group recomputations.
+    pub agg_recomputes: u64,
+}
+
+/// A rule-execution event, reported for provenance capture.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Firing {
+    /// Rule name ([`BASE_RULE`] for base-tuple events).
+    pub rule: String,
+    /// Node where the rule executed (always this engine's node).
+    pub node: Addr,
+    /// The derived (or retracted) head tuple.
+    pub head: Tuple,
+    /// The node where the head tuple lives.
+    pub head_home: Addr,
+    /// Identifiers of the body tuples, in body order.
+    pub inputs: Vec<TupleId>,
+    /// The body tuples themselves (present for insert firings; retractions
+    /// carry only the identifiers).
+    pub input_tuples: Vec<Tuple>,
+    /// True for a derivation, false for a retraction.
+    pub insert: bool,
+}
+
+/// A delta destined for another node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RemoteDelta {
+    /// Destination node.
+    pub dest: Addr,
+    /// The insertion or deletion to apply there.
+    pub delta: Delta,
+    /// The derivation that justifies it (the receiving engine stores it).
+    pub derivation: Derivation,
+}
+
+/// Everything produced by one [`NodeEngine::run`] call.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StepOutput {
+    /// Tuples to ship to other nodes.
+    pub sends: Vec<RemoteDelta>,
+    /// Rule execution events (for provenance capture).
+    pub firings: Vec<Firing>,
+    /// Local membership changes (insertions / deletions of visible tuples).
+    pub local_changes: Vec<Delta>,
+    /// True when the run hit the delta cap before reaching a fixpoint.
+    pub truncated: bool,
+}
+
+impl StepOutput {
+    /// Merge another output into this one (used by drivers that call `run`
+    /// repeatedly).
+    pub fn merge(&mut self, other: StepOutput) {
+        self.sends.extend(other.sends);
+        self.firings.extend(other.firings);
+        self.local_changes.extend(other.local_changes);
+        self.truncated |= other.truncated;
+    }
+}
+
+#[derive(Debug, Clone)]
+enum WorkItem {
+    Add { tuple: Tuple, derivation: Derivation },
+    Remove { tuple: Tuple, derivation: Derivation },
+}
+
+/// The per-node incremental evaluator. See the module documentation.
+#[derive(Debug, Clone)]
+pub struct NodeEngine {
+    config: EngineConfig,
+    program: Arc<CompiledProgram>,
+    db: Database,
+    queue: VecDeque<WorkItem>,
+    /// (rule index, group key) -> current aggregate head tuple + derivation.
+    agg_state: HashMap<(usize, Vec<Value>), (Tuple, Derivation)>,
+    stats: EngineStats,
+}
+
+impl NodeEngine {
+    /// Create an engine for `config.node` executing `program`.
+    pub fn new(program: Arc<CompiledProgram>, config: EngineConfig) -> Self {
+        let db = Database::new(program.catalog.schemas().cloned());
+        NodeEngine {
+            config,
+            program,
+            db,
+            queue: VecDeque::new(),
+            agg_state: HashMap::new(),
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// The node name this engine runs on.
+    pub fn node(&self) -> &str {
+        &self.config.node
+    }
+
+    /// The compiled program.
+    pub fn program(&self) -> &CompiledProgram {
+        &self.program
+    }
+
+    /// The node's database (read-only view).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Work counters.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// True when deltas are queued but not yet processed.
+    pub fn has_pending(&self) -> bool {
+        !self.queue.is_empty()
+    }
+
+    /// Queue the insertion of a base (extensional) tuple at this node.
+    pub fn insert_base(&mut self, tuple: Tuple) {
+        let derivation = Derivation::base(self.config.node.clone());
+        self.queue.push_back(WorkItem::Add { tuple, derivation });
+    }
+
+    /// Queue the deletion of a base tuple previously inserted at this node.
+    pub fn delete_base(&mut self, tuple: Tuple) {
+        let derivation = Derivation::base(self.config.node.clone());
+        self.queue
+            .push_back(WorkItem::Remove { tuple, derivation });
+    }
+
+    /// Queue a delta received from another node.
+    pub fn apply_remote(&mut self, delta: Delta, derivation: Derivation) {
+        match delta {
+            Delta::Insert(tuple) => self.queue.push_back(WorkItem::Add { tuple, derivation }),
+            Delta::Delete(tuple) => self
+                .queue
+                .push_back(WorkItem::Remove { tuple, derivation }),
+        }
+    }
+
+    /// Process queued deltas to a local fixpoint.
+    pub fn run(&mut self) -> StepOutput {
+        let mut out = StepOutput::default();
+        let mut processed = 0usize;
+        while let Some(item) = self.queue.pop_front() {
+            processed += 1;
+            if processed > self.config.max_deltas_per_run {
+                out.truncated = true;
+                break;
+            }
+            self.stats.deltas_processed += 1;
+            match item {
+                WorkItem::Add { tuple, derivation } => self.apply_add(tuple, derivation, &mut out),
+                WorkItem::Remove { tuple, derivation } => {
+                    self.apply_remove(tuple, derivation, &mut out)
+                }
+            }
+        }
+        out
+    }
+
+    /// Convenience: all tuples of a relation currently stored at this node.
+    pub fn relation(&self, relation: &str) -> Vec<Tuple> {
+        self.db.relation_tuples(relation)
+    }
+
+    // ----------------------------------------------------------------------
+    // delta application
+    // ----------------------------------------------------------------------
+
+    fn ensure_table(&mut self, tuple: &Tuple) {
+        if self.db.table(&tuple.relation).is_none() {
+            // Relations unknown to the program (e.g. environment relations fed
+            // for observation only) get a lenient schema: location column 0,
+            // set semantics.
+            self.db.register(crate::catalog::RelationSchema {
+                name: tuple.relation.clone(),
+                arity: tuple.arity(),
+                location_col: 0,
+                key_cols: (0..tuple.arity()).collect(),
+                is_base: true,
+                lifetime: None,
+            });
+        }
+    }
+
+    fn apply_add(&mut self, tuple: Tuple, derivation: Derivation, out: &mut StepOutput) {
+        self.ensure_table(&tuple);
+        let is_base = derivation.is_base();
+        let inputs = derivation.inputs.clone();
+        let membership = self
+            .db
+            .table_mut(&tuple.relation)
+            .expect("table ensured")
+            .add_derivation(&tuple, derivation);
+
+        if matches!(
+            membership,
+            Membership::Appeared | Membership::AddedDerivation | Membership::Replaced(_)
+        ) {
+            for input in &inputs {
+                self.db
+                    .index_dependency(*input, &tuple.relation, tuple.id());
+            }
+            if is_base {
+                // Report base tuples to the provenance layer.
+                out.firings.push(Firing {
+                    rule: BASE_RULE.to_string(),
+                    node: self.config.node.clone(),
+                    head: tuple.clone(),
+                    head_home: self.config.node.clone(),
+                    inputs: Vec::new(),
+                    input_tuples: Vec::new(),
+                    insert: true,
+                });
+            }
+        }
+
+        match membership {
+            Membership::Unchanged | Membership::AddedDerivation | Membership::NotFound => {}
+            Membership::Appeared => {
+                out.local_changes.push(Delta::Insert(tuple.clone()));
+                self.trigger_insert(&tuple, out);
+            }
+            Membership::Replaced(old) => {
+                // Update-in-place: the displaced tuple disappears first.
+                out.local_changes.push(Delta::Delete(old.clone()));
+                self.on_disappear(&old, out);
+                out.local_changes.push(Delta::Insert(tuple.clone()));
+                self.trigger_insert(&tuple, out);
+            }
+            Membership::Disappeared | Membership::RemovedDerivation => unreachable!(),
+        }
+    }
+
+    fn apply_remove(&mut self, tuple: Tuple, derivation: Derivation, out: &mut StepOutput) {
+        let Some(table) = self.db.table_mut(&tuple.relation) else {
+            return;
+        };
+        let is_base = derivation.is_base();
+        let membership = table.remove_derivation(&tuple, &derivation);
+        if matches!(
+            membership,
+            Membership::Disappeared | Membership::RemovedDerivation
+        ) && is_base
+        {
+            out.firings.push(Firing {
+                rule: BASE_RULE.to_string(),
+                node: self.config.node.clone(),
+                head: tuple.clone(),
+                head_home: self.config.node.clone(),
+                inputs: Vec::new(),
+                input_tuples: Vec::new(),
+                insert: false,
+            });
+        }
+        if membership == Membership::Disappeared {
+            out.local_changes.push(Delta::Delete(tuple.clone()));
+            self.on_disappear(&tuple, out);
+        }
+    }
+
+    /// A tuple lost its last derivation: cascade through the dependency index
+    /// and re-trigger aggregate / negation rules.
+    fn on_disappear(&mut self, tuple: &Tuple, out: &mut StepOutput) {
+        let id = tuple.id();
+        let dependents = self.db.dependents_of(id);
+        self.db.clear_dependency(id);
+        for (relation, dep_tuple, derivations) in dependents {
+            if let Some(outbox_rel) = relation.strip_prefix(OUTBOX_PREFIX) {
+                // Derivations whose head lives on another node: retract the
+                // outbox entry and notify the remote home.
+                let home = self
+                    .head_home(outbox_rel, &dep_tuple)
+                    .unwrap_or_else(|| self.config.node.clone());
+                for derivation in derivations {
+                    self.stats.retractions += 1;
+                    out.firings.push(Firing {
+                        rule: derivation.rule.clone(),
+                        node: self.config.node.clone(),
+                        head: dep_tuple.clone(),
+                        head_home: home.clone(),
+                        inputs: derivation.inputs.clone(),
+                        input_tuples: Vec::new(),
+                        insert: false,
+                    });
+                    let membership = self
+                        .db
+                        .table_mut(&relation)
+                        .expect("outbox table exists")
+                        .remove_derivation(&dep_tuple, &derivation);
+                    if matches!(
+                        membership,
+                        Membership::Disappeared | Membership::RemovedDerivation
+                    ) {
+                        self.stats.tuples_sent += 1;
+                        self.stats.bytes_sent += dep_tuple.wire_size() as u64;
+                        out.sends.push(RemoteDelta {
+                            dest: home.clone(),
+                            delta: Delta::Delete(dep_tuple.clone()),
+                            derivation,
+                        });
+                    }
+                }
+            } else {
+                for derivation in derivations {
+                    self.stats.retractions += 1;
+                    out.firings.push(Firing {
+                        rule: derivation.rule.clone(),
+                        node: self.config.node.clone(),
+                        head: dep_tuple.clone(),
+                        head_home: self.config.node.clone(),
+                        inputs: derivation.inputs.clone(),
+                        input_tuples: Vec::new(),
+                        insert: false,
+                    });
+                    self.queue.push_back(WorkItem::Remove {
+                        tuple: dep_tuple.clone(),
+                        derivation,
+                    });
+                }
+            }
+        }
+        // Aggregate and negation rules re-examine the affected groups.
+        self.trigger_nonmonotonic(tuple, out);
+    }
+
+    /// Rules to run when a tuple of `tuple.relation` appears.
+    fn trigger_insert(&mut self, tuple: &Tuple, out: &mut StepOutput) {
+        let triggers = self
+            .program
+            .triggers
+            .get(&tuple.relation)
+            .cloned()
+            .unwrap_or_default();
+        for (rule_idx, atom_idx) in triggers {
+            let rule = &self.program.rules[rule_idx];
+            if rule.aggregate.is_some() {
+                self.recompute_aggregate_for(rule_idx, tuple, out);
+            } else if rule.has_negation() {
+                self.reconcile_rule(rule_idx, out);
+            } else {
+                self.eval_rule_delta(rule_idx, atom_idx, tuple, out);
+            }
+        }
+        let neg = self
+            .program
+            .negation_triggers
+            .get(&tuple.relation)
+            .cloned()
+            .unwrap_or_default();
+        for rule_idx in neg {
+            self.reconcile_rule(rule_idx, out);
+        }
+    }
+
+    /// Aggregate-group recomputation and negation reconciliation triggered by
+    /// a disappearance.
+    fn trigger_nonmonotonic(&mut self, tuple: &Tuple, out: &mut StepOutput) {
+        let triggers = self
+            .program
+            .triggers
+            .get(&tuple.relation)
+            .cloned()
+            .unwrap_or_default();
+        for (rule_idx, _) in triggers {
+            let rule = &self.program.rules[rule_idx];
+            if rule.aggregate.is_some() {
+                self.recompute_aggregate_for(rule_idx, tuple, out);
+            } else if rule.has_negation() {
+                self.reconcile_rule(rule_idx, out);
+            }
+        }
+        let neg = self
+            .program
+            .negation_triggers
+            .get(&tuple.relation)
+            .cloned()
+            .unwrap_or_default();
+        for rule_idx in neg {
+            self.reconcile_rule(rule_idx, out);
+        }
+    }
+
+    // ----------------------------------------------------------------------
+    // rule evaluation
+    // ----------------------------------------------------------------------
+
+    /// Evaluate a (non-aggregate, negation-free) rule against a single delta
+    /// tuple bound to the body atom `atom_idx`.
+    fn eval_rule_delta(
+        &mut self,
+        rule_idx: usize,
+        atom_idx: usize,
+        delta_tuple: &Tuple,
+        out: &mut StepOutput,
+    ) {
+        let rule = self.program.rules[rule_idx].clone();
+        let mut bindings = Bindings::new();
+        if !match_atom(&rule.positive[atom_idx], delta_tuple, &mut bindings) {
+            return;
+        }
+        let mut matched: Vec<Option<Tuple>> = vec![None; rule.positive.len()];
+        matched[atom_idx] = Some(delta_tuple.clone());
+        let remaining: Vec<usize> = (0..rule.positive.len()).filter(|i| *i != atom_idx).collect();
+        let mut results = Vec::new();
+        self.join_remaining(&rule, &remaining, 0, bindings, &mut matched, &mut results);
+        for (bindings, inputs) in results {
+            self.fire_rule(&rule, &bindings, &inputs, out);
+        }
+    }
+
+    /// Recursively join the remaining body atoms.
+    fn join_remaining(
+        &self,
+        rule: &CompiledRule,
+        remaining: &[usize],
+        pos: usize,
+        bindings: Bindings,
+        matched: &mut Vec<Option<Tuple>>,
+        results: &mut Vec<(Bindings, Vec<Tuple>)>,
+    ) {
+        if pos == remaining.len() {
+            let inputs: Vec<Tuple> = matched
+                .iter()
+                .map(|t| t.clone().expect("all atoms matched"))
+                .collect();
+            results.push((bindings, inputs));
+            return;
+        }
+        let atom_idx = remaining[pos];
+        let atom = &rule.positive[atom_idx];
+        let Some(table) = self.db.table(&atom.relation) else {
+            return;
+        };
+        for stored in table.iter() {
+            let mut b = bindings.clone();
+            if match_atom(atom, &stored.tuple, &mut b) {
+                matched[atom_idx] = Some(stored.tuple.clone());
+                self.join_remaining(rule, remaining, pos + 1, b, matched, results);
+                matched[atom_idx] = None;
+            }
+        }
+    }
+
+    /// Apply assignments / filters / negation checks and emit the derivation.
+    fn fire_rule(
+        &mut self,
+        rule: &CompiledRule,
+        bindings: &Bindings,
+        inputs: &[Tuple],
+        out: &mut StepOutput,
+    ) {
+        self.stats.join_probes += 1;
+        let Some(bindings) = self.apply_steps(rule, bindings.clone()) else {
+            return;
+        };
+        // Negation checks (only reachable from reconcile_rule, which passes
+        // rules with negation through here as well).
+        for neg in &rule.negated {
+            if self.exists_match(neg, &bindings) {
+                return;
+            }
+        }
+        let Some(head) = build_head(&rule.rule.head, &bindings, rule.head_loc_col, None) else {
+            return;
+        };
+        let derivation = Derivation {
+            rule: rule.rule.name.clone(),
+            node: self.config.node.clone(),
+            inputs: inputs.iter().map(Tuple::id).collect(),
+        };
+        self.emit_derivation(head, derivation, true, inputs.to_vec(), out);
+    }
+
+    /// Evaluate assignments and filters; `None` when a filter rejects the
+    /// bindings or an expression fails to evaluate.
+    fn apply_steps(&self, rule: &CompiledRule, mut bindings: Bindings) -> Option<Bindings> {
+        for step in &rule.steps {
+            match step {
+                BodyElem::Assign { var, expr } => match eval_expr(expr, &bindings) {
+                    Ok(value) => match bindings.get(var) {
+                        Some(existing) if *existing != value => return None,
+                        _ => {
+                            bindings.insert(var.clone(), value);
+                        }
+                    },
+                    Err(_) => return None,
+                },
+                BodyElem::Filter(expr) => match eval_filter(expr, &bindings) {
+                    Ok(true) => {}
+                    _ => return None,
+                },
+                BodyElem::Atom(_) => {}
+            }
+        }
+        Some(bindings)
+    }
+
+    fn exists_match(&self, atom: &Predicate, bindings: &Bindings) -> bool {
+        let Some(table) = self.db.table(&atom.relation) else {
+            return false;
+        };
+        table.iter().any(|stored| {
+            let mut b = bindings.clone();
+            match_atom(atom, &stored.tuple, &mut b)
+        })
+    }
+
+    /// Route a derivation of `head`: apply locally when the head lives here,
+    /// otherwise record it in the outbox and produce a send.
+    fn emit_derivation(
+        &mut self,
+        head: Tuple,
+        derivation: Derivation,
+        insert: bool,
+        input_tuples: Vec<Tuple>,
+        out: &mut StepOutput,
+    ) {
+        let home = self
+            .head_home(&head.relation, &head)
+            .unwrap_or_else(|| self.config.node.clone());
+        if insert {
+            self.stats.rule_firings += 1;
+        } else {
+            self.stats.retractions += 1;
+        }
+        out.firings.push(Firing {
+            rule: derivation.rule.clone(),
+            node: self.config.node.clone(),
+            head: head.clone(),
+            head_home: home.clone(),
+            inputs: derivation.inputs.clone(),
+            input_tuples,
+            insert,
+        });
+        if home == self.config.node {
+            if insert {
+                self.queue.push_back(WorkItem::Add {
+                    tuple: head,
+                    derivation,
+                });
+            } else {
+                self.queue.push_back(WorkItem::Remove {
+                    tuple: head,
+                    derivation,
+                });
+            }
+            return;
+        }
+        // Remote head: track in the outbox so that later input deletions can
+        // retract the remote derivation, and ship the delta.
+        let outbox_name = format!("{OUTBOX_PREFIX}{}", head.relation);
+        if self.db.table(&outbox_name).is_none() {
+            let base = self
+                .program
+                .catalog
+                .schema(&head.relation)
+                .cloned()
+                .unwrap_or(crate::catalog::RelationSchema {
+                    name: head.relation.clone(),
+                    arity: head.arity(),
+                    location_col: 0,
+                    key_cols: (0..head.arity()).collect(),
+                    is_base: false,
+                    lifetime: None,
+                });
+            self.db.register(crate::catalog::RelationSchema {
+                name: outbox_name.clone(),
+                arity: base.arity,
+                location_col: base.location_col,
+                // Set semantics: the authoritative replacement decision is
+                // made at the home node.
+                key_cols: (0..base.arity).collect(),
+                is_base: false,
+                lifetime: None,
+            });
+        }
+        if insert {
+            let inputs = derivation.inputs.clone();
+            let membership = self
+                .db
+                .table_mut(&outbox_name)
+                .expect("outbox registered")
+                .add_derivation(&head, derivation.clone());
+            if matches!(
+                membership,
+                Membership::Appeared | Membership::AddedDerivation | Membership::Replaced(_)
+            ) {
+                for input in inputs {
+                    self.db.index_dependency(input, &outbox_name, head.id());
+                }
+                self.stats.tuples_sent += 1;
+                self.stats.bytes_sent += head.wire_size() as u64;
+                out.sends.push(RemoteDelta {
+                    dest: home,
+                    delta: Delta::Insert(head),
+                    derivation,
+                });
+            }
+        } else {
+            let membership = self
+                .db
+                .table_mut(&outbox_name)
+                .expect("outbox registered")
+                .remove_derivation(&head, &derivation);
+            if matches!(
+                membership,
+                Membership::Disappeared | Membership::RemovedDerivation
+            ) {
+                self.stats.tuples_sent += 1;
+                self.stats.bytes_sent += head.wire_size() as u64;
+                out.sends.push(RemoteDelta {
+                    dest: home,
+                    delta: Delta::Delete(head),
+                    derivation,
+                });
+            }
+        }
+    }
+
+    fn head_home(&self, relation: &str, tuple: &Tuple) -> Option<Addr> {
+        let loc_col = self
+            .program
+            .catalog
+            .schema(relation)
+            .map(|s| s.location_col)
+            .unwrap_or(0);
+        tuple.location(loc_col).map(str::to_string)
+    }
+
+    // ----------------------------------------------------------------------
+    // aggregates
+    // ----------------------------------------------------------------------
+
+    /// Recompute the aggregate group(s) of `rule_idx` affected by a change to
+    /// `changed`.
+    fn recompute_aggregate_for(&mut self, rule_idx: usize, changed: &Tuple, out: &mut StepOutput) {
+        let rule = self.program.rules[rule_idx].clone();
+        let atom = &rule.positive[0];
+        let mut bindings = Bindings::new();
+        if !match_atom(atom, changed, &mut bindings) {
+            return;
+        }
+        let Some(group) = group_key(&rule, &bindings) else {
+            return;
+        };
+        self.recompute_group(rule_idx, &rule, group, out);
+    }
+
+    fn recompute_group(
+        &mut self,
+        rule_idx: usize,
+        rule: &CompiledRule,
+        group: Vec<Value>,
+        out: &mut StepOutput,
+    ) {
+        self.stats.agg_recomputes += 1;
+        let spec = rule.aggregate.clone().expect("aggregate rule");
+        let atom = &rule.positive[0];
+        // Collect contributions to this group.
+        let mut contributions: Vec<(Value, Tuple)> = Vec::new();
+        if let Some(table) = self.db.table(&atom.relation) {
+            for stored in table.iter() {
+                let mut b = Bindings::new();
+                if !match_atom(atom, &stored.tuple, &mut b) {
+                    continue;
+                }
+                let Some(b) = self.apply_steps(rule, b) else {
+                    continue;
+                };
+                let Some(g) = group_key(rule, &b) else {
+                    continue;
+                };
+                if g != group {
+                    continue;
+                }
+                let value = if spec.var == "*" {
+                    Value::Int(1)
+                } else {
+                    match b.get(&spec.var) {
+                        Some(v) => v.clone(),
+                        None => continue,
+                    }
+                };
+                contributions.push((value, stored.tuple.clone()));
+            }
+        }
+
+        let new_state: Option<(Tuple, Derivation, Vec<Tuple>)> = if contributions.is_empty() {
+            None
+        } else {
+            let (agg_value, witnesses): (Value, Vec<Tuple>) = match spec.func {
+                AggregateFunc::Min => {
+                    let (v, t) = contributions
+                        .iter()
+                        .min_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.id().cmp(&b.1.id())))
+                        .cloned()
+                        .expect("non-empty");
+                    (v, vec![t])
+                }
+                AggregateFunc::Max => {
+                    let (v, t) = contributions
+                        .iter()
+                        .max_by(|a, b| a.0.cmp(&b.0).then_with(|| b.1.id().cmp(&a.1.id())))
+                        .cloned()
+                        .expect("non-empty");
+                    (v, vec![t])
+                }
+                AggregateFunc::Count => (
+                    Value::Int(contributions.len() as i64),
+                    contributions.iter().map(|(_, t)| t.clone()).collect(),
+                ),
+                AggregateFunc::Sum => {
+                    let mut acc = 0f64;
+                    let mut all_int = true;
+                    for (v, _) in &contributions {
+                        match v {
+                            Value::Int(i) => acc += *i as f64,
+                            Value::Double(d) => {
+                                all_int = false;
+                                acc += *d;
+                            }
+                            _ => {}
+                        }
+                    }
+                    let sum = if all_int {
+                        Value::Int(acc as i64)
+                    } else {
+                        Value::Double(acc)
+                    };
+                    (sum, contributions.iter().map(|(_, t)| t.clone()).collect())
+                }
+            };
+            // Rebuild head bindings from the group key + aggregate value.
+            let head = build_agg_head(&rule.rule.head, &group, &agg_value, rule.head_loc_col);
+            head.map(|head| {
+                let derivation = Derivation {
+                    rule: rule.rule.name.clone(),
+                    node: self.config.node.clone(),
+                    inputs: witnesses.iter().map(Tuple::id).collect(),
+                };
+                (head, derivation, witnesses)
+            })
+        };
+
+        let key = (rule_idx, group);
+        let old_state = self.agg_state.remove(&key);
+        match (&old_state, &new_state) {
+            (Some((old_head, old_deriv)), Some((new_head, new_deriv, _)))
+                if old_head == new_head && old_deriv == new_deriv =>
+            {
+                // Nothing changed.
+                self.agg_state
+                    .insert(key, (old_head.clone(), old_deriv.clone()));
+                return;
+            }
+            _ => {}
+        }
+        if let Some((old_head, old_deriv)) = old_state {
+            self.emit_derivation(old_head, old_deriv, false, Vec::new(), out);
+        }
+        if let Some((new_head, new_deriv, witnesses)) = new_state {
+            self.agg_state
+                .insert(key, (new_head.clone(), new_deriv.clone()));
+            self.emit_derivation(new_head, new_deriv, true, witnesses, out);
+        }
+    }
+
+    // ----------------------------------------------------------------------
+    // negation (reconciliation-based maintenance)
+    // ----------------------------------------------------------------------
+
+    /// Recompute all derivations of a rule containing negation and reconcile
+    /// them with the currently recorded ones.
+    fn reconcile_rule(&mut self, rule_idx: usize, out: &mut StepOutput) {
+        let rule = self.program.rules[rule_idx].clone();
+        // Compute the current matches (full join).
+        let mut matched: Vec<Option<Tuple>> = vec![None; rule.positive.len()];
+        let all: Vec<usize> = (0..rule.positive.len()).collect();
+        let mut results = Vec::new();
+        self.join_remaining(&rule, &all, 0, Bindings::new(), &mut matched, &mut results);
+
+        let mut new_derivations: Vec<(Tuple, Derivation, Vec<Tuple>)> = Vec::new();
+        for (bindings, inputs) in results {
+            let Some(bindings) = self.apply_steps(&rule, bindings) else {
+                continue;
+            };
+            if rule
+                .negated
+                .iter()
+                .any(|neg| self.exists_match(neg, &bindings))
+            {
+                continue;
+            }
+            let Some(head) = build_head(&rule.rule.head, &bindings, rule.head_loc_col, None) else {
+                continue;
+            };
+            let derivation = Derivation {
+                rule: rule.rule.name.clone(),
+                node: self.config.node.clone(),
+                inputs: inputs.iter().map(Tuple::id).collect(),
+            };
+            if !new_derivations
+                .iter()
+                .any(|(h, d, _)| *h == head && *d == derivation)
+            {
+                new_derivations.push((head, derivation, inputs));
+            }
+        }
+
+        // Currently recorded derivations of this rule at this node (local
+        // tables and outbox tables).
+        let mut old_derivations: Vec<(String, Tuple, Derivation)> = Vec::new();
+        for table in self.db.tables() {
+            for stored in table.iter() {
+                for d in &stored.derivations {
+                    if d.rule == rule.rule.name && d.node == self.config.node {
+                        old_derivations.push((
+                            table.schema.name.clone(),
+                            stored.tuple.clone(),
+                            d.clone(),
+                        ));
+                    }
+                }
+            }
+        }
+
+        // Retract derivations that no longer hold.
+        for (relation, tuple, derivation) in &old_derivations {
+            let still_valid = new_derivations
+                .iter()
+                .any(|(h, d, _)| h == tuple && d == derivation);
+            if !still_valid {
+                if relation.starts_with(OUTBOX_PREFIX) {
+                    self.emit_derivation(tuple.clone(), derivation.clone(), false, Vec::new(), out);
+                } else {
+                    out.firings.push(Firing {
+                        rule: derivation.rule.clone(),
+                        node: self.config.node.clone(),
+                        head: tuple.clone(),
+                        head_home: self.config.node.clone(),
+                        inputs: derivation.inputs.clone(),
+                        input_tuples: Vec::new(),
+                        insert: false,
+                    });
+                    self.stats.retractions += 1;
+                    self.queue.push_back(WorkItem::Remove {
+                        tuple: tuple.clone(),
+                        derivation: derivation.clone(),
+                    });
+                }
+            }
+        }
+        // Add derivations that are new.
+        for (head, derivation, inputs) in new_derivations {
+            let already = old_derivations
+                .iter()
+                .any(|(_, t, d)| *t == head && *d == derivation);
+            if !already {
+                self.emit_derivation(head, derivation, true, inputs, out);
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
+// matching helpers
+// --------------------------------------------------------------------------
+
+/// Match a tuple against a body atom pattern, extending `bindings`.
+pub fn match_atom(atom: &Predicate, tuple: &Tuple, bindings: &mut Bindings) -> bool {
+    if atom.relation != tuple.relation || atom.terms.len() != tuple.values.len() {
+        return false;
+    }
+    for (term, value) in atom.terms.iter().zip(&tuple.values) {
+        match term {
+            Term::Wildcard => {}
+            Term::Variable { name, .. } => match bindings.get(name) {
+                Some(bound) => {
+                    if !values_match(bound, value) {
+                        return false;
+                    }
+                }
+                None => {
+                    bindings.insert(name.clone(), value.clone());
+                }
+            },
+            Term::Constant { value: lit, .. } => {
+                if !literal_matches(lit, value) {
+                    return false;
+                }
+            }
+            Term::Aggregate(_) => return false,
+        }
+    }
+    true
+}
+
+/// Value equality that treats `Addr` and `Str` with the same text as equal
+/// (programs write location constants as strings; tuples carry addresses).
+pub fn values_match(a: &Value, b: &Value) -> bool {
+    if a == b {
+        return true;
+    }
+    match (a, b) {
+        (Value::Addr(x), Value::Str(y)) | (Value::Str(x), Value::Addr(y)) => x == y,
+        _ => false,
+    }
+}
+
+fn literal_matches(lit: &Literal, value: &Value) -> bool {
+    values_match(&literal_value(lit), value)
+}
+
+/// Construct a head tuple from bindings. `agg` supplies the aggregate value
+/// when the head contains an aggregate term.
+pub fn build_head(
+    head: &Predicate,
+    bindings: &Bindings,
+    head_loc_col: usize,
+    agg: Option<&Value>,
+) -> Option<Tuple> {
+    let mut values = Vec::with_capacity(head.terms.len());
+    for (idx, term) in head.terms.iter().enumerate() {
+        let mut value = match term {
+            Term::Variable { name, .. } => bindings.get(name)?.clone(),
+            Term::Constant { value, .. } => literal_value(value),
+            Term::Aggregate(_) => agg?.clone(),
+            Term::Wildcard => return None,
+        };
+        if idx == head_loc_col {
+            if let Value::Str(s) = value {
+                value = Value::Addr(s);
+            }
+        }
+        values.push(value);
+    }
+    Some(Tuple::new(head.relation.clone(), values))
+}
+
+/// The group key of an aggregate head under `bindings`: every head term except
+/// the aggregate column.
+fn group_key(rule: &CompiledRule, bindings: &Bindings) -> Option<Vec<Value>> {
+    let spec = rule.aggregate.as_ref()?;
+    let mut key = Vec::new();
+    for (idx, term) in rule.rule.head.terms.iter().enumerate() {
+        if idx == spec.agg_col {
+            continue;
+        }
+        match term {
+            Term::Variable { name, .. } => key.push(bindings.get(name)?.clone()),
+            Term::Constant { value, .. } => key.push(literal_value(value)),
+            _ => return None,
+        }
+    }
+    Some(key)
+}
+
+/// Build an aggregate head tuple from a group key and the aggregate value.
+fn build_agg_head(
+    head: &Predicate,
+    group: &[Value],
+    agg_value: &Value,
+    head_loc_col: usize,
+) -> Option<Tuple> {
+    let mut values = Vec::with_capacity(head.terms.len());
+    let mut group_iter = group.iter();
+    for (idx, term) in head.terms.iter().enumerate() {
+        let mut value = match term {
+            Term::Aggregate(_) => agg_value.clone(),
+            _ => group_iter.next()?.clone(),
+        };
+        if idx == head_loc_col {
+            if let Value::Str(s) = value {
+                value = Value::Addr(s);
+            }
+        }
+        values.push(value);
+    }
+    Some(Tuple::new(head.relation.clone(), values))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::CompiledProgram;
+
+    const MINCOST: &str = "materialize(link, infinity, infinity, keys(1,2,3)).\n\
+         materialize(cost, infinity, infinity, keys(1,2,3)).\n\
+         materialize(minCost, infinity, infinity, keys(1,2)).\n\
+         r1 cost(@S,D,C) :- link(@S,D,C).\n\
+         r2 cost(@S,D,C) :- link(@S,Z,C1), minCost(@Z,D,C2), C := C1 + C2.\n\
+         r3 minCost(@S,D,min<C>) :- cost(@S,D,C).";
+
+    fn link(s: &str, d: &str, c: i64) -> Tuple {
+        Tuple::new(
+            "link",
+            vec![Value::addr(s), Value::addr(d), Value::Int(c)],
+        )
+    }
+
+    fn engine(node: &str, src: &str) -> NodeEngine {
+        let program = Arc::new(CompiledProgram::from_source(src).unwrap());
+        NodeEngine::new(program, EngineConfig::new(node))
+    }
+
+    /// Single-node MINCOST: n1 has links to itself conceptually; here we just
+    /// exercise the local pipeline on one node by keeping all tuples at n1.
+    #[test]
+    fn local_rule_derives_cost_and_min_cost() {
+        let mut e = engine("n1", MINCOST);
+        e.insert_base(link("n1", "n2", 5));
+        let out = e.run();
+        assert!(!out.truncated);
+        let cost = e.relation("cost");
+        assert_eq!(cost.len(), 1);
+        assert_eq!(cost[0].values[2], Value::Int(5));
+        let min_cost = e.relation("minCost");
+        assert_eq!(min_cost.len(), 1);
+        assert_eq!(min_cost[0].values[2], Value::Int(5));
+        // Base firing + r1 firing + r3 firing at least.
+        assert!(out.firings.iter().any(|f| f.rule == BASE_RULE));
+        assert!(out.firings.iter().any(|f| f.rule == "r1"));
+        assert!(out.firings.iter().any(|f| f.rule == "r3"));
+    }
+
+    #[test]
+    fn remote_heads_go_to_the_outbox_and_are_sent() {
+        // reach is derived at S but lives at D -> must be shipped.
+        let mut e = engine("n1", "r1 reach(@D,S) :- link(@S,D,C).");
+        e.insert_base(link("n1", "n2", 1));
+        let out = e.run();
+        assert_eq!(out.sends.len(), 1);
+        assert_eq!(out.sends[0].dest, "n2");
+        assert!(matches!(out.sends[0].delta, Delta::Insert(_)));
+        // Not stored locally.
+        assert!(e.relation("reach").is_empty());
+        // Deleting the link retracts the remote derivation.
+        e.delete_base(link("n1", "n2", 1));
+        let out = e.run();
+        assert_eq!(out.sends.len(), 1);
+        assert!(matches!(out.sends[0].delta, Delta::Delete(_)));
+    }
+
+    #[test]
+    fn receiving_engine_applies_remote_deltas() {
+        let program = Arc::new(
+            CompiledProgram::from_source("r1 reach(@D,S) :- link(@S,D,C).").unwrap(),
+        );
+        let mut sender = NodeEngine::new(program.clone(), EngineConfig::new("n1"));
+        let mut receiver = NodeEngine::new(program, EngineConfig::new("n2"));
+        sender.insert_base(link("n1", "n2", 1));
+        let out = sender.run();
+        for send in out.sends {
+            assert_eq!(send.dest, "n2");
+            receiver.apply_remote(send.delta, send.derivation);
+        }
+        receiver.run();
+        assert_eq!(receiver.relation("reach").len(), 1);
+    }
+
+    #[test]
+    fn min_aggregate_tracks_the_minimum_incrementally() {
+        let mut e = engine("n1", MINCOST);
+        e.insert_base(link("n1", "n2", 5));
+        e.insert_base(link("n1", "n2", 3));
+        e.run();
+        let min_cost = e.relation("minCost");
+        assert_eq!(min_cost.len(), 1);
+        assert_eq!(min_cost[0].values[2], Value::Int(3));
+        // Deleting the cheaper link falls back to the more expensive one.
+        e.delete_base(link("n1", "n2", 3));
+        e.run();
+        let min_cost = e.relation("minCost");
+        assert_eq!(min_cost.len(), 1);
+        assert_eq!(min_cost[0].values[2], Value::Int(5));
+        // Deleting the last link removes the aggregate entirely.
+        e.delete_base(link("n1", "n2", 5));
+        e.run();
+        assert!(e.relation("minCost").is_empty());
+        assert!(e.relation("cost").is_empty());
+    }
+
+    #[test]
+    fn deleting_base_tuples_cascades_through_derived_relations() {
+        let mut e = engine("n1", "r1 cost(@S,D,C) :- link(@S,D,C).");
+        e.insert_base(link("n1", "n2", 5));
+        e.run();
+        assert_eq!(e.relation("cost").len(), 1);
+        e.delete_base(link("n1", "n2", 5));
+        let out = e.run();
+        assert!(e.relation("cost").is_empty());
+        assert!(out
+            .local_changes
+            .iter()
+            .any(|d| matches!(d, Delta::Delete(t) if t.relation == "cost")));
+    }
+
+    #[test]
+    fn alternative_derivations_keep_tuples_alive() {
+        // Two links derive the same `reachable` tuple; deleting one keeps it.
+        let mut e = engine(
+            "n1",
+            "r1 reachable(@S,D) :- link(@S,D,C).",
+        );
+        e.insert_base(link("n1", "n2", 1));
+        e.insert_base(link("n1", "n2", 7));
+        e.run();
+        assert_eq!(e.relation("reachable").len(), 1);
+        e.delete_base(link("n1", "n2", 1));
+        e.run();
+        assert_eq!(e.relation("reachable").len(), 1, "still one derivation left");
+        e.delete_base(link("n1", "n2", 7));
+        e.run();
+        assert!(e.relation("reachable").is_empty());
+    }
+
+    #[test]
+    fn update_in_place_replaces_keyed_tuples() {
+        // link keyed on (src, dst): inserting a new cost replaces the old one.
+        let mut e = engine(
+            "n1",
+            "materialize(link, infinity, infinity, keys(1,2)).\n\
+             r1 cost(@S,D,C) :- link(@S,D,C).",
+        );
+        e.insert_base(link("n1", "n2", 5));
+        e.run();
+        e.insert_base(link("n1", "n2", 2));
+        e.run();
+        let cost = e.relation("cost");
+        assert_eq!(cost.len(), 1);
+        assert_eq!(cost[0].values[2], Value::Int(2));
+    }
+
+    #[test]
+    fn negation_rules_are_reconciled() {
+        let src = "materialize(node, infinity, infinity, keys(1,2)).\n\
+                   materialize(link, infinity, infinity, keys(1,2)).\n\
+                   r1 missing(@N,M) :- node(@N,M), !link(@N,M).";
+        let mut e = engine("n1", src);
+        let node = Tuple::new("node", vec![Value::addr("n1"), Value::addr("n2")]);
+        let l = Tuple::new("link", vec![Value::addr("n1"), Value::addr("n2")]);
+        e.insert_base(node.clone());
+        e.run();
+        assert_eq!(e.relation("missing").len(), 1);
+        // Adding the link removes the `missing` tuple...
+        e.insert_base(l.clone());
+        e.run();
+        assert!(e.relation("missing").is_empty());
+        // ... and deleting it brings the tuple back.
+        e.delete_base(l);
+        e.run();
+        assert_eq!(e.relation("missing").len(), 1);
+    }
+
+    #[test]
+    fn filters_and_assignments_restrict_derivations() {
+        let src = "r1 close(@S,D,C) :- link(@S,D,C), C < 5.\n\
+                   r2 double(@S,D,C2) :- link(@S,D,C), C2 := C * 2.";
+        let mut e = engine("n1", src);
+        e.insert_base(link("n1", "n2", 3));
+        e.insert_base(link("n1", "n3", 9));
+        e.run();
+        assert_eq!(e.relation("close").len(), 1);
+        let doubles: Vec<i64> = e
+            .relation("double")
+            .iter()
+            .map(|t| t.values[2].as_int().unwrap())
+            .collect();
+        assert_eq!(doubles.len(), 2);
+        assert!(doubles.contains(&6) && doubles.contains(&18));
+    }
+
+    #[test]
+    fn stats_count_work() {
+        let mut e = engine("n1", MINCOST);
+        e.insert_base(link("n1", "n2", 5));
+        e.run();
+        let stats = e.stats();
+        assert!(stats.deltas_processed > 0);
+        assert!(stats.rule_firings > 0);
+        assert!(stats.agg_recomputes > 0);
+    }
+
+    #[test]
+    fn run_cap_reports_truncation() {
+        let mut e = NodeEngine::new(
+            Arc::new(CompiledProgram::from_source(MINCOST).unwrap()),
+            EngineConfig {
+                node: "n1".into(),
+                max_deltas_per_run: 1,
+            },
+        );
+        e.insert_base(link("n1", "n2", 5));
+        e.insert_base(link("n1", "n3", 5));
+        let out = e.run();
+        assert!(out.truncated);
+    }
+
+    #[test]
+    fn match_atom_binds_and_checks_constants() {
+        use ndlog::parse_rule;
+        let rule = parse_rule("r1 out(@S) :- link(@S,D,3).").unwrap();
+        let atom = rule.body_atoms().next().unwrap();
+        let mut b = Bindings::new();
+        assert!(match_atom(atom, &link("n1", "n2", 3), &mut b));
+        assert_eq!(b["S"], Value::addr("n1"));
+        let mut b = Bindings::new();
+        assert!(!match_atom(atom, &link("n1", "n2", 4), &mut b));
+    }
+}

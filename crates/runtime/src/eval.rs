@@ -1,0 +1,432 @@
+//! Expression evaluation and builtin function implementations.
+//!
+//! Expressions appear in assignments (`C := C1 + C2`), selection predicates
+//! (`f_member(P, S) == 0`) and in the arguments of `maybe` rules evaluated by
+//! the legacy-application proxy. Evaluation happens against a set of
+//! *bindings* produced by matching body atoms against stored tuples.
+
+use crate::error::{Result, RuntimeError};
+use crate::value::{StableHasher, Value};
+use ndlog::{BinOp, Expr, Literal, UnOp};
+use std::collections::BTreeMap;
+
+/// Variable bindings accumulated while evaluating a rule body.
+///
+/// A `BTreeMap` keeps iteration deterministic, which matters for reproducible
+/// provenance identifiers and simulator runs.
+pub type Bindings = BTreeMap<String, Value>;
+
+/// Convert an AST literal to a runtime value.
+pub fn literal_value(lit: &Literal) -> Value {
+    match lit {
+        Literal::Int(v) => Value::Int(*v),
+        Literal::Double(v) => Value::Double(*v),
+        Literal::Str(s) => Value::Str(s.clone()),
+        Literal::Bool(b) => Value::Bool(*b),
+        Literal::Infinity => Value::Infinity,
+    }
+}
+
+/// Evaluate an expression under the given bindings.
+pub fn eval_expr(expr: &Expr, bindings: &Bindings) -> Result<Value> {
+    match expr {
+        Expr::Var(name) => bindings
+            .get(name)
+            .cloned()
+            .ok_or_else(|| RuntimeError::eval(format!("unbound variable `{name}`"))),
+        Expr::Const(lit) => Ok(literal_value(lit)),
+        Expr::Unary { op, expr } => {
+            let v = eval_expr(expr, bindings)?;
+            match op {
+                UnOp::Neg => match v {
+                    Value::Int(i) => Ok(Value::Int(-i)),
+                    Value::Double(d) => Ok(Value::Double(-d)),
+                    other => Err(RuntimeError::eval(format!("cannot negate {other}"))),
+                },
+                UnOp::Not => Ok(Value::Bool(!v.truthy())),
+            }
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            let l = eval_expr(lhs, bindings)?;
+            let r = eval_expr(rhs, bindings)?;
+            eval_binop(*op, &l, &r)
+        }
+        Expr::Call { func, args } => {
+            let mut vals = Vec::with_capacity(args.len());
+            for a in args {
+                vals.push(eval_expr(a, bindings)?);
+            }
+            call_builtin(func, &vals)
+        }
+    }
+}
+
+/// Evaluate an expression and coerce the result to a boolean (for filters).
+pub fn eval_filter(expr: &Expr, bindings: &Bindings) -> Result<bool> {
+    Ok(eval_expr(expr, bindings)?.truthy())
+}
+
+fn eval_binop(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
+    use BinOp::*;
+    match op {
+        Add | Sub | Mul | Div | Mod => arith(op, l, r),
+        Eq => Ok(Value::Bool(l == r)),
+        Ne => Ok(Value::Bool(l != r)),
+        Lt => Ok(Value::Bool(l < r)),
+        Le => Ok(Value::Bool(l <= r)),
+        Gt => Ok(Value::Bool(l > r)),
+        Ge => Ok(Value::Bool(l >= r)),
+        And => Ok(Value::Bool(l.truthy() && r.truthy())),
+        Or => Ok(Value::Bool(l.truthy() || r.truthy())),
+    }
+}
+
+fn arith(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
+    // Infinity is absorbing for addition (cost arithmetic).
+    if matches!(op, BinOp::Add) && (matches!(l, Value::Infinity) || matches!(r, Value::Infinity)) {
+        return Ok(Value::Infinity);
+    }
+    match (l, r) {
+        (Value::Int(a), Value::Int(b)) => {
+            let v = match op {
+                BinOp::Add => a.wrapping_add(*b),
+                BinOp::Sub => a.wrapping_sub(*b),
+                BinOp::Mul => a.wrapping_mul(*b),
+                BinOp::Div => {
+                    if *b == 0 {
+                        return Err(RuntimeError::eval("division by zero"));
+                    }
+                    a / b
+                }
+                BinOp::Mod => {
+                    if *b == 0 {
+                        return Err(RuntimeError::eval("modulo by zero"));
+                    }
+                    a % b
+                }
+                _ => unreachable!(),
+            };
+            Ok(Value::Int(v))
+        }
+        (Value::Str(a), Value::Str(b)) if op == BinOp::Add => Ok(Value::Str(format!("{a}{b}"))),
+        _ => {
+            let (a, b) = match (l.as_f64(), r.as_f64()) {
+                (Some(a), Some(b)) => (a, b),
+                _ => {
+                    return Err(RuntimeError::eval(format!(
+                        "cannot apply `{}` to {l} and {r}",
+                        op.symbol()
+                    )))
+                }
+            };
+            let v = match op {
+                BinOp::Add => a + b,
+                BinOp::Sub => a - b,
+                BinOp::Mul => a * b,
+                BinOp::Div => {
+                    if b == 0.0 {
+                        return Err(RuntimeError::eval("division by zero"));
+                    }
+                    a / b
+                }
+                BinOp::Mod => a % b,
+                _ => unreachable!(),
+            };
+            Ok(Value::Double(v))
+        }
+    }
+}
+
+/// Call a builtin function by name.
+///
+/// The set of builtins matches [`ndlog::builtins::BUILTINS`]; the validator
+/// guarantees arity, but we re-check defensively because the proxy calls these
+/// directly with observed values.
+pub fn call_builtin(name: &str, args: &[Value]) -> Result<Value> {
+    let wrong_arity = |n: usize| {
+        RuntimeError::eval(format!(
+            "builtin `{name}` expects {n} argument(s), got {}",
+            args.len()
+        ))
+    };
+    match name {
+        "f_initlist" => {
+            if args.len() != 1 {
+                return Err(wrong_arity(1));
+            }
+            Ok(Value::List(vec![args[0].clone()]))
+        }
+        "f_initlist2" => {
+            if args.len() != 2 {
+                return Err(wrong_arity(2));
+            }
+            Ok(Value::List(vec![args[0].clone(), args[1].clone()]))
+        }
+        "f_concat" => {
+            if args.len() != 2 {
+                return Err(wrong_arity(2));
+            }
+            let mut out = match &args[0] {
+                Value::List(l) => l.clone(),
+                v => vec![v.clone()],
+            };
+            match &args[1] {
+                Value::List(l) => out.extend(l.iter().cloned()),
+                v => out.push(v.clone()),
+            }
+            Ok(Value::List(out))
+        }
+        "f_append" => {
+            if args.len() != 2 {
+                return Err(wrong_arity(2));
+            }
+            let mut l = list_arg(name, &args[0])?.to_vec();
+            l.push(args[1].clone());
+            Ok(Value::List(l))
+        }
+        "f_prepend" => {
+            if args.len() != 2 {
+                return Err(wrong_arity(2));
+            }
+            // f_prepend(X, List) -> [X | List]  (matches the path-vector idiom
+            // `P := f_prepend(S, P2)`).
+            let l = list_arg(name, &args[1])?;
+            let mut out = Vec::with_capacity(l.len() + 1);
+            out.push(args[0].clone());
+            out.extend(l.iter().cloned());
+            Ok(Value::List(out))
+        }
+        "f_member" => {
+            if args.len() != 2 {
+                return Err(wrong_arity(2));
+            }
+            let l = list_arg(name, &args[0])?;
+            Ok(Value::Int(l.contains(&args[1]) as i64))
+        }
+        "f_last" => {
+            if args.len() != 1 {
+                return Err(wrong_arity(1));
+            }
+            let l = list_arg(name, &args[0])?;
+            l.last()
+                .cloned()
+                .ok_or_else(|| RuntimeError::eval("f_last of empty list"))
+        }
+        "f_first" => {
+            if args.len() != 1 {
+                return Err(wrong_arity(1));
+            }
+            let l = list_arg(name, &args[0])?;
+            l.first()
+                .cloned()
+                .ok_or_else(|| RuntimeError::eval("f_first of empty list"))
+        }
+        "f_size" => {
+            if args.len() != 1 {
+                return Err(wrong_arity(1));
+            }
+            let l = list_arg(name, &args[0])?;
+            Ok(Value::Int(l.len() as i64))
+        }
+        "f_isExtend" => {
+            if args.len() != 3 {
+                return Err(wrong_arity(3));
+            }
+            Ok(Value::Int(is_extend(&args[0], &args[1], &args[2]) as i64))
+        }
+        "f_min" => {
+            if args.len() != 2 {
+                return Err(wrong_arity(2));
+            }
+            Ok(std::cmp::min(&args[0], &args[1]).clone())
+        }
+        "f_max" => {
+            if args.len() != 2 {
+                return Err(wrong_arity(2));
+            }
+            Ok(std::cmp::max(&args[0], &args[1]).clone())
+        }
+        "f_abs" => {
+            if args.len() != 1 {
+                return Err(wrong_arity(1));
+            }
+            match &args[0] {
+                Value::Int(v) => Ok(Value::Int(v.abs())),
+                Value::Double(v) => Ok(Value::Double(v.abs())),
+                other => Err(RuntimeError::eval(format!("f_abs of non-number {other}"))),
+            }
+        }
+        "f_sha1" => {
+            if args.len() != 1 {
+                return Err(wrong_arity(1));
+            }
+            let mut h = StableHasher::new();
+            args[0].stable_hash_into(&mut h);
+            Ok(Value::Id(h.finish()))
+        }
+        "f_tostr" => {
+            if args.len() != 1 {
+                return Err(wrong_arity(1));
+            }
+            Ok(Value::Str(args[0].to_string()))
+        }
+        other => Err(RuntimeError::eval(format!("unknown builtin `{other}`"))),
+    }
+}
+
+fn list_arg<'a>(func: &str, v: &'a Value) -> Result<&'a [Value]> {
+    v.as_list()
+        .ok_or_else(|| RuntimeError::eval(format!("{func}: expected a list, got {v}")))
+}
+
+/// `f_isExtend(route2, route1, n)`: true when `route2` is `route1` with the
+/// node `n` prepended — the check the paper's `maybe` rule `br1` uses to infer
+/// that an outgoing BGP advertisement was caused by an incoming one.
+pub fn is_extend(route2: &Value, route1: &Value, node: &Value) -> bool {
+    match (route2.as_list(), route1.as_list()) {
+        (Some(r2), Some(r1)) => {
+            r2.len() == r1.len() + 1 && &r2[0] == node && &r2[1..] == r1
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndlog::parse_rule;
+
+    fn bindings(pairs: &[(&str, Value)]) -> Bindings {
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect()
+    }
+
+    fn eval_str(expr_src: &str, b: &Bindings) -> Result<Value> {
+        // Parse through a dummy rule to reuse the expression parser.
+        let rule = parse_rule(&format!("r1 out(@A,X) :- in(@A), X := {expr_src}."))
+            .expect("test expression parses");
+        match &rule.body[1] {
+            ndlog::BodyElem::Assign { expr, .. } => eval_expr(expr, b),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn arithmetic_and_precedence() {
+        let b = bindings(&[("A", Value::Int(2)), ("B", Value::Int(5))]);
+        assert_eq!(eval_str("A + B * 2", &b).unwrap(), Value::Int(12));
+        assert_eq!(eval_str("(A + B) * 2", &b).unwrap(), Value::Int(14));
+        assert_eq!(eval_str("B % A", &b).unwrap(), Value::Int(1));
+        assert_eq!(eval_str("B / A", &b).unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn mixed_int_double_arithmetic() {
+        let b = bindings(&[("A", Value::Int(2)), ("B", Value::Double(0.5))]);
+        assert_eq!(eval_str("A + B", &b).unwrap(), Value::Double(2.5));
+    }
+
+    #[test]
+    fn infinity_absorbs_addition() {
+        let b = bindings(&[("A", Value::Infinity), ("B", Value::Int(3))]);
+        assert_eq!(eval_str("A + B", &b).unwrap(), Value::Infinity);
+    }
+
+    #[test]
+    fn division_by_zero_is_an_error() {
+        let b = bindings(&[("A", Value::Int(1)), ("B", Value::Int(0))]);
+        assert!(eval_str("A / B", &b).is_err());
+        assert!(eval_str("A % B", &b).is_err());
+    }
+
+    #[test]
+    fn comparisons_and_logic() {
+        let b = bindings(&[("A", Value::Int(2)), ("B", Value::Int(5))]);
+        assert_eq!(eval_str("A < B", &b).unwrap(), Value::Bool(true));
+        assert_eq!(eval_str("A == 2 && B == 5", &b).unwrap(), Value::Bool(true));
+        assert_eq!(eval_str("A > B || B >= 5", &b).unwrap(), Value::Bool(true));
+        assert_eq!(eval_str("A != 2", &b).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn unbound_variable_is_an_error() {
+        let err = eval_str("Z + 1", &Bindings::new()).unwrap_err();
+        assert!(err.to_string().contains("unbound"));
+    }
+
+    #[test]
+    fn list_builtins() {
+        let b = bindings(&[
+            ("S", Value::addr("n1")),
+            ("D", Value::addr("n2")),
+            (
+                "P",
+                Value::List(vec![Value::addr("n2"), Value::addr("n3")]),
+            ),
+        ]);
+        assert_eq!(
+            eval_str("f_initlist2(S, D)", &b).unwrap(),
+            Value::List(vec![Value::addr("n1"), Value::addr("n2")])
+        );
+        assert_eq!(
+            eval_str("f_prepend(S, P)", &b).unwrap(),
+            Value::List(vec![Value::addr("n1"), Value::addr("n2"), Value::addr("n3")])
+        );
+        assert_eq!(eval_str("f_member(P, S)", &b).unwrap(), Value::Int(0));
+        assert_eq!(eval_str("f_member(P, D)", &b).unwrap(), Value::Int(1));
+        assert_eq!(eval_str("f_size(P)", &b).unwrap(), Value::Int(2));
+        assert_eq!(eval_str("f_last(P)", &b).unwrap(), Value::addr("n3"));
+        assert_eq!(eval_str("f_first(P)", &b).unwrap(), Value::addr("n2"));
+    }
+
+    #[test]
+    fn is_extend_matches_bgp_prepending() {
+        let r1 = Value::List(vec![Value::addr("AS2"), Value::addr("AS3")]);
+        let r2 = Value::List(vec![
+            Value::addr("AS1"),
+            Value::addr("AS2"),
+            Value::addr("AS3"),
+        ]);
+        assert!(is_extend(&r2, &r1, &Value::addr("AS1")));
+        assert!(!is_extend(&r2, &r1, &Value::addr("AS9")));
+        assert!(!is_extend(&r1, &r2, &Value::addr("AS1")));
+        // Non-list arguments never match.
+        assert!(!is_extend(&Value::Int(1), &r1, &Value::addr("AS1")));
+    }
+
+    #[test]
+    fn misc_builtins() {
+        assert_eq!(
+            call_builtin("f_min", &[Value::Int(3), Value::Int(5)]).unwrap(),
+            Value::Int(3)
+        );
+        assert_eq!(
+            call_builtin("f_max", &[Value::Int(3), Value::Int(5)]).unwrap(),
+            Value::Int(5)
+        );
+        assert_eq!(call_builtin("f_abs", &[Value::Int(-3)]).unwrap(), Value::Int(3));
+        assert!(matches!(
+            call_builtin("f_sha1", &[Value::str("x")]).unwrap(),
+            Value::Id(_)
+        ));
+        assert_eq!(
+            call_builtin("f_tostr", &[Value::Int(7)]).unwrap(),
+            Value::str("7")
+        );
+        assert!(call_builtin("f_nosuch", &[]).is_err());
+        assert!(call_builtin("f_last", &[Value::List(vec![])]).is_err());
+        assert!(call_builtin("f_size", &[Value::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn filter_coercion_follows_truthiness() {
+        let b = bindings(&[("X", Value::Int(3))]);
+        let rule = parse_rule("r1 out(@A,X) :- in(@A,X), f_abs(X) == 3.").unwrap();
+        match &rule.body[1] {
+            ndlog::BodyElem::Filter(e) => assert!(eval_filter(e, &b).unwrap()),
+            _ => unreachable!(),
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! # nt-runtime — the per-node NDlog runtime of NetTrails
+//!
+//! This crate implements the execution engine that RapidNet provides in the
+//! original system: every simulated node runs one [`engine::NodeEngine`] that
+//! stores that node's partition of every relation, evaluates the localized
+//! NDlog rules incrementally (pipelined semi-naive evaluation with
+//! derivation-counted deletions) and hands tuples destined for other nodes to
+//! the network layer.
+//!
+//! The main types are:
+//!
+//! * [`value::Value`] / [`tuple::Tuple`] / [`tuple::Delta`] — the data model;
+//! * [`catalog::Catalog`] — relation schemas inferred from a program;
+//! * [`store::Database`] — per-node tables with derivation tracking;
+//! * [`transform::localize_program`] — the automatic localization rewrite that
+//!   turns link-restricted rules into purely local rules plus tuple shipping;
+//! * [`compile::CompiledProgram`] — a validated, localized, executable program;
+//! * [`engine::NodeEngine`] — the incremental evaluator;
+//! * [`engine::Firing`] — the rule-execution events consumed by the
+//!   provenance layer (crate `provenance`).
+pub mod catalog;
+pub mod compile;
+pub mod engine;
+pub mod error;
+pub mod eval;
+pub mod store;
+pub mod transform;
+pub mod tuple;
+pub mod value;
+
+pub use catalog::{Catalog, RelationSchema};
+pub use compile::{CompiledProgram, CompiledRule};
+pub use engine::{EngineConfig, EngineStats, Firing, NodeEngine, RemoteDelta, StepOutput};
+pub use error::{Result, RuntimeError};
+pub use eval::Bindings;
+pub use store::{Database, Derivation, Membership, StoredTuple, Table, BASE_RULE};
+pub use tuple::{Delta, Tuple, TupleId};
+pub use value::{Addr, StableHasher, Value};

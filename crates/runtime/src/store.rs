@@ -1,0 +1,542 @@
+//! Tuple storage: per-relation tables with derivation tracking and the
+//! per-node database.
+//!
+//! Every stored tuple carries the multiset of **derivations** that currently
+//! support it. A derivation is either the distinguished *base* derivation
+//! (the tuple was inserted by the environment — a link report, a received
+//! trace event, ...) or a rule firing identified by the rule name, the node
+//! where the rule executed and the identifiers of the input tuples. A tuple is
+//! *present* while it has at least one supporting derivation; when the last
+//! derivation is retracted the tuple disappears and the deletion cascades
+//! through the reverse-dependency index. This is exactly the information the
+//! ExSPAN provenance graph records, which is why NetTrails can reuse the same
+//! machinery for both incremental maintenance and provenance.
+
+use crate::catalog::RelationSchema;
+use crate::tuple::{Tuple, TupleId};
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// The rule name used for base (externally inserted) tuples.
+pub const BASE_RULE: &str = "__base";
+
+/// One derivation supporting a tuple.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Derivation {
+    /// Rule that fired (or [`BASE_RULE`]).
+    pub rule: String,
+    /// Node on which the rule executed.
+    pub node: String,
+    /// Identifiers of the body tuples that fed the firing, in body order.
+    pub inputs: Vec<TupleId>,
+}
+
+impl Derivation {
+    /// The base derivation for externally inserted tuples at `node`.
+    pub fn base(node: impl Into<String>) -> Self {
+        Derivation {
+            rule: BASE_RULE.to_string(),
+            node: node.into(),
+            inputs: Vec::new(),
+        }
+    }
+
+    /// True for base derivations.
+    pub fn is_base(&self) -> bool {
+        self.rule == BASE_RULE
+    }
+}
+
+/// A tuple plus its supporting derivations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoredTuple {
+    /// The tuple.
+    pub tuple: Tuple,
+    /// Current supporting derivations (deduplicated).
+    pub derivations: Vec<Derivation>,
+}
+
+/// Outcome of adding or removing a derivation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Membership {
+    /// The tuple became present (0 -> 1 derivations) — an insertion delta.
+    Appeared,
+    /// The tuple was already present and gained a *new* alternative
+    /// derivation. No membership change, but the provenance graph grows.
+    AddedDerivation,
+    /// The tuple was already present and lost one of several derivations.
+    RemovedDerivation,
+    /// Nothing changed (the derivation to add was already recorded).
+    Unchanged,
+    /// The tuple lost its last derivation — a deletion delta.
+    Disappeared,
+    /// Adding a tuple displaced an older tuple with the same primary key
+    /// (update-in-place semantics of `materialize`). Carries the displaced
+    /// tuple.
+    Replaced(Tuple),
+    /// The derivation to remove was not present / the tuple was unknown.
+    NotFound,
+}
+
+impl Membership {
+    /// True when the tuple is present after the operation.
+    pub fn present(&self) -> bool {
+        matches!(
+            self,
+            Membership::Appeared
+                | Membership::AddedDerivation
+                | Membership::RemovedDerivation
+                | Membership::Unchanged
+                | Membership::Replaced(_)
+        )
+    }
+}
+
+/// A single relation's storage.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table {
+    /// Schema of the relation.
+    pub schema: RelationSchema,
+    /// Stored tuples keyed by their primary-key projection.
+    tuples: BTreeMap<Vec<Value>, StoredTuple>,
+    /// Secondary index: tuple id -> primary key, for O(1) lookups by VID
+    /// (provenance queries and cascade deletions address tuples by id).
+    #[serde(skip)]
+    by_id: HashMap<TupleId, Vec<Value>>,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(schema: RelationSchema) -> Self {
+        Table {
+            schema,
+            tuples: BTreeMap::new(),
+            by_id: HashMap::new(),
+        }
+    }
+
+    /// Rebuild the secondary id index (needed after deserialization, where the
+    /// index is skipped).
+    pub fn rebuild_index(&mut self) {
+        self.by_id = self
+            .tuples
+            .iter()
+            .map(|(k, st)| (st.tuple.id(), k.clone()))
+            .collect();
+    }
+
+    /// Look up a stored tuple by its content-addressed identifier.
+    pub fn get_by_id(&self, id: TupleId) -> Option<&StoredTuple> {
+        self.by_id.get(&id).and_then(|k| self.tuples.get(k))
+    }
+
+    fn key_of(&self, tuple: &Tuple) -> Vec<Value> {
+        tuple.project(&self.schema.key_cols)
+    }
+
+    /// Number of stored (present) tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True when no tuple is present.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Iterate over present tuples in deterministic (key) order.
+    pub fn iter(&self) -> impl Iterator<Item = &StoredTuple> {
+        self.tuples.values()
+    }
+
+    /// Look up the stored entry for an exact tuple (same key *and* same
+    /// content).
+    pub fn get(&self, tuple: &Tuple) -> Option<&StoredTuple> {
+        self.tuples
+            .get(&self.key_of(tuple))
+            .filter(|st| st.tuple == *tuple)
+    }
+
+    /// Look up by primary key only.
+    pub fn get_by_key(&self, key: &[Value]) -> Option<&StoredTuple> {
+        self.tuples.get(key)
+    }
+
+    /// True when the exact tuple is present.
+    pub fn contains(&self, tuple: &Tuple) -> bool {
+        self.get(tuple).is_some()
+    }
+
+    /// Add a derivation for `tuple`, inserting it if necessary.
+    ///
+    /// Returns how the table membership changed. When the relation has
+    /// update-in-place keys and a *different* tuple with the same key was
+    /// present, that tuple is removed and returned via
+    /// [`Membership::Replaced`]; the caller is responsible for cascading the
+    /// implied deletion.
+    pub fn add_derivation(&mut self, tuple: &Tuple, derivation: Derivation) -> Membership {
+        let key = self.key_of(tuple);
+        match self.tuples.get_mut(&key) {
+            Some(existing) if existing.tuple == *tuple => {
+                if existing.derivations.contains(&derivation) {
+                    Membership::Unchanged
+                } else {
+                    existing.derivations.push(derivation);
+                    Membership::AddedDerivation
+                }
+            }
+            Some(_) => {
+                // Key collision with different content: replace.
+                let old = self
+                    .tuples
+                    .insert(
+                        key.clone(),
+                        StoredTuple {
+                            tuple: tuple.clone(),
+                            derivations: vec![derivation],
+                        },
+                    )
+                    .expect("entry existed");
+                self.by_id.remove(&old.tuple.id());
+                self.by_id.insert(tuple.id(), key);
+                Membership::Replaced(old.tuple)
+            }
+            None => {
+                self.tuples.insert(
+                    key.clone(),
+                    StoredTuple {
+                        tuple: tuple.clone(),
+                        derivations: vec![derivation],
+                    },
+                );
+                self.by_id.insert(tuple.id(), key);
+                Membership::Appeared
+            }
+        }
+    }
+
+    /// Remove one derivation of `tuple` (matching exactly). Returns
+    /// [`Membership::Disappeared`] when that was the last derivation.
+    pub fn remove_derivation(&mut self, tuple: &Tuple, derivation: &Derivation) -> Membership {
+        let key = self.key_of(tuple);
+        let Some(existing) = self.tuples.get_mut(&key) else {
+            return Membership::NotFound;
+        };
+        if existing.tuple != *tuple {
+            return Membership::NotFound;
+        }
+        let before = existing.derivations.len();
+        existing.derivations.retain(|d| d != derivation);
+        if existing.derivations.len() == before {
+            return Membership::NotFound;
+        }
+        if existing.derivations.is_empty() {
+            self.tuples.remove(&key);
+            self.by_id.remove(&tuple.id());
+            Membership::Disappeared
+        } else {
+            Membership::RemovedDerivation
+        }
+    }
+
+    /// Remove every derivation of `tuple` produced by `rule` at `node`.
+    /// Used when reconciling non-monotonic (negation / aggregate) rules.
+    pub fn remove_rule_derivations(&mut self, tuple: &Tuple, rule: &str) -> Membership {
+        let key = self.key_of(tuple);
+        let Some(existing) = self.tuples.get_mut(&key) else {
+            return Membership::NotFound;
+        };
+        if existing.tuple != *tuple {
+            return Membership::NotFound;
+        }
+        let before = existing.derivations.len();
+        existing.derivations.retain(|d| d.rule != rule);
+        if existing.derivations.len() == before {
+            return Membership::NotFound;
+        }
+        if existing.derivations.is_empty() {
+            self.tuples.remove(&key);
+            self.by_id.remove(&tuple.id());
+            Membership::Disappeared
+        } else {
+            Membership::RemovedDerivation
+        }
+    }
+
+    /// Forcefully remove a tuple and all of its derivations (used for
+    /// update-in-place replacement cascades). Returns the stored entry if it
+    /// was present.
+    pub fn remove_tuple(&mut self, tuple: &Tuple) -> Option<StoredTuple> {
+        let key = self.key_of(tuple);
+        match self.tuples.get(&key) {
+            Some(st) if st.tuple == *tuple => {
+                self.by_id.remove(&tuple.id());
+                self.tuples.remove(&key)
+            }
+            _ => None,
+        }
+    }
+
+    /// All tuples currently present, cloned (snapshot order is deterministic).
+    pub fn tuples(&self) -> Vec<Tuple> {
+        self.tuples.values().map(|st| st.tuple.clone()).collect()
+    }
+}
+
+/// Statistics about a database, used by the benchmarks to report state size
+/// and by the log store for snapshot metadata.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DatabaseStats {
+    /// Total number of present tuples across relations.
+    pub tuples: usize,
+    /// Total number of derivations across tuples.
+    pub derivations: usize,
+    /// Number of relations with at least one tuple.
+    pub nonempty_relations: usize,
+}
+
+/// The per-node database: one [`Table`] per relation plus the reverse
+/// dependency index used for cascading deletions.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Database {
+    tables: BTreeMap<String, Table>,
+    /// input tuple id -> (relation, derived tuple id) pairs of derivations
+    /// that used it. The derived tuple ids refer to tuples stored in
+    /// `tables`.
+    #[serde(skip)]
+    dependents: HashMap<TupleId, HashSet<(String, TupleId)>>,
+}
+
+impl Database {
+    /// Create an empty database with the given relation schemas.
+    pub fn new(schemas: impl IntoIterator<Item = RelationSchema>) -> Self {
+        let mut db = Database::default();
+        for s in schemas {
+            db.tables.insert(s.name.clone(), Table::new(s));
+        }
+        db
+    }
+
+    /// Register an additional relation (idempotent).
+    pub fn register(&mut self, schema: RelationSchema) {
+        self.tables
+            .entry(schema.name.clone())
+            .or_insert_with(|| Table::new(schema));
+    }
+
+    /// Access a table.
+    pub fn table(&self, relation: &str) -> Option<&Table> {
+        self.tables.get(relation)
+    }
+
+    /// Mutable access to a table.
+    pub fn table_mut(&mut self, relation: &str) -> Option<&mut Table> {
+        self.tables.get_mut(relation)
+    }
+
+    /// Iterate over all tables.
+    pub fn tables(&self) -> impl Iterator<Item = &Table> {
+        self.tables.values()
+    }
+
+    /// Record that `derived` (in `relation`) has a derivation using `input`.
+    pub fn index_dependency(&mut self, input: TupleId, relation: &str, derived: TupleId) {
+        self.dependents
+            .entry(input)
+            .or_default()
+            .insert((relation.to_string(), derived));
+    }
+
+    /// Tuples that have a derivation using `input`, as (relation, stored
+    /// tuple, matching derivations) triples.
+    pub fn dependents_of(&self, input: TupleId) -> Vec<(String, Tuple, Vec<Derivation>)> {
+        let mut out = Vec::new();
+        if let Some(deps) = self.dependents.get(&input) {
+            // Deterministic order.
+            let mut deps: Vec<_> = deps.iter().cloned().collect();
+            deps.sort();
+            for (relation, derived_id) in deps {
+                if let Some(st) = self
+                    .tables
+                    .get(&relation)
+                    .and_then(|table| table.get_by_id(derived_id))
+                {
+                    let matching: Vec<Derivation> = st
+                        .derivations
+                        .iter()
+                        .filter(|d| d.inputs.contains(&input))
+                        .cloned()
+                        .collect();
+                    if !matching.is_empty() {
+                        out.push((relation.clone(), st.tuple.clone(), matching));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Drop the dependency-index entry for `input` (after its dependents have
+    /// been processed).
+    pub fn clear_dependency(&mut self, input: TupleId) {
+        self.dependents.remove(&input);
+    }
+
+    /// Compute summary statistics.
+    pub fn stats(&self) -> DatabaseStats {
+        let mut stats = DatabaseStats::default();
+        for t in self.tables.values() {
+            if !t.is_empty() {
+                stats.nonempty_relations += 1;
+            }
+            stats.tuples += t.len();
+            stats.derivations += t.iter().map(|st| st.derivations.len()).sum::<usize>();
+        }
+        stats
+    }
+
+    /// All tuples of a relation (empty vec when the relation is unknown).
+    pub fn relation_tuples(&self, relation: &str) -> Vec<Tuple> {
+        self.table(relation).map(|t| t.tuples()).unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema(name: &str, arity: usize, keys: Vec<usize>) -> RelationSchema {
+        RelationSchema {
+            name: name.into(),
+            arity,
+            location_col: 0,
+            key_cols: keys,
+            is_base: true,
+            lifetime: None,
+        }
+    }
+
+    fn link(s: &str, d: &str, c: i64) -> Tuple {
+        Tuple::new(
+            "link",
+            vec![Value::addr(s), Value::addr(d), Value::Int(c)],
+        )
+    }
+
+    #[test]
+    fn add_and_remove_derivations_track_membership() {
+        let mut t = Table::new(schema("link", 3, vec![0, 1, 2]));
+        let tup = link("a", "b", 1);
+        let d1 = Derivation::base("a");
+        let d2 = Derivation {
+            rule: "r1".into(),
+            node: "a".into(),
+            inputs: vec![TupleId(42)],
+        };
+        assert_eq!(t.add_derivation(&tup, d1.clone()), Membership::Appeared);
+        assert_eq!(t.add_derivation(&tup, d2.clone()), Membership::AddedDerivation);
+        // Duplicate derivations are ignored.
+        assert_eq!(t.add_derivation(&tup, d2.clone()), Membership::Unchanged);
+        assert_eq!(t.get(&tup).unwrap().derivations.len(), 2);
+        assert_eq!(t.get_by_id(tup.id()).unwrap().tuple, tup);
+        assert_eq!(t.remove_derivation(&tup, &d1), Membership::RemovedDerivation);
+        assert_eq!(t.remove_derivation(&tup, &d1), Membership::NotFound);
+        assert_eq!(t.remove_derivation(&tup, &d2), Membership::Disappeared);
+        assert!(t.is_empty());
+        assert!(t.get_by_id(tup.id()).is_none());
+    }
+
+    #[test]
+    fn update_in_place_replaces_by_key() {
+        // keys(1,2): the cost column is not part of the key.
+        let mut t = Table::new(schema("link", 3, vec![0, 1]));
+        assert_eq!(
+            t.add_derivation(&link("a", "b", 1), Derivation::base("a")),
+            Membership::Appeared
+        );
+        match t.add_derivation(&link("a", "b", 7), Derivation::base("a")) {
+            Membership::Replaced(old) => assert_eq!(old, link("a", "b", 1)),
+            other => panic!("expected replacement, got {other:?}"),
+        }
+        assert_eq!(t.len(), 1);
+        assert!(t.contains(&link("a", "b", 7)));
+        assert!(!t.contains(&link("a", "b", 1)));
+    }
+
+    #[test]
+    fn remove_rule_derivations_only_touches_that_rule() {
+        let mut t = Table::new(schema("cost", 3, vec![0, 1, 2]));
+        let tup = link("a", "b", 4);
+        t.add_derivation(&tup, Derivation::base("a"));
+        t.add_derivation(
+            &tup,
+            Derivation {
+                rule: "r2".into(),
+                node: "a".into(),
+                inputs: vec![],
+            },
+        );
+        assert_eq!(t.remove_rule_derivations(&tup, "r2"), Membership::RemovedDerivation);
+        assert_eq!(t.remove_rule_derivations(&tup, "r2"), Membership::NotFound);
+        assert_eq!(
+            t.remove_rule_derivations(&tup, BASE_RULE),
+            Membership::Disappeared
+        );
+    }
+
+    #[test]
+    fn database_dependency_index_round_trip() {
+        let mut db = Database::new(vec![
+            schema("link", 3, vec![0, 1, 2]),
+            schema("cost", 3, vec![0, 1, 2]),
+        ]);
+        let base = link("a", "b", 1);
+        let derived = Tuple::new(
+            "cost",
+            vec![Value::addr("a"), Value::addr("b"), Value::Int(1)],
+        );
+        db.table_mut("link")
+            .unwrap()
+            .add_derivation(&base, Derivation::base("a"));
+        let deriv = Derivation {
+            rule: "r1".into(),
+            node: "a".into(),
+            inputs: vec![base.id()],
+        };
+        db.table_mut("cost")
+            .unwrap()
+            .add_derivation(&derived, deriv.clone());
+        db.index_dependency(base.id(), "cost", derived.id());
+
+        let deps = db.dependents_of(base.id());
+        assert_eq!(deps.len(), 1);
+        assert_eq!(deps[0].0, "cost");
+        assert_eq!(deps[0].1, derived);
+        assert_eq!(deps[0].2, vec![deriv]);
+
+        db.clear_dependency(base.id());
+        assert!(db.dependents_of(base.id()).is_empty());
+    }
+
+    #[test]
+    fn stats_count_tuples_and_derivations() {
+        let mut db = Database::new(vec![schema("link", 3, vec![0, 1, 2])]);
+        db.table_mut("link")
+            .unwrap()
+            .add_derivation(&link("a", "b", 1), Derivation::base("a"));
+        db.table_mut("link")
+            .unwrap()
+            .add_derivation(&link("a", "c", 2), Derivation::base("a"));
+        let stats = db.stats();
+        assert_eq!(stats.tuples, 2);
+        assert_eq!(stats.derivations, 2);
+        assert_eq!(stats.nonempty_relations, 1);
+    }
+
+    #[test]
+    fn relation_tuples_of_unknown_relation_is_empty() {
+        let db = Database::default();
+        assert!(db.relation_tuples("nope").is_empty());
+    }
+}

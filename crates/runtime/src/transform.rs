@@ -1,0 +1,260 @@
+//! Automatic rule localization.
+//!
+//! NDlog allows *link-restricted* rules whose body atoms live at two different
+//! nodes, e.g. the classic path-vector step
+//!
+//! ```text
+//! r2 cost(@S,D,C) :- link(@S,Z,C1), cost(@Z,D,C2), C := C1 + C2.
+//! ```
+//!
+//! where `link` tuples live at `S` and `cost` tuples live at `Z`. A single
+//! node cannot evaluate this join directly. The declarative-networking
+//! localization rewrite (Loo et al., and implemented by RapidNet) turns every
+//! such rule into rules whose bodies are single-location, introducing an
+//! auxiliary relation that ships the necessary attributes to the remote node:
+//!
+//! ```text
+//! r2_s1 r2_aux(@Z,S,C1)  :- link(@S,Z,C1).
+//! r2    cost(@S,D,C)     :- r2_aux(@Z,S,C1), cost(@Z,D,C2), C := C1 + C2.
+//! ```
+//!
+//! After the rewrite every rule body is local; only *head* tuples (and the
+//! auxiliary tuples) travel over the network, which is exactly the execution
+//! model the runtime engine implements. The provenance layer sees the rewritten
+//! rules — the same view ExSPAN instruments.
+
+use crate::error::{Result, RuntimeError};
+use ndlog::localize::{localize_rule, RuleLocation};
+use ndlog::{BodyElem, Materialize, Predicate, Program, Rule, RuleKind, Term};
+use std::collections::BTreeSet;
+
+/// Suffix used for the generated ship rule of a localized rule.
+pub const SHIP_RULE_SUFFIX: &str = "_s1";
+/// Suffix used for the generated auxiliary relation of a localized rule.
+pub const AUX_RELATION_SUFFIX: &str = "_aux";
+
+/// Rewrite a program so that every rule's positive body atoms share a single
+/// location variable. Rules that are already local are kept verbatim.
+///
+/// `maybe` rules are never localized (they are evaluated by the legacy proxy,
+/// not by the engine) and are copied through unchanged.
+pub fn localize_program(program: &Program) -> Result<Program> {
+    let mut out = Program {
+        materializations: program.materializations.clone(),
+        rules: Vec::new(),
+    };
+    for rule in &program.rules {
+        if rule.kind == RuleKind::Maybe {
+            out.rules.push(rule.clone());
+            continue;
+        }
+        let localized = localize_rule(rule)?;
+        if localized.remote_locations.is_empty() {
+            out.rules.push(rule.clone());
+            continue;
+        }
+        if localized.remote_locations.len() > 1 {
+            return Err(RuntimeError::compile(
+                Some(&rule.name),
+                "rules spanning more than two locations are not supported; \
+                 split the rule manually",
+            ));
+        }
+        let exec_var = match &localized.exec_location {
+            RuleLocation::Variable(v) => v.clone(),
+            RuleLocation::Constant(_) => {
+                return Err(RuntimeError::compile(
+                    Some(&rule.name),
+                    "cannot localize a rule whose first atom is pinned to a constant location",
+                ))
+            }
+        };
+        let remote_var = localized.remote_locations[0].clone();
+        let (ship, local) = split_rule(rule, &exec_var, &remote_var)?;
+        // Declare the auxiliary relation as a stored relation with set
+        // semantics so late-arriving remote tuples can still join.
+        out.materializations.push(Materialize {
+            relation: ship.head.relation.clone(),
+            lifetime: None,
+            max_size: None,
+            keys: (1..=ship.head.terms.len()).collect(),
+        });
+        out.rules.push(ship);
+        out.rules.push(local);
+    }
+    Ok(out)
+}
+
+/// Split one link-restricted rule into (ship rule, local rule).
+fn split_rule(rule: &Rule, exec_var: &str, remote_var: &str) -> Result<(Rule, Rule)> {
+    let aux_relation = format!("{}{}", rule.name, AUX_RELATION_SUFFIX);
+
+    let mut exec_atoms: Vec<Predicate> = Vec::new();
+    let mut remote_atoms: Vec<Predicate> = Vec::new();
+    let mut other_elems: Vec<BodyElem> = Vec::new();
+
+    for elem in &rule.body {
+        match elem {
+            BodyElem::Atom(p) if !p.negated => {
+                match p.location_variable() {
+                    Some(v) if v == exec_var => exec_atoms.push(p.clone()),
+                    Some(v) if v == remote_var => remote_atoms.push(p.clone()),
+                    // Constant-located atoms stay with the local (remote-side)
+                    // rule; the engine ships them explicitly anyway.
+                    _ => remote_atoms.push(p.clone()),
+                }
+            }
+            other => other_elems.push(other.clone()),
+        }
+    }
+    if exec_atoms.is_empty() || remote_atoms.is_empty() {
+        return Err(RuntimeError::compile(
+            Some(&rule.name),
+            "internal error: localization split produced an empty side",
+        ));
+    }
+
+    // Variables bound by the exec-side atoms.
+    let mut exec_vars: BTreeSet<String> = BTreeSet::new();
+    for a in &exec_atoms {
+        exec_vars.extend(a.variables());
+    }
+    // Variables needed by the rest of the rule (remote atoms, filters,
+    // assignments, negated atoms and the head).
+    let mut needed: BTreeSet<String> = BTreeSet::new();
+    for a in &remote_atoms {
+        needed.extend(a.variables());
+    }
+    for elem in &other_elems {
+        match elem {
+            BodyElem::Atom(p) => needed.extend(p.variables()),
+            BodyElem::Assign { expr, .. } => {
+                let mut vs = Vec::new();
+                expr.variables(&mut vs);
+                needed.extend(vs);
+            }
+            BodyElem::Filter(expr) => {
+                let mut vs = Vec::new();
+                expr.variables(&mut vs);
+                needed.extend(vs);
+            }
+        }
+    }
+    needed.extend(rule.head.variables());
+
+    // Shipped attributes: exec-side variables that are needed downstream,
+    // excluding the remote location variable itself (it becomes the aux
+    // relation's location attribute). Keep deterministic (sorted) order.
+    let shipped: Vec<String> = exec_vars
+        .iter()
+        .filter(|v| needed.contains(*v) && *v != remote_var)
+        .cloned()
+        .collect();
+
+    // Ship rule: aux(@Remote, shipped...) :- exec_atoms...
+    let mut aux_terms = vec![Term::loc_var(remote_var)];
+    aux_terms.extend(shipped.iter().map(Term::var));
+    let ship_head = Predicate::new(aux_relation.clone(), aux_terms.clone());
+    let ship_rule = Rule {
+        name: format!("{}{}", rule.name, SHIP_RULE_SUFFIX),
+        head: ship_head,
+        body: exec_atoms.iter().cloned().map(BodyElem::Atom).collect(),
+        kind: RuleKind::Derive,
+    };
+
+    // Local rule: original head :- aux(@Remote, shipped...), remote_atoms...,
+    // other elements (assignments / filters / negated atoms) in source order.
+    let mut local_body: Vec<BodyElem> =
+        vec![BodyElem::Atom(Predicate::new(aux_relation, aux_terms))];
+    local_body.extend(remote_atoms.into_iter().map(BodyElem::Atom));
+    local_body.extend(other_elems);
+    let local_rule = Rule {
+        name: rule.name.clone(),
+        head: rule.head.clone(),
+        body: local_body,
+        kind: RuleKind::Derive,
+    };
+
+    Ok((ship_rule, local_rule))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndlog::parse_program;
+
+    #[test]
+    fn local_rules_pass_through_unchanged() {
+        let program =
+            parse_program("r1 cost(@S,D,C) :- link(@S,D,C).\nr3 minCost(@S,D,min<C>) :- cost(@S,D,C).")
+                .unwrap();
+        let localized = localize_program(&program).unwrap();
+        assert_eq!(localized.rules, program.rules);
+    }
+
+    #[test]
+    fn link_restricted_rule_is_split_in_two() {
+        let program = parse_program(
+            "r2 cost(@S,D,C) :- link(@S,Z,C1), cost(@Z,D,C2), C := C1 + C2.",
+        )
+        .unwrap();
+        let localized = localize_program(&program).unwrap();
+        assert_eq!(localized.rules.len(), 2);
+        let ship = &localized.rules[0];
+        let local = &localized.rules[1];
+        assert_eq!(ship.name, "r2_s1");
+        assert_eq!(ship.head.relation, "r2_aux");
+        // The aux tuple lives at Z and carries S and C1.
+        assert_eq!(ship.head.location_variable(), Some("Z"));
+        let vars = ship.head.variables();
+        assert!(vars.contains(&"S".to_string()));
+        assert!(vars.contains(&"C1".to_string()));
+        // Ship rule body is the link atom only.
+        assert_eq!(ship.body.len(), 1);
+        // Local rule joins the aux relation with the local cost table.
+        assert_eq!(local.name, "r2");
+        assert_eq!(local.head.relation, "cost");
+        let first_atom = local.body[0].as_atom().unwrap();
+        assert_eq!(first_atom.relation, "r2_aux");
+        // And an aux materialization was added.
+        assert!(localized.materialization("r2_aux").is_some());
+        // Every rewritten rule is now single-location.
+        for rule in &localized.rules {
+            let lr = ndlog::localize::localize_rule(rule).unwrap();
+            assert!(lr.remote_locations.is_empty(), "rule {} still remote", rule.name);
+        }
+    }
+
+    #[test]
+    fn localized_program_still_validates() {
+        let program = parse_program(
+            "r1 path(@S,D,P,C) :- link(@S,D,C), P := f_initlist2(S, D).\n\
+             r2 path(@S,D,P,C) :- link(@S,Z,C1), path(@Z,D,P2,C2), \
+                f_member(P2, S) == 0, C := C1 + C2, P := f_prepend(S, P2).\n\
+             r3 bestPathCost(@S,D,min<C>) :- path(@S,D,P,C).",
+        )
+        .unwrap();
+        let localized = localize_program(&program).unwrap();
+        ndlog::validate_program(&localized).unwrap();
+        assert_eq!(localized.rules.len(), 4);
+    }
+
+    #[test]
+    fn maybe_rules_are_not_localized() {
+        let program = parse_program(
+            "br1 outputRoute(@AS,R2) ?- inputRoute(@AS,R1), f_isExtend(R2,R1,AS) == 1.",
+        )
+        .unwrap();
+        let localized = localize_program(&program).unwrap();
+        assert_eq!(localized.rules, program.rules);
+    }
+
+    #[test]
+    fn three_location_rules_are_rejected() {
+        let program = parse_program(
+            "r1 tri(@S,X) :- link(@S,Z,C1), link2(@Z,W,C2), data(@W,X).",
+        )
+        .unwrap();
+        assert!(localize_program(&program).is_err());
+    }
+}

@@ -1,0 +1,183 @@
+//! Tuples and tuple identifiers.
+
+use crate::value::{StableHasher, Value};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Content-addressed tuple identifier (the ExSPAN "VID").
+///
+/// A VID is a stable digest of the relation name and every attribute value, so
+/// any node that holds (or merely mentions) a tuple computes the same
+/// identifier without coordination. VIDs are the vertices of the distributed
+/// provenance graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TupleId(pub u64);
+
+impl fmt::Display for TupleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vid:{:016x}", self.0)
+    }
+}
+
+/// A ground tuple: relation name plus attribute values.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Tuple {
+    /// Relation this tuple belongs to.
+    pub relation: String,
+    /// Attribute values, in schema order.
+    pub values: Vec<Value>,
+}
+
+impl Tuple {
+    /// Create a tuple.
+    pub fn new(relation: impl Into<String>, values: Vec<Value>) -> Self {
+        Tuple {
+            relation: relation.into(),
+            values,
+        }
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The stable content-addressed identifier of this tuple.
+    pub fn id(&self) -> TupleId {
+        let mut h = StableHasher::new();
+        h.write_str(&self.relation);
+        h.write_u64(self.values.len() as u64);
+        for v in &self.values {
+            v.stable_hash_into(&mut h);
+        }
+        TupleId(h.finish())
+    }
+
+    /// The value of the location attribute given its column index.
+    pub fn location(&self, loc_col: usize) -> Option<&str> {
+        self.values.get(loc_col).and_then(|v| v.as_addr())
+    }
+
+    /// Approximate wire size in bytes (for traffic accounting).
+    pub fn wire_size(&self) -> usize {
+        8 + self.relation.len() + self.values.iter().map(Value::wire_size).sum::<usize>()
+    }
+
+    /// Project the tuple onto the given column indices.
+    pub fn project(&self, cols: &[usize]) -> Vec<Value> {
+        cols.iter()
+            .filter_map(|&c| self.values.get(c).cloned())
+            .collect()
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.relation)?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A change to a relation: the unit the incremental engine processes and the
+/// unit that travels between nodes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Delta {
+    /// The tuple is inserted (or re-derived).
+    Insert(Tuple),
+    /// The tuple is deleted (or its last derivation disappeared).
+    Delete(Tuple),
+}
+
+impl Delta {
+    /// The tuple the delta refers to.
+    pub fn tuple(&self) -> &Tuple {
+        match self {
+            Delta::Insert(t) | Delta::Delete(t) => t,
+        }
+    }
+
+    /// True for insertions.
+    pub fn is_insert(&self) -> bool {
+        matches!(self, Delta::Insert(_))
+    }
+
+    /// Map the delta to the opposite polarity (used when retracting a rule's
+    /// effects).
+    pub fn inverted(&self) -> Delta {
+        match self {
+            Delta::Insert(t) => Delta::Delete(t.clone()),
+            Delta::Delete(t) => Delta::Insert(t.clone()),
+        }
+    }
+}
+
+impl fmt::Display for Delta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Delta::Insert(t) => write!(f, "+{t}"),
+            Delta::Delete(t) => write!(f, "-{t}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link(s: &str, d: &str, c: i64) -> Tuple {
+        Tuple::new(
+            "link",
+            vec![Value::addr(s), Value::addr(d), Value::Int(c)],
+        )
+    }
+
+    #[test]
+    fn id_is_stable_and_content_addressed() {
+        assert_eq!(link("n1", "n2", 3).id(), link("n1", "n2", 3).id());
+        assert_ne!(link("n1", "n2", 3).id(), link("n1", "n2", 4).id());
+        assert_ne!(
+            link("n1", "n2", 3).id(),
+            Tuple::new("edge", vec![Value::addr("n1"), Value::addr("n2"), Value::Int(3)]).id()
+        );
+    }
+
+    #[test]
+    fn location_extraction() {
+        let t = link("n7", "n9", 1);
+        assert_eq!(t.location(0), Some("n7"));
+        assert_eq!(t.location(1), Some("n9"));
+        assert_eq!(t.location(2), None);
+    }
+
+    #[test]
+    fn delta_inversion_round_trips() {
+        let d = Delta::Insert(link("a", "b", 1));
+        assert_eq!(d.inverted().inverted(), d);
+        assert!(d.is_insert());
+        assert!(!d.inverted().is_insert());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(link("n1", "n2", 3).to_string(), "link(n1,n2,3)");
+        assert_eq!(
+            Delta::Delete(link("n1", "n2", 3)).to_string(),
+            "-link(n1,n2,3)"
+        );
+    }
+
+    #[test]
+    fn project_selects_columns() {
+        let t = link("n1", "n2", 3);
+        assert_eq!(
+            t.project(&[2, 0]),
+            vec![Value::Int(3), Value::addr("n1")]
+        );
+    }
+}

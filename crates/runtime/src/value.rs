@@ -1,0 +1,408 @@
+//! Runtime values and stable hashing.
+//!
+//! NDlog tuples carry dynamically typed values. The value type needs a *total*
+//! order (aggregates such as `min<C>` must order any two values a program
+//! compares) and a *stable* 64-bit digest: provenance vertex identifiers (VIDs)
+//! are content hashes of tuples, and they must be identical on every node and
+//! across runs so that distributed provenance queries can follow them.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A network address / node name. NetTrails identifies nodes by name (the
+/// paper shows addresses such as `node1`); the simulator maps names to
+/// simulated endpoints.
+pub type Addr = String;
+
+/// Dynamically typed runtime value.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    /// Signed 64-bit integer.
+    Int(i64),
+    /// IEEE double. Ordered with a total order (NaN sorts last).
+    Double(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+    /// Network address (node name / AS name). Kept distinct from `Str` so the
+    /// provenance graph and the visualizer can recognise locations.
+    Addr(Addr),
+    /// Homogeneous or heterogeneous list (paths, AS paths, source routes).
+    List(Vec<Value>),
+    /// Opaque 64-bit identifier (provenance VIDs/RIDs travel as values).
+    Id(u64),
+    /// Sentinel "infinity" used as an unreachable cost.
+    Infinity,
+}
+
+impl Value {
+    /// Build an address value.
+    pub fn addr(a: impl Into<String>) -> Value {
+        Value::Addr(a.into())
+    }
+
+    /// Build a string value.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// Interpret the value as an integer if possible (bools coerce to 0/1).
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            Value::Bool(b) => Some(*b as i64),
+            _ => None,
+        }
+    }
+
+    /// Interpret the value as a float if possible.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Double(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Interpret the value as a boolean. Integers are truthy when non-zero —
+    /// this is what lets NDlog write `f_member(P, S) == 0` style tests.
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::Bool(b) => *b,
+            Value::Int(v) => *v != 0,
+            Value::Double(v) => *v != 0.0,
+            Value::Str(s) => !s.is_empty(),
+            Value::Addr(a) => !a.is_empty(),
+            Value::List(l) => !l.is_empty(),
+            Value::Id(v) => *v != 0,
+            Value::Infinity => true,
+        }
+    }
+
+    /// The address, if this is an address value.
+    pub fn as_addr(&self) -> Option<&str> {
+        match self {
+            Value::Addr(a) => Some(a),
+            // Location columns written as string constants also work.
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The list elements, if this is a list.
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// Numeric rank of the variant, used to order values of different types.
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Bool(_) => 0,
+            Value::Int(_) => 1,
+            Value::Double(_) => 1, // numbers compare with each other
+            Value::Str(_) => 2,
+            Value::Addr(_) => 3,
+            Value::List(_) => 4,
+            Value::Id(_) => 5,
+            Value::Infinity => 6,
+        }
+    }
+
+    /// Feed the value into a stable FNV-1a style hasher.
+    pub fn stable_hash_into(&self, h: &mut StableHasher) {
+        match self {
+            Value::Int(v) => {
+                h.write_u8(1);
+                h.write_u64(*v as u64);
+            }
+            Value::Double(v) => {
+                h.write_u8(2);
+                h.write_u64(v.to_bits());
+            }
+            Value::Str(s) => {
+                h.write_u8(3);
+                h.write_bytes(s.as_bytes());
+            }
+            Value::Bool(b) => {
+                h.write_u8(4);
+                h.write_u8(*b as u8);
+            }
+            Value::Addr(a) => {
+                h.write_u8(5);
+                h.write_bytes(a.as_bytes());
+            }
+            Value::List(l) => {
+                h.write_u8(6);
+                h.write_u64(l.len() as u64);
+                for v in l {
+                    v.stable_hash_into(h);
+                }
+            }
+            Value::Id(v) => {
+                h.write_u8(7);
+                h.write_u64(*v);
+            }
+            Value::Infinity => h.write_u8(8),
+        }
+    }
+
+    /// Approximate serialized size in bytes, used by the simulator for traffic
+    /// accounting (the paper's query-optimization experiments measure network
+    /// traffic).
+    pub fn wire_size(&self) -> usize {
+        match self {
+            Value::Int(_) | Value::Double(_) | Value::Id(_) => 8,
+            Value::Bool(_) => 1,
+            Value::Str(s) => 4 + s.len(),
+            Value::Addr(a) => 4 + a.len(),
+            Value::List(l) => 4 + l.iter().map(Value::wire_size).sum::<usize>(),
+            Value::Infinity => 1,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Int(a), Int(b)) => a.cmp(b),
+            (Double(a), Double(b)) => total_f64_cmp(*a, *b),
+            (Int(a), Double(b)) => total_f64_cmp(*a as f64, *b),
+            (Double(a), Int(b)) => total_f64_cmp(*a, *b as f64),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Addr(a), Addr(b)) => a.cmp(b),
+            (List(a), List(b)) => a.cmp(b),
+            (Id(a), Id(b)) => a.cmp(b),
+            (Infinity, Infinity) => Ordering::Equal,
+            // Infinity is greater than any number (cost sentinel semantics).
+            (Infinity, Int(_)) | (Infinity, Double(_)) => Ordering::Greater,
+            (Int(_), Infinity) | (Double(_), Infinity) => Ordering::Less,
+            (a, b) => a.type_rank().cmp(&b.type_rank()),
+        }
+    }
+}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        let mut sh = StableHasher::new();
+        self.stable_hash_into(&mut sh);
+        state.write_u64(sh.finish());
+    }
+}
+
+fn total_f64_cmp(a: f64, b: f64) -> Ordering {
+    a.partial_cmp(&b).unwrap_or_else(|| {
+        // NaNs sort after everything; two NaNs are equal.
+        match (a.is_nan(), b.is_nan()) {
+            (true, true) => Ordering::Equal,
+            (true, false) => Ordering::Greater,
+            (false, true) => Ordering::Less,
+            (false, false) => unreachable!(),
+        }
+    })
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Double(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "\"{s}\""),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Addr(a) => write!(f, "{a}"),
+            Value::List(l) => {
+                write!(f, "[")?;
+                for (i, v) in l.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Id(v) => write!(f, "#{v:x}"),
+            Value::Infinity => write!(f, "infinity"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Double(v)
+    }
+}
+
+/// A small, dependency-free FNV-1a 64-bit hasher with stable output.
+///
+/// Provenance vertex identifiers must be identical across nodes, runs and
+/// platforms, so we do not use `std::collections::hash_map::DefaultHasher`
+/// (whose algorithm is unspecified).
+#[derive(Debug, Clone)]
+pub struct StableHasher {
+    state: u64,
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StableHasher {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// Create a hasher with the standard FNV offset basis.
+    pub fn new() -> Self {
+        StableHasher {
+            state: Self::OFFSET,
+        }
+    }
+
+    /// Absorb a byte.
+    pub fn write_u8(&mut self, b: u8) {
+        self.state ^= b as u64;
+        self.state = self.state.wrapping_mul(Self::PRIME);
+    }
+
+    /// Absorb a u64 (little-endian bytes).
+    pub fn write_u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.write_u8(b);
+        }
+    }
+
+    /// Absorb a byte slice.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u8(b);
+        }
+    }
+
+    /// Absorb a string, length-prefixed.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// Final digest.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_total_and_infinity_is_largest_number() {
+        let mut vals = vec![
+            Value::Int(3),
+            Value::Infinity,
+            Value::Double(2.5),
+            Value::Int(-1),
+        ];
+        vals.sort();
+        assert_eq!(
+            vals,
+            vec![
+                Value::Int(-1),
+                Value::Double(2.5),
+                Value::Int(3),
+                Value::Infinity
+            ]
+        );
+    }
+
+    #[test]
+    fn ints_and_doubles_compare_numerically() {
+        assert_eq!(Value::Int(2), Value::Double(2.0));
+        assert!(Value::Int(2) < Value::Double(2.5));
+        assert!(Value::Double(3.0) > Value::Int(2));
+    }
+
+    #[test]
+    fn nan_sorts_last_among_numbers() {
+        assert!(Value::Double(f64::NAN) > Value::Double(1e300));
+        assert_eq!(Value::Double(f64::NAN), Value::Double(f64::NAN));
+    }
+
+    #[test]
+    fn truthiness_follows_ndlog_conventions() {
+        assert!(Value::Int(1).truthy());
+        assert!(!Value::Int(0).truthy());
+        assert!(!Value::Bool(false).truthy());
+        assert!(Value::str("x").truthy());
+        assert!(!Value::List(vec![]).truthy());
+    }
+
+    #[test]
+    fn stable_hash_is_deterministic_and_distinguishes_types() {
+        let h1 = {
+            let mut h = StableHasher::new();
+            Value::Int(65).stable_hash_into(&mut h);
+            h.finish()
+        };
+        let h2 = {
+            let mut h = StableHasher::new();
+            Value::Int(65).stable_hash_into(&mut h);
+            h.finish()
+        };
+        let h3 = {
+            let mut h = StableHasher::new();
+            Value::Str("A".into()).stable_hash_into(&mut h);
+            h.finish()
+        };
+        assert_eq!(h1, h2);
+        assert_ne!(h1, h3);
+    }
+
+    #[test]
+    fn wire_size_counts_nested_lists() {
+        let v = Value::List(vec![Value::Int(1), Value::str("ab")]);
+        assert_eq!(v.wire_size(), 4 + 8 + (4 + 2));
+    }
+
+    #[test]
+    fn addr_accessor_accepts_strings_too() {
+        assert_eq!(Value::addr("n1").as_addr(), Some("n1"));
+        assert_eq!(Value::str("n2").as_addr(), Some("n2"));
+        assert_eq!(Value::Int(1).as_addr(), None);
+    }
+}

@@ -1,0 +1,32 @@
+//! # simnet — deterministic discrete-event network simulator
+//!
+//! NetTrails runs its declarative networking engine on top of the ns-3
+//! simulator (through RapidNet). This crate is the ns-3 substitute used by the
+//! reproduction: a small, fully deterministic discrete-event simulator that
+//! provides exactly what the provenance platform observes —
+//!
+//! * named nodes connected by point-to-point links with latency and cost,
+//! * message delivery with per-message size accounting (the query-optimization
+//!   experiments of the paper measure *network traffic*),
+//! * topology dynamics: link additions, failures and cost changes,
+//! * a random-waypoint mobility model (for the DSR / mobile-network use case),
+//! * per-category traffic statistics.
+//!
+//! The simulator is generic over the message payload type so that the runtime
+//! (tuple deltas), the provenance query engine (traversal requests/replies)
+//! and the log store (snapshot uploads) can all share one network.
+//!
+//! Determinism: all randomness is injected through seeded [`rand::rngs::StdRng`]
+//! generators; event ordering is total (time, then sequence number).
+
+pub mod mobility;
+pub mod network;
+pub mod stats;
+pub mod time;
+pub mod topology;
+
+pub use mobility::{MobilityModel, Point, RandomWaypoint};
+pub use network::{Delivered, Network, NetworkConfig};
+pub use stats::TrafficStats;
+pub use time::SimTime;
+pub use topology::{Link, Topology, TopologyEvent};

@@ -1,0 +1,126 @@
+//! Traffic accounting.
+//!
+//! The paper's query-optimization demonstration ("caching and threshold-based
+//! pruning effectively reduce the network traffic") is quantified with these
+//! counters: every message sent through [`crate::Network`] is charged to a
+//! *category* (protocol maintenance, provenance maintenance, provenance query,
+//! snapshot upload, ...), so experiments can report per-category message and
+//! byte counts.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Message/byte counters, total and per category.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrafficStats {
+    /// Total messages sent.
+    pub messages: u64,
+    /// Total payload bytes sent.
+    pub bytes: u64,
+    /// Per-category (messages, bytes).
+    pub by_category: BTreeMap<String, (u64, u64)>,
+    /// Per-directed-link message counts, keyed by `"src->dst"`.
+    pub by_link: BTreeMap<String, u64>,
+}
+
+impl TrafficStats {
+    /// Record one message.
+    pub fn record(&mut self, src: &str, dst: &str, category: &str, bytes: usize) {
+        self.messages += 1;
+        self.bytes += bytes as u64;
+        let entry = self.by_category.entry(category.to_string()).or_default();
+        entry.0 += 1;
+        entry.1 += bytes as u64;
+        *self
+            .by_link
+            .entry(format!("{src}->{dst}"))
+            .or_default() += 1;
+    }
+
+    /// Messages charged to a category.
+    pub fn category_messages(&self, category: &str) -> u64 {
+        self.by_category.get(category).map(|e| e.0).unwrap_or(0)
+    }
+
+    /// Bytes charged to a category.
+    pub fn category_bytes(&self, category: &str) -> u64 {
+        self.by_category.get(category).map(|e| e.1).unwrap_or(0)
+    }
+
+    /// Merge another stats object into this one.
+    pub fn merge(&mut self, other: &TrafficStats) {
+        self.messages += other.messages;
+        self.bytes += other.bytes;
+        for (k, (m, b)) in &other.by_category {
+            let e = self.by_category.entry(k.clone()).or_default();
+            e.0 += m;
+            e.1 += b;
+        }
+        for (k, m) in &other.by_link {
+            *self.by_link.entry(k.clone()).or_default() += m;
+        }
+    }
+
+    /// Difference relative to an earlier snapshot of the same counters
+    /// (used to measure the traffic of a single query or a single event).
+    pub fn since(&self, earlier: &TrafficStats) -> TrafficStats {
+        let mut out = TrafficStats {
+            messages: self.messages - earlier.messages,
+            bytes: self.bytes - earlier.bytes,
+            ..TrafficStats::default()
+        };
+        for (k, (m, b)) in &self.by_category {
+            let (em, eb) = earlier.by_category.get(k).copied().unwrap_or((0, 0));
+            if *m > em || *b > eb {
+                out.by_category.insert(k.clone(), (m - em, b - eb));
+            }
+        }
+        for (k, m) in &self.by_link {
+            let em = earlier.by_link.get(k).copied().unwrap_or(0);
+            if *m > em {
+                out.by_link.insert(k.clone(), m - em);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut s = TrafficStats::default();
+        s.record("n1", "n2", "proto", 100);
+        s.record("n1", "n2", "prov-query", 40);
+        s.record("n2", "n1", "prov-query", 60);
+        assert_eq!(s.messages, 3);
+        assert_eq!(s.bytes, 200);
+        assert_eq!(s.category_messages("prov-query"), 2);
+        assert_eq!(s.category_bytes("prov-query"), 100);
+        assert_eq!(s.category_messages("nope"), 0);
+        assert_eq!(s.by_link["n1->n2"], 2);
+    }
+
+    #[test]
+    fn merge_and_since() {
+        let mut a = TrafficStats::default();
+        a.record("n1", "n2", "proto", 10);
+        let snapshot = a.clone();
+        a.record("n1", "n2", "proto", 20);
+        a.record("n2", "n3", "query", 5);
+
+        let diff = a.since(&snapshot);
+        assert_eq!(diff.messages, 2);
+        assert_eq!(diff.bytes, 25);
+        assert_eq!(diff.category_messages("proto"), 1);
+        assert_eq!(diff.category_messages("query"), 1);
+
+        let mut b = TrafficStats::default();
+        b.record("n9", "n8", "query", 7);
+        b.merge(&a);
+        assert_eq!(b.messages, 4);
+        assert_eq!(b.category_messages("query"), 2);
+    }
+}

@@ -1,0 +1,400 @@
+//! Network topologies: nodes, links and standard generators.
+//!
+//! The demonstration scenarios of the paper use small declarative-network
+//! topologies (MINCOST, path-vector, DSR) and AS-level topologies for the BGP
+//! use case. This module provides the node/link model plus deterministic
+//! generators for the shapes used by the examples and benchmarks: line, ring,
+//! star, grid, ladder and seeded random (Erdős–Rényi-style) graphs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A directed link between two named nodes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    /// Source node name.
+    pub from: String,
+    /// Destination node name.
+    pub to: String,
+    /// Protocol-visible link cost (used as the `link(@S,D,C)` cost attribute).
+    pub cost: i64,
+    /// Propagation latency in milliseconds.
+    pub latency_ms: u64,
+}
+
+impl Link {
+    /// Create a link with default latency (1 ms).
+    pub fn new(from: impl Into<String>, to: impl Into<String>, cost: i64) -> Self {
+        Link {
+            from: from.into(),
+            to: to.into(),
+            cost,
+            latency_ms: 1,
+        }
+    }
+}
+
+/// A topology change event, used to drive the "network state is incrementally
+/// recomputed as the underlying topology changes" demonstrations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TopologyEvent {
+    /// A (bidirectional) link comes up.
+    LinkUp(Link),
+    /// The link between two nodes fails (both directions).
+    LinkDown {
+        /// One endpoint.
+        a: String,
+        /// The other endpoint.
+        b: String,
+    },
+    /// The cost of an existing link changes (both directions).
+    CostChange {
+        /// One endpoint.
+        a: String,
+        /// The other endpoint.
+        b: String,
+        /// New cost.
+        cost: i64,
+    },
+}
+
+/// A set of nodes and directed links.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    nodes: BTreeSet<String>,
+    /// (from, to) -> link. Serialized as a plain list of links so snapshots
+    /// can be stored as JSON (JSON maps need string keys).
+    #[serde(
+        serialize_with = "serialize_links",
+        deserialize_with = "deserialize_links"
+    )]
+    links: BTreeMap<(String, String), Link>,
+}
+
+fn serialize_links<S>(
+    links: &BTreeMap<(String, String), Link>,
+    serializer: S,
+) -> Result<S::Ok, S::Error>
+where
+    S: serde::Serializer,
+{
+    serializer.collect_seq(links.values())
+}
+
+fn deserialize_links<'de, D>(
+    deserializer: D,
+) -> Result<BTreeMap<(String, String), Link>, D::Error>
+where
+    D: serde::Deserializer<'de>,
+{
+    let links = Vec::<Link>::deserialize(deserializer)?;
+    Ok(links
+        .into_iter()
+        .map(|l| ((l.from.clone(), l.to.clone()), l))
+        .collect())
+}
+
+impl Topology {
+    /// Create an empty topology.
+    pub fn new() -> Self {
+        Topology::default()
+    }
+
+    /// Add a node (idempotent).
+    pub fn add_node(&mut self, name: impl Into<String>) {
+        self.nodes.insert(name.into());
+    }
+
+    /// Add a directed link (endpoints are added as nodes automatically).
+    pub fn add_link(&mut self, link: Link) {
+        self.nodes.insert(link.from.clone());
+        self.nodes.insert(link.to.clone());
+        self.links
+            .insert((link.from.clone(), link.to.clone()), link);
+    }
+
+    /// Add a bidirectional link with equal cost/latency in both directions.
+    pub fn add_bidi(&mut self, a: &str, b: &str, cost: i64) {
+        self.add_link(Link::new(a, b, cost));
+        self.add_link(Link::new(b, a, cost));
+    }
+
+    /// Remove the directed link `from -> to`.
+    pub fn remove_link(&mut self, from: &str, to: &str) -> Option<Link> {
+        self.links.remove(&(from.to_string(), to.to_string()))
+    }
+
+    /// Remove both directions between `a` and `b`.
+    pub fn remove_bidi(&mut self, a: &str, b: &str) {
+        self.remove_link(a, b);
+        self.remove_link(b, a);
+    }
+
+    /// Node names in deterministic order.
+    pub fn nodes(&self) -> impl Iterator<Item = &str> {
+        self.nodes.iter().map(String::as_str)
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Directed links in deterministic order.
+    pub fn links(&self) -> impl Iterator<Item = &Link> {
+        self.links.values()
+    }
+
+    /// Number of directed links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Look up a directed link.
+    pub fn link(&self, from: &str, to: &str) -> Option<&Link> {
+        self.links.get(&(from.to_string(), to.to_string()))
+    }
+
+    /// True when the directed link exists.
+    pub fn has_link(&self, from: &str, to: &str) -> bool {
+        self.link(from, to).is_some()
+    }
+
+    /// Neighbours reachable from `node` over outgoing links.
+    pub fn neighbors(&self, node: &str) -> Vec<&Link> {
+        self.links
+            .values()
+            .filter(|l| l.from == node)
+            .collect()
+    }
+
+    /// Apply a topology event, returning the links that were added and
+    /// removed (useful for feeding deltas to the engines).
+    pub fn apply(&mut self, event: &TopologyEvent) -> (Vec<Link>, Vec<Link>) {
+        let mut added = Vec::new();
+        let mut removed = Vec::new();
+        match event {
+            TopologyEvent::LinkUp(link) => {
+                let rev = Link {
+                    from: link.to.clone(),
+                    to: link.from.clone(),
+                    ..link.clone()
+                };
+                for l in [link.clone(), rev] {
+                    if self.link(&l.from, &l.to) != Some(&l) {
+                        if let Some(old) = self.remove_link(&l.from, &l.to) {
+                            removed.push(old);
+                        }
+                        self.add_link(l.clone());
+                        added.push(l);
+                    }
+                }
+            }
+            TopologyEvent::LinkDown { a, b } => {
+                if let Some(l) = self.remove_link(a, b) {
+                    removed.push(l);
+                }
+                if let Some(l) = self.remove_link(b, a) {
+                    removed.push(l);
+                }
+            }
+            TopologyEvent::CostChange { a, b, cost } => {
+                for (from, to) in [(a.clone(), b.clone()), (b.clone(), a.clone())] {
+                    if let Some(old) = self.remove_link(&from, &to) {
+                        removed.push(old.clone());
+                        let new = Link {
+                            cost: *cost,
+                            ..old
+                        };
+                        self.add_link(new.clone());
+                        added.push(new);
+                    }
+                }
+            }
+        }
+        (added, removed)
+    }
+
+    // ------------------------------------------------------------------
+    // generators
+    // ------------------------------------------------------------------
+
+    fn node_name(i: usize) -> String {
+        format!("n{}", i + 1)
+    }
+
+    /// A line `n1 - n2 - ... - nN` with unit costs.
+    pub fn line(n: usize) -> Topology {
+        let mut t = Topology::new();
+        for i in 0..n {
+            t.add_node(Self::node_name(i));
+        }
+        for i in 0..n.saturating_sub(1) {
+            t.add_bidi(&Self::node_name(i), &Self::node_name(i + 1), 1);
+        }
+        t
+    }
+
+    /// A ring of `n` nodes with unit costs.
+    pub fn ring(n: usize) -> Topology {
+        let mut t = Self::line(n);
+        if n > 2 {
+            t.add_bidi(&Self::node_name(n - 1), &Self::node_name(0), 1);
+        }
+        t
+    }
+
+    /// A star: node `n1` in the middle, spokes to everyone else.
+    pub fn star(n: usize) -> Topology {
+        let mut t = Topology::new();
+        for i in 0..n {
+            t.add_node(Self::node_name(i));
+        }
+        for i in 1..n {
+            t.add_bidi(&Self::node_name(0), &Self::node_name(i), 1);
+        }
+        t
+    }
+
+    /// A `rows x cols` grid with unit costs.
+    pub fn grid(rows: usize, cols: usize) -> Topology {
+        let mut t = Topology::new();
+        let name = |r: usize, c: usize| format!("n{}", r * cols + c + 1);
+        for r in 0..rows {
+            for c in 0..cols {
+                t.add_node(name(r, c));
+                if c + 1 < cols {
+                    t.add_bidi(&name(r, c), &name(r, c + 1), 1);
+                }
+                if r + 1 < rows {
+                    t.add_bidi(&name(r, c), &name(r + 1, c), 1);
+                }
+            }
+        }
+        t
+    }
+
+    /// A ladder: two parallel lines of length `n` with rungs — the shape used
+    /// in the MINCOST screenshots of the paper (multiple alternative paths).
+    pub fn ladder(n: usize) -> Topology {
+        Self::grid(2, n)
+    }
+
+    /// A connected random graph: a random spanning backbone plus extra edges
+    /// added with probability `extra_p`, costs drawn uniformly from
+    /// `1..=max_cost`. Deterministic for a given seed.
+    pub fn random(n: usize, extra_p: f64, max_cost: i64, seed: u64) -> Topology {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = Topology::new();
+        for i in 0..n {
+            t.add_node(Self::node_name(i));
+        }
+        // Spanning backbone: attach node i to a random earlier node.
+        for i in 1..n {
+            let j = rng.gen_range(0..i);
+            let cost = rng.gen_range(1..=max_cost.max(1));
+            t.add_bidi(&Self::node_name(i), &Self::node_name(j), cost);
+        }
+        // Extra edges.
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if !t.has_link(&Self::node_name(i), &Self::node_name(j))
+                    && rng.gen_bool(extra_p.clamp(0.0, 1.0))
+                {
+                    let cost = rng.gen_range(1..=max_cost.max(1));
+                    t.add_bidi(&Self::node_name(i), &Self::node_name(j), cost);
+                }
+            }
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_and_ring_shapes() {
+        let line = Topology::line(4);
+        assert_eq!(line.node_count(), 4);
+        assert_eq!(line.link_count(), 6); // 3 bidi links
+        let ring = Topology::ring(4);
+        assert_eq!(ring.link_count(), 8);
+        assert!(ring.has_link("n4", "n1"));
+    }
+
+    #[test]
+    fn grid_and_ladder() {
+        let grid = Topology::grid(2, 3);
+        assert_eq!(grid.node_count(), 6);
+        // 2*(cols-1)*rows horizontal + 2*(rows-1)*cols vertical = 8 + 6 = 14
+        assert_eq!(grid.link_count(), 14);
+        assert_eq!(Topology::ladder(3), grid);
+    }
+
+    #[test]
+    fn star_has_hub() {
+        let star = Topology::star(5);
+        assert_eq!(star.neighbors("n1").len(), 4);
+        assert_eq!(star.neighbors("n3").len(), 1);
+    }
+
+    #[test]
+    fn random_is_deterministic_and_connected() {
+        let a = Topology::random(12, 0.1, 5, 42);
+        let b = Topology::random(12, 0.1, 5, 42);
+        assert_eq!(a, b);
+        let c = Topology::random(12, 0.1, 5, 43);
+        assert_ne!(a, c);
+        // Connectivity: BFS from n1 reaches every node (backbone guarantees it).
+        let mut seen = std::collections::BTreeSet::new();
+        let mut stack = vec!["n1".to_string()];
+        while let Some(n) = stack.pop() {
+            if seen.insert(n.clone()) {
+                for l in a.neighbors(&n) {
+                    stack.push(l.to.clone());
+                }
+            }
+        }
+        assert_eq!(seen.len(), 12);
+    }
+
+    #[test]
+    fn apply_link_events() {
+        let mut t = Topology::line(3);
+        let (added, removed) = t.apply(&TopologyEvent::LinkDown {
+            a: "n1".into(),
+            b: "n2".into(),
+        });
+        assert_eq!(added.len(), 0);
+        assert_eq!(removed.len(), 2);
+        assert!(!t.has_link("n1", "n2"));
+
+        let (added, _) = t.apply(&TopologyEvent::LinkUp(Link::new("n1", "n3", 7)));
+        assert_eq!(added.len(), 2);
+        assert_eq!(t.link("n3", "n1").unwrap().cost, 7);
+
+        let (added, removed) = t.apply(&TopologyEvent::CostChange {
+            a: "n2".into(),
+            b: "n3".into(),
+            cost: 9,
+        });
+        assert_eq!(added.len(), 2);
+        assert_eq!(removed.len(), 2);
+        assert_eq!(t.link("n2", "n3").unwrap().cost, 9);
+    }
+
+    #[test]
+    fn cost_change_on_missing_link_is_a_noop() {
+        let mut t = Topology::line(2);
+        let (added, removed) = t.apply(&TopologyEvent::CostChange {
+            a: "n1".into(),
+            b: "n9".into(),
+            cost: 3,
+        });
+        assert!(added.is_empty() && removed.is_empty());
+    }
+}

@@ -1,0 +1,26 @@
+//! # vis — the visualizer backend of NetTrails
+//!
+//! NetTrails replays execution logs through two visual tools: the RapidNet
+//! visualizer (network topology, node positions, link state) and a provenance
+//! visualizer based on **hypertrees** — the provenance graph is laid out on a
+//! hyperbolic plane so users can focus on small segments and navigate with
+//! smooth transitions (Figure 2 of the paper).
+//!
+//! A GUI is presentation-only, so this reproduction implements everything the
+//! GUI would consume and that can be tested:
+//!
+//! * [`dot`] — Graphviz DOT export of provenance graphs and topologies,
+//! * [`hypertree`] — the radial/hyperbolic layout: every vertex of a proof
+//!   tree (or of the full provenance graph) is assigned coordinates inside the
+//!   Poincaré unit disk, plus the *focus change* transformation (a Möbius
+//!   translation) used for the smooth refocusing the paper describes,
+//! * [`ascii`] — plain-text rendering of proof trees and topology summaries
+//!   for terminal exploration (used by the examples).
+
+pub mod ascii;
+pub mod dot;
+pub mod hypertree;
+
+pub use ascii::{render_proof_tree, render_topology_summary};
+pub use dot::{provenance_to_dot, topology_to_dot};
+pub use hypertree::{focus_on, HyperPoint, HypertreeLayout};

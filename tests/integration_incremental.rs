@@ -1,0 +1,123 @@
+//! Incremental maintenance: after arbitrary sequences of topology events, the
+//! incrementally maintained state must equal recomputation from scratch, and
+//! the provenance store must stay consistent with the derived state.
+
+use nettrails::{NetTrails, NetTrailsConfig};
+use simnet::{Link, Topology, TopologyEvent};
+
+fn normalized(nt: &NetTrails, relation: &str) -> Vec<String> {
+    let mut rows: Vec<String> = nt
+        .relation(relation)
+        .into_iter()
+        .map(|(n, t)| format!("{n}:{t}"))
+        .collect();
+    rows.sort();
+    rows
+}
+
+fn check_incremental_equals_scratch(program: &str, result_relation: &str, events: &[TopologyEvent]) {
+    let mut nt = NetTrails::new(program, Topology::ring(5), NetTrailsConfig::default()).unwrap();
+    nt.seed_links_from_topology();
+    nt.run_to_fixpoint();
+    for event in events {
+        nt.apply_topology_event(event);
+        let (fresh, _) = nt.recompute_from_scratch().unwrap();
+        assert_eq!(
+            normalized(&nt, result_relation),
+            normalized(&fresh, result_relation),
+            "incremental vs scratch divergence after {event:?}"
+        );
+    }
+}
+
+fn event_sequence() -> Vec<TopologyEvent> {
+    vec![
+        TopologyEvent::LinkDown {
+            a: "n1".into(),
+            b: "n2".into(),
+        },
+        TopologyEvent::CostChange {
+            a: "n3".into(),
+            b: "n4".into(),
+            cost: 5,
+        },
+        TopologyEvent::LinkUp(Link::new("n1", "n3", 2)),
+        TopologyEvent::LinkDown {
+            a: "n4".into(),
+            b: "n5".into(),
+        },
+        TopologyEvent::LinkUp(Link::new("n1", "n2", 1)),
+    ]
+}
+
+#[test]
+fn mincost_incremental_maintenance_is_exact() {
+    check_incremental_equals_scratch(protocols::mincost::PROGRAM, "minCost", &event_sequence());
+}
+
+#[test]
+fn distance_vector_incremental_maintenance_is_exact() {
+    check_incremental_equals_scratch(
+        protocols::distancevector::PROGRAM,
+        "shortestCost",
+        &event_sequence(),
+    );
+}
+
+#[test]
+fn dsr_incremental_maintenance_is_exact() {
+    check_incremental_equals_scratch(protocols::dsr::PROGRAM, "shortestRoute", &event_sequence());
+}
+
+#[test]
+fn provenance_tracks_every_derived_min_cost_tuple_after_churn() {
+    let mut nt = NetTrails::new(
+        protocols::mincost::PROGRAM,
+        Topology::ladder(3),
+        NetTrailsConfig::default(),
+    )
+    .unwrap();
+    nt.seed_links_from_topology();
+    nt.run_to_fixpoint();
+    nt.apply_topology_event(&TopologyEvent::LinkDown {
+        a: "n2".into(),
+        b: "n5".into(),
+    });
+    nt.apply_topology_event(&TopologyEvent::LinkUp(Link::new("n2", "n5", 3)));
+
+    // Every currently stored minCost tuple has a vertex in the provenance
+    // graph at its home node.
+    for (node, tuple) in nt.relation("minCost") {
+        let store = nt.provenance().store(&node).expect("store exists");
+        assert!(
+            store.has_vertex(tuple.id()),
+            "{tuple} at {node} missing from the provenance store"
+        );
+    }
+    // And the graph is still acyclic after churn.
+    assert!(nt.provenance_graph().is_acyclic());
+}
+
+#[test]
+fn incremental_work_is_less_than_recompute_for_local_changes() {
+    let mut nt = NetTrails::new(
+        protocols::mincost::PROGRAM,
+        Topology::grid(3, 4),
+        NetTrailsConfig::default(),
+    )
+    .unwrap();
+    nt.seed_links_from_topology();
+    let initial = nt.run_to_fixpoint();
+    // A cost change on one edge far from most of the graph.
+    let report = nt.apply_topology_event(&TopologyEvent::CostChange {
+        a: "n1".into(),
+        b: "n2".into(),
+        cost: 2,
+    });
+    assert!(
+        report.tuples_touched() < initial.tuples_touched(),
+        "incremental ({}) should touch fewer tuples than initial convergence ({})",
+        report.tuples_touched(),
+        initial.tuples_touched()
+    );
+}

@@ -1,0 +1,126 @@
+//! Integration tests for the log store, replay and the visualizer backend.
+
+use logstore::{LogStore, NodeSnapshot, Replay, SnapshotDiff, SystemSnapshot};
+use nettrails::{NetTrails, NetTrailsConfig};
+use provenance::{QueryKind, QueryOptions, QueryResult};
+use simnet::{Topology, TopologyEvent};
+use vis::{provenance_to_dot, render_proof_tree, topology_to_dot, HypertreeLayout};
+
+fn snapshot(nt: &NetTrails) -> SystemSnapshot {
+    let mut snap = SystemSnapshot {
+        time: nt.now(),
+        topology: nt.network().topology().clone(),
+        graph: nt.provenance_graph(),
+        traffic: nt.network().stats().clone(),
+        ..Default::default()
+    };
+    for node in nt.nodes() {
+        let engine = nt.engine(&node).unwrap();
+        snap.nodes.insert(
+            node.clone(),
+            NodeSnapshot::capture(&node, engine.database(), nt.provenance()),
+        );
+    }
+    snap
+}
+
+fn platform() -> NetTrails {
+    let mut nt = NetTrails::new(
+        protocols::mincost::PROGRAM,
+        Topology::ladder(3),
+        NetTrailsConfig::default(),
+    )
+    .unwrap();
+    nt.seed_links_from_topology();
+    nt.run_to_fixpoint();
+    nt
+}
+
+#[test]
+fn snapshots_capture_the_live_state_faithfully() {
+    let nt = platform();
+    let snap = snapshot(&nt);
+    // The snapshot's view of minCost equals the live platform's view.
+    let mut live: Vec<String> = nt
+        .relation("minCost")
+        .into_iter()
+        .map(|(n, t)| format!("{n}:{t}"))
+        .collect();
+    live.sort();
+    let snap_rows: Vec<String> = snap
+        .relation("minCost")
+        .into_iter()
+        .map(|(n, t)| format!("{n}:{t}"))
+        .collect();
+    assert_eq!(live, snap_rows);
+    assert!(snap.tuple_count() > 0);
+    assert!(snap.graph.is_acyclic());
+}
+
+#[test]
+fn log_store_json_round_trip_preserves_snapshots() {
+    let mut nt = platform();
+    let mut store = LogStore::new();
+    store.add(snapshot(&nt));
+    nt.apply_topology_event(&TopologyEvent::LinkDown {
+        a: "n1".into(),
+        b: "n2".into(),
+    });
+    store.add(snapshot(&nt));
+    let json = store.to_json().unwrap();
+    let loaded = LogStore::from_json(&json).unwrap();
+    assert_eq!(loaded.len(), 2);
+    assert_eq!(
+        loaded.snapshots()[0].relation("minCost"),
+        store.snapshots()[0].relation("minCost")
+    );
+}
+
+#[test]
+fn replay_diffs_reflect_the_topology_change() {
+    let mut nt = platform();
+    let mut store = LogStore::new();
+    store.add(snapshot(&nt));
+    nt.apply_topology_event(&TopologyEvent::LinkDown {
+        a: "n1".into(),
+        b: "n2".into(),
+    });
+    store.add(snapshot(&nt));
+
+    let mut replay = Replay::new(&store);
+    let diff: SnapshotDiff = replay.step().expect("one step");
+    assert!(diff.links_removed.contains(&("n1".into(), "n2".into())));
+    assert!(
+        !diff.appeared.is_empty() || !diff.disappeared.is_empty(),
+        "protocol state changed with the topology"
+    );
+    assert!(replay.step().is_none());
+}
+
+#[test]
+fn visualizer_exports_are_well_formed_for_real_provenance() {
+    let mut nt = platform();
+    let graph = nt.provenance_graph();
+    let dot = provenance_to_dot(&graph);
+    assert!(dot.starts_with("digraph"));
+    assert!(dot.matches("->").count() >= graph.edges.len());
+    let topo_dot = topology_to_dot(nt.network().topology());
+    assert!(topo_dot.contains("n1"));
+
+    let (node, target) = nt.relation("minCost").into_iter().next_back().unwrap();
+    let (result, _) = nt.query(&node, &target, QueryKind::Lineage, &QueryOptions::default());
+    let QueryResult::Lineage(tree) = result else {
+        panic!()
+    };
+    let text = render_proof_tree(&tree);
+    assert!(text.contains("minCost"));
+    assert!(text.contains("[base]"));
+
+    let layout = HypertreeLayout::of_proof_tree(&tree);
+    assert_eq!(
+        layout.vertices.values().filter(|v| v.is_tuple).count()
+            + layout.vertices.values().filter(|v| !v.is_tuple).count(),
+        layout.len()
+    );
+    assert!(layout.max_norm() < 1.0);
+}

@@ -1,0 +1,160 @@
+//! Integration tests for the distributed provenance query engine and its
+//! optimizations, exercised over real protocol runs.
+
+use nettrails::{NetTrails, NetTrailsConfig};
+use provenance::{
+    proql, QueryKind, QueryOptions, QueryResult, TraversalOrder,
+};
+use simnet::Topology;
+
+fn platform() -> NetTrails {
+    let mut nt = NetTrails::new(
+        protocols::pathvector::PROGRAM,
+        Topology::ladder(3),
+        NetTrailsConfig::default(),
+    )
+    .unwrap();
+    nt.seed_links_from_topology();
+    nt.run_to_fixpoint();
+    nt
+}
+
+#[test]
+fn derivation_counts_are_positive_and_consistent_with_lineage() {
+    let mut nt = platform();
+    for (node, tuple) in nt.relation("bestPathCost").into_iter().take(10) {
+        let (count, _) = nt.query(
+            &node,
+            &tuple,
+            QueryKind::DerivationCount,
+            &QueryOptions::default(),
+        );
+        let QueryResult::DerivationCount(count) = count else {
+            panic!()
+        };
+        assert!(count >= 1, "{tuple} should have at least one derivation");
+        let (lineage, _) = nt.query(&node, &tuple, QueryKind::Lineage, &QueryOptions::default());
+        let QueryResult::Lineage(tree) = lineage else {
+            panic!()
+        };
+        assert!(!tree.derivations.is_empty());
+        assert!(tree.size() as u64 >= count.min(1));
+    }
+}
+
+#[test]
+fn base_tuples_of_protocol_state_are_always_links() {
+    let mut nt = platform();
+    for (node, tuple) in nt.relation("path").into_iter().take(20) {
+        let (result, _) = nt.query(&node, &tuple, QueryKind::BaseTuples, &QueryOptions::default());
+        let QueryResult::BaseTuples(bases) = result else {
+            panic!()
+        };
+        assert!(!bases.is_empty());
+        for (_, base) in bases {
+            assert_eq!(base.unwrap().relation, "link");
+        }
+    }
+}
+
+#[test]
+fn caching_reduces_traffic_for_repeated_and_overlapping_queries() {
+    let mut nt = platform();
+    let targets: Vec<_> = nt.relation("bestPathCost").into_iter().take(6).collect();
+
+    // Without caching: query everything twice and count messages.
+    let mut uncached_messages = 0;
+    for (node, tuple) in targets.iter().chain(targets.iter()) {
+        let (_, stats) = nt.query(node, tuple, QueryKind::Lineage, &QueryOptions::default());
+        uncached_messages += stats.messages;
+    }
+    // With caching.
+    nt.clear_query_cache();
+    let cached_opts = QueryOptions::cached();
+    let mut cached_messages = 0;
+    for (node, tuple) in targets.iter().chain(targets.iter()) {
+        let (_, stats) = nt.query(node, tuple, QueryKind::Lineage, &cached_opts);
+        cached_messages += stats.messages;
+    }
+    assert!(
+        cached_messages < uncached_messages,
+        "caching should reduce traffic: {cached_messages} vs {uncached_messages}"
+    );
+}
+
+#[test]
+fn pruning_bounds_the_result_and_reduces_traffic() {
+    let mut nt = platform();
+    let (node, tuple) = nt
+        .relation("bestPathCost")
+        .into_iter()
+        .max_by_key(|(_, t)| t.values[2].as_int())
+        .unwrap();
+    let (full, full_stats) = nt.query(&node, &tuple, QueryKind::Lineage, &QueryOptions::default());
+    let pruned_opts = QueryOptions {
+        max_depth: Some(2),
+        max_derivations_per_vertex: Some(1),
+        ..QueryOptions::default()
+    };
+    let (pruned, pruned_stats) = nt.query(&node, &tuple, QueryKind::Lineage, &pruned_opts);
+    let (QueryResult::Lineage(full), QueryResult::Lineage(pruned)) = (full, pruned) else {
+        panic!()
+    };
+    assert!(pruned.size() <= full.size());
+    assert!(pruned.depth() <= 3);
+    assert!(pruned_stats.messages <= full_stats.messages);
+}
+
+#[test]
+fn traversal_orders_agree_on_results_and_differ_on_latency() {
+    let mut nt = platform();
+    let (node, tuple) = nt.relation("bestPathCost").into_iter().next_back().unwrap();
+    let dfs = QueryOptions {
+        traversal: TraversalOrder::DepthFirst,
+        ..QueryOptions::default()
+    };
+    let bfs = QueryOptions {
+        traversal: TraversalOrder::BreadthFirst,
+        ..QueryOptions::default()
+    };
+    let (r1, s1) = nt.query(&node, &tuple, QueryKind::BaseTuples, &dfs);
+    let (r2, s2) = nt.query(&node, &tuple, QueryKind::BaseTuples, &bfs);
+    assert_eq!(r1, r2, "traversal order must not change the answer");
+    assert_eq!(s1.messages, s2.messages);
+    assert!(s2.latency_ms <= s1.latency_ms);
+}
+
+#[test]
+fn proql_queries_agree_with_the_query_engine() {
+    let mut nt = platform();
+    let graph = nt.provenance_graph();
+    // ProQL: all base tuples reachable backwards from bestPathCost tuples at n1.
+    let q = proql::parse_query("from bestPathCost@n1 back bases").unwrap();
+    let proql_bases = match proql::evaluate(&graph, &q) {
+        provenance::ProqlResult::Vertices(v) => v,
+        other => panic!("unexpected {other:?}"),
+    };
+    assert!(!proql_bases.is_empty());
+    assert!(proql_bases.iter().all(|l| l.contains("link(")));
+
+    // The per-tuple query engine agrees that every contributing base tuple of
+    // an n1 tuple appears in the ProQL result.
+    let targets: Vec<_> = nt
+        .relation("bestPathCost")
+        .into_iter()
+        .filter(|(n, _)| n == "n1")
+        .collect();
+    for (node, tuple) in targets {
+        let (result, _) = nt.query(&node, &tuple, QueryKind::BaseTuples, &QueryOptions::default());
+        let QueryResult::BaseTuples(bases) = result else {
+            panic!()
+        };
+        for (_, base) in bases {
+            let label = base.unwrap().to_string();
+            assert!(
+                proql_bases.contains(&label),
+                "{label} missing from ProQL result"
+            );
+        }
+    }
+}
