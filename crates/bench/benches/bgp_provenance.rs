@@ -8,7 +8,9 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("E5_bgp_provenance");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for (large, medium, stub) in [(2usize, 3usize, 5usize), (3, 6, 12)] {
         let n = large + medium + stub;
         group.bench_with_input(BenchmarkId::new("trace_replay", n), &n, |b, _| {

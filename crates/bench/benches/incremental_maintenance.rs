@@ -8,7 +8,9 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("E3_incremental_maintenance");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     let protocols: &[(&str, &str)] = &[
         ("mincost", protocols::mincost::PROGRAM),
         ("pathvector", protocols::pathvector::PROGRAM),

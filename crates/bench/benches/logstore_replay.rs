@@ -8,7 +8,9 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("E8_logstore_replay");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     group.bench_function("capture_snapshot", |b| {
         let nt = mincost_ladder(4);
         b.iter(|| capture_snapshot(&nt).tuple_count());

@@ -8,7 +8,9 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("E4_maintenance_overhead");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for n in [2usize, 4, 6] {
         group.bench_with_input(BenchmarkId::new("without_provenance", n), &n, |b, &n| {
             b.iter(|| converged(protocols::mincost::PROGRAM, Topology::ladder(n), false));

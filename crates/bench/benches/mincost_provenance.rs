@@ -11,11 +11,17 @@ use vis::HypertreeLayout;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("E2_mincost_provenance");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for n in [2usize, 4, 6] {
-        group.bench_with_input(BenchmarkId::new("converge_with_provenance", n), &n, |b, &n| {
-            b.iter(|| converged(protocols::mincost::PROGRAM, Topology::ladder(n), true));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("converge_with_provenance", n),
+            &n,
+            |b, &n| {
+                b.iter(|| converged(protocols::mincost::PROGRAM, Topology::ladder(n), true));
+            },
+        );
         group.bench_with_input(BenchmarkId::new("graph_and_hypertree", n), &n, |b, &n| {
             let mut nt = mincost_ladder(n);
             let (node, target) = nt
@@ -30,7 +36,10 @@ fn bench(c: &mut Criterion) {
                 let QueryResult::Lineage(tree) = result else {
                     unreachable!()
                 };
-                (graph.tuple_vertex_count(), HypertreeLayout::of_proof_tree(&tree).len())
+                (
+                    graph.tuple_vertex_count(),
+                    HypertreeLayout::of_proof_tree(&tree).len(),
+                )
             });
         });
     }

@@ -9,7 +9,9 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("E7_query_optimizations");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     let mut nt = converged(protocols::pathvector::PROGRAM, Topology::ladder(4), true);
     let targets: Vec<_> = nt.relation("bestPathCost").into_iter().take(8).collect();
     let cases: Vec<(&str, QueryOptions)> = vec![
@@ -32,17 +34,21 @@ fn bench(c: &mut Criterion) {
         ),
     ];
     for (name, options) in &cases {
-        group.bench_with_input(BenchmarkId::new("query_mix", name), options, |b, options| {
-            b.iter(|| {
-                nt.clear_query_cache();
-                let mut messages = 0u64;
-                for (node, tuple) in targets.iter().chain(targets.iter()) {
-                    let (_, stats) = nt.query(node, tuple, QueryKind::Lineage, options);
-                    messages += stats.messages;
-                }
-                messages
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("query_mix", name),
+            options,
+            |b, options| {
+                b.iter(|| {
+                    nt.clear_query_cache();
+                    let mut messages = 0u64;
+                    for (node, tuple) in targets.iter().chain(targets.iter()) {
+                        let (_, stats) = nt.query(node, tuple, QueryKind::Lineage, options);
+                        messages += stats.messages;
+                    }
+                    messages
+                });
+            },
+        );
     }
     group.finish();
 }

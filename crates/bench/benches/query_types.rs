@@ -9,7 +9,9 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("E6_query_types");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     let mut nt = converged(protocols::pathvector::PROGRAM, Topology::ladder(4), true);
     let targets: Vec<_> = nt.relation("bestPathCost").into_iter().take(5).collect();
     for (name, kind) in [

@@ -1,16 +1,100 @@
-//! Regenerate every NetTrails experiment table (E1–E8 of DESIGN.md) and print
-//! them to stdout. EXPERIMENTS.md records a captured run of this binary.
+//! Regenerate every NetTrails experiment table (E1–E8 of DESIGN.md), print
+//! them to stdout and write a machine-readable `BENCH_results.json` so the
+//! performance trajectory can be compared across revisions.
 //!
 //! ```text
 //! cargo run --release -p nettrails-bench --bin report
 //! ```
+
+use nettrails::{NetTrails, NetTrailsConfig, ReportTable};
+use serde::Serialize;
+use simnet::Topology;
+use std::time::Instant;
+
+/// The file the results are written to (in the invocation directory).
+const RESULTS_PATH: &str = "BENCH_results.json";
+
+#[derive(Serialize)]
+struct JoinProbeComparison {
+    scenario: String,
+    indexed_probes: u64,
+    scan_probes: u64,
+    reduction_factor: f64,
+}
+
+#[derive(Serialize)]
+struct BenchResults {
+    /// Schema marker for downstream tooling.
+    format: String,
+    /// Wall-clock milliseconds to build each experiment table.
+    experiment_wall_ms: Vec<(String, u64)>,
+    /// The experiment tables themselves.
+    tables: Vec<ReportTable>,
+    /// Join-candidate counts for the planned, index-backed pipeline vs the
+    /// full-scan baseline on the standard convergence scenarios.
+    join_probes: Vec<JoinProbeComparison>,
+}
+
+fn probe_comparison(name: &str, program: &str, topology: Topology) -> JoinProbeComparison {
+    let converge = |config: NetTrailsConfig| -> u64 {
+        let mut nt = NetTrails::new(program, topology.clone(), config).expect("program compiles");
+        nt.seed_links_from_topology();
+        nt.run_to_fixpoint();
+        nt.stats().engine.join_probes
+    };
+    let indexed_probes = converge(NetTrailsConfig::default());
+    let scan_probes = converge(NetTrailsConfig::without_join_indexes());
+    JoinProbeComparison {
+        scenario: name.to_string(),
+        indexed_probes,
+        scan_probes,
+        reduction_factor: scan_probes as f64 / indexed_probes.max(1) as f64,
+    }
+}
 
 fn main() {
     println!("NetTrails experiment report (see DESIGN.md section 2 and EXPERIMENTS.md)\n");
     println!(
         "E1 (architecture / end-to-end flow) is exercised by `cargo run --example quickstart`.\n"
     );
-    for table in nettrails_bench::all_experiments() {
+
+    let mut tables = Vec::new();
+    let mut experiment_wall_ms = Vec::new();
+    for build in nettrails_bench::experiment_builders() {
+        let start = Instant::now();
+        let table = build();
+        experiment_wall_ms.push((table.title.clone(), start.elapsed().as_millis() as u64));
         println!("{table}");
+        tables.push(table);
     }
+
+    let join_probes = vec![
+        probe_comparison(
+            "pathvector_ladder4 (query_optimizations scenario)",
+            protocols::pathvector::PROGRAM,
+            Topology::ladder(4),
+        ),
+        probe_comparison(
+            "mincost_ladder4 (maintenance_overhead scenario)",
+            protocols::mincost::PROGRAM,
+            Topology::ladder(4),
+        ),
+    ];
+    println!("Join-probe comparison (indexed vs full-scan baseline):");
+    for cmp in &join_probes {
+        println!(
+            "  {:50} indexed={:>9} scan={:>9} ({:.1}x fewer candidates)",
+            cmp.scenario, cmp.indexed_probes, cmp.scan_probes, cmp.reduction_factor
+        );
+    }
+
+    let results = BenchResults {
+        format: "nettrails-bench-results/v1".to_string(),
+        experiment_wall_ms,
+        tables,
+        join_probes,
+    };
+    let json = serde_json::to_string_pretty(&results).expect("results serialize");
+    std::fs::write(RESULTS_PATH, &json).expect("write BENCH_results.json");
+    println!("\nwrote {RESULTS_PATH} ({} bytes)", json.len());
 }

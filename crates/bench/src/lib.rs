@@ -62,7 +62,8 @@ pub fn experiment_mincost_provenance(sizes: &[usize]) -> ReportTable {
             .into_iter()
             .max_by_key(|(_, t)| t.values[2].as_int())
             .expect("at least one minCost tuple");
-        let (result, stats) = nt.query(&node, &target, QueryKind::Lineage, &QueryOptions::default());
+        let (result, stats) =
+            nt.query(&node, &target, QueryKind::Lineage, &QueryOptions::default());
         let QueryResult::Lineage(tree) = result else {
             unreachable!()
         };
@@ -136,7 +137,10 @@ pub fn experiment_maintenance_overhead(sizes: &[usize]) -> ReportTable {
                     (ws.stored_tuples as f64 + ws.provenance.tuple_vertices as f64)
                         / bs.stored_tuples.max(1) as f64,
                 )
-                .with("byte_overhead_x", (proto_bytes + prov_bytes) / proto_bytes.max(1.0)),
+                .with(
+                    "byte_overhead_x",
+                    (proto_bytes + prov_bytes) / proto_bytes.max(1.0),
+                ),
         );
     }
     table
@@ -341,17 +345,24 @@ pub fn experiment_logstore_replay(cadences: &[usize]) -> ReportTable {
     table
 }
 
+/// The standard experiments as lazily-built closures, so callers (the
+/// `report` binary) can time each table's construction individually.
+#[allow(clippy::type_complexity)]
+pub fn experiment_builders() -> Vec<Box<dyn Fn() -> ReportTable>> {
+    vec![
+        Box::new(|| experiment_mincost_provenance(&[2, 4, 8])),
+        Box::new(|| experiment_incremental(&[2, 3, 4])),
+        Box::new(|| experiment_maintenance_overhead(&[2, 4, 8])),
+        Box::new(|| experiment_bgp(&[(2, 3, 5), (3, 6, 12), (3, 8, 20)])),
+        Box::new(experiment_query_types),
+        Box::new(experiment_query_optimizations),
+        Box::new(|| experiment_logstore_replay(&[1, 2, 4])),
+    ]
+}
+
 /// All experiment tables, in order (used by the `report` binary).
 pub fn all_experiments() -> Vec<ReportTable> {
-    vec![
-        experiment_mincost_provenance(&[2, 4, 8]),
-        experiment_incremental(&[2, 3, 4]),
-        experiment_maintenance_overhead(&[2, 4, 8]),
-        experiment_bgp(&[(2, 3, 5), (3, 6, 12), (3, 8, 20)]),
-        experiment_query_types(),
-        experiment_query_optimizations(),
-        experiment_logstore_replay(&[1, 2, 4]),
-    ]
+    experiment_builders().iter().map(|build| build()).collect()
 }
 
 #[cfg(test)]

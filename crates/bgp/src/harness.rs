@@ -136,10 +136,8 @@ impl BgpHarness {
         };
         let origin = event.origin.clone();
         self.record_fib_change(&origin, &event.prefix);
-        let initial: VecDeque<(String, crate::speaker::Outgoing)> = outgoing
-            .into_iter()
-            .map(|o| (origin.clone(), o))
-            .collect();
+        let initial: VecDeque<(String, crate::speaker::Outgoing)> =
+            outgoing.into_iter().map(|o| (origin.clone(), o)).collect();
         self.propagate(initial);
     }
 
@@ -188,12 +186,8 @@ impl BgpHarness {
             let (rule, inputs, input_tuples): (String, Vec<TupleId>, Vec<Tuple>) =
                 match &route.learned_from {
                     Some(neighbor) => {
-                        let input = Proxy::input_route_tuple(
-                            asn,
-                            neighbor,
-                            &route.prefix,
-                            &route.as_path,
-                        );
+                        let input =
+                            Proxy::input_route_tuple(asn, neighbor, &route.prefix, &route.as_path);
                         (SELECT_RULE.to_string(), vec![input.id()], vec![input])
                     }
                     None => (BASE_RULE.to_string(), vec![], vec![]),
@@ -273,7 +267,9 @@ mod tests {
     fn fib_provenance_traces_back_to_the_origin_announcement() {
         let mut h = BgpHarness::new(small_topology());
         h.apply_event(&announce("AS1000", "10.0.0.0/24"));
-        let target = h.fib_tuple("AS201", "10.0.0.0/24").expect("route installed");
+        let target = h
+            .fib_tuple("AS201", "10.0.0.0/24")
+            .expect("route installed");
         let mut qe = QueryEngine::new();
         let (result, _) = qe.query(
             h.provenance(),
@@ -306,8 +302,7 @@ mod tests {
         assert!(
             bases.iter().any(|(_, t)| t
                 .as_ref()
-                .map(|t| t.relation == "outputRoute"
-                    && t.values[0].as_addr() == Some("AS1000"))
+                .map(|t| t.relation == "outputRoute" && t.values[0].as_addr() == Some("AS1000"))
                 .unwrap_or(false)),
             "origin announcement is a base vertex: {bases:?}"
         );
@@ -330,7 +325,10 @@ mod tests {
             after < before,
             "FIB provenance entries retracted ({before} -> {after})"
         );
-        assert!(h.stats().fib_changes >= 10, "announce + withdraw across 6 ASes");
+        assert!(
+            h.stats().fib_changes >= 10,
+            "announce + withdraw across 6 ASes"
+        );
     }
 
     #[test]

@@ -322,10 +322,7 @@ mod tests {
     fn speaker(asn: &str, neighbors: &[(&str, Relation)]) -> Speaker {
         Speaker::new(
             asn,
-            neighbors
-                .iter()
-                .map(|(n, r)| (n.to_string(), *r))
-                .collect(),
+            neighbors.iter().map(|(n, r)| (n.to_string(), *r)).collect(),
         )
     }
 
@@ -352,7 +349,10 @@ mod tests {
     fn customer_routes_are_preferred_over_provider_routes() {
         let mut s = speaker(
             "AS200",
-            &[("AS1000", Relation::Customer), ("AS100", Relation::Provider)],
+            &[
+                ("AS1000", Relation::Customer),
+                ("AS100", Relation::Provider),
+            ],
         );
         // Longer path via customer vs shorter via provider: customer wins.
         s.receive(

@@ -75,7 +75,11 @@ impl TraceGenerator {
         let mut owned: Vec<(String, String)> = Vec::new();
         for origin in &origins {
             for p in 0..self.prefixes_per_origin {
-                let prefix = format!("10.{}.{}.0/24", origins.iter().position(|o| o == origin).unwrap_or(0) % 256, p);
+                let prefix = format!(
+                    "10.{}.{}.0/24",
+                    origins.iter().position(|o| o == origin).unwrap_or(0) % 256,
+                    p
+                );
                 owned.push((origin.clone(), prefix.clone()));
                 events.push(TraceEvent {
                     at_secs: time,
@@ -92,14 +96,14 @@ impl TraceGenerator {
                 break;
             }
             let (origin, prefix) = owned[rng.gen_range(0..owned.len())].clone();
-            time += rng.gen_range(1..=5);
+            time += rng.gen_range(1..=5u64);
             events.push(TraceEvent {
                 at_secs: time,
                 origin: origin.clone(),
                 prefix: prefix.clone(),
                 kind: TraceEventKind::Withdraw,
             });
-            time += rng.gen_range(1..=5);
+            time += rng.gen_range(1..=5u64);
             events.push(TraceEvent {
                 at_secs: time,
                 origin,

@@ -1,0 +1,220 @@
+//! Vendored, dependency-free bench harness exposing the slice of the
+//! `criterion` API the workspace benches use. Measurements are wall-clock
+//! medians over a modest number of iterations — enough to compare runs of
+//! this repository against each other, with the same source-level API as real
+//! criterion so the bench files compile unchanged.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a value (API parity; the vendored
+/// harness consumes results by writing them to a volatile sink).
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a function name and a displayable parameter.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.parameter.is_empty() {
+            write!(f, "{}", self.function)
+        } else {
+            write!(f, "{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+/// Batch sizing hint (accepted for API parity; batches are per-iteration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Timing loop handed to bench closures.
+pub struct Bencher {
+    sample_size: usize,
+    /// Median nanoseconds per iteration, recorded by the last `iter*` call.
+    last_median_ns: u128,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Bencher {
+            sample_size,
+            last_median_ns: 0,
+        }
+    }
+
+    fn record(&mut self, mut samples: Vec<u128>) {
+        samples.sort_unstable();
+        self.last_median_ns = samples.get(samples.len() / 2).copied().unwrap_or(0);
+    }
+
+    /// Time a routine.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            samples.push(start.elapsed().as_nanos());
+        }
+        self.record(samples);
+    }
+
+    /// Time a routine with a per-iteration setup whose cost is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            samples.push(start.elapsed().as_nanos());
+        }
+        self.record(samples);
+    }
+}
+
+/// One recorded measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// `group/function/parameter` label.
+    pub id: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: u128,
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Set the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API parity; the vendored harness is iteration-bounded,
+    /// not time-bounded.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmark a routine parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher, input);
+        self.criterion.report(label, bencher.last_median_ns);
+        self
+    }
+
+    /// Benchmark an unparameterized routine.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, name);
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        self.criterion.report(label, bencher.last_median_ns);
+        self
+    }
+
+    /// Finish the group (measurements were reported eagerly).
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    measurements: Vec<Measurement>,
+}
+
+impl Criterion {
+    /// Accepted for API parity with generated `main` functions.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Start a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Benchmark a standalone function.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(10);
+        f(&mut bencher);
+        self.report(name.to_string(), bencher.last_median_ns);
+        self
+    }
+
+    fn report(&mut self, id: String, median_ns: u128) {
+        println!("bench: {id:60} {:>12} ns/iter (median)", median_ns);
+        self.measurements.push(Measurement { id, median_ns });
+    }
+
+    /// All measurements recorded so far.
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.measurements
+    }
+}
+
+/// Define a bench group runner, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define the bench binary's `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench`/`cargo test` pass harness flags; accept and
+            // ignore them, but honour `--test`-style smoke invocation by
+            // running everything either way.
+            $($group();)+
+        }
+    };
+}

@@ -46,7 +46,10 @@ impl SnapshotDiff {
             s.nodes
                 .iter()
                 .flat_map(|(node, ns)| {
-                    ns.relations.values().flatten().map(move |t| (node.clone(), t.to_string()))
+                    ns.relations
+                        .values()
+                        .flatten()
+                        .map(move |t| (node.clone(), t.to_string()))
                 })
                 .collect()
         };

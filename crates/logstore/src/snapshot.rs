@@ -105,9 +105,8 @@ mod tests {
     use std::sync::Arc;
 
     fn engine_with_links() -> NodeEngine {
-        let program = Arc::new(
-            CompiledProgram::from_source("r1 cost(@S,D,C) :- link(@S,D,C).").unwrap(),
-        );
+        let program =
+            Arc::new(CompiledProgram::from_source("r1 cost(@S,D,C) :- link(@S,D,C).").unwrap());
         let mut e = NodeEngine::new(program, EngineConfig::new("n1"));
         e.insert_base(Tuple::new(
             "link",
@@ -136,9 +135,10 @@ mod tests {
             time: SimTime::from_secs(3),
             ..Default::default()
         };
-        snapshot
-            .nodes
-            .insert("n1".into(), NodeSnapshot::capture("n1", e.database(), &prov));
+        snapshot.nodes.insert(
+            "n1".into(),
+            NodeSnapshot::capture("n1", e.database(), &prov),
+        );
         assert_eq!(snapshot.tuple_count(), 2);
         assert_eq!(snapshot.relation("cost").len(), 1);
         assert_eq!(snapshot.relation("nope").len(), 0);

@@ -23,9 +23,7 @@ impl LogStore {
     /// order; out-of-order snapshots are inserted at the right position).
     pub fn add(&mut self, snapshot: SystemSnapshot) {
         self.uploaded_bytes += snapshot.upload_bytes() as u64;
-        let pos = self
-            .snapshots
-            .partition_point(|s| s.time <= snapshot.time);
+        let pos = self.snapshots.partition_point(|s| s.time <= snapshot.time);
         self.snapshots.insert(pos, snapshot);
     }
 
@@ -103,8 +101,14 @@ mod tests {
         let mut store = LogStore::new();
         store.add(snapshot_at(5));
         store.add(snapshot_at(10));
-        assert_eq!(store.at(SimTime::from_secs(7)).unwrap().time, SimTime::from_secs(5));
-        assert_eq!(store.at(SimTime::from_secs(10)).unwrap().time, SimTime::from_secs(10));
+        assert_eq!(
+            store.at(SimTime::from_secs(7)).unwrap().time,
+            SimTime::from_secs(5)
+        );
+        assert_eq!(
+            store.at(SimTime::from_secs(10)).unwrap().time,
+            SimTime::from_secs(10)
+        );
         assert!(store.at(SimTime::from_secs(1)).is_none());
     }
 

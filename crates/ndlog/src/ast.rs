@@ -85,7 +85,14 @@ impl BinOp {
     pub fn is_comparison(self) -> bool {
         matches!(
             self,
-            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::And | BinOp::Or
+            BinOp::Eq
+                | BinOp::Ne
+                | BinOp::Lt
+                | BinOp::Le
+                | BinOp::Gt
+                | BinOp::Ge
+                | BinOp::And
+                | BinOp::Or
         )
     }
 
@@ -394,15 +401,11 @@ impl Predicate {
         let mut out = Vec::new();
         for t in &self.terms {
             match t {
-                Term::Variable { name, .. } => {
-                    if !out.contains(name) {
-                        out.push(name.clone());
-                    }
+                Term::Variable { name, .. } if !out.contains(name) => {
+                    out.push(name.clone());
                 }
-                Term::Aggregate(a) => {
-                    if a.var != "*" && !out.contains(&a.var) {
-                        out.push(a.var.clone());
-                    }
+                Term::Aggregate(a) if a.var != "*" && !out.contains(&a.var) => {
+                    out.push(a.var.clone());
                 }
                 _ => {}
             }
@@ -596,7 +599,11 @@ impl Program {
     /// rule head): these are the program's **base relations** (extensional
     /// database), populated by the environment (links, preferences, ...).
     pub fn base_relations(&self) -> Vec<String> {
-        let derived: Vec<&str> = self.rules.iter().map(|r| r.head.relation.as_str()).collect();
+        let derived: Vec<&str> = self
+            .rules
+            .iter()
+            .map(|r| r.head.relation.as_str())
+            .collect();
         let mut out = Vec::new();
         for rule in &self.rules {
             for atom in rule.body_atoms() {
@@ -747,6 +754,9 @@ mod tests {
             max_size: Some(100),
             keys: vec![1, 2],
         };
-        assert_eq!(m.to_string(), "materialize(link, infinity, 100, keys(1,2)).");
+        assert_eq!(
+            m.to_string(),
+            "materialize(link, infinity, 100, keys(1,2))."
+        );
     }
 }

@@ -27,21 +27,81 @@ pub struct Builtin {
 ///   AS hop.
 /// * `f_now`, `f_rand`, `f_min`, `f_max`, `f_abs` are general utilities.
 pub const BUILTINS: &[Builtin] = &[
-    Builtin { name: "f_concat", arity: 2, description: "concatenate two lists (or value onto list)" },
-    Builtin { name: "f_append", arity: 2, description: "append a value to the end of a list" },
-    Builtin { name: "f_prepend", arity: 2, description: "prepend a value to the front of a list" },
-    Builtin { name: "f_initlist", arity: 1, description: "create a singleton list" },
-    Builtin { name: "f_initlist2", arity: 2, description: "create a two-element list" },
-    Builtin { name: "f_member", arity: 2, description: "1 if the value is a member of the list, else 0" },
-    Builtin { name: "f_last", arity: 1, description: "last element of a list" },
-    Builtin { name: "f_first", arity: 1, description: "first element of a list" },
-    Builtin { name: "f_size", arity: 1, description: "length of a list" },
-    Builtin { name: "f_isExtend", arity: 3, description: "1 if route A extends route B by appending node N" },
-    Builtin { name: "f_min", arity: 2, description: "minimum of two values" },
-    Builtin { name: "f_max", arity: 2, description: "maximum of two values" },
-    Builtin { name: "f_abs", arity: 1, description: "absolute value" },
-    Builtin { name: "f_sha1", arity: 1, description: "stable 64-bit digest of a value (used for identifiers)" },
-    Builtin { name: "f_tostr", arity: 1, description: "render a value as a string" },
+    Builtin {
+        name: "f_concat",
+        arity: 2,
+        description: "concatenate two lists (or value onto list)",
+    },
+    Builtin {
+        name: "f_append",
+        arity: 2,
+        description: "append a value to the end of a list",
+    },
+    Builtin {
+        name: "f_prepend",
+        arity: 2,
+        description: "prepend a value to the front of a list",
+    },
+    Builtin {
+        name: "f_initlist",
+        arity: 1,
+        description: "create a singleton list",
+    },
+    Builtin {
+        name: "f_initlist2",
+        arity: 2,
+        description: "create a two-element list",
+    },
+    Builtin {
+        name: "f_member",
+        arity: 2,
+        description: "1 if the value is a member of the list, else 0",
+    },
+    Builtin {
+        name: "f_last",
+        arity: 1,
+        description: "last element of a list",
+    },
+    Builtin {
+        name: "f_first",
+        arity: 1,
+        description: "first element of a list",
+    },
+    Builtin {
+        name: "f_size",
+        arity: 1,
+        description: "length of a list",
+    },
+    Builtin {
+        name: "f_isExtend",
+        arity: 3,
+        description: "1 if route A extends route B by appending node N",
+    },
+    Builtin {
+        name: "f_min",
+        arity: 2,
+        description: "minimum of two values",
+    },
+    Builtin {
+        name: "f_max",
+        arity: 2,
+        description: "maximum of two values",
+    },
+    Builtin {
+        name: "f_abs",
+        arity: 1,
+        description: "absolute value",
+    },
+    Builtin {
+        name: "f_sha1",
+        arity: 1,
+        description: "stable 64-bit digest of a value (used for identifiers)",
+    },
+    Builtin {
+        name: "f_tostr",
+        arity: 1,
+        description: "render a value as a string",
+    },
 ];
 
 /// Look up a builtin by name.

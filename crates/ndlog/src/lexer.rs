@@ -142,7 +142,11 @@ impl<'a> Lexer<'a> {
                                 }
                             }
                             if !closed {
-                                return Err(NdlogError::lex(line, column, "unterminated block comment"));
+                                return Err(NdlogError::lex(
+                                    line,
+                                    column,
+                                    "unterminated block comment",
+                                ));
                             }
                         }
                         _ => return Ok(()),
@@ -293,7 +297,13 @@ impl<'a> Lexer<'a> {
                     self.bump();
                     Token::EqEq
                 }
-                _ => return Err(NdlogError::lex(line, column, "expected `==` (use `:=` for assignment)")),
+                _ => {
+                    return Err(NdlogError::lex(
+                        line,
+                        column,
+                        "expected `==` (use `:=` for assignment)",
+                    ))
+                }
             },
             '!' => match self.peek() {
                 Some('=') => {
@@ -349,7 +359,11 @@ mod tests {
     use super::*;
 
     fn kinds(src: &str) -> Vec<Token> {
-        tokenize(src).unwrap().into_iter().map(|t| t.token).collect()
+        tokenize(src)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.token)
+            .collect()
     }
 
     #[test]

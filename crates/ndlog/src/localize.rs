@@ -166,7 +166,9 @@ impl LocSpec {
 fn atom_location(p: &crate::ast::Predicate) -> Option<LocSpec> {
     p.terms.iter().find(|t| t.is_location()).map(|t| match t {
         Term::Variable { name, .. } => LocSpec::Var(name.clone()),
-        Term::Constant { value, .. } => LocSpec::Const(value.to_string().trim_matches('"').to_string()),
+        Term::Constant { value, .. } => {
+            LocSpec::Const(value.to_string().trim_matches('"').to_string())
+        }
         _ => unreachable!("aggregates/wildcards cannot carry @"),
     })
 }

@@ -196,8 +196,7 @@ impl Parser {
             return Ok(BodyElem::Assign { var, expr });
         }
         // Negated atom: !rel(..)
-        if matches!(self.peek(), Some(Token::Bang))
-            && matches!(self.peek2(), Some(Token::Ident(_)))
+        if matches!(self.peek(), Some(Token::Bang)) && matches!(self.peek2(), Some(Token::Ident(_)))
         {
             self.bump();
             let mut p = self.predicate(true)?;
@@ -569,16 +568,17 @@ mod tests {
 
     #[test]
     fn parses_unnamed_rules_with_generated_names() {
-        let program =
-            parse_program("reachable(@S,D) :- link(@S,D,C).\nreachable(@S,D) :- link(@S,Z,C), reachable(@Z,D).").unwrap();
+        let program = parse_program(
+            "reachable(@S,D) :- link(@S,D,C).\nreachable(@S,D) :- link(@S,Z,C), reachable(@Z,D).",
+        )
+        .unwrap();
         assert_eq!(program.rules[0].name, "rule_1");
         assert_eq!(program.rules[1].name, "rule_2");
     }
 
     #[test]
     fn parses_negation_and_wildcards() {
-        let rule =
-            parse_rule("r1 lonely(@N) :- node(@N), !link(@N,_,_).").unwrap();
+        let rule = parse_rule("r1 lonely(@N) :- node(@N), !link(@N,_,_).").unwrap();
         let atoms: Vec<_> = rule.body_atoms().collect();
         assert_eq!(atoms.len(), 2);
         assert!(atoms[1].negated);
@@ -593,7 +593,11 @@ mod tests {
                 assert_eq!(var, "X");
                 // B + (C * 2)
                 match expr {
-                    Expr::Binary { op: BinOp::Add, rhs, .. } => {
+                    Expr::Binary {
+                        op: BinOp::Add,
+                        rhs,
+                        ..
+                    } => {
                         assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
                     }
                     other => panic!("bad precedence: {other:?}"),

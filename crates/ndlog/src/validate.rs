@@ -105,12 +105,7 @@ pub fn validate_rule(rule: &Rule) -> Result<()> {
 }
 
 fn check_locations(rule: &Rule) -> Result<()> {
-    let head_locs = rule
-        .head
-        .terms
-        .iter()
-        .filter(|t| t.is_location())
-        .count();
+    let head_locs = rule.head.terms.iter().filter(|t| t.is_location()).count();
     if head_locs != 1 {
         return Err(NdlogError::validation(
             Some(&rule.name),
@@ -158,21 +153,17 @@ fn check_safety(rule: &Rule) -> Result<()> {
     // Head variables must be bound.
     for term in &rule.head.terms {
         match term {
-            Term::Variable { name, .. } => {
-                if !bound.contains(name) {
-                    return Err(NdlogError::validation(
-                        Some(&rule.name),
-                        format!("head variable `{name}` is not bound in the body"),
-                    ));
-                }
+            Term::Variable { name, .. } if !bound.contains(name) => {
+                return Err(NdlogError::validation(
+                    Some(&rule.name),
+                    format!("head variable `{name}` is not bound in the body"),
+                ));
             }
-            Term::Aggregate(a) => {
-                if a.var != "*" && !bound.contains(&a.var) {
-                    return Err(NdlogError::validation(
-                        Some(&rule.name),
-                        format!("aggregated variable `{}` is not bound in the body", a.var),
-                    ));
-                }
+            Term::Aggregate(a) if a.var != "*" && !bound.contains(&a.var) => {
+                return Err(NdlogError::validation(
+                    Some(&rule.name),
+                    format!("aggregated variable `{}` is not bound in the body", a.var),
+                ));
             }
             _ => {}
         }
@@ -269,7 +260,9 @@ fn check_builtins(rule: &Rule) -> Result<()> {
     let mut calls = Vec::new();
     for elem in &rule.body {
         match elem {
-            BodyElem::Assign { expr, .. } | BodyElem::Filter(expr) => collect_calls(expr, &mut calls),
+            BodyElem::Assign { expr, .. } | BodyElem::Filter(expr) => {
+                collect_calls(expr, &mut calls)
+            }
             _ => {}
         }
     }
@@ -353,8 +346,7 @@ mod tests {
     fn rejects_unknown_builtin_and_bad_arity() {
         let err = validate_src("r1 out(@A,X) :- in(@A,X), f_nosuch(X) == 1.").unwrap_err();
         assert!(err.to_string().contains("unknown builtin"));
-        let err =
-            validate_src("r1 out(@A,X) :- in(@A,X), f_isExtend(X) == 1.").unwrap_err();
+        let err = validate_src("r1 out(@A,X) :- in(@A,X), f_isExtend(X) == 1.").unwrap_err();
         assert!(err.to_string().contains("expected 3"));
     }
 
@@ -379,8 +371,7 @@ mod tests {
 
     #[test]
     fn rejects_multiple_aggregates() {
-        let err =
-            validate_src("r1 agg(@S,min<C>,max<C>) :- cost(@S,D,C).").unwrap_err();
+        let err = validate_src("r1 agg(@S,min<C>,max<C>) :- cost(@S,D,C).").unwrap_err();
         assert!(err.to_string().contains("at most one aggregate"));
     }
 

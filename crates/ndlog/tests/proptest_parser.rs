@@ -8,7 +8,15 @@ fn relation_name() -> impl Strategy<Value = String> {
     "[a-z][a-zA-Z0-9]{0,6}".prop_filter("avoid keywords", |s| {
         !matches!(
             s.as_str(),
-            "materialize" | "keys" | "infinity" | "min" | "max" | "count" | "sum" | "true" | "false"
+            "materialize"
+                | "keys"
+                | "infinity"
+                | "min"
+                | "max"
+                | "count"
+                | "sum"
+                | "true"
+                | "false"
         )
     })
 }
@@ -29,8 +37,11 @@ fn simple_rule() -> impl Strategy<Value = String> {
         .prop_map(|(head, body, vars, c)| {
             let head_args = vars.join(",");
             let body_args = vars.join(",");
-            format!("r1 {head}(@{head_args}) :- {body}(@{body_args}, {c}).",
-                    head_args = head_args, body_args = body_args)
+            format!(
+                "r1 {head}(@{head_args}) :- {body}(@{body_args}, {c}).",
+                head_args = head_args,
+                body_args = body_args
+            )
         })
 }
 

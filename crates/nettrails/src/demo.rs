@@ -117,9 +117,9 @@ impl DemoScript {
                     options,
                 } => {
                     let target = nt.find_tuple(relation, |t| {
-                        constraints
-                            .iter()
-                            .all(|(col, value)| t.values.get(*col).and_then(|v| v.as_addr()) == Some(value))
+                        constraints.iter().all(|(col, value)| {
+                            t.values.get(*col).and_then(|v| v.as_addr()) == Some(value)
+                        })
                     });
                     match target {
                         Some((_, tuple)) => {
@@ -208,7 +208,11 @@ mod tests {
         };
         let (_, outcomes) = script.run().unwrap();
         match &outcomes[1] {
-            DemoOutcome::Answered { target: None, result: None, .. } => {}
+            DemoOutcome::Answered {
+                target: None,
+                result: None,
+                ..
+            } => {}
             other => panic!("unexpected {other:?}"),
         }
     }

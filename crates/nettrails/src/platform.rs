@@ -3,8 +3,10 @@
 use nt_runtime::{
     Addr, CompiledProgram, Delta, Derivation, EngineConfig, EngineStats, NodeEngine, Tuple,
 };
-use provenance::{ProvGraph, ProvenanceSystem, QueryEngine, QueryKind, QueryOptions, QueryResult,
-    QueryStats, SystemStats};
+use provenance::{
+    ProvGraph, ProvenanceSystem, QueryEngine, QueryKind, QueryOptions, QueryResult, QueryStats,
+    SystemStats,
+};
 use serde::{Deserialize, Serialize};
 use simnet::{Network, NetworkConfig, SimTime, Topology, TopologyEvent, TrafficStats};
 use std::collections::BTreeMap;
@@ -37,6 +39,10 @@ pub struct NetTrailsConfig {
     /// Safety cap on the number of engine/network rounds per
     /// [`NetTrails::run_to_fixpoint`] call.
     pub max_rounds: usize,
+    /// Let engines probe secondary indexes through their join plans (the
+    /// default). Disable for the reference full-scan evaluation used by the
+    /// join-probe regression experiments.
+    pub use_join_indexes: bool,
 }
 
 impl Default for NetTrailsConfig {
@@ -45,6 +51,7 @@ impl Default for NetTrailsConfig {
             capture_provenance: true,
             network: NetworkConfig::default(),
             max_rounds: 1_000_000,
+            use_join_indexes: true,
         }
     }
 }
@@ -54,6 +61,15 @@ impl NetTrailsConfig {
     pub fn without_provenance() -> Self {
         NetTrailsConfig {
             capture_provenance: false,
+            ..NetTrailsConfig::default()
+        }
+    }
+
+    /// A configuration whose engines evaluate joins by full scans (the
+    /// pre-index baseline).
+    pub fn without_join_indexes() -> Self {
+        NetTrailsConfig {
+            use_join_indexes: false,
             ..NetTrailsConfig::default()
         }
     }
@@ -120,9 +136,11 @@ impl NetTrails {
         let program = Arc::new(CompiledProgram::from_source(program_src)?);
         let mut engines = BTreeMap::new();
         for node in topology.nodes() {
+            let mut engine_config = EngineConfig::new(node);
+            engine_config.use_join_indexes = config.use_join_indexes;
             engines.insert(
                 node.to_string(),
-                NodeEngine::new(program.clone(), EngineConfig::new(node)),
+                NodeEngine::new(program.clone(), engine_config),
             );
         }
         let provenance = ProvenanceSystem::new(topology.nodes().map(str::to_string));

@@ -104,9 +104,7 @@ where
     serializer.collect_seq(vertices.iter())
 }
 
-fn deserialize_vertices<'de, D>(
-    deserializer: D,
-) -> Result<BTreeMap<VertexId, ProvVertex>, D::Error>
+fn deserialize_vertices<'de, D>(deserializer: D) -> Result<BTreeMap<VertexId, ProvVertex>, D::Error>
 where
     D: serde::Deserializer<'de>,
 {

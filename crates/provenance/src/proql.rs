@@ -81,9 +81,7 @@ pub fn parse_query(src: &str) -> Result<ProqlQuery, String> {
     while i < tokens.len() {
         match tokens[i] {
             "back" | "forward" => {
-                let count = tokens
-                    .get(i + 1)
-                    .and_then(|t| t.parse::<usize>().ok());
+                let count = tokens.get(i + 1).and_then(|t| t.parse::<usize>().ok());
                 if count.is_some() {
                     i += 1;
                 }
@@ -204,12 +202,10 @@ fn walk(
                             }
                         }
                     }
-                    Some(_) => {
-                        if result.insert(n) {
-                            next.insert(n);
-                        }
+                    Some(_) if result.insert(n) => {
+                        next.insert(n);
                     }
-                    None => {}
+                    Some(_) | None => {}
                 }
             }
         }

@@ -277,15 +277,7 @@ impl QueryEngine {
             self.charge(&mut stats, querier, &home, 64, options);
         }
         let mut visited = HashSet::new();
-        let tree = self.expand(
-            system,
-            &home,
-            vid,
-            0,
-            options,
-            &mut stats,
-            &mut visited,
-        );
+        let tree = self.expand(system, &home, vid, 0, options, &mut stats, &mut visited);
         let result = match kind {
             QueryKind::Lineage => QueryResult::Lineage(tree),
             QueryKind::BaseTuples => {
@@ -303,9 +295,7 @@ impl QueryEngine {
                 collect_nodes(&tree, &mut nodes);
                 QueryResult::ParticipatingNodes(nodes)
             }
-            QueryKind::DerivationCount => {
-                QueryResult::DerivationCount(count_derivations(&tree))
-            }
+            QueryKind::DerivationCount => QueryResult::DerivationCount(count_derivations(&tree)),
         };
         (result, stats)
     }
@@ -521,10 +511,17 @@ mod tests {
         let best = tuple("best", "n3", 3);
         base(&mut sys, &l1, "n1");
         base(&mut sys, &l2, "n2");
-        derive(&mut sys, "r1", "n1", &cost, "n2", &[l1.clone()]);
-        derive(&mut sys, "r2", "n2", &best, "n3", &[cost.clone(), l2.clone()]);
+        derive(&mut sys, "r1", "n1", &cost, "n2", std::slice::from_ref(&l1));
+        derive(
+            &mut sys,
+            "r2",
+            "n2",
+            &best,
+            "n3",
+            &[cost.clone(), l2.clone()],
+        );
         // An alternative derivation of `best` directly from l2.
-        derive(&mut sys, "r3", "n2", &best, "n3", &[l2.clone()]);
+        derive(&mut sys, "r3", "n2", &best, "n3", std::slice::from_ref(&l2));
         (sys, best)
     }
 

@@ -296,5 +296,4 @@ mod tests {
         let exec_rule = rewritten.rule("r1_exec").unwrap();
         assert_eq!(exec_rule.head.location_variable(), Some("S"));
     }
-
 }

@@ -178,11 +178,12 @@ impl ProvenanceStore {
 
     /// Add a `ruleExec` entry (idempotent).
     pub fn add_rule_exec(&mut self, exec: RuleExec) -> bool {
-        if self.rule_execs.contains_key(&exec.rid) {
-            false
-        } else {
-            self.rule_execs.insert(exec.rid, exec);
-            true
+        match self.rule_execs.entry(exec.rid) {
+            std::collections::btree_map::Entry::Occupied(_) => false,
+            std::collections::btree_map::Entry::Vacant(v) => {
+                v.insert(exec);
+                true
+            }
         }
     }
 

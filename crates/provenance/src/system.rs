@@ -265,7 +265,13 @@ mod tests {
         let cost = tuple("cost", "n2", 5);
         sys.apply_firing(&base_firing(&link, "n1"));
         // Rule fires at n1 but the head lives at n2 -> prov entry shipped.
-        sys.apply_firing(&rule_firing("r1", "n1", &cost, "n2", &[link.clone()]));
+        sys.apply_firing(&rule_firing(
+            "r1",
+            "n1",
+            &cost,
+            "n2",
+            std::slice::from_ref(&link),
+        ));
 
         let n1 = sys.store("n1").unwrap();
         let n2 = sys.store("n2").unwrap();
@@ -291,7 +297,7 @@ mod tests {
         let link = tuple("link", "n1", 5);
         let cost = tuple("cost", "n1", 5);
         sys.apply_firing(&base_firing(&link, "n1"));
-        let f = rule_firing("r1", "n1", &cost, "n1", &[link.clone()]);
+        let f = rule_firing("r1", "n1", &cost, "n1", std::slice::from_ref(&link));
         sys.apply_firing(&f);
         assert_eq!(sys.stats().prov_entries, 2);
         assert_eq!(sys.stats().rule_execs, 1);
@@ -316,7 +322,7 @@ mod tests {
         let link = tuple("link", "n1", 5);
         let cost = tuple("cost", "n1", 5);
         sys.apply_firing(&base_firing(&link, "n1"));
-        let f = rule_firing("r1", "n1", &cost, "n1", &[link.clone()]);
+        let f = rule_firing("r1", "n1", &cost, "n1", std::slice::from_ref(&link));
         sys.apply_firing(&f);
         sys.apply_firing(&f);
         assert_eq!(sys.stats().prov_entries, 2);

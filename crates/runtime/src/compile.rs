@@ -10,9 +10,10 @@
 use crate::catalog::Catalog;
 use crate::error::{Result, RuntimeError};
 use ndlog::localize::{localize_rule, RuleLocation};
-use ndlog::{AggregateFunc, BodyElem, Predicate, Program, Rule, RuleKind, Term};
+use ndlog::{AggregateFunc, BodyElem, Literal, Predicate, Program, Rule, RuleKind, Term};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, HashMap};
 
 /// Aggregate specification for rules such as `minCost(@S,D,min<C>) :- ...`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -23,6 +24,97 @@ pub struct AggSpec {
     pub agg_col: usize,
     /// The aggregated body variable (`*` for `count<*>`).
     pub var: String,
+}
+
+/// How a column of a body atom is bound at probe time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum BoundTerm {
+    /// The column carries a constant from the rule text.
+    Const(Literal),
+    /// The column carries a variable bound by an earlier atom in the plan
+    /// (or by the trigger delta).
+    Var(String),
+}
+
+/// One step of a join plan: which atom to join next and which of its columns
+/// are already bound — the columns [`crate::store::Table::probe`] can use for
+/// an index lookup instead of a scan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanStep {
+    /// Index into [`CompiledRule::positive`].
+    pub atom: usize,
+    /// `(column, binding source)` pairs known bound when this step runs.
+    pub bound_cols: Vec<(usize, BoundTerm)>,
+}
+
+/// A per-trigger join plan: the order in which the remaining positive atoms
+/// are joined after a delta arrives, chosen greedily by bound-variable
+/// connectivity (most bound columns first, earliest atom on ties). Computed
+/// once at compile time so the engine never re-derives it per delta.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JoinPlan {
+    /// The triggering atom position (`None` for full recomputation plans,
+    /// where every atom appears in `steps`).
+    pub trigger: Option<usize>,
+    /// The remaining atoms, in join order.
+    pub steps: Vec<PlanStep>,
+}
+
+/// Variables bound by matching an atom.
+fn atom_vars(atom: &Predicate) -> BTreeSet<String> {
+    atom.terms
+        .iter()
+        .filter_map(|t| match t {
+            Term::Variable { name, .. } => Some(name.clone()),
+            _ => None,
+        })
+        .collect()
+}
+
+/// The columns of `atom` that are bound given `bound_vars`: constants and
+/// variables already bound.
+fn bound_cols_of(atom: &Predicate, bound_vars: &BTreeSet<String>) -> Vec<(usize, BoundTerm)> {
+    atom.terms
+        .iter()
+        .enumerate()
+        .filter_map(|(col, term)| match term {
+            Term::Constant { value, .. } => Some((col, BoundTerm::Const(value.clone()))),
+            Term::Variable { name, .. } if bound_vars.contains(name) => {
+                Some((col, BoundTerm::Var(name.clone())))
+            }
+            _ => None,
+        })
+        .collect()
+}
+
+/// Build the join plan for `positive` triggered at `trigger` (or a full
+/// recomputation plan when `trigger` is `None`).
+fn build_join_plan(positive: &[Predicate], trigger: Option<usize>) -> JoinPlan {
+    let mut bound_vars = trigger.map(|t| atom_vars(&positive[t])).unwrap_or_default();
+    let mut remaining: Vec<usize> = (0..positive.len())
+        .filter(|i| Some(*i) != trigger)
+        .collect();
+    let mut steps = Vec::with_capacity(remaining.len());
+    while !remaining.is_empty() {
+        let (pick, _) = remaining
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &atom_idx)| {
+                (
+                    bound_cols_of(&positive[atom_idx], &bound_vars).len(),
+                    Reverse(atom_idx),
+                )
+            })
+            .expect("remaining is non-empty");
+        let atom_idx = remaining.remove(pick);
+        let bound_cols = bound_cols_of(&positive[atom_idx], &bound_vars);
+        bound_vars.extend(atom_vars(&positive[atom_idx]));
+        steps.push(PlanStep {
+            atom: atom_idx,
+            bound_cols,
+        });
+    }
+    JoinPlan { trigger, steps }
 }
 
 /// One executable rule.
@@ -44,6 +136,18 @@ pub struct CompiledRule {
     pub steps: Vec<BodyElem>,
     /// Aggregate specification, if the head contains one.
     pub aggregate: Option<AggSpec>,
+    /// Join plans, one per positive atom: `plans[i]` joins the remaining
+    /// atoms after a delta bound to atom `i`.
+    pub plans: Vec<JoinPlan>,
+    /// Plan joining *all* positive atoms from scratch (used by
+    /// reconciliation of rules with negation).
+    pub full_plan: JoinPlan,
+    /// For each negated atom, the columns bound once the whole positive body
+    /// (plus assignments) is bound — the probe set for existence checks.
+    pub negated_probes: Vec<Vec<(usize, BoundTerm)>>,
+    /// For aggregate rules, the columns of the single body atom bound by the
+    /// group key — the probe set for group recomputation.
+    pub aggregate_probe: Vec<(usize, BoundTerm)>,
 }
 
 impl CompiledRule {
@@ -193,6 +297,45 @@ fn compile_rule(rule: &Rule, index: usize, catalog: &Catalog) -> Result<Compiled
         ));
     }
 
+    // Join plans: one per trigger position plus the full-recompute plan.
+    let plans: Vec<JoinPlan> = (0..positive.len())
+        .map(|t| build_join_plan(&positive, Some(t)))
+        .collect();
+    let full_plan = build_join_plan(&positive, None);
+
+    // After the positive body matched, every positive variable plus every
+    // assigned variable is bound; negated atoms probe with those.
+    let mut body_vars: BTreeSet<String> = positive.iter().flat_map(atom_vars).collect();
+    for step in &steps {
+        if let BodyElem::Assign { var, .. } = step {
+            body_vars.insert(var.clone());
+        }
+    }
+    let negated_probes: Vec<Vec<(usize, BoundTerm)>> = negated
+        .iter()
+        .map(|n| bound_cols_of(n, &body_vars))
+        .collect();
+
+    // Aggregate rules re-scan their group: the group key binds the head
+    // variables outside the aggregate column.
+    let aggregate_probe = match &aggregate {
+        Some(spec) => {
+            let group_vars: BTreeSet<String> = rule
+                .head
+                .terms
+                .iter()
+                .enumerate()
+                .filter(|(idx, _)| *idx != spec.agg_col)
+                .filter_map(|(_, t)| match t {
+                    Term::Variable { name, .. } => Some(name.clone()),
+                    _ => None,
+                })
+                .collect();
+            bound_cols_of(&positive[0], &group_vars)
+        }
+        None => Vec::new(),
+    };
+
     Ok(CompiledRule {
         rule: rule.clone(),
         index,
@@ -202,6 +345,10 @@ fn compile_rule(rule: &Rule, index: usize, catalog: &Catalog) -> Result<Compiled
         negated,
         steps,
         aggregate,
+        plans,
+        full_plan,
+        negated_probes,
+        aggregate_probe,
     })
 }
 
@@ -246,10 +393,8 @@ mod tests {
 
     #[test]
     fn rejects_aggregate_with_join_body() {
-        let err = CompiledProgram::from_source(
-            "r1 agg(@S,min<C>) :- cost(@S,D,C), link(@S,D,C2).",
-        )
-        .unwrap_err();
+        let err = CompiledProgram::from_source("r1 agg(@S,min<C>) :- cost(@S,D,C), link(@S,D,C2).")
+            .unwrap_err();
         assert!(err.to_string().contains("exactly one positive body atom"));
     }
 
@@ -259,11 +404,65 @@ mod tests {
     }
 
     #[test]
-    fn negation_triggers_are_recorded() {
+    fn join_plans_probe_on_connected_columns() {
+        let cp = CompiledProgram::from_source("r1 out(@S,D) :- a(@S,Z), b(@S,Z,D).").unwrap();
+        let rule = cp.rule("r1").unwrap();
+        assert_eq!(rule.plans.len(), 2);
+
+        // Triggered by atom 0 (binds S, Z): atom 1 probes on columns 0 and 1.
+        let plan = &rule.plans[0];
+        assert_eq!(plan.trigger, Some(0));
+        assert_eq!(plan.steps.len(), 1);
+        assert_eq!(plan.steps[0].atom, 1);
+        let cols: Vec<usize> = plan.steps[0].bound_cols.iter().map(|(c, _)| *c).collect();
+        assert_eq!(cols, vec![0, 1]);
+        assert!(matches!(&plan.steps[0].bound_cols[0].1, BoundTerm::Var(v) if v == "S"));
+
+        // Triggered by atom 1 (binds S, Z, D): atom 0 fully bound.
+        let plan = &rule.plans[1];
+        assert_eq!(plan.steps[0].atom, 0);
+        assert_eq!(plan.steps[0].bound_cols.len(), 2);
+
+        // Full plan starts from a scan and then probes.
+        assert_eq!(rule.full_plan.trigger, None);
+        assert_eq!(rule.full_plan.steps.len(), 2);
+        assert!(rule.full_plan.steps[0].bound_cols.is_empty());
+        assert!(!rule.full_plan.steps[1].bound_cols.is_empty());
+    }
+
+    #[test]
+    fn join_plans_carry_constants_and_negation_probes() {
+        let cp =
+            CompiledProgram::from_source("r1 out(@S) :- a(@S,Z), b(@S,Z,5), !c(@S,Z).").unwrap();
+        let rule = cp.rule("r1").unwrap();
+        // Triggered by atom 0: atom 1 is probed on S, Z and the constant 5.
+        let step = &rule.plans[0].steps[0];
+        assert_eq!(step.atom, 1);
+        assert_eq!(step.bound_cols.len(), 3);
+        assert!(matches!(&step.bound_cols[2].1, BoundTerm::Const(_)));
+        // The negated atom is fully bound by the positive body.
+        assert_eq!(rule.negated_probes.len(), 1);
+        assert_eq!(rule.negated_probes[0].len(), 2);
+    }
+
+    #[test]
+    fn aggregate_rules_probe_their_group_columns() {
         let cp = CompiledProgram::from_source(
-            "r1 isolated(@N,M) :- node(@N), peer(@N,M), !link(@N,M).",
+            "materialize(minCost, infinity, infinity, keys(1,2)).\n\
+             r3 minCost(@S,D,min<C>) :- cost(@S,D,C).",
         )
         .unwrap();
+        let rule = cp.rule("r3").unwrap();
+        // Group key (S, D) binds the first two columns of `cost`.
+        let cols: Vec<usize> = rule.aggregate_probe.iter().map(|(c, _)| *c).collect();
+        assert_eq!(cols, vec![0, 1]);
+    }
+
+    #[test]
+    fn negation_triggers_are_recorded() {
+        let cp =
+            CompiledProgram::from_source("r1 isolated(@N,M) :- node(@N), peer(@N,M), !link(@N,M).")
+                .unwrap();
         assert_eq!(cp.negation_triggers["link"], vec![0]);
         assert!(cp.rules[0].has_negation());
     }

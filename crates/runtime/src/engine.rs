@@ -50,6 +50,11 @@ pub struct EngineConfig {
     /// Safety cap on the number of deltas processed by a single [`NodeEngine::run`]
     /// call; prevents a diverging program from hanging the simulator.
     pub max_deltas_per_run: usize,
+    /// Use the precomputed join plans' bound columns to probe secondary
+    /// indexes (the default). When disabled every join step scans its whole
+    /// table — kept as the reference path for equivalence tests and as the
+    /// baseline the index regression tests compare against.
+    pub use_join_indexes: bool,
 }
 
 impl EngineConfig {
@@ -58,7 +63,15 @@ impl EngineConfig {
         EngineConfig {
             node: node.into(),
             max_deltas_per_run: 1_000_000,
+            use_join_indexes: true,
         }
+    }
+
+    /// Same config with index-backed probing switched off (reference
+    /// full-scan evaluation).
+    pub fn without_indexes(mut self) -> Self {
+        self.use_join_indexes = false;
+        self
     }
 }
 
@@ -76,7 +89,10 @@ pub struct EngineStats {
     pub tuples_sent: u64,
     /// Estimated bytes handed to the network layer.
     pub bytes_sent: u64,
-    /// Join probe operations (scans of candidate tuples).
+    /// Candidate tuples actually examined while joining body atoms,
+    /// checking negated atoms and recomputing aggregate groups. With
+    /// index-backed probing this counts only the tuples surfaced by the
+    /// chosen index; with scans it counts every stored tuple visited.
     pub join_probes: u64,
     /// Aggregate group recomputations.
     pub agg_recomputes: u64,
@@ -139,8 +155,14 @@ impl StepOutput {
 
 #[derive(Debug, Clone)]
 enum WorkItem {
-    Add { tuple: Tuple, derivation: Derivation },
-    Remove { tuple: Tuple, derivation: Derivation },
+    Add {
+        tuple: Tuple,
+        derivation: Derivation,
+    },
+    Remove {
+        tuple: Tuple,
+        derivation: Derivation,
+    },
 }
 
 /// The per-node incremental evaluator. See the module documentation.
@@ -203,17 +225,14 @@ impl NodeEngine {
     /// Queue the deletion of a base tuple previously inserted at this node.
     pub fn delete_base(&mut self, tuple: Tuple) {
         let derivation = Derivation::base(self.config.node.clone());
-        self.queue
-            .push_back(WorkItem::Remove { tuple, derivation });
+        self.queue.push_back(WorkItem::Remove { tuple, derivation });
     }
 
     /// Queue a delta received from another node.
     pub fn apply_remote(&mut self, delta: Delta, derivation: Derivation) {
         match delta {
             Delta::Insert(tuple) => self.queue.push_back(WorkItem::Add { tuple, derivation }),
-            Delta::Delete(tuple) => self
-                .queue
-                .push_back(WorkItem::Remove { tuple, derivation }),
+            Delta::Delete(tuple) => self.queue.push_back(WorkItem::Remove { tuple, derivation }),
         }
     }
 
@@ -263,8 +282,25 @@ impl NodeEngine {
         }
     }
 
+    /// `Value`'s total order equates `Int` and `Double` numerically, so two
+    /// `Tuple`s can be equal while their content-addressed ids differ. Every
+    /// id-keyed structure (dependency index, `by_id`, column indexes) must
+    /// see one representation only: the one already stored. Canonicalize
+    /// incoming deltas to it.
+    fn canonical_tuple(&self, tuple: Tuple) -> Tuple {
+        match self
+            .db
+            .table(&tuple.relation)
+            .and_then(|table| table.get(&tuple))
+        {
+            Some(stored) if stored.tuple.id() != tuple.id() => stored.tuple.clone(),
+            _ => tuple,
+        }
+    }
+
     fn apply_add(&mut self, tuple: Tuple, derivation: Derivation, out: &mut StepOutput) {
         self.ensure_table(&tuple);
+        let tuple = self.canonical_tuple(tuple);
         let is_base = derivation.is_base();
         let inputs = derivation.inputs.clone();
         let membership = self
@@ -313,6 +349,7 @@ impl NodeEngine {
     }
 
     fn apply_remove(&mut self, tuple: Tuple, derivation: Derivation, out: &mut StepOutput) {
+        let tuple = self.canonical_tuple(tuple);
         let Some(table) = self.db.table_mut(&tuple.relation) else {
             return;
         };
@@ -466,7 +503,8 @@ impl NodeEngine {
     // ----------------------------------------------------------------------
 
     /// Evaluate a (non-aggregate, negation-free) rule against a single delta
-    /// tuple bound to the body atom `atom_idx`.
+    /// tuple bound to the body atom `atom_idx`, following the precomputed
+    /// join plan for that trigger position.
     fn eval_rule_delta(
         &mut self,
         rule_idx: usize,
@@ -474,50 +512,75 @@ impl NodeEngine {
         delta_tuple: &Tuple,
         out: &mut StepOutput,
     ) {
-        let rule = self.program.rules[rule_idx].clone();
+        let program = Arc::clone(&self.program);
+        let rule = &program.rules[rule_idx];
         let mut bindings = Bindings::new();
         if !match_atom(&rule.positive[atom_idx], delta_tuple, &mut bindings) {
             return;
         }
         let mut matched: Vec<Option<Tuple>> = vec![None; rule.positive.len()];
         matched[atom_idx] = Some(delta_tuple.clone());
-        let remaining: Vec<usize> = (0..rule.positive.len()).filter(|i| *i != atom_idx).collect();
         let mut results = Vec::new();
-        self.join_remaining(&rule, &remaining, 0, bindings, &mut matched, &mut results);
+        let mut probes = 0u64;
+        self.join_plan(
+            rule,
+            &rule.plans[atom_idx].steps,
+            0,
+            &mut bindings,
+            &mut matched,
+            &mut results,
+            &mut probes,
+        );
+        self.stats.join_probes += probes;
         for (bindings, inputs) in results {
-            self.fire_rule(&rule, &bindings, &inputs, out);
+            self.fire_rule(rule, &bindings, &inputs, out);
         }
     }
 
-    /// Recursively join the remaining body atoms.
-    fn join_remaining(
+    /// Recursively join the atoms of a plan. Each step probes its table
+    /// through the bound columns the plan computed at compile time, so the
+    /// candidate set is an index posting list rather than the whole table;
+    /// bindings are extended in place (with undo) instead of cloned per
+    /// candidate. `probes` counts the candidates actually examined.
+    #[allow(clippy::too_many_arguments)]
+    fn join_plan(
         &self,
         rule: &CompiledRule,
-        remaining: &[usize],
+        steps: &[crate::compile::PlanStep],
         pos: usize,
-        bindings: Bindings,
+        bindings: &mut Bindings,
         matched: &mut Vec<Option<Tuple>>,
         results: &mut Vec<(Bindings, Vec<Tuple>)>,
+        probes: &mut u64,
     ) {
-        if pos == remaining.len() {
+        if pos == steps.len() {
             let inputs: Vec<Tuple> = matched
                 .iter()
                 .map(|t| t.clone().expect("all atoms matched"))
                 .collect();
-            results.push((bindings, inputs));
+            results.push((bindings.clone(), inputs));
             return;
         }
-        let atom_idx = remaining[pos];
-        let atom = &rule.positive[atom_idx];
+        let step = &steps[pos];
+        let atom = &rule.positive[step.atom];
         let Some(table) = self.db.table(&atom.relation) else {
             return;
         };
-        for stored in table.iter() {
-            let mut b = bindings.clone();
-            if match_atom(atom, &stored.tuple, &mut b) {
-                matched[atom_idx] = Some(stored.tuple.clone());
-                self.join_remaining(rule, remaining, pos + 1, b, matched, results);
-                matched[atom_idx] = None;
+        let bound = if self.config.use_join_indexes {
+            resolve_bound_cols(&step.bound_cols, bindings)
+        } else {
+            Vec::new()
+        };
+        for stored in table.probe(&bound) {
+            *probes += 1;
+            let mut added = Vec::new();
+            if match_atom_undo(atom, &stored.tuple, bindings, &mut added) {
+                matched[step.atom] = Some(stored.tuple.clone());
+                self.join_plan(rule, steps, pos + 1, bindings, matched, results, probes);
+                matched[step.atom] = None;
+                for name in added {
+                    bindings.remove(&name);
+                }
             }
         }
     }
@@ -530,14 +593,16 @@ impl NodeEngine {
         inputs: &[Tuple],
         out: &mut StepOutput,
     ) {
-        self.stats.join_probes += 1;
         let Some(bindings) = self.apply_steps(rule, bindings.clone()) else {
             return;
         };
         // Negation checks (only reachable from reconcile_rule, which passes
         // rules with negation through here as well).
-        for neg in &rule.negated {
-            if self.exists_match(neg, &bindings) {
+        for (neg, probe_cols) in rule.negated.iter().zip(&rule.negated_probes) {
+            let mut probes = 0u64;
+            let hit = self.exists_match(neg, probe_cols, &bindings, &mut probes);
+            self.stats.join_probes += probes;
+            if hit {
                 return;
             }
         }
@@ -576,14 +641,34 @@ impl NodeEngine {
         Some(bindings)
     }
 
-    fn exists_match(&self, atom: &Predicate, bindings: &Bindings) -> bool {
+    /// Does any stored tuple match `atom` under `bindings`? Probes the
+    /// relation's indexes through the compile-time bound columns instead of
+    /// scanning; `probes` counts the candidates examined.
+    fn exists_match(
+        &self,
+        atom: &Predicate,
+        probe_cols: &[(usize, crate::compile::BoundTerm)],
+        bindings: &Bindings,
+        probes: &mut u64,
+    ) -> bool {
         let Some(table) = self.db.table(&atom.relation) else {
             return false;
         };
-        table.iter().any(|stored| {
-            let mut b = bindings.clone();
-            match_atom(atom, &stored.tuple, &mut b)
-        })
+        let bound = if self.config.use_join_indexes {
+            resolve_bound_cols(probe_cols, bindings)
+        } else {
+            Vec::new()
+        };
+        // One scratch clone for the whole check instead of one per candidate.
+        let mut scratch = bindings.clone();
+        for stored in table.probe(&bound) {
+            *probes += 1;
+            let mut added = Vec::new();
+            if match_atom_undo(atom, &stored.tuple, &mut scratch, &mut added) {
+                return true;
+            }
+        }
+        false
     }
 
     /// Route a derivation of `head`: apply locally when the head lives here,
@@ -715,16 +800,17 @@ impl NodeEngine {
     /// Recompute the aggregate group(s) of `rule_idx` affected by a change to
     /// `changed`.
     fn recompute_aggregate_for(&mut self, rule_idx: usize, changed: &Tuple, out: &mut StepOutput) {
-        let rule = self.program.rules[rule_idx].clone();
+        let program = Arc::clone(&self.program);
+        let rule = &program.rules[rule_idx];
         let atom = &rule.positive[0];
         let mut bindings = Bindings::new();
         if !match_atom(atom, changed, &mut bindings) {
             return;
         }
-        let Some(group) = group_key(&rule, &bindings) else {
+        let Some(group) = group_key(rule, &bindings) else {
             return;
         };
-        self.recompute_group(rule_idx, &rule, group, out);
+        self.recompute_group(rule_idx, rule, group, out);
     }
 
     fn recompute_group(
@@ -737,10 +823,29 @@ impl NodeEngine {
         self.stats.agg_recomputes += 1;
         let spec = rule.aggregate.clone().expect("aggregate rule");
         let atom = &rule.positive[0];
-        // Collect contributions to this group.
+        // Collect contributions to this group, probing by the group-key
+        // columns so unrelated groups are never visited.
         let mut contributions: Vec<(Value, Tuple)> = Vec::new();
+        let mut probes = 0u64;
+        let bound = if self.config.use_join_indexes {
+            let mut group_bindings = Bindings::new();
+            let mut group_iter = group.iter();
+            for (idx, term) in rule.rule.head.terms.iter().enumerate() {
+                if idx == spec.agg_col {
+                    continue;
+                }
+                let value = group_iter.next();
+                if let (Term::Variable { name, .. }, Some(value)) = (term, value) {
+                    group_bindings.insert(name.clone(), value.clone());
+                }
+            }
+            resolve_bound_cols(&rule.aggregate_probe, &group_bindings)
+        } else {
+            Vec::new()
+        };
         if let Some(table) = self.db.table(&atom.relation) {
-            for stored in table.iter() {
+            for stored in table.probe(&bound) {
+                probes += 1;
                 let mut b = Bindings::new();
                 if !match_atom(atom, &stored.tuple, &mut b) {
                     continue;
@@ -765,6 +870,7 @@ impl NodeEngine {
                 contributions.push((value, stored.tuple.clone()));
             }
         }
+        self.stats.join_probes += probes;
 
         let new_state: Option<(Tuple, Derivation, Vec<Tuple>)> = if contributions.is_empty() {
             None
@@ -853,23 +959,39 @@ impl NodeEngine {
     /// Recompute all derivations of a rule containing negation and reconcile
     /// them with the currently recorded ones.
     fn reconcile_rule(&mut self, rule_idx: usize, out: &mut StepOutput) {
-        let rule = self.program.rules[rule_idx].clone();
-        // Compute the current matches (full join).
+        let program = Arc::clone(&self.program);
+        let rule = &program.rules[rule_idx];
+        // Compute the current matches (full join along the precomputed plan).
         let mut matched: Vec<Option<Tuple>> = vec![None; rule.positive.len()];
-        let all: Vec<usize> = (0..rule.positive.len()).collect();
         let mut results = Vec::new();
-        self.join_remaining(&rule, &all, 0, Bindings::new(), &mut matched, &mut results);
+        let mut probes = 0u64;
+        let mut bindings = Bindings::new();
+        self.join_plan(
+            rule,
+            &rule.full_plan.steps,
+            0,
+            &mut bindings,
+            &mut matched,
+            &mut results,
+            &mut probes,
+        );
+        self.stats.join_probes += probes;
 
         let mut new_derivations: Vec<(Tuple, Derivation, Vec<Tuple>)> = Vec::new();
         for (bindings, inputs) in results {
-            let Some(bindings) = self.apply_steps(&rule, bindings) else {
+            let Some(bindings) = self.apply_steps(rule, bindings) else {
                 continue;
             };
-            if rule
-                .negated
-                .iter()
-                .any(|neg| self.exists_match(neg, &bindings))
-            {
+            let mut neg_probes = 0u64;
+            let negated_hit =
+                rule.negated
+                    .iter()
+                    .zip(&rule.negated_probes)
+                    .any(|(neg, probe_cols)| {
+                        self.exists_match(neg, probe_cols, &bindings, &mut neg_probes)
+                    });
+            self.stats.join_probes += neg_probes;
+            if negated_hit {
                 continue;
             }
             let Some(head) = build_head(&rule.rule.head, &bindings, rule.head_loc_col, None) else {
@@ -976,6 +1098,70 @@ pub fn match_atom(atom: &Predicate, tuple: &Tuple, bindings: &mut Bindings) -> b
     true
 }
 
+/// Like [`match_atom`], but extends `bindings` in place instead of requiring
+/// the caller to clone them per candidate: variables newly bound are recorded
+/// in `added`, and on a failed match they are removed again before returning.
+/// On success the caller owns the cleanup (after recursing).
+fn match_atom_undo(
+    atom: &Predicate,
+    tuple: &Tuple,
+    bindings: &mut Bindings,
+    added: &mut Vec<String>,
+) -> bool {
+    if atom.relation != tuple.relation || atom.terms.len() != tuple.values.len() {
+        return false;
+    }
+    let mut ok = true;
+    for (term, value) in atom.terms.iter().zip(&tuple.values) {
+        match term {
+            Term::Wildcard => {}
+            Term::Variable { name, .. } => match bindings.get(name) {
+                Some(bound) => {
+                    if !values_match(bound, value) {
+                        ok = false;
+                        break;
+                    }
+                }
+                None => {
+                    bindings.insert(name.clone(), value.clone());
+                    added.push(name.clone());
+                }
+            },
+            Term::Constant { value: lit, .. } => {
+                if !literal_matches(lit, value) {
+                    ok = false;
+                    break;
+                }
+            }
+            Term::Aggregate(_) => {
+                ok = false;
+                break;
+            }
+        }
+    }
+    if !ok {
+        for name in added.drain(..) {
+            bindings.remove(&name);
+        }
+    }
+    ok
+}
+
+/// Resolve a plan's bound columns against the current bindings into concrete
+/// probe values.
+fn resolve_bound_cols(
+    bound_cols: &[(usize, crate::compile::BoundTerm)],
+    bindings: &Bindings,
+) -> Vec<(usize, Value)> {
+    bound_cols
+        .iter()
+        .filter_map(|(col, bt)| match bt {
+            crate::compile::BoundTerm::Const(lit) => Some((*col, literal_value(lit))),
+            crate::compile::BoundTerm::Var(name) => bindings.get(name).map(|v| (*col, v.clone())),
+        })
+        .collect()
+}
+
 /// Value equality that treats `Addr` and `Str` with the same text as equal
 /// (programs write location constants as strings; tuples carry addresses).
 pub fn values_match(a: &Value, b: &Value) -> bool {
@@ -1073,10 +1259,7 @@ mod tests {
          r3 minCost(@S,D,min<C>) :- cost(@S,D,C).";
 
     fn link(s: &str, d: &str, c: i64) -> Tuple {
-        Tuple::new(
-            "link",
-            vec![Value::addr(s), Value::addr(d), Value::Int(c)],
-        )
+        Tuple::new("link", vec![Value::addr(s), Value::addr(d), Value::Int(c)])
     }
 
     fn engine(node: &str, src: &str) -> NodeEngine {
@@ -1124,9 +1307,8 @@ mod tests {
 
     #[test]
     fn receiving_engine_applies_remote_deltas() {
-        let program = Arc::new(
-            CompiledProgram::from_source("r1 reach(@D,S) :- link(@S,D,C).").unwrap(),
-        );
+        let program =
+            Arc::new(CompiledProgram::from_source("r1 reach(@D,S) :- link(@S,D,C).").unwrap());
         let mut sender = NodeEngine::new(program.clone(), EngineConfig::new("n1"));
         let mut receiver = NodeEngine::new(program, EngineConfig::new("n2"));
         sender.insert_base(link("n1", "n2", 1));
@@ -1179,17 +1361,18 @@ mod tests {
     #[test]
     fn alternative_derivations_keep_tuples_alive() {
         // Two links derive the same `reachable` tuple; deleting one keeps it.
-        let mut e = engine(
-            "n1",
-            "r1 reachable(@S,D) :- link(@S,D,C).",
-        );
+        let mut e = engine("n1", "r1 reachable(@S,D) :- link(@S,D,C).");
         e.insert_base(link("n1", "n2", 1));
         e.insert_base(link("n1", "n2", 7));
         e.run();
         assert_eq!(e.relation("reachable").len(), 1);
         e.delete_base(link("n1", "n2", 1));
         e.run();
-        assert_eq!(e.relation("reachable").len(), 1, "still one derivation left");
+        assert_eq!(
+            e.relation("reachable").len(),
+            1,
+            "still one derivation left"
+        );
         e.delete_base(link("n1", "n2", 7));
         e.run();
         assert!(e.relation("reachable").is_empty());
@@ -1267,8 +1450,8 @@ mod tests {
         let mut e = NodeEngine::new(
             Arc::new(CompiledProgram::from_source(MINCOST).unwrap()),
             EngineConfig {
-                node: "n1".into(),
                 max_deltas_per_run: 1,
+                ..EngineConfig::new("n1")
             },
         );
         e.insert_base(link("n1", "n2", 5));

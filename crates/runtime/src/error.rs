@@ -81,9 +81,13 @@ mod tests {
     #[test]
     fn display_variants() {
         assert!(RuntimeError::schema("x").to_string().contains("schema"));
-        assert!(RuntimeError::compile(Some("r1"), "y").to_string().contains("r1"));
+        assert!(RuntimeError::compile(Some("r1"), "y")
+            .to_string()
+            .contains("r1"));
         assert!(RuntimeError::eval("z").to_string().contains("evaluation"));
-        assert!(RuntimeError::bad_tuple("w").to_string().contains("bad tuple"));
+        assert!(RuntimeError::bad_tuple("w")
+            .to_string()
+            .contains("bad tuple"));
     }
 
     #[test]

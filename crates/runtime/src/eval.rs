@@ -284,9 +284,7 @@ fn list_arg<'a>(func: &str, v: &'a Value) -> Result<&'a [Value]> {
 /// that an outgoing BGP advertisement was caused by an incoming one.
 pub fn is_extend(route2: &Value, route1: &Value, node: &Value) -> bool {
     match (route2.as_list(), route1.as_list()) {
-        (Some(r2), Some(r1)) => {
-            r2.len() == r1.len() + 1 && &r2[0] == node && &r2[1..] == r1
-        }
+        (Some(r2), Some(r1)) => r2.len() == r1.len() + 1 && &r2[0] == node && &r2[1..] == r1,
         _ => false,
     }
 }
@@ -361,10 +359,7 @@ mod tests {
         let b = bindings(&[
             ("S", Value::addr("n1")),
             ("D", Value::addr("n2")),
-            (
-                "P",
-                Value::List(vec![Value::addr("n2"), Value::addr("n3")]),
-            ),
+            ("P", Value::List(vec![Value::addr("n2"), Value::addr("n3")])),
         ]);
         assert_eq!(
             eval_str("f_initlist2(S, D)", &b).unwrap(),
@@ -372,7 +367,11 @@ mod tests {
         );
         assert_eq!(
             eval_str("f_prepend(S, P)", &b).unwrap(),
-            Value::List(vec![Value::addr("n1"), Value::addr("n2"), Value::addr("n3")])
+            Value::List(vec![
+                Value::addr("n1"),
+                Value::addr("n2"),
+                Value::addr("n3")
+            ])
         );
         assert_eq!(eval_str("f_member(P, S)", &b).unwrap(), Value::Int(0));
         assert_eq!(eval_str("f_member(P, D)", &b).unwrap(), Value::Int(1));
@@ -406,7 +405,10 @@ mod tests {
             call_builtin("f_max", &[Value::Int(3), Value::Int(5)]).unwrap(),
             Value::Int(5)
         );
-        assert_eq!(call_builtin("f_abs", &[Value::Int(-3)]).unwrap(), Value::Int(3));
+        assert_eq!(
+            call_builtin("f_abs", &[Value::Int(-3)]).unwrap(),
+            Value::Int(3)
+        );
         assert!(matches!(
             call_builtin("f_sha1", &[Value::str("x")]).unwrap(),
             Value::Id(_)

@@ -33,6 +33,6 @@ pub use compile::{CompiledProgram, CompiledRule};
 pub use engine::{EngineConfig, EngineStats, Firing, NodeEngine, RemoteDelta, StepOutput};
 pub use error::{Result, RuntimeError};
 pub use eval::Bindings;
-pub use store::{Database, Derivation, Membership, StoredTuple, Table, BASE_RULE};
+pub use store::{Database, Derivation, Membership, ProbeIter, StoredTuple, Table, BASE_RULE};
 pub use tuple::{Delta, Tuple, TupleId};
 pub use value::{Addr, StableHasher, Value};

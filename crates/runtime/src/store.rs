@@ -104,26 +104,179 @@ pub struct Table {
     /// (provenance queries and cascade deletions address tuples by id).
     #[serde(skip)]
     by_id: HashMap<TupleId, Vec<Value>>,
+    /// Secondary hash indexes, one per column: normalized column value ->
+    /// ids of the tuples carrying it. These are what [`Table::probe`] uses to
+    /// answer bound-column join probes without scanning. Rebuilt lazily after
+    /// deserialization (the `len() != arity` state signals "stale").
+    #[serde(skip)]
+    col_indexes: Vec<HashMap<Value, Vec<TupleId>>>,
+}
+
+/// Normalize a value for secondary-index keys: whenever two values are equal
+/// for matching purposes they must land on the same key, or index probes
+/// would miss tuples the scan path finds.
+///
+/// * The engine's `values_match` treats `Addr` and `Str` with the same text
+///   as equal (programs write location constants as strings; tuples carry
+///   addresses) → `Addr` keys become `Str`.
+/// * `Value`'s total order compares `Int` and `Double` numerically
+///   (`Int(2) == Double(2.0)`) while their stable hashes differ → integral
+///   doubles become `Int`. (Doubles at or beyond ±2^63 keep their own key;
+///   equality with a saturating `Int` there is not representable anyway.)
+/// * NaNs compare equal to each other regardless of payload bits → all NaNs
+///   share one canonical key.
+/// * Lists compare elementwise, so their elements are normalized
+///   recursively.
+fn index_key(v: &Value) -> Value {
+    match v {
+        Value::Addr(a) => Value::Str(a.clone()),
+        Value::Double(d) => {
+            if d.is_nan() {
+                Value::Double(f64::NAN)
+            } else if d.fract() == 0.0 && *d >= i64::MIN as f64 && *d < i64::MAX as f64 {
+                Value::Int(*d as i64)
+            } else {
+                Value::Double(*d)
+            }
+        }
+        Value::List(l) => Value::List(l.iter().map(index_key).collect()),
+        other => other.clone(),
+    }
+}
+
+/// Iterator returned by [`Table::probe`]: either an index hit, a full scan,
+/// or nothing (a bound column whose value is absent from its index).
+pub enum ProbeIter<'a> {
+    /// No tuple can match the bound columns.
+    Empty,
+    /// Candidates from the most selective matching index.
+    Ids {
+        table: &'a Table,
+        ids: std::slice::Iter<'a, TupleId>,
+    },
+    /// Fallback: scan every stored tuple.
+    Scan(std::collections::btree_map::Values<'a, Vec<Value>, StoredTuple>),
+}
+
+impl<'a> Iterator for ProbeIter<'a> {
+    type Item = &'a StoredTuple;
+
+    fn next(&mut self) -> Option<&'a StoredTuple> {
+        match self {
+            ProbeIter::Empty => None,
+            ProbeIter::Ids { table, ids } => {
+                for id in ids.by_ref() {
+                    if let Some(st) = table.get_by_id(*id) {
+                        return Some(st);
+                    }
+                }
+                None
+            }
+            ProbeIter::Scan(values) => values.next(),
+        }
+    }
 }
 
 impl Table {
     /// Create an empty table.
     pub fn new(schema: RelationSchema) -> Self {
+        let arity = schema.arity;
         Table {
             schema,
             tuples: BTreeMap::new(),
             by_id: HashMap::new(),
+            col_indexes: vec![HashMap::new(); arity],
         }
     }
 
-    /// Rebuild the secondary id index (needed after deserialization, where the
-    /// index is skipped).
+    /// Rebuild the secondary indexes (needed after deserialization, where
+    /// they are skipped).
     pub fn rebuild_index(&mut self) {
         self.by_id = self
             .tuples
             .iter()
             .map(|(k, st)| (st.tuple.id(), k.clone()))
             .collect();
+        self.col_indexes = vec![HashMap::new(); self.schema.arity];
+        let entries: Vec<(TupleId, Vec<Value>)> = self
+            .tuples
+            .values()
+            .map(|st| (st.tuple.id(), st.tuple.values.clone()))
+            .collect();
+        for (id, values) in entries {
+            self.index_tuple_values(id, &values);
+        }
+    }
+
+    fn index_tuple_values(&mut self, id: TupleId, values: &[Value]) {
+        for (col, v) in values.iter().enumerate() {
+            if let Some(index) = self.col_indexes.get_mut(col) {
+                index.entry(index_key(v)).or_default().push(id);
+            }
+        }
+    }
+
+    fn unindex_tuple_values(&mut self, id: TupleId, values: &[Value]) {
+        for (col, v) in values.iter().enumerate() {
+            if let Some(index) = self.col_indexes.get_mut(col) {
+                let key = index_key(v);
+                if let Some(ids) = index.get_mut(&key) {
+                    ids.retain(|i| *i != id);
+                    if ids.is_empty() {
+                        index.remove(&key);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Make sure the column indexes are usable (they are lazily rebuilt after
+    /// deserialization). Cheap no-op in the steady state.
+    fn ensure_col_indexes(&mut self) {
+        if self.col_indexes.len() != self.schema.arity {
+            self.rebuild_index();
+        }
+    }
+
+    /// Iterate over the candidate tuples for a join probe with the given
+    /// bound columns. Picks the most selective available index among the
+    /// bound columns; with no bound column (or stale indexes after
+    /// deserialization) it degrades to a full scan. A bound value absent
+    /// from its index short-circuits to an empty iterator.
+    pub fn probe<'a>(&'a self, bound_cols: &[(usize, Value)]) -> ProbeIter<'a> {
+        if self.col_indexes.len() == self.schema.arity {
+            let mut best: Option<&'a Vec<TupleId>> = None;
+            for (col, v) in bound_cols {
+                let Some(index) = self.col_indexes.get(*col) else {
+                    continue;
+                };
+                // Borrow the value directly in the common case; only the
+                // variants that normalize need an owned key.
+                let normalized;
+                let key: &Value = match v {
+                    Value::Addr(_) | Value::Double(_) | Value::List(_) => {
+                        normalized = index_key(v);
+                        &normalized
+                    }
+                    other => other,
+                };
+                match index.get(key) {
+                    None => return ProbeIter::Empty,
+                    Some(ids) => {
+                        if best.is_none_or(|b| ids.len() < b.len()) {
+                            best = Some(ids);
+                        }
+                    }
+                }
+            }
+            if let Some(ids) = best {
+                return ProbeIter::Ids {
+                    table: self,
+                    ids: ids.iter(),
+                };
+            }
+        }
+        ProbeIter::Scan(self.tuples.values())
     }
 
     /// Look up a stored tuple by its content-addressed identifier.
@@ -176,6 +329,7 @@ impl Table {
     /// [`Membership::Replaced`]; the caller is responsible for cascading the
     /// implied deletion.
     pub fn add_derivation(&mut self, tuple: &Tuple, derivation: Derivation) -> Membership {
+        self.ensure_col_indexes();
         let key = self.key_of(tuple);
         match self.tuples.get_mut(&key) {
             Some(existing) if existing.tuple == *tuple => {
@@ -200,6 +354,8 @@ impl Table {
                     .expect("entry existed");
                 self.by_id.remove(&old.tuple.id());
                 self.by_id.insert(tuple.id(), key);
+                self.unindex_tuple_values(old.tuple.id(), &old.tuple.values);
+                self.index_tuple_values(tuple.id(), &tuple.values);
                 Membership::Replaced(old.tuple)
             }
             None => {
@@ -211,6 +367,7 @@ impl Table {
                     },
                 );
                 self.by_id.insert(tuple.id(), key);
+                self.index_tuple_values(tuple.id(), &tuple.values);
                 Membership::Appeared
             }
         }
@@ -219,6 +376,7 @@ impl Table {
     /// Remove one derivation of `tuple` (matching exactly). Returns
     /// [`Membership::Disappeared`] when that was the last derivation.
     pub fn remove_derivation(&mut self, tuple: &Tuple, derivation: &Derivation) -> Membership {
+        self.ensure_col_indexes();
         let key = self.key_of(tuple);
         let Some(existing) = self.tuples.get_mut(&key) else {
             return Membership::NotFound;
@@ -234,6 +392,7 @@ impl Table {
         if existing.derivations.is_empty() {
             self.tuples.remove(&key);
             self.by_id.remove(&tuple.id());
+            self.unindex_tuple_values(tuple.id(), &tuple.values);
             Membership::Disappeared
         } else {
             Membership::RemovedDerivation
@@ -243,6 +402,7 @@ impl Table {
     /// Remove every derivation of `tuple` produced by `rule` at `node`.
     /// Used when reconciling non-monotonic (negation / aggregate) rules.
     pub fn remove_rule_derivations(&mut self, tuple: &Tuple, rule: &str) -> Membership {
+        self.ensure_col_indexes();
         let key = self.key_of(tuple);
         let Some(existing) = self.tuples.get_mut(&key) else {
             return Membership::NotFound;
@@ -258,6 +418,7 @@ impl Table {
         if existing.derivations.is_empty() {
             self.tuples.remove(&key);
             self.by_id.remove(&tuple.id());
+            self.unindex_tuple_values(tuple.id(), &tuple.values);
             Membership::Disappeared
         } else {
             Membership::RemovedDerivation
@@ -268,10 +429,12 @@ impl Table {
     /// update-in-place replacement cascades). Returns the stored entry if it
     /// was present.
     pub fn remove_tuple(&mut self, tuple: &Tuple) -> Option<StoredTuple> {
+        self.ensure_col_indexes();
         let key = self.key_of(tuple);
         match self.tuples.get(&key) {
             Some(st) if st.tuple == *tuple => {
                 self.by_id.remove(&tuple.id());
+                self.unindex_tuple_values(tuple.id(), &tuple.values);
                 self.tuples.remove(&key)
             }
             _ => None,
@@ -418,10 +581,7 @@ mod tests {
     }
 
     fn link(s: &str, d: &str, c: i64) -> Tuple {
-        Tuple::new(
-            "link",
-            vec![Value::addr(s), Value::addr(d), Value::Int(c)],
-        )
+        Tuple::new("link", vec![Value::addr(s), Value::addr(d), Value::Int(c)])
     }
 
     #[test]
@@ -435,12 +595,18 @@ mod tests {
             inputs: vec![TupleId(42)],
         };
         assert_eq!(t.add_derivation(&tup, d1.clone()), Membership::Appeared);
-        assert_eq!(t.add_derivation(&tup, d2.clone()), Membership::AddedDerivation);
+        assert_eq!(
+            t.add_derivation(&tup, d2.clone()),
+            Membership::AddedDerivation
+        );
         // Duplicate derivations are ignored.
         assert_eq!(t.add_derivation(&tup, d2.clone()), Membership::Unchanged);
         assert_eq!(t.get(&tup).unwrap().derivations.len(), 2);
         assert_eq!(t.get_by_id(tup.id()).unwrap().tuple, tup);
-        assert_eq!(t.remove_derivation(&tup, &d1), Membership::RemovedDerivation);
+        assert_eq!(
+            t.remove_derivation(&tup, &d1),
+            Membership::RemovedDerivation
+        );
         assert_eq!(t.remove_derivation(&tup, &d1), Membership::NotFound);
         assert_eq!(t.remove_derivation(&tup, &d2), Membership::Disappeared);
         assert!(t.is_empty());
@@ -477,7 +643,10 @@ mod tests {
                 inputs: vec![],
             },
         );
-        assert_eq!(t.remove_rule_derivations(&tup, "r2"), Membership::RemovedDerivation);
+        assert_eq!(
+            t.remove_rule_derivations(&tup, "r2"),
+            Membership::RemovedDerivation
+        );
         assert_eq!(t.remove_rule_derivations(&tup, "r2"), Membership::NotFound);
         assert_eq!(
             t.remove_rule_derivations(&tup, BASE_RULE),
@@ -538,5 +707,96 @@ mod tests {
     fn relation_tuples_of_unknown_relation_is_empty() {
         let db = Database::default();
         assert!(db.relation_tuples("nope").is_empty());
+    }
+
+    #[test]
+    fn probe_uses_the_most_selective_index() {
+        let mut t = Table::new(schema("link", 3, vec![0, 1, 2]));
+        for i in 0..10 {
+            t.add_derivation(&link("a", &format!("n{i}"), i), Derivation::base("a"));
+        }
+        t.add_derivation(&link("b", "n0", 99), Derivation::base("b"));
+
+        // Column 0 = "a" matches 10 tuples; column 1 = "n3" matches 1.
+        let candidates: Vec<_> = t
+            .probe(&[(0, Value::addr("a")), (1, Value::addr("n3"))])
+            .collect();
+        assert_eq!(candidates.len(), 1);
+        assert_eq!(candidates[0].tuple, link("a", "n3", 3));
+
+        // A single bound column still narrows to its posting list.
+        assert_eq!(t.probe(&[(0, Value::addr("b"))]).count(), 1);
+        // No bound columns: full scan.
+        assert_eq!(t.probe(&[]).count(), 11);
+        // A bound value absent from the index proves emptiness immediately.
+        assert_eq!(t.probe(&[(0, Value::addr("zz"))]).count(), 0);
+    }
+
+    #[test]
+    fn probe_matches_addr_and_str_interchangeably() {
+        let mut t = Table::new(schema("link", 3, vec![0, 1, 2]));
+        t.add_derivation(&link("a", "b", 1), Derivation::base("a"));
+        // Tuples carry Addr values; programs may probe with Str constants.
+        assert_eq!(t.probe(&[(0, Value::str("a"))]).count(), 1);
+        assert_eq!(t.probe(&[(0, Value::addr("a"))]).count(), 1);
+    }
+
+    #[test]
+    fn probe_matches_int_and_double_interchangeably() {
+        // Value's total order equates Int(2) and Double(2.0); the index must
+        // agree with the scan path on such cross-type matches.
+        let mut t = Table::new(schema("cost", 3, vec![0, 1, 2]));
+        t.add_derivation(&link("a", "b", 2), Derivation::base("a"));
+        let double_tuple = Tuple::new(
+            "cost",
+            vec![Value::addr("a"), Value::addr("c"), Value::Double(3.0)],
+        );
+        t.add_derivation(&double_tuple, Derivation::base("a"));
+
+        // Stored Int probed with an equal Double, and vice versa.
+        assert_eq!(t.probe(&[(2, Value::Double(2.0))]).count(), 1);
+        assert_eq!(t.probe(&[(2, Value::Int(3))]).count(), 1);
+        // Non-integral doubles match nothing here.
+        assert_eq!(t.probe(&[(2, Value::Double(2.5))]).count(), 0);
+        // Lists normalize their elements too.
+        let list_tuple = Tuple::new(
+            "cost",
+            vec![
+                Value::addr("z"),
+                Value::List(vec![Value::Double(1.0)]),
+                Value::Int(9),
+            ],
+        );
+        t.add_derivation(&list_tuple, Derivation::base("z"));
+        assert_eq!(t.probe(&[(1, Value::List(vec![Value::Int(1)]))]).count(), 1);
+    }
+
+    #[test]
+    fn indexes_track_removals_and_replacements() {
+        let mut t = Table::new(schema("link", 3, vec![0, 1]));
+        t.add_derivation(&link("a", "b", 1), Derivation::base("a"));
+        // Update-in-place: cost column changes, index entries must follow.
+        t.add_derivation(&link("a", "b", 7), Derivation::base("a"));
+        assert_eq!(t.probe(&[(2, Value::Int(7))]).count(), 1);
+        assert_eq!(t.probe(&[(2, Value::Int(1))]).count(), 0);
+        t.remove_derivation(&link("a", "b", 7), &Derivation::base("a"));
+        assert_eq!(t.probe(&[(0, Value::addr("a"))]).count(), 0);
+    }
+
+    #[test]
+    fn rebuild_index_restores_probing() {
+        let mut t = Table::new(schema("link", 3, vec![0, 1, 2]));
+        t.add_derivation(&link("a", "b", 1), Derivation::base("a"));
+        // Simulate the post-deserialization state: secondary indexes gone.
+        t.by_id.clear();
+        t.col_indexes.clear();
+        // Stale indexes degrade to a scan rather than missing tuples.
+        assert_eq!(t.probe(&[(0, Value::addr("a"))]).count(), 1);
+        t.rebuild_index();
+        assert_eq!(t.probe(&[(0, Value::addr("a"))]).count(), 1);
+        assert_eq!(
+            t.get_by_id(link("a", "b", 1).id()).unwrap().tuple,
+            link("a", "b", 1)
+        );
     }
 }

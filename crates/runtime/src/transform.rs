@@ -185,19 +185,19 @@ mod tests {
 
     #[test]
     fn local_rules_pass_through_unchanged() {
-        let program =
-            parse_program("r1 cost(@S,D,C) :- link(@S,D,C).\nr3 minCost(@S,D,min<C>) :- cost(@S,D,C).")
-                .unwrap();
+        let program = parse_program(
+            "r1 cost(@S,D,C) :- link(@S,D,C).\nr3 minCost(@S,D,min<C>) :- cost(@S,D,C).",
+        )
+        .unwrap();
         let localized = localize_program(&program).unwrap();
         assert_eq!(localized.rules, program.rules);
     }
 
     #[test]
     fn link_restricted_rule_is_split_in_two() {
-        let program = parse_program(
-            "r2 cost(@S,D,C) :- link(@S,Z,C1), cost(@Z,D,C2), C := C1 + C2.",
-        )
-        .unwrap();
+        let program =
+            parse_program("r2 cost(@S,D,C) :- link(@S,Z,C1), cost(@Z,D,C2), C := C1 + C2.")
+                .unwrap();
         let localized = localize_program(&program).unwrap();
         assert_eq!(localized.rules.len(), 2);
         let ship = &localized.rules[0];
@@ -221,7 +221,11 @@ mod tests {
         // Every rewritten rule is now single-location.
         for rule in &localized.rules {
             let lr = ndlog::localize::localize_rule(rule).unwrap();
-            assert!(lr.remote_locations.is_empty(), "rule {} still remote", rule.name);
+            assert!(
+                lr.remote_locations.is_empty(),
+                "rule {} still remote",
+                rule.name
+            );
         }
     }
 
@@ -251,10 +255,8 @@ mod tests {
 
     #[test]
     fn three_location_rules_are_rejected() {
-        let program = parse_program(
-            "r1 tri(@S,X) :- link(@S,Z,C1), link2(@Z,W,C2), data(@W,X).",
-        )
-        .unwrap();
+        let program =
+            parse_program("r1 tri(@S,X) :- link(@S,Z,C1), link2(@Z,W,C2), data(@W,X).").unwrap();
         assert!(localize_program(&program).is_err());
     }
 }

@@ -131,10 +131,7 @@ mod tests {
     use super::*;
 
     fn link(s: &str, d: &str, c: i64) -> Tuple {
-        Tuple::new(
-            "link",
-            vec![Value::addr(s), Value::addr(d), Value::Int(c)],
-        )
+        Tuple::new("link", vec![Value::addr(s), Value::addr(d), Value::Int(c)])
     }
 
     #[test]
@@ -143,7 +140,11 @@ mod tests {
         assert_ne!(link("n1", "n2", 3).id(), link("n1", "n2", 4).id());
         assert_ne!(
             link("n1", "n2", 3).id(),
-            Tuple::new("edge", vec![Value::addr("n1"), Value::addr("n2"), Value::Int(3)]).id()
+            Tuple::new(
+                "edge",
+                vec![Value::addr("n1"), Value::addr("n2"), Value::Int(3)]
+            )
+            .id()
         );
     }
 
@@ -175,9 +176,6 @@ mod tests {
     #[test]
     fn project_selects_columns() {
         let t = link("n1", "n2", 3);
-        assert_eq!(
-            t.project(&[2, 0]),
-            vec![Value::Int(3), Value::addr("n1")]
-        );
+        assert_eq!(t.project(&[2, 0]), vec![Value::Int(3), Value::addr("n1")]);
     }
 }

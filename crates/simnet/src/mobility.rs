@@ -11,6 +11,10 @@
 //! of their provenance.
 
 use crate::topology::{Link, Topology};
+/// `(new_links, lost_links)` bidirectional pairs reported by
+/// [`RandomWaypoint::link_changes`].
+pub type LinkChanges = (Vec<(String, String)>, Vec<(String, String)>);
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -118,7 +122,7 @@ impl RandomWaypoint {
     /// Link up/down events between two sample instants, as
     /// `(new_links, lost_links)` of *bidirectional* pairs (each pair reported
     /// once, `a < b`).
-    pub fn link_changes(&self, t0: f64, t1: f64) -> (Vec<(String, String)>, Vec<(String, String)>) {
+    pub fn link_changes(&self, t0: f64, t1: f64) -> LinkChanges {
         let before = self.topology_at(t0);
         let after = self.topology_at(t1);
         let mut up = Vec::new();

@@ -31,10 +31,7 @@ impl TrafficStats {
         let entry = self.by_category.entry(category.to_string()).or_default();
         entry.0 += 1;
         entry.1 += bytes as u64;
-        *self
-            .by_link
-            .entry(format!("{src}->{dst}"))
-            .or_default() += 1;
+        *self.by_link.entry(format!("{src}->{dst}")).or_default() += 1;
     }
 
     /// Messages charged to a category.

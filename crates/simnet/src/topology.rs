@@ -83,9 +83,7 @@ where
     serializer.collect_seq(links.values())
 }
 
-fn deserialize_links<'de, D>(
-    deserializer: D,
-) -> Result<BTreeMap<(String, String), Link>, D::Error>
+fn deserialize_links<'de, D>(deserializer: D) -> Result<BTreeMap<(String, String), Link>, D::Error>
 where
     D: serde::Deserializer<'de>,
 {
@@ -164,10 +162,7 @@ impl Topology {
 
     /// Neighbours reachable from `node` over outgoing links.
     pub fn neighbors(&self, node: &str) -> Vec<&Link> {
-        self.links
-            .values()
-            .filter(|l| l.from == node)
-            .collect()
+        self.links.values().filter(|l| l.from == node).collect()
     }
 
     /// Apply a topology event, returning the links that were added and
@@ -204,10 +199,7 @@ impl Topology {
                 for (from, to) in [(a.clone(), b.clone()), (b.clone(), a.clone())] {
                     if let Some(old) = self.remove_link(&from, &to) {
                         removed.push(old.clone());
-                        let new = Link {
-                            cost: *cost,
-                            ..old
-                        };
+                        let new = Link { cost: *cost, ..old };
                         self.add_link(new.clone());
                         added.push(new);
                     }

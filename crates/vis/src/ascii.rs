@@ -35,7 +35,11 @@ fn render_tuple(tree: &ProofTree, prefix: &str, is_last: bool, is_root: bool, ou
         let _ = writeln!(out, "{label} @{}{marker}{pruned}", tree.home);
     } else {
         let branch = if is_last { "└─ " } else { "├─ " };
-        let _ = writeln!(out, "{prefix}{branch}{label} @{}{marker}{pruned}", tree.home);
+        let _ = writeln!(
+            out,
+            "{prefix}{branch}{label} @{}{marker}{pruned}",
+            tree.home
+        );
     }
     let child_prefix = if is_root {
         String::new()
@@ -57,10 +61,7 @@ fn render_tuple(tree: &ProofTree, prefix: &str, is_last: bool, is_root: bool, ou
 /// One-paragraph summary of a topology (node count, link count, degree range).
 pub fn render_topology_summary(topology: &Topology) -> String {
     let nodes: Vec<&str> = topology.nodes().collect();
-    let degrees: Vec<usize> = nodes
-        .iter()
-        .map(|n| topology.neighbors(n).len())
-        .collect();
+    let degrees: Vec<usize> = nodes.iter().map(|n| topology.neighbors(n).len()).collect();
     let min_deg = degrees.iter().min().copied().unwrap_or(0);
     let max_deg = degrees.iter().max().copied().unwrap_or(0);
     format!(
@@ -80,7 +81,10 @@ mod tests {
     use provenance::store::RuleExecId;
 
     fn tree() -> ProofTree {
-        let link = Tuple::new("link", vec![Value::addr("n1"), Value::addr("n2"), Value::Int(1)]);
+        let link = Tuple::new(
+            "link",
+            vec![Value::addr("n1"), Value::addr("n2"), Value::Int(1)],
+        );
         ProofTree {
             vid: TupleId(1),
             tuple: Some(Tuple::new(

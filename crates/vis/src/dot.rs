@@ -23,7 +23,11 @@ pub fn provenance_to_dot(graph: &ProvGraph) -> String {
                     .as_ref()
                     .map(|t| t.to_string())
                     .unwrap_or_else(|| vid.to_string());
-                let fill = if *is_base { ", style=filled, fillcolor=lightgrey" } else { "" };
+                let fill = if *is_base {
+                    ", style=filled, fillcolor=lightgrey"
+                } else {
+                    ""
+                };
                 let _ = writeln!(
                     out,
                     "  {name} [shape=ellipse{fill}, label=\"{}\\n@{home}\"];",
@@ -40,7 +44,12 @@ pub fn provenance_to_dot(graph: &ProvGraph) -> String {
         }
     }
     for edge in &graph.edges {
-        let _ = writeln!(out, "  {} -> {};", vertex_name(&edge.from), vertex_name(&edge.to));
+        let _ = writeln!(
+            out,
+            "  {} -> {};",
+            vertex_name(&edge.from),
+            vertex_name(&edge.to)
+        );
     }
     out.push_str("}\n");
     out
@@ -131,7 +140,11 @@ mod tests {
     fn topology_dot_draws_each_pair_once() {
         let topo = Topology::ring(4);
         let dot = topology_to_dot(&topo);
-        assert_eq!(dot.matches(" -- ").count(), 4, "4 undirected edges in a 4-ring");
+        assert_eq!(
+            dot.matches(" -- ").count(),
+            4,
+            "4 undirected edges in a 4-ring"
+        );
         assert!(dot.contains("\"n1\""));
     }
 }

@@ -155,9 +155,7 @@ fn layout_tuple(
         let child_pos = place_child(position, angle, depth + 1);
         let mut child_key = key.clone();
         child_key.push(i);
-        layout
-            .edges
-            .push((key.clone(), child_key.clone()));
+        layout.edges.push((key.clone(), child_key.clone()));
         layout_rule_exec(
             derivation,
             layout,
@@ -258,10 +256,7 @@ fn mobius_translate(z: HyperPoint, a: HyperPoint) -> HyperPoint {
     // numerator: z - a
     let num = (z.x - a.x, z.y - a.y);
     // denominator: 1 - conj(a) * z = 1 - (a.x - i a.y)(z.x + i z.y)
-    let den = (
-        1.0 - (a.x * z.x + a.y * z.y),
-        -(a.x * z.y - a.y * z.x),
-    );
+    let den = (1.0 - (a.x * z.x + a.y * z.y), -(a.x * z.y - a.y * z.x));
     let den_norm2 = den.0 * den.0 + den.1 * den.1;
     if den_norm2 < 1e-12 {
         return HyperPoint::ORIGIN;
@@ -293,7 +288,10 @@ mod tests {
     fn sample_tree() -> ProofTree {
         ProofTree {
             vid: TupleId(1),
-            tuple: Some(Tuple::new("minCost", vec![Value::addr("n1"), Value::Int(2)])),
+            tuple: Some(Tuple::new(
+                "minCost",
+                vec![Value::addr("n1"), Value::Int(2)],
+            )),
             home: "n1".into(),
             is_base: false,
             derivations: vec![

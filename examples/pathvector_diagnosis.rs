@@ -40,7 +40,10 @@ fn main() {
         })
         .expect("some link exists");
     println!("failing link {a} - {b}");
-    let report = nt.apply_topology_event(&TopologyEvent::LinkDown { a: a.clone(), b: b.clone() });
+    let report = nt.apply_topology_event(&TopologyEvent::LinkDown {
+        a: a.clone(),
+        b: b.clone(),
+    });
     let after: Vec<_> = nt.relation("bestPathCost");
     println!(
         "reconvergence touched {} tuples; bestPathCost entries: {} -> {}",
@@ -58,7 +61,10 @@ fn main() {
                 .any(|(n2, t2)| n2 == n && t2.values == t.values)
         })
         .collect();
-    println!("{} best-path entries changed after the failure", changed.len());
+    println!(
+        "{} best-path entries changed after the failure",
+        changed.len()
+    );
 
     // Explain one of them, comparing query optimizations.
     let Some((home, target)) = changed.first().map(|(n, t)| (n.clone(), t.clone())) else {
@@ -95,7 +101,12 @@ fn main() {
     println!("  caching, first query   : {}", first_cached.messages);
     println!("  caching, repeat query  : {}", second_cached.messages);
 
-    let (count, _) = nt.query(&home, &target, QueryKind::DerivationCount, &QueryOptions::default());
+    let (count, _) = nt.query(
+        &home,
+        &target,
+        QueryKind::DerivationCount,
+        &QueryOptions::default(),
+    );
     if let QueryResult::DerivationCount(n) = count {
         println!("\nthe tuple has {n} alternative derivation(s)");
     }

@@ -27,8 +27,7 @@ fn routes_propagate_and_respect_origins() {
         }
         let still_announced = trace
             .iter()
-            .filter(|e| e.prefix == event.prefix)
-            .next_back()
+            .rfind(|e| e.prefix == event.prefix)
             .map(|e| e.kind == TraceEventKind::Announce)
             .unwrap_or(false);
         if !still_announced {

@@ -15,7 +15,11 @@ fn normalized(nt: &NetTrails, relation: &str) -> Vec<String> {
     rows
 }
 
-fn check_incremental_equals_scratch(program: &str, result_relation: &str, events: &[TopologyEvent]) {
+fn check_incremental_equals_scratch(
+    program: &str,
+    result_relation: &str,
+    events: &[TopologyEvent],
+) {
     let mut nt = NetTrails::new(program, Topology::ring(5), NetTrailsConfig::default()).unwrap();
     nt.seed_links_from_topology();
     nt.run_to_fixpoint();

@@ -13,9 +13,7 @@ fn reference_costs(topology: &Topology) -> BTreeMap<(String, String), i64> {
     let nodes: Vec<String> = topology.nodes().map(str::to_string).collect();
     let mut dist: BTreeMap<(String, String), i64> = BTreeMap::new();
     for l in topology.links() {
-        let entry = dist
-            .entry((l.from.clone(), l.to.clone()))
-            .or_insert(l.cost);
+        let entry = dist.entry((l.from.clone(), l.to.clone())).or_insert(l.cost);
         *entry = (*entry).min(l.cost);
     }
     for k in &nodes {
@@ -134,10 +132,7 @@ fn every_min_cost_tuple_has_provenance_and_link_ancestry() {
         let QueryResult::BaseTuples(bases) = result else {
             panic!()
         };
-        assert!(
-            !bases.is_empty(),
-            "{tuple} has no contributing base tuples"
-        );
+        assert!(!bases.is_empty(), "{tuple} has no contributing base tuples");
         for (_, base) in bases {
             let base = base.expect("base tuple content is known");
             assert_eq!(base.relation, "link");

@@ -35,12 +35,16 @@ fn every_path_tuple_is_a_loop_free_walk_of_the_topology() {
         for pair in hops.windows(2) {
             let from = pair[0].as_addr().unwrap();
             let to = pair[1].as_addr().unwrap();
-            let link = topo.link(from, to).unwrap_or_else(|| {
-                panic!("{tuple} uses non-existent link {from}->{to}")
-            });
+            let link = topo
+                .link(from, to)
+                .unwrap_or_else(|| panic!("{tuple} uses non-existent link {from}->{to}"));
             cost += link.cost;
         }
-        assert_eq!(cost, tuple.values[3].as_int().unwrap(), "cost mismatch in {tuple}");
+        assert_eq!(
+            cost,
+            tuple.values[3].as_int().unwrap(),
+            "cost mismatch in {tuple}"
+        );
         // Path endpoints match the tuple's source and destination.
         assert_eq!(hops.first().unwrap().as_addr(), tuple.values[0].as_addr());
         assert_eq!(hops.last().unwrap().as_addr(), tuple.values[1].as_addr());

@@ -2,9 +2,7 @@
 //! optimizations, exercised over real protocol runs.
 
 use nettrails::{NetTrails, NetTrailsConfig};
-use provenance::{
-    proql, QueryKind, QueryOptions, QueryResult, TraversalOrder,
-};
+use provenance::{proql, QueryKind, QueryOptions, QueryResult, TraversalOrder};
 use simnet::Topology;
 
 fn platform() -> NetTrails {
@@ -46,7 +44,12 @@ fn derivation_counts_are_positive_and_consistent_with_lineage() {
 fn base_tuples_of_protocol_state_are_always_links() {
     let mut nt = platform();
     for (node, tuple) in nt.relation("path").into_iter().take(20) {
-        let (result, _) = nt.query(&node, &tuple, QueryKind::BaseTuples, &QueryOptions::default());
+        let (result, _) = nt.query(
+            &node,
+            &tuple,
+            QueryKind::BaseTuples,
+            &QueryOptions::default(),
+        );
         let QueryResult::BaseTuples(bases) = result else {
             panic!()
         };
@@ -145,7 +148,12 @@ fn proql_queries_agree_with_the_query_engine() {
         .filter(|(n, _)| n == "n1")
         .collect();
     for (node, tuple) in targets {
-        let (result, _) = nt.query(&node, &tuple, QueryKind::BaseTuples, &QueryOptions::default());
+        let (result, _) = nt.query(
+            &node,
+            &tuple,
+            QueryKind::BaseTuples,
+            &QueryOptions::default(),
+        );
         let QueryResult::BaseTuples(bases) = result else {
             panic!()
         };
