@@ -7,6 +7,8 @@
 //! ```
 
 use nettrails::{NetTrails, NetTrailsConfig, ReportTable};
+use nt_runtime::Value;
+use provenance::{QueryKind, QueryOptions};
 use serde::Serialize;
 use simnet::Topology;
 use std::time::Instant;
@@ -22,6 +24,31 @@ struct JoinProbeComparison {
     reduction_factor: f64,
 }
 
+/// Provenance-store footprint and query latency for one converged scenario:
+/// the interned (fixed-width ids + one-time dictionary) encoding vs. the
+/// string-per-entry encoding it replaced, and the wall-clock of a full
+/// lineage query sweep before/after the result cache is warm.
+#[derive(Serialize)]
+struct ProvenanceStoreReport {
+    scenario: String,
+    prov_entries: usize,
+    rule_execs: usize,
+    /// Bytes of provenance state in the interned encoding (records +
+    /// one-time dictionary).
+    interned_bytes: usize,
+    /// The one-time dictionary share of `interned_bytes`.
+    dict_bytes: usize,
+    /// The same state priced with the old `Addr = String` encoding (every
+    /// entry carries its rloc/rule/node strings inline).
+    string_encoded_bytes: usize,
+    bytes_reduction_factor: f64,
+    /// Wall-clock microseconds for a lineage query over every derived tuple,
+    /// cold engine (no cache reuse).
+    query_wall_us_uncached: u64,
+    /// Same sweep repeated with the result cache warm.
+    query_wall_us_cached: u64,
+}
+
 #[derive(Serialize)]
 struct BenchResults {
     /// Schema marker for downstream tooling.
@@ -33,6 +60,84 @@ struct BenchResults {
     /// Join-candidate counts for the planned, index-backed pipeline vs the
     /// full-scan baseline on the standard convergence scenarios.
     join_probes: Vec<JoinProbeComparison>,
+    /// Provenance-store bytes (interned vs string encoding) and query
+    /// wall-clock on the standard scenarios.
+    provenance_stores: Vec<ProvenanceStoreReport>,
+}
+
+/// Wire size of a value under the pre-interning encoding (addresses carried
+/// their name inline).
+fn legacy_value_size(v: &Value) -> usize {
+    match v {
+        Value::Int(_) | Value::Double(_) | Value::Id(_) => 8,
+        Value::Bool(_) | Value::Infinity => 1,
+        Value::Str(s) => 4 + s.len(),
+        Value::Addr(a) => 4 + a.len(),
+        Value::List(l) => 4 + l.iter().map(legacy_value_size).sum::<usize>(),
+    }
+}
+
+/// Provenance state priced with the old string-per-entry encoding.
+fn string_encoded_bytes(nt: &NetTrails) -> usize {
+    let mut bytes = 0usize;
+    for store in nt.provenance().stores() {
+        for (_, entries) in store.iter_prov() {
+            bytes += entries
+                .iter()
+                .map(|e| 8 + 8 + 4 + e.rloc.len())
+                .sum::<usize>();
+        }
+        for exec in store.iter_rule_execs() {
+            bytes += 8 + exec.rule.len() + exec.node.len() + 8 * exec.inputs.len();
+        }
+        for t in store.iter_tuples() {
+            bytes += 8 + t.relation.len() + t.values.iter().map(legacy_value_size).sum::<usize>();
+        }
+    }
+    bytes
+}
+
+fn provenance_store_report(name: &str, program: &str, topology: Topology) -> ProvenanceStoreReport {
+    let mut nt =
+        NetTrails::new(program, topology, NetTrailsConfig::default()).expect("program compiles");
+    nt.seed_links_from_topology();
+    nt.run_to_fixpoint();
+
+    let stats = nt.stats().provenance;
+    let string_bytes = string_encoded_bytes(&nt);
+
+    // Lineage sweep over every top-level derived tuple of the scenario.
+    let targets: Vec<_> = nt
+        .relation("minCost")
+        .into_iter()
+        .chain(nt.relation("bestPathCost"))
+        .collect();
+    let sweep = |nt: &mut NetTrails, options: &QueryOptions| -> u64 {
+        let start = Instant::now();
+        for (node, tuple) in &targets {
+            nt.query(node.as_str(), tuple, QueryKind::Lineage, options);
+        }
+        start.elapsed().as_micros() as u64
+    };
+    nt.clear_query_cache();
+    // Cold baseline: caching off, so overlapping lineages are re-traversed.
+    let query_wall_us_uncached = sweep(&mut nt, &QueryOptions::default());
+    // Warm: one cached sweep to populate, a second to measure the hits.
+    let cached_opts = QueryOptions::cached();
+    sweep(&mut nt, &cached_opts);
+    let query_wall_us_cached = sweep(&mut nt, &cached_opts);
+
+    ProvenanceStoreReport {
+        scenario: name.to_string(),
+        prov_entries: stats.prov_entries,
+        rule_execs: stats.rule_execs,
+        interned_bytes: stats.bytes,
+        dict_bytes: stats.dict_bytes,
+        string_encoded_bytes: string_bytes,
+        bytes_reduction_factor: string_bytes as f64 / stats.bytes.max(1) as f64,
+        query_wall_us_uncached,
+        query_wall_us_cached,
+    }
 }
 
 fn probe_comparison(name: &str, program: &str, topology: Topology) -> JoinProbeComparison {
@@ -88,11 +193,39 @@ fn main() {
         );
     }
 
+    let provenance_stores = vec![
+        provenance_store_report(
+            "pathvector_ladder4",
+            protocols::pathvector::PROGRAM,
+            Topology::ladder(4),
+        ),
+        provenance_store_report(
+            "mincost_ladder4",
+            protocols::mincost::PROGRAM,
+            Topology::ladder(4),
+        ),
+    ];
+    println!("\nProvenance store footprint (interned vs string encoding) and query sweep:");
+    for r in &provenance_stores {
+        println!(
+            "  {:20} interned={:>8}B (dict {:>5}B) strings={:>8}B ({:.2}x smaller) \
+             lineage sweep cold={:>7}us warm={:>7}us",
+            r.scenario,
+            r.interned_bytes,
+            r.dict_bytes,
+            r.string_encoded_bytes,
+            r.bytes_reduction_factor,
+            r.query_wall_us_uncached,
+            r.query_wall_us_cached,
+        );
+    }
+
     let results = BenchResults {
-        format: "nettrails-bench-results/v1".to_string(),
+        format: "nettrails-bench-results/v2".to_string(),
         experiment_wall_ms,
         tables,
         join_probes,
+        provenance_stores,
     };
     let json = serde_json::to_string_pretty(&results).expect("results serialize");
     std::fs::write(RESULTS_PATH, &json).expect("write BENCH_results.json");

@@ -43,10 +43,11 @@ pub fn capture_snapshot(nt: &NetTrails) -> SystemSnapshot {
     for node in nt.nodes() {
         let engine = nt.engine(&node).expect("engine exists");
         snap.nodes.insert(
-            node.clone(),
+            node,
             NodeSnapshot::capture(&node, engine.database(), nt.provenance()),
         );
     }
+    snap.stamp_dictionary();
     snap
 }
 

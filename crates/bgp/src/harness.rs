@@ -17,7 +17,9 @@ use crate::proxy::{Observation, Proxy};
 use crate::speaker::{Relation, Route, Speaker};
 use crate::topology::AsTopology;
 use crate::trace::{TraceEvent, TraceEventKind};
-use nt_runtime::{Firing, Tuple, TupleId, Value, BASE_RULE};
+#[cfg(test)]
+use nt_runtime::NodeId;
+use nt_runtime::{Firing, Sym, Tuple, TupleId, Value, BASE_RULE};
 use provenance::ProvenanceSystem;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
@@ -183,20 +185,20 @@ impl BgpHarness {
         let key = (asn.to_string(), prefix.to_string());
         let new_firing = current.as_ref().map(|route| {
             let head = Self::route_tuple(asn, route);
-            let (rule, inputs, input_tuples): (String, Vec<TupleId>, Vec<Tuple>) =
+            let (rule, inputs, input_tuples): (Sym, Vec<TupleId>, Vec<Tuple>) =
                 match &route.learned_from {
                     Some(neighbor) => {
                         let input =
                             Proxy::input_route_tuple(asn, neighbor, &route.prefix, &route.as_path);
-                        (SELECT_RULE.to_string(), vec![input.id()], vec![input])
+                        (Sym::new(SELECT_RULE), vec![input.id()], vec![input])
                     }
-                    None => (BASE_RULE.to_string(), vec![], vec![]),
+                    None => (Sym::new(BASE_RULE), vec![], vec![]),
                 };
             Firing {
                 rule,
-                node: asn.to_string(),
+                node: asn.into(),
                 head,
-                head_home: asn.to_string(),
+                head_home: asn.into(),
                 inputs,
                 input_tuples,
                 insert: true,
@@ -283,11 +285,11 @@ mod tests {
         };
         // The derivation history crosses every AS on the path back to the
         // origin.
-        assert!(nodes.contains("AS201"));
-        assert!(nodes.contains("AS101"));
-        assert!(nodes.contains("AS100"));
-        assert!(nodes.contains("AS200"));
-        assert!(nodes.contains("AS1000"));
+        assert!(nodes.contains(&NodeId::new("AS201")));
+        assert!(nodes.contains(&NodeId::new("AS101")));
+        assert!(nodes.contains(&NodeId::new("AS100")));
+        assert!(nodes.contains(&NodeId::new("AS200")));
+        assert!(nodes.contains(&NodeId::new("AS1000")));
 
         let (result, _) = qe.query(
             h.provenance(),

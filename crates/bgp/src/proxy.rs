@@ -28,7 +28,7 @@ use crate::speaker::BgpMessage;
 use ndlog::{BodyElem, Rule, RuleKind};
 use nt_runtime::engine::match_atom;
 use nt_runtime::eval::{eval_filter, Bindings};
-use nt_runtime::{Firing, Tuple, Value, BASE_RULE};
+use nt_runtime::{Firing, NodeId, Sym, Tuple, Value, BASE_RULE};
 use std::collections::BTreeMap;
 
 /// The maybe rules used by the BGP proxy (the paper's rule `br1`).
@@ -144,10 +144,10 @@ impl Proxy {
         if causes.is_empty() {
             self.unmatched_outputs += 1;
             firings.push(Firing {
-                rule: BASE_RULE.to_string(),
-                node: observation.from.clone(),
+                rule: Sym::new(BASE_RULE),
+                node: NodeId::new(&observation.from),
                 head: output.clone(),
-                head_home: observation.from.clone(),
+                head_home: NodeId::new(&observation.from),
                 inputs: vec![],
                 input_tuples: vec![],
                 insert: true,
@@ -156,10 +156,10 @@ impl Proxy {
             self.matched_outputs += 1;
             for (rule_name, cause) in causes {
                 firings.push(Firing {
-                    rule: rule_name,
-                    node: observation.from.clone(),
+                    rule: Sym::new(&rule_name),
+                    node: NodeId::new(&observation.from),
                     head: output.clone(),
-                    head_home: observation.from.clone(),
+                    head_home: NodeId::new(&observation.from),
                     inputs: vec![cause.id()],
                     input_tuples: vec![cause],
                     insert: true,
@@ -170,10 +170,10 @@ impl Proxy {
         // 2. Link the inputRoute at the receiver to the message that carried
         // it (executed at the sender, stored at the receiver).
         firings.push(Firing {
-            rule: RECV_RULE.to_string(),
-            node: observation.from.clone(),
+            rule: Sym::new(RECV_RULE),
+            node: NodeId::new(&observation.from),
             head: input.clone(),
-            head_home: observation.to.clone(),
+            head_home: NodeId::new(&observation.to),
             inputs: vec![output.id()],
             input_tuples: vec![output],
             insert: true,

@@ -1,0 +1,488 @@
+//! # nt-intern — the identifier arena of the NetTrails data plane.
+//!
+//! Every vertex, edge, firing and query hop in the system is keyed by a node
+//! address and/or a rule/relation name. Carrying those as `String`s means a
+//! clone and a re-hash on every hot-path operation; this crate interns them
+//! once into a process-global arena and hands out fixed-width handles:
+//!
+//! * [`NodeId`] — an interned network address (node / AS name);
+//! * [`Sym`] — an interned rule or relation name.
+//!
+//! Both are 4-byte `Copy` handles into the same append-only string pool.
+//! Design points:
+//!
+//! * **Equality and hashing** use the `u32` id (one string ⇒ one id), so
+//!   `HashMap<(TupleId, NodeId), _>` keys hash a couple of machine words.
+//! * **Ordering** compares the *resolved strings*, so `BTreeMap` iteration
+//!   order, sorted reports and test expectations are identical to the old
+//!   `String`-keyed code and independent of interning order.
+//! * **Serialization** writes the string, never the raw id: snapshots stay
+//!   self-describing and can be reloaded by a process with a differently
+//!   populated pool. The one-time dictionary cost of shipping a snapshot is
+//!   modelled by [`InternerSnapshot`] instead (carried once per snapshot, not
+//!   once per message — see `logstore`).
+//! * Interned strings are leaked (`&'static str`): the set of node and rule
+//!   names in a deployment is small and bounded, which is exactly the case
+//!   dictionary encoding is designed for.
+//!
+//! The crate also owns the *stable digest* primitives ([`StableHasher`] and
+//! [`rule_exec_digest`]) so that every layer — runtime tuple ids, provenance
+//! rule-execution ids — derives identifiers from one implementation and
+//! interned vs. string inputs cannot silently diverge.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{OnceLock, RwLock};
+
+// ---------------------------------------------------------------------------
+// the global pool
+// ---------------------------------------------------------------------------
+
+struct Pool {
+    strings: Vec<&'static str>,
+    index: HashMap<&'static str, u32>,
+}
+
+fn pool() -> &'static RwLock<Pool> {
+    static POOL: OnceLock<RwLock<Pool>> = OnceLock::new();
+    POOL.get_or_init(|| {
+        RwLock::new(Pool {
+            strings: Vec::new(),
+            index: HashMap::new(),
+        })
+    })
+}
+
+fn intern(s: &str) -> u32 {
+    if let Some(id) = pool().read().expect("interner lock").index.get(s) {
+        return *id;
+    }
+    let mut p = pool().write().expect("interner lock");
+    if let Some(id) = p.index.get(s) {
+        return *id;
+    }
+    let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+    let id = u32::try_from(p.strings.len()).expect("interner overflow");
+    p.strings.push(leaked);
+    p.index.insert(leaked, id);
+    id
+}
+
+fn resolve(id: u32) -> &'static str {
+    pool().read().expect("interner lock").strings[id as usize]
+}
+
+/// Facade over the process-global intern pool.
+pub struct Interner;
+
+impl Interner {
+    /// Number of distinct strings interned so far.
+    pub fn len() -> usize {
+        pool().read().expect("interner lock").strings.len()
+    }
+
+    /// Dump the pool as a serializable dictionary (id order).
+    pub fn snapshot() -> InternerSnapshot {
+        let p = pool().read().expect("interner lock");
+        InternerSnapshot {
+            strings: p.strings.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+}
+
+/// A serializable dump of the intern pool: the dictionary a snapshot carries
+/// *once* so that every fixed-width id inside it resolves on the receiving
+/// side. Restoring re-interns every string (ids may be remapped — handles
+/// serialize as strings, so nothing depends on the raw id values).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InternerSnapshot {
+    /// Dictionary entries, in the capturing process's id order.
+    pub strings: Vec<String>,
+}
+
+impl InternerSnapshot {
+    /// Number of dictionary entries.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// True when the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Re-intern every dictionary entry into the local pool (warm-up on
+    /// snapshot load).
+    pub fn restore(&self) {
+        for s in &self.strings {
+            intern(s);
+        }
+    }
+
+    /// One-time wire cost of shipping the dictionary: a 4-byte id plus a
+    /// length-prefixed string per entry.
+    pub fn wire_size(&self) -> usize {
+        self.strings.iter().map(|s| 4 + 4 + s.len()).sum()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// handle types
+// ---------------------------------------------------------------------------
+
+macro_rules! handle_type {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, Eq)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Intern a string and return its handle.
+            pub fn new(s: &str) -> Self {
+                $name(intern(s))
+            }
+
+            /// The interned string.
+            pub fn as_str(self) -> &'static str {
+                resolve(self.0)
+            }
+
+            /// The raw pool index (for dense per-run arenas; never serialize
+            /// this — ids are not stable across processes).
+            pub fn index(self) -> u32 {
+                self.0
+            }
+
+            /// Fixed wire width of the handle in the interned encoding.
+            pub const WIRE_SIZE: usize = 4;
+        }
+
+        impl PartialEq for $name {
+            fn eq(&self, other: &Self) -> bool {
+                self.0 == other.0
+            }
+        }
+
+        impl Default for $name {
+            /// The empty name (a placeholder, never a real node/rule).
+            fn default() -> Self {
+                $name::new("")
+            }
+        }
+
+        impl std::hash::Hash for $name {
+            fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+                state.write_u32(self.0);
+            }
+        }
+
+        // String order, so sorted containers and reports behave exactly like
+        // the String-keyed code this replaces (and Ord is consistent with Eq:
+        // equal ids ⇔ equal strings).
+        impl Ord for $name {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                if self.0 == other.0 {
+                    std::cmp::Ordering::Equal
+                } else {
+                    self.as_str().cmp(other.as_str())
+                }
+            }
+        }
+
+        impl PartialOrd for $name {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+
+        impl std::ops::Deref for $name {
+            type Target = str;
+            fn deref(&self) -> &str {
+                self.as_str()
+            }
+        }
+
+        impl AsRef<str> for $name {
+            fn as_ref(&self) -> &str {
+                self.as_str()
+            }
+        }
+
+        // NOTE: deliberately NO `Borrow<str>` impl. `Hash` uses the pool
+        // index (not the string bytes), so a str-keyed lookup into a
+        // handle-keyed `HashMap` would hash differently and silently miss.
+        // Lookups by name must intern first: `map.get(&Sym::new(name))`.
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}({:?})", stringify!($name), self.as_str())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str(self.as_str())
+            }
+        }
+
+        impl From<&str> for $name {
+            fn from(s: &str) -> Self {
+                $name::new(s)
+            }
+        }
+
+        impl From<&$name> for $name {
+            fn from(h: &$name) -> Self {
+                *h
+            }
+        }
+
+        impl From<&String> for $name {
+            fn from(s: &String) -> Self {
+                $name::new(s)
+            }
+        }
+
+        impl From<String> for $name {
+            fn from(s: String) -> Self {
+                $name::new(&s)
+            }
+        }
+
+        impl From<$name> for String {
+            fn from(h: $name) -> String {
+                h.as_str().to_string()
+            }
+        }
+
+        impl PartialEq<str> for $name {
+            fn eq(&self, other: &str) -> bool {
+                self.as_str() == other
+            }
+        }
+
+        impl PartialEq<&str> for $name {
+            fn eq(&self, other: &&str) -> bool {
+                self.as_str() == *other
+            }
+        }
+
+        impl PartialEq<String> for $name {
+            fn eq(&self, other: &String) -> bool {
+                self.as_str() == other.as_str()
+            }
+        }
+
+        impl PartialEq<$name> for str {
+            fn eq(&self, other: &$name) -> bool {
+                self == other.as_str()
+            }
+        }
+
+        impl PartialEq<$name> for &str {
+            fn eq(&self, other: &$name) -> bool {
+                *self == other.as_str()
+            }
+        }
+
+        impl PartialEq<$name> for String {
+            fn eq(&self, other: &$name) -> bool {
+                self.as_str() == other.as_str()
+            }
+        }
+
+        impl Serialize for $name {
+            fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                self.as_str().serialize(serializer)
+            }
+        }
+
+        impl Deserialize for $name {
+            fn deserialize<'de, D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                Ok($name::new(&String::deserialize(d)?))
+            }
+        }
+    };
+}
+
+handle_type! {
+    /// An interned network address (node name / AS name). Equality and
+    /// hashing cost one integer compare; `Ord` follows the string.
+    NodeId
+}
+
+handle_type! {
+    /// An interned rule or relation name.
+    Sym
+}
+
+impl NodeId {
+    /// View the address as a relation-name handle (both live in one pool).
+    pub fn as_sym(self) -> Sym {
+        Sym(self.0)
+    }
+}
+
+impl Sym {
+    /// View the symbol as an address handle (both live in one pool).
+    pub fn as_node(self) -> NodeId {
+        NodeId(self.0)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// stable digests
+// ---------------------------------------------------------------------------
+
+/// A small, dependency-free FNV-1a 64-bit hasher with stable output.
+///
+/// Provenance vertex identifiers must be identical across nodes, runs and
+/// platforms, so the system never uses
+/// `std::collections::hash_map::DefaultHasher` (whose algorithm is
+/// unspecified) for content addressing.
+#[derive(Debug, Clone)]
+pub struct StableHasher {
+    state: u64,
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StableHasher {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// Create a hasher with the standard FNV offset basis.
+    pub fn new() -> Self {
+        StableHasher {
+            state: Self::OFFSET,
+        }
+    }
+
+    /// Absorb a byte.
+    pub fn write_u8(&mut self, b: u8) {
+        self.state ^= b as u64;
+        self.state = self.state.wrapping_mul(Self::PRIME);
+    }
+
+    /// Absorb a u64 (little-endian bytes).
+    pub fn write_u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.write_u8(b);
+        }
+    }
+
+    /// Absorb a byte slice.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u8(b);
+        }
+    }
+
+    /// Absorb a string, length-prefixed.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// Final digest.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// The single implementation of the rule-execution digest: a stable hash of
+/// the rule name, the executing node and the input tuple identifiers.
+///
+/// Both the provenance layer's `RuleExecId::compute` (interned inputs) and
+/// any string-keyed caller go through this function, so the two encodings
+/// cannot drift apart. The digest hashes the *strings*, never the intern ids,
+/// and is therefore identical on every node and across runs.
+pub fn rule_exec_digest<I>(rule: &str, node: &str, inputs: I) -> u64
+where
+    I: IntoIterator<Item = u64>,
+    I::IntoIter: ExactSizeIterator,
+{
+    let inputs = inputs.into_iter();
+    let mut h = StableHasher::new();
+    h.write_str(rule);
+    h.write_str(node);
+    h.write_u64(inputs.len() as u64);
+    for i in inputs {
+        h.write_u64(i);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_equality_is_by_content() {
+        let a = NodeId::new("n1");
+        let b = NodeId::from("n1".to_string());
+        let c = NodeId::new("n2");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.index(), b.index());
+        assert_eq!(a.as_str(), "n1");
+        assert_eq!(a, *"n1");
+        assert!("n1" == a);
+    }
+
+    #[test]
+    fn ordering_follows_the_string_not_the_intern_order() {
+        // Intern in reverse lexicographic order on purpose.
+        let z = Sym::new("zeta-order");
+        let a = Sym::new("alpha-order");
+        assert!(a < z, "Ord compares strings, not pool indices");
+        let mut v = [z, a];
+        v.sort();
+        assert_eq!(v[0].as_str(), "alpha-order");
+    }
+
+    #[test]
+    fn deref_makes_handles_act_like_strs() {
+        let s = Sym::new("__out::cost");
+        assert!(s.starts_with("__out::"));
+        assert_eq!(s.strip_prefix("__out::"), Some("cost"));
+        assert_eq!(s.len(), 11);
+        assert_eq!(format!("{s}"), "__out::cost");
+    }
+
+    #[test]
+    fn snapshot_round_trips_and_prices_the_dictionary() {
+        let _ = NodeId::new("snapshot-node");
+        let snap = Interner::snapshot();
+        assert!(!snap.is_empty());
+        assert!(snap.strings.iter().any(|s| s == "snapshot-node"));
+        assert!(snap.wire_size() >= 8 + "snapshot-node".len());
+        snap.restore(); // idempotent
+        assert_eq!(Interner::snapshot().len(), snap.len());
+    }
+
+    #[test]
+    fn serde_uses_strings_not_ids() {
+        let n = NodeId::new("serde-node");
+        let content = serde::to_content(&n).unwrap();
+        assert_eq!(content.as_str(), Some("serde-node"));
+        let back: NodeId = serde::from_content(content).unwrap();
+        assert_eq!(back, n);
+    }
+
+    #[test]
+    fn rule_exec_digest_is_stable_and_input_sensitive() {
+        let d1 = rule_exec_digest("r1", "n1", [1, 2]);
+        let d2 = rule_exec_digest("r1", "n1", [1, 2]);
+        let d3 = rule_exec_digest("r1", "n1", [2, 1]);
+        let d4 = rule_exec_digest("r1", "n2", [1, 2]);
+        assert_eq!(d1, d2);
+        assert_ne!(d1, d3);
+        assert_ne!(d1, d4);
+    }
+}

@@ -49,7 +49,7 @@ impl SnapshotDiff {
                     ns.relations
                         .values()
                         .flatten()
-                        .map(move |t| (node.clone(), t.to_string()))
+                        .map(move |t| (*node, t.to_string()))
                 })
                 .collect()
         };
@@ -61,7 +61,7 @@ impl SnapshotDiff {
                     .values()
                     .flatten()
                     .find(|t| t.to_string() == key.1)
-                    .map(|t| (key.0.clone(), t.clone()))
+                    .map(|t| (key.0, t.clone()))
             })
         };
         let appeared = set_b

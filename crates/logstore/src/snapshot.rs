@@ -1,10 +1,10 @@
 //! Snapshot types.
 
-use nt_runtime::{Addr, Database, Tuple};
+use nt_runtime::{Addr, Database, InternerSnapshot, Tuple, Value};
 use provenance::{ProvGraph, ProvStoreStats, ProvenanceSystem};
 use serde::{Deserialize, Serialize};
 use simnet::{SimTime, Topology, TrafficStats};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// One node's captured state at a point in (simulated) time.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -29,7 +29,7 @@ impl NodeSnapshot {
             relations.insert(table.schema.name.clone(), table.tuples());
         }
         NodeSnapshot {
-            node: node.to_string(),
+            node: node.into(),
             relations,
             provenance: provenance
                 .store(node)
@@ -70,17 +70,82 @@ pub struct SystemSnapshot {
     /// Cumulative traffic counters at capture time (the "bandwidth
     /// utilization" the paper mentions).
     pub traffic: TrafficStats,
+    /// The identifier dictionary: every interned node/rule/relation name the
+    /// snapshot's fixed-width ids refer to. Carried **once per snapshot** —
+    /// individual tuples, prov entries and messages ship 4-byte ids only.
+    pub dictionary: InternerSnapshot,
 }
 
 impl SystemSnapshot {
+    /// Stamp the snapshot with its identifier dictionary: exactly the node,
+    /// relation and rule names referenced by the snapshot's contents (call
+    /// after filling in the per-node state and the graph). Deliberately not
+    /// the whole process intern pool — the upload cost must depend only on
+    /// the snapshot, not on what else the process has interned.
+    pub fn stamp_dictionary(&mut self) {
+        self.dictionary = self.referenced_dictionary();
+    }
+
+    /// The dictionary this snapshot's contents require: every node, relation
+    /// and rule name reachable from the per-node state and the graph.
+    fn referenced_dictionary(&self) -> InternerSnapshot {
+        let mut names: BTreeSet<&str> = BTreeSet::new();
+        for (node, snap) in &self.nodes {
+            names.insert(node.as_str());
+            for (relation, tuples) in &snap.relations {
+                names.insert(relation);
+                for t in tuples {
+                    collect_value_names(&t.values, &mut names);
+                }
+            }
+        }
+        for vertex in self.graph.vertices.values() {
+            match vertex {
+                provenance::ProvVertex::Tuple { tuple, home, .. } => {
+                    names.insert(home.as_str());
+                    if let Some(t) = tuple {
+                        names.insert(t.relation.as_str());
+                        collect_value_names(&t.values, &mut names);
+                    }
+                }
+                provenance::ProvVertex::RuleExec { rule, node, .. } => {
+                    names.insert(rule.as_str());
+                    names.insert(node.as_str());
+                }
+            }
+        }
+        InternerSnapshot {
+            strings: names.into_iter().map(str::to_string).collect(),
+        }
+    }
+
+    /// Restore the snapshot's dictionary into the local intern pool (call
+    /// after loading a snapshot from disk, before resolving ids).
+    pub fn restore_dictionary(&self) {
+        self.dictionary.restore();
+    }
+
     /// Total tuples across every node.
     pub fn tuple_count(&self) -> usize {
         self.nodes.values().map(NodeSnapshot::tuple_count).sum()
     }
 
-    /// Total upload size of all per-node snapshots.
+    /// Total upload size of all per-node snapshots, plus the one-time
+    /// dictionary shipped alongside them. An unstamped snapshot is priced as
+    /// if its dictionary had been stamped — the cost is derived state, so
+    /// accounting cannot be silently skipped by forgetting
+    /// [`SystemSnapshot::stamp_dictionary`].
     pub fn upload_bytes(&self) -> usize {
-        self.nodes.values().map(NodeSnapshot::upload_bytes).sum()
+        let dict_bytes = if self.dictionary.is_empty() {
+            self.referenced_dictionary().wire_size()
+        } else {
+            self.dictionary.wire_size()
+        };
+        self.nodes
+            .values()
+            .map(NodeSnapshot::upload_bytes)
+            .sum::<usize>()
+            + dict_bytes
     }
 
     /// All tuples of a relation across nodes (sorted, for comparisons).
@@ -89,12 +154,27 @@ impl SystemSnapshot {
         for (node, snap) in &self.nodes {
             if let Some(tuples) = snap.relations.get(relation) {
                 for t in tuples {
-                    out.push((node.clone(), t.clone()));
+                    out.push((*node, t.clone()));
                 }
             }
         }
-        out.sort_by_key(|(n, t)| (n.clone(), t.to_string()));
+        out.sort_by_key(|(n, t)| (*n, t.to_string()));
         out
+    }
+}
+
+/// Collect the interned address names appearing in a value tree (plain `Str`
+/// values are not interned and ship inline, so they are not dictionary
+/// entries).
+fn collect_value_names<'a>(values: &'a [Value], out: &mut BTreeSet<&'a str>) {
+    for v in values {
+        match v {
+            Value::Addr(a) => {
+                out.insert(a.as_str());
+            }
+            Value::List(l) => collect_value_names(l, out),
+            _ => {}
+        }
     }
 }
 
@@ -142,6 +222,6 @@ mod tests {
         assert_eq!(snapshot.tuple_count(), 2);
         assert_eq!(snapshot.relation("cost").len(), 1);
         assert_eq!(snapshot.relation("nope").len(), 0);
-        assert!(snapshot.upload_bytes() >= snapshot.nodes["n1"].upload_bytes());
+        assert!(snapshot.upload_bytes() >= snapshot.nodes[&Addr::new("n1")].upload_bytes());
     }
 }

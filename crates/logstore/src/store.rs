@@ -64,9 +64,15 @@ impl LogStore {
         serde_json::to_string_pretty(self)
     }
 
-    /// Load a store from JSON.
+    /// Load a store from JSON. Every snapshot's identifier dictionary is
+    /// restored into the local intern pool so the fixed-width ids inside the
+    /// snapshots resolve.
     pub fn from_json(json: &str) -> serde_json::Result<Self> {
-        serde_json::from_str(json)
+        let store: Self = serde_json::from_str(json)?;
+        for snap in &store.snapshots {
+            snap.restore_dictionary();
+        }
+        Ok(store)
     }
 }
 

@@ -182,7 +182,7 @@ mod tests {
             DemoOutcome::Answered {
                 result: Some(QueryResult::ParticipatingNodes(nodes)),
                 ..
-            } => assert!(nodes.contains("n1")),
+            } => assert!(nodes.contains(&nt_runtime::NodeId::new("n1"))),
             other => panic!("unexpected {other:?}"),
         }
         // The platform is returned for further exploration.

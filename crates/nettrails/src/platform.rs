@@ -139,11 +139,11 @@ impl NetTrails {
             let mut engine_config = EngineConfig::new(node);
             engine_config.use_join_indexes = config.use_join_indexes;
             engines.insert(
-                node.to_string(),
+                Addr::new(node),
                 NodeEngine::new(program.clone(), engine_config),
             );
         }
-        let provenance = ProvenanceSystem::new(topology.nodes().map(str::to_string));
+        let provenance = ProvenanceSystem::new(topology.nodes());
         let network = Network::new(topology, config.network.clone());
         Ok(NetTrails {
             program,
@@ -199,7 +199,7 @@ impl NetTrails {
 
     /// A node's engine, if it exists.
     pub fn engine(&self, node: &str) -> Option<&NodeEngine> {
-        self.engines.get(node)
+        self.engines.get(&Addr::new(node))
     }
 
     // ------------------------------------------------------------------
@@ -208,14 +208,14 @@ impl NetTrails {
 
     /// Queue the insertion of a base tuple at `node`.
     pub fn insert_fact(&mut self, node: &str, tuple: Tuple) {
-        if let Some(engine) = self.engines.get_mut(node) {
+        if let Some(engine) = self.engines.get_mut(&Addr::new(node)) {
             engine.insert_base(tuple);
         }
     }
 
     /// Queue the deletion of a base tuple at `node`.
     pub fn delete_fact(&mut self, node: &str, tuple: Tuple) {
-        if let Some(engine) = self.engines.get_mut(node) {
+        if let Some(engine) = self.engines.get_mut(&Addr::new(node)) {
             engine.delete_base(tuple);
         }
     }
@@ -261,7 +261,7 @@ impl NetTrails {
                     let bytes = send.delta.tuple().wire_size();
                     self.network.send(
                         node,
-                        &send.dest,
+                        send.dest,
                         NetMessage::Delta {
                             delta: send.delta,
                             derivation: send.derivation,
@@ -340,7 +340,7 @@ impl NetTrails {
     /// Tuples of `relation` stored at `node`.
     pub fn relation_at(&self, node: &str, relation: &str) -> Vec<Tuple> {
         self.engines
-            .get(node)
+            .get(&Addr::new(node))
             .map(|e| e.relation(relation))
             .unwrap_or_default()
     }
@@ -350,7 +350,7 @@ impl NetTrails {
         let mut out = Vec::new();
         for (node, engine) in &self.engines {
             for t in engine.relation(relation) {
-                out.push((node.clone(), t));
+                out.push((*node, t));
             }
         }
         out
@@ -474,8 +474,8 @@ mod tests {
         let (fresh, _) = nt.recompute_from_scratch().unwrap();
         let mut incremental = nt.relation("minCost");
         let mut scratch = fresh.relation("minCost");
-        incremental.sort_by_key(|(n, t)| (n.clone(), t.to_string()));
-        scratch.sort_by_key(|(n, t)| (n.clone(), t.to_string()));
+        incremental.sort_by_key(|(n, t)| (*n, t.to_string()));
+        scratch.sort_by_key(|(n, t)| (*n, t.to_string()));
         assert_eq!(incremental, scratch);
     }
 
@@ -508,7 +508,10 @@ mod tests {
         let QueryResult::ParticipatingNodes(nodes) = result else {
             panic!("wrong result type");
         };
-        assert!(nodes.contains("n1") && nodes.contains("n2"));
+        assert!(
+            nodes.contains(&nt_runtime::NodeId::new("n1"))
+                && nodes.contains(&nt_runtime::NodeId::new("n2"))
+        );
         assert!(stats.messages > 0);
 
         let (result, _) = nt.query(

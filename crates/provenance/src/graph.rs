@@ -11,9 +11,9 @@
 
 use crate::store::RuleExecId;
 use crate::system::ProvenanceSystem;
-use nt_runtime::{Addr, Tuple, TupleId};
+use nt_runtime::{Addr, NodeId, Sym, Tuple, TupleId};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// A vertex of the provenance graph.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -24,8 +24,8 @@ pub enum ProvVertex {
         vid: TupleId,
         /// Tuple contents when known.
         tuple: Option<Tuple>,
-        /// Node where the tuple lives.
-        home: Addr,
+        /// Node where the tuple lives (interned).
+        home: NodeId,
         /// True when the tuple has a base derivation.
         is_base: bool,
     },
@@ -33,10 +33,10 @@ pub enum ProvVertex {
     RuleExec {
         /// Execution identifier.
         rid: RuleExecId,
-        /// Rule name.
-        rule: String,
-        /// Node where the rule fired.
-        node: Addr,
+        /// Rule name (interned).
+        rule: Sym,
+        /// Node where the rule fired (interned).
+        node: NodeId,
     },
 }
 
@@ -54,9 +54,14 @@ impl ProvVertex {
 
     /// The node the vertex is stored at.
     pub fn location(&self) -> &str {
+        self.location_id().as_str()
+    }
+
+    /// The interned id of the node the vertex is stored at.
+    pub fn location_id(&self) -> NodeId {
         match self {
-            ProvVertex::Tuple { home, .. } => home,
-            ProvVertex::RuleExec { node, .. } => node,
+            ProvVertex::Tuple { home, .. } => *home,
+            ProvVertex::RuleExec { node, .. } => *node,
         }
     }
 }
@@ -81,7 +86,13 @@ pub struct ProvEdge {
 }
 
 /// The assembled, centralized provenance graph.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+///
+/// Adjacency is materialized as posting lists (`out_adj`/`in_adj`), so
+/// [`ProvGraph::successors`] / [`ProvGraph::predecessors`] are O(degree)
+/// lookups instead of a scan over every edge. The lists are derived data:
+/// they are skipped by serialization and rebuilt on demand (equality compares
+/// vertices and edges only).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct ProvGraph {
     /// Vertices keyed by identifier. Serialized as an entry list so the graph
     /// can be embedded in JSON snapshots (JSON maps need string keys).
@@ -92,6 +103,18 @@ pub struct ProvGraph {
     pub vertices: BTreeMap<VertexId, ProvVertex>,
     /// Edges (deduplicated, deterministic order).
     pub edges: Vec<ProvEdge>,
+    /// Posting lists: vertex -> successors (dataflow direction).
+    #[serde(skip)]
+    out_adj: HashMap<VertexId, Vec<VertexId>>,
+    /// Posting lists: vertex -> predecessors.
+    #[serde(skip)]
+    in_adj: HashMap<VertexId, Vec<VertexId>>,
+}
+
+impl PartialEq for ProvGraph {
+    fn eq(&self, other: &Self) -> bool {
+        self.vertices == other.vertices && self.edges == other.edges
+    }
 }
 
 fn serialize_vertices<S>(
@@ -121,11 +144,11 @@ impl ProvGraph {
             for (vid, entries) in store.iter_prov() {
                 let is_base = entries.iter().any(|e| e.is_base());
                 graph.vertices.insert(
-                    VertexId::Tuple(*vid),
+                    VertexId::Tuple(vid),
                     ProvVertex::Tuple {
-                        vid: *vid,
-                        tuple: system.tuple(*vid).cloned(),
-                        home: store.node.clone(),
+                        vid,
+                        tuple: system.tuple(vid).cloned(),
+                        home: store.node,
                         is_base,
                     },
                 );
@@ -139,8 +162,8 @@ impl ProvGraph {
                     rid,
                     ProvVertex::RuleExec {
                         rid: exec.rid,
-                        rule: exec.rule.clone(),
-                        node: exec.node.clone(),
+                        rule: exec.rule,
+                        node: exec.node,
                     },
                 );
                 for input in &exec.inputs {
@@ -153,7 +176,7 @@ impl ProvGraph {
                         .or_insert_with(|| ProvVertex::Tuple {
                             vid: *input,
                             tuple: system.tuple(*input).cloned(),
-                            home: exec.node.clone(),
+                            home: exec.node,
                             is_base: false,
                         });
                     graph.edges.push(ProvEdge {
@@ -168,7 +191,7 @@ impl ProvGraph {
                     if let Some(rid) = entry.rid {
                         graph.edges.push(ProvEdge {
                             from: VertexId::RuleExec(rid),
-                            to: VertexId::Tuple(*vid),
+                            to: VertexId::Tuple(vid),
                         });
                     }
                 }
@@ -176,7 +199,24 @@ impl ProvGraph {
         }
         graph.edges.sort();
         graph.edges.dedup();
+        graph.rebuild_adjacency();
         graph
+    }
+
+    /// (Re)build the adjacency posting lists from `edges` (needed after
+    /// deserialization, where they are skipped).
+    pub fn rebuild_adjacency(&mut self) {
+        self.out_adj.clear();
+        self.in_adj.clear();
+        for e in &self.edges {
+            self.out_adj.entry(e.from).or_default().push(e.to);
+            self.in_adj.entry(e.to).or_default().push(e.from);
+        }
+    }
+
+    /// True when the posting lists are in sync with `edges`.
+    fn adjacency_built(&self) -> bool {
+        self.edges.is_empty() || !self.out_adj.is_empty()
     }
 
     /// Number of tuple vertices.
@@ -195,8 +235,12 @@ impl ProvGraph {
             .count()
     }
 
-    /// Outgoing edges of a vertex.
+    /// Outgoing edges of a vertex (posting-list lookup; falls back to an
+    /// edge scan when the lists have not been rebuilt after deserialization).
     pub fn successors(&self, v: VertexId) -> Vec<VertexId> {
+        if self.adjacency_built() {
+            return self.out_adj.get(&v).cloned().unwrap_or_default();
+        }
         self.edges
             .iter()
             .filter(|e| e.from == v)
@@ -204,8 +248,11 @@ impl ProvGraph {
             .collect()
     }
 
-    /// Incoming edges of a vertex.
+    /// Incoming edges of a vertex (posting-list lookup with scan fallback).
     pub fn predecessors(&self, v: VertexId) -> Vec<VertexId> {
+        if self.adjacency_built() {
+            return self.in_adj.get(&v).cloned().unwrap_or_default();
+        }
         self.edges
             .iter()
             .filter(|e| e.to == v)
@@ -257,7 +304,7 @@ impl ProvGraph {
     pub fn vertices_per_node(&self) -> BTreeMap<Addr, usize> {
         let mut out: BTreeMap<Addr, usize> = BTreeMap::new();
         for v in self.vertices.values() {
-            *out.entry(v.location().to_string()).or_default() += 1;
+            *out.entry(v.location_id()).or_default() += 1;
         }
         out
     }
@@ -327,8 +374,8 @@ mod tests {
         let graph = ProvGraph::from_system(&sys);
         let per_node = graph.vertices_per_node();
         // link + ruleExec at n1, cost at n2.
-        assert_eq!(per_node["n1"], 2);
-        assert_eq!(per_node["n2"], 1);
+        assert_eq!(per_node[&NodeId::new("n1")], 2);
+        assert_eq!(per_node[&NodeId::new("n2")], 1);
     }
 
     #[test]

@@ -70,7 +70,7 @@ pub fn parse_query(src: &str) -> Result<ProqlQuery, String> {
         return Err("query must start with `from <relation>[@node]`".to_string());
     }
     let (relation, node) = match tokens[1].split_once('@') {
-        Some((rel, node)) => (rel.to_string(), Some(node.to_string())),
+        Some((rel, node)) => (rel.to_string(), Some(Addr::new(node))),
         None => (tokens[1].to_string(), None),
     };
     if relation.is_empty() {
@@ -117,9 +117,7 @@ pub fn evaluate(graph: &ProvGraph, query: &ProqlQuery) -> ProqlResult {
                 tuple: Some(t),
                 home,
                 ..
-            } if t.relation == query.relation
-                && query.node.as_deref().map(|n| n == home).unwrap_or(true) =>
-            {
+            } if t.relation == query.relation && query.node.map(|n| n == *home).unwrap_or(true) => {
                 Some(*id)
             }
             _ => None,
@@ -146,7 +144,7 @@ pub fn evaluate(graph: &ProvGraph, query: &ProqlQuery) -> ProqlResult {
                 let nodes: BTreeSet<Addr> = current
                     .iter()
                     .filter_map(|id| graph.vertices.get(id))
-                    .map(|v| v.location().to_string())
+                    .map(ProvVertex::location_id)
                     .collect();
                 return ProqlResult::Nodes(nodes);
             }
@@ -268,7 +266,7 @@ mod tests {
     fn parse_accepts_the_documented_grammar() {
         let q = parse_query("from minCost@n2 back bases").unwrap();
         assert_eq!(q.relation, "minCost");
-        assert_eq!(q.node.as_deref(), Some("n2"));
+        assert_eq!(q.node, Some(Addr::new("n2")));
         assert_eq!(q.steps, vec![ProqlStep::Back(None), ProqlStep::Bases]);
 
         let q = parse_query("from cost back 1 count").unwrap();
@@ -308,8 +306,8 @@ mod tests {
         let q = parse_query("from minCost back nodes").unwrap();
         match evaluate(&g, &q) {
             ProqlResult::Nodes(nodes) => {
-                assert!(nodes.contains("n1"));
-                assert!(nodes.contains("n2"));
+                assert!(nodes.contains(&Addr::new("n1")));
+                assert!(nodes.contains(&Addr::new("n2")));
             }
             other => panic!("unexpected result {other:?}"),
         }

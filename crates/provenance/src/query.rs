@@ -28,7 +28,7 @@
 
 use crate::store::RuleExecId;
 use crate::system::ProvenanceSystem;
-use nt_runtime::{Addr, Tuple, TupleId};
+use nt_runtime::{Addr, NodeId, Sym, Tuple, TupleId};
 use serde::{Deserialize, Serialize};
 use simnet::TrafficStats;
 use std::collections::{BTreeSet, HashMap, HashSet};
@@ -109,8 +109,8 @@ pub struct ProofTree {
     pub vid: TupleId,
     /// Tuple contents, when known to the provenance system.
     pub tuple: Option<Tuple>,
-    /// Node where the tuple lives.
-    pub home: Addr,
+    /// Node where the tuple lives (interned).
+    pub home: NodeId,
     /// True when the tuple is a base tuple at this vertex (it may *also* have
     /// rule derivations).
     pub is_base: bool,
@@ -125,10 +125,10 @@ pub struct ProofTree {
 pub struct RuleExecNode {
     /// Identifier of the rule execution.
     pub rid: RuleExecId,
-    /// Rule name.
-    pub rule: String,
-    /// Node where the rule executed.
-    pub node: Addr,
+    /// Rule name (interned).
+    pub rule: Sym,
+    /// Node where the rule executed (interned).
+    pub node: NodeId,
     /// Sub-trees for every input tuple, in body order.
     pub inputs: Vec<ProofTree>,
 }
@@ -216,8 +216,10 @@ struct CachedSubtree {
 /// "caching previously queried results" optimization.
 #[derive(Debug, Default)]
 pub struct QueryEngine {
-    /// Per-node cache: (node, vid) -> cached lineage subtree.
-    cache: HashMap<(Addr, TupleId), CachedSubtree>,
+    /// Per-node cache keyed by fixed-width ids: (vid, node) -> cached lineage
+    /// subtree. Hashing a key is two integer writes; no string is cloned or
+    /// hashed anywhere on the query path.
+    cache: HashMap<(TupleId, NodeId), CachedSubtree>,
     /// Cumulative traffic across queries.
     traffic: TrafficStats,
 }
@@ -267,17 +269,15 @@ impl QueryEngine {
         kind: QueryKind,
         options: &QueryOptions,
     ) -> (QueryResult, QueryStats) {
+        let querier = NodeId::new(querier);
         let mut stats = QueryStats::default();
-        let home = system
-            .vertex_home(vid)
-            .cloned()
-            .unwrap_or_else(|| querier.to_string());
+        let home = system.vertex_home(vid).unwrap_or(querier);
         // The querying node contacts the tuple's home node.
         if home != querier {
-            self.charge(&mut stats, querier, &home, 64, options);
+            self.charge(&mut stats, querier, home, 64, options);
         }
         let mut visited = HashSet::new();
-        let tree = self.expand(system, &home, vid, 0, options, &mut stats, &mut visited);
+        let tree = self.expand(system, home, vid, 0, options, &mut stats, &mut visited);
         let result = match kind {
             QueryKind::Lineage => QueryResult::Lineage(tree),
             QueryKind::BaseTuples => {
@@ -305,7 +305,7 @@ impl QueryEngine {
     fn expand(
         &mut self,
         system: &ProvenanceSystem,
-        node: &str,
+        node: NodeId,
         vid: TupleId,
         depth: usize,
         options: &QueryOptions,
@@ -315,7 +315,7 @@ impl QueryEngine {
         stats.vertices_visited += 1;
         let tuple = system.tuple(vid).cloned();
         if options.use_cache {
-            if let Some(cached) = self.cache.get(&(node.to_string(), vid)) {
+            if let Some(cached) = self.cache.get(&(vid, node)) {
                 stats.cache_hits += 1;
                 return cached.tree.clone();
             }
@@ -323,7 +323,7 @@ impl QueryEngine {
         let mut tree = ProofTree {
             vid,
             tuple,
-            home: node.to_string(),
+            home: node,
             is_base: false,
             derivations: Vec::new(),
             pruned: false,
@@ -342,7 +342,7 @@ impl QueryEngine {
         }
         let messages_before = stats.messages;
         let entries = system
-            .store(node)
+            .store_id(node)
             .map(|s| s.prov_entries(vid))
             .unwrap_or_default();
         let mut expanded = 0usize;
@@ -362,23 +362,23 @@ impl QueryEngine {
             let rid = entry.rid.expect("non-base entry has rid");
             // Fetch the ruleExec record from the node where the rule fired.
             if entry.rloc != node {
-                self.charge(stats, node, &entry.rloc, 96, options);
+                self.charge(stats, node, entry.rloc, 96, options);
                 frontier_hops.push(options.hop_rtt_ms);
             }
-            let Some(exec) = system.store(&entry.rloc).and_then(|s| s.rule_exec(rid)) else {
+            let Some(exec) = system.store_id(entry.rloc).and_then(|s| s.rule_exec(rid)) else {
                 continue;
             };
             let mut exec_node = RuleExecNode {
                 rid,
-                rule: exec.rule.clone(),
-                node: exec.node.clone(),
+                rule: exec.rule,
+                node: exec.node,
                 inputs: Vec::new(),
             };
             // Inputs are local to the executing node: recurse there.
             for input in &exec.inputs {
                 let subtree = self.expand(
                     system,
-                    &entry.rloc,
+                    entry.rloc,
                     *input,
                     depth + 1,
                     options,
@@ -392,7 +392,7 @@ impl QueryEngine {
         visited.remove(&vid);
         if options.use_cache && !tree.pruned {
             self.cache.insert(
-                (node.to_string(), vid),
+                (vid, node),
                 CachedSubtree {
                     tree: tree.clone(),
                     messages_saved: stats.messages - messages_before,
@@ -415,23 +415,23 @@ impl QueryEngine {
     fn charge(
         &mut self,
         stats: &mut QueryStats,
-        from: &str,
-        to: &str,
+        from: NodeId,
+        to: NodeId,
         bytes: usize,
         _options: &QueryOptions,
     ) {
         // Request + reply.
         stats.messages += 2;
         stats.bytes += (bytes + 64) as u64;
-        self.traffic.record(from, to, QUERY_CATEGORY, bytes);
-        self.traffic.record(to, from, QUERY_CATEGORY, 64);
+        self.traffic.record(&from, &to, QUERY_CATEGORY, bytes);
+        self.traffic.record(&to, &from, QUERY_CATEGORY, 64);
     }
 }
 
 fn collect_nodes(tree: &ProofTree, out: &mut BTreeSet<Addr>) {
-    out.insert(tree.home.clone());
+    out.insert(tree.home);
     for d in &tree.derivations {
-        out.insert(d.node.clone());
+        out.insert(d.node);
         for input in &d.inputs {
             collect_nodes(input, out);
         }
@@ -572,7 +572,11 @@ mod tests {
         let QueryResult::ParticipatingNodes(nodes) = result else {
             panic!()
         };
-        assert!(nodes.contains("n1") && nodes.contains("n2") && nodes.contains("n3"));
+        assert!(
+            nodes.contains(&NodeId::new("n1"))
+                && nodes.contains(&NodeId::new("n2"))
+                && nodes.contains(&NodeId::new("n3"))
+        );
     }
 
     #[test]

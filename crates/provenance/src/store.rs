@@ -13,10 +13,21 @@
 //! Together these relations are the vertices and edges of the provenance graph
 //! G(V,E) of the paper: tuple vertices (VIDs), rule-execution vertices (RIDs),
 //! and the dataflow edges between them.
+//!
+//! ## Storage layout
+//!
+//! The store is arena-backed: vertices and rule executions live in dense
+//! `Vec` slots (with free-list reuse) addressed through `HashMap` id → slot
+//! indexes, and every record is fixed-size — a [`ProvEntry`] is a `Copy`
+//! 16-byte record (8-byte rid + interned 4-byte `rloc`), a [`RuleExec`] is a
+//! fixed header plus the posting list of its input VIDs. Rule and node names
+//! are interned ([`Sym`]/[`NodeId`]), so maintenance never clones or
+//! re-hashes strings; the string dictionary travels once per snapshot (see
+//! [`ProvStoreStats::dict_bytes`]), not once per entry.
 
-use nt_runtime::{Addr, StableHasher, Tuple, TupleId};
+use nt_runtime::{rule_exec_digest, NodeId, StableHasher, Sym, Tuple, TupleId, Value};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 
 /// Identifier of a rule-execution vertex: a stable digest of the rule name,
@@ -25,16 +36,20 @@ use std::fmt;
 pub struct RuleExecId(pub u64);
 
 impl RuleExecId {
-    /// Compute the RID for a rule execution.
-    pub fn compute(rule: &str, node: &str, inputs: &[TupleId]) -> Self {
-        let mut h = StableHasher::new();
-        h.write_str(rule);
-        h.write_str(node);
-        h.write_u64(inputs.len() as u64);
-        for i in inputs {
-            h.write_u64(i.0);
-        }
-        RuleExecId(h.finish())
+    /// Compute the RID for a rule execution from interned identifiers.
+    ///
+    /// Delegates to [`nt_intern::rule_exec_digest`] — the single stable-digest
+    /// implementation shared with the string-keyed entry point
+    /// ([`RuleExecId::compute_str`]), so interned and string inputs cannot
+    /// silently diverge. The digest hashes the resolved strings, never the
+    /// intern ids, and is therefore identical on every node and across runs.
+    pub fn compute(rule: Sym, node: NodeId, inputs: &[TupleId]) -> Self {
+        Self::compute_str(rule.as_str(), node.as_str(), inputs)
+    }
+
+    /// Compute the RID from boundary (string) identifiers.
+    pub fn compute_str(rule: &str, node: &str, inputs: &[TupleId]) -> Self {
+        RuleExecId(rule_exec_digest(rule, node, inputs.iter().map(|i| i.0)))
     }
 }
 
@@ -44,15 +59,16 @@ impl fmt::Display for RuleExecId {
     }
 }
 
-/// One entry of the `prov` relation: a derivation of a tuple.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+/// One entry of the `prov` relation: a derivation of a tuple. A fixed-size
+/// `Copy` record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ProvEntry {
     /// The rule execution that produced the tuple; `None` marks a base tuple
     /// inserted by the environment.
     pub rid: Option<RuleExecId>,
     /// The node where that rule executed (equal to the tuple's home for base
     /// tuples).
-    pub rloc: Addr,
+    pub rloc: NodeId,
 }
 
 impl ProvEntry {
@@ -61,29 +77,36 @@ impl ProvEntry {
         self.rid.is_none()
     }
 
-    /// Approximate wire size of the entry when shipped between nodes.
+    /// Wire size of the entry in the interned encoding: an 8-byte rid (the
+    /// base-tuple case is a reserved encoding, not extra bytes) plus a
+    /// fixed-width interned `rloc` id. The one-time dictionary cost of the
+    /// names behind the ids is accounted separately
+    /// ([`ProvStoreStats::dict_bytes`]).
     pub fn wire_size(&self) -> usize {
-        8 + 8 + 4 + self.rloc.len()
+        8 + NodeId::WIRE_SIZE
     }
 }
 
-/// One entry of the `ruleExec` relation.
+/// One entry of the `ruleExec` relation: a fixed-size header (rid + interned
+/// rule and node ids) plus the posting list of input VIDs.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RuleExec {
     /// Identifier of this execution.
     pub rid: RuleExecId,
-    /// Rule name.
-    pub rule: String,
-    /// Node where the rule executed.
-    pub node: Addr,
+    /// Rule name (interned).
+    pub rule: Sym,
+    /// Node where the rule executed (interned).
+    pub node: NodeId,
     /// Input tuple identifiers, in body order.
     pub inputs: Vec<TupleId>,
 }
 
 impl RuleExec {
-    /// Approximate wire size of the entry.
+    /// Wire size of the entry in the interned encoding: 8-byte rid,
+    /// fixed-width rule and node ids, and 8 bytes per input VID. Dictionary
+    /// cost is accounted once per store ([`ProvStoreStats::dict_bytes`]).
     pub fn wire_size(&self) -> usize {
-        8 + self.rule.len() + self.node.len() + 8 * self.inputs.len()
+        8 + Sym::WIRE_SIZE + NodeId::WIRE_SIZE + 8 * self.inputs.len()
     }
 }
 
@@ -97,26 +120,62 @@ pub struct ProvStoreStats {
     pub rule_execs: usize,
     /// Number of distinct tuple vertices known at this node.
     pub tuple_vertices: usize,
-    /// Approximate bytes of provenance state.
+    /// One-time dictionary cost: the distinct rule/relation/node names this
+    /// store references, priced as id + length-prefixed string each. This is
+    /// what a snapshot upload pays once so that every fixed-width id in
+    /// `bytes` resolves remotely.
+    pub dict_bytes: usize,
+    /// Approximate bytes of provenance state (fixed-width interned records
+    /// plus the one-time dictionary).
     pub bytes: usize,
 }
 
-/// One node's partition of the provenance graph.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+/// A vertex slot in the store arena.
+#[derive(Debug, Clone)]
+struct VertexSlot {
+    vid: TupleId,
+    /// Sorted, deduplicated entries (canonical order, independent of the
+    /// insert/retract interleaving that produced them).
+    entries: Vec<ProvEntry>,
+    live: bool,
+}
+
+impl Default for VertexSlot {
+    fn default() -> Self {
+        VertexSlot {
+            vid: TupleId(0),
+            entries: Vec::new(),
+            live: false,
+        }
+    }
+}
+
+/// An execution slot in the store arena.
+#[derive(Debug, Clone)]
+struct ExecSlot {
+    exec: RuleExec,
+    live: bool,
+}
+
+/// One node's partition of the provenance graph (arena-backed; see the module
+/// documentation for the layout).
+#[derive(Debug, Clone, Default)]
 pub struct ProvenanceStore {
     /// The node this store belongs to.
-    pub node: Addr,
-    /// `prov` relation: VID -> derivations of the tuple (homed at this node).
-    prov: BTreeMap<TupleId, BTreeSet<ProvEntry>>,
-    /// `ruleExec` relation: RID -> execution record (executed at this node).
-    rule_execs: BTreeMap<RuleExecId, RuleExec>,
+    pub node: NodeId,
+    vertices: Vec<VertexSlot>,
+    vertex_index: HashMap<TupleId, u32>,
+    free_vertices: Vec<u32>,
+    execs: Vec<ExecSlot>,
+    exec_index: HashMap<RuleExecId, u32>,
+    free_execs: Vec<u32>,
     /// Display information: VID -> tuple content, for tuples homed here.
-    tuples: BTreeMap<TupleId, Tuple>,
+    tuples: HashMap<TupleId, Tuple>,
 }
 
 impl ProvenanceStore {
     /// Create an empty store for a node.
-    pub fn new(node: impl Into<Addr>) -> Self {
+    pub fn new(node: impl Into<NodeId>) -> Self {
         ProvenanceStore {
             node: node.into(),
             ..Default::default()
@@ -139,89 +198,280 @@ impl ProvenanceStore {
         self.tuples.get(&vid)
     }
 
-    /// Add a `prov` entry (idempotent).
+    /// Add a `prov` entry (idempotent). Returns true when it was new.
     pub fn add_prov(&mut self, vid: TupleId, entry: ProvEntry) -> bool {
-        self.prov.entry(vid).or_default().insert(entry)
-    }
-
-    /// Remove a `prov` entry. Returns true when it was present. When the last
-    /// entry of a VID disappears the vertex itself is dropped.
-    pub fn remove_prov(&mut self, vid: TupleId, entry: &ProvEntry) -> bool {
-        let Some(set) = self.prov.get_mut(&vid) else {
-            return false;
+        let slot = match self.vertex_index.get(&vid) {
+            Some(&slot) => slot as usize,
+            None => {
+                let slot = match self.free_vertices.pop() {
+                    Some(free) => free as usize,
+                    None => {
+                        self.vertices.push(VertexSlot::default());
+                        self.vertices.len() - 1
+                    }
+                };
+                self.vertices[slot] = VertexSlot {
+                    vid,
+                    entries: Vec::new(),
+                    live: true,
+                };
+                self.vertex_index.insert(vid, slot as u32);
+                slot
+            }
         };
-        let removed = set.remove(entry);
-        if set.is_empty() {
-            self.prov.remove(&vid);
-            self.tuples.remove(&vid);
-        }
-        removed
-    }
-
-    /// The derivations of a tuple homed at this node.
-    pub fn prov_entries(&self, vid: TupleId) -> Vec<ProvEntry> {
-        self.prov
-            .get(&vid)
-            .map(|s| s.iter().cloned().collect())
-            .unwrap_or_default()
-    }
-
-    /// True when the tuple vertex exists at this node.
-    pub fn has_vertex(&self, vid: TupleId) -> bool {
-        self.prov.contains_key(&vid)
-    }
-
-    /// Iterate over all (VID, entries) pairs.
-    pub fn iter_prov(&self) -> impl Iterator<Item = (&TupleId, &BTreeSet<ProvEntry>)> {
-        self.prov.iter()
-    }
-
-    /// Add a `ruleExec` entry (idempotent).
-    pub fn add_rule_exec(&mut self, exec: RuleExec) -> bool {
-        match self.rule_execs.entry(exec.rid) {
-            std::collections::btree_map::Entry::Occupied(_) => false,
-            std::collections::btree_map::Entry::Vacant(v) => {
-                v.insert(exec);
+        let entries = &mut self.vertices[slot].entries;
+        match entries.binary_search(&entry) {
+            Ok(_) => false,
+            Err(pos) => {
+                entries.insert(pos, entry);
                 true
             }
         }
     }
 
+    /// Remove a `prov` entry. Returns true when it was present. When the last
+    /// entry of a VID disappears the vertex itself is dropped.
+    pub fn remove_prov(&mut self, vid: TupleId, entry: &ProvEntry) -> bool {
+        let Some(&slot) = self.vertex_index.get(&vid) else {
+            return false;
+        };
+        let vertex = &mut self.vertices[slot as usize];
+        let Ok(pos) = vertex.entries.binary_search(entry) else {
+            return false;
+        };
+        vertex.entries.remove(pos);
+        if vertex.entries.is_empty() {
+            vertex.live = false;
+            self.vertex_index.remove(&vid);
+            self.free_vertices.push(slot);
+            self.tuples.remove(&vid);
+        }
+        true
+    }
+
+    /// The derivations of a tuple homed at this node (sorted canonical
+    /// order).
+    pub fn prov_entries(&self, vid: TupleId) -> Vec<ProvEntry> {
+        self.entries_of(vid).to_vec()
+    }
+
+    /// Borrowed view of a vertex's entries (empty slice for unknown VIDs).
+    pub fn entries_of(&self, vid: TupleId) -> &[ProvEntry] {
+        self.vertex_index
+            .get(&vid)
+            .map(|&slot| self.vertices[slot as usize].entries.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// True when the tuple vertex exists at this node.
+    pub fn has_vertex(&self, vid: TupleId) -> bool {
+        self.vertex_index.contains_key(&vid)
+    }
+
+    /// Iterate over all (VID, entries) pairs in arena order.
+    pub fn iter_prov(&self) -> impl Iterator<Item = (TupleId, &[ProvEntry])> {
+        self.vertices
+            .iter()
+            .filter(|v| v.live)
+            .map(|v| (v.vid, v.entries.as_slice()))
+    }
+
+    /// Add a `ruleExec` entry (idempotent). Returns true when it was new.
+    pub fn add_rule_exec(&mut self, exec: RuleExec) -> bool {
+        if self.exec_index.contains_key(&exec.rid) {
+            return false;
+        }
+        let rid = exec.rid;
+        let slot = match self.free_execs.pop() {
+            Some(free) => {
+                self.execs[free as usize] = ExecSlot { exec, live: true };
+                free
+            }
+            None => {
+                self.execs.push(ExecSlot { exec, live: true });
+                (self.execs.len() - 1) as u32
+            }
+        };
+        self.exec_index.insert(rid, slot);
+        true
+    }
+
     /// Remove a rule execution record.
     pub fn remove_rule_exec(&mut self, rid: RuleExecId) -> bool {
-        self.rule_execs.remove(&rid).is_some()
+        let Some(slot) = self.exec_index.remove(&rid) else {
+            return false;
+        };
+        self.execs[slot as usize].live = false;
+        self.execs[slot as usize].exec.inputs.clear();
+        self.free_execs.push(slot);
+        true
     }
 
     /// Look up a rule execution record.
     pub fn rule_exec(&self, rid: RuleExecId) -> Option<&RuleExec> {
-        self.rule_execs.get(&rid)
+        self.exec_index
+            .get(&rid)
+            .map(|&slot| &self.execs[slot as usize].exec)
     }
 
-    /// Iterate over rule executions recorded at this node.
+    /// Iterate over rule executions recorded at this node, in arena order.
     pub fn iter_rule_execs(&self) -> impl Iterator<Item = &RuleExec> {
-        self.rule_execs.values()
+        self.execs.iter().filter(|s| s.live).map(|s| &s.exec)
+    }
+
+    /// Iterate over the registered tuple contents (display metadata).
+    pub fn iter_tuples(&self) -> impl Iterator<Item = &Tuple> {
+        self.tuples.values()
+    }
+
+    /// The distinct interned names this store references (rule names and node
+    /// names) — the dictionary a snapshot of this store must carry once.
+    fn dictionary(&self) -> BTreeSet<&'static str> {
+        let mut dict: BTreeSet<&'static str> = BTreeSet::new();
+        dict.insert(self.node.as_str());
+        for v in self.vertices.iter().filter(|v| v.live) {
+            for e in &v.entries {
+                dict.insert(e.rloc.as_str());
+            }
+        }
+        for s in self.execs.iter().filter(|s| s.live) {
+            dict.insert(s.exec.rule.as_str());
+            dict.insert(s.exec.node.as_str());
+        }
+        for t in self.tuples.values() {
+            dict.insert(t.relation.as_str());
+            // Address values inside tuples are priced at fixed id width by
+            // `Tuple::wire_size`, so their names belong to the dictionary too.
+            collect_addr_names(&t.values, &mut dict);
+        }
+        dict
     }
 
     /// Size counters.
     pub fn stats(&self) -> ProvStoreStats {
-        let prov_entries: usize = self.prov.values().map(BTreeSet::len).sum();
-        let bytes: usize = self
-            .prov
-            .values()
-            .flat_map(|s| s.iter().map(ProvEntry::wire_size))
-            .sum::<usize>()
-            + self
-                .rule_execs
-                .values()
-                .map(RuleExec::wire_size)
-                .sum::<usize>()
-            + self.tuples.values().map(Tuple::wire_size).sum::<usize>();
+        let mut prov_entries = 0usize;
+        let mut record_bytes = 0usize;
+        for v in self.vertices.iter().filter(|v| v.live) {
+            prov_entries += v.entries.len();
+            record_bytes += v.entries.iter().map(ProvEntry::wire_size).sum::<usize>();
+        }
+        let mut rule_execs = 0usize;
+        for s in self.execs.iter().filter(|s| s.live) {
+            rule_execs += 1;
+            record_bytes += s.exec.wire_size();
+        }
+        record_bytes += self.tuples.values().map(Tuple::wire_size).sum::<usize>();
+        // One-time dictionary: 4-byte id + length-prefixed string per name.
+        let dict_bytes: usize = self.dictionary().iter().map(|s| 4 + 4 + s.len()).sum();
         ProvStoreStats {
             prov_entries,
-            rule_execs: self.rule_execs.len(),
-            tuple_vertices: self.prov.len(),
-            bytes,
+            rule_execs,
+            tuple_vertices: self.vertex_index.len(),
+            dict_bytes,
+            bytes: record_bytes + dict_bytes,
         }
+    }
+
+    /// A canonical (sorted) dump of the store, used for serialization and
+    /// equality — two stores holding the same graph compare equal regardless
+    /// of the arena history that produced them.
+    fn dump(&self) -> StoreDump {
+        let mut prov: Vec<(TupleId, Vec<ProvEntry>)> = self
+            .iter_prov()
+            .map(|(vid, entries)| (vid, entries.to_vec()))
+            .collect();
+        prov.sort_by_key(|(vid, _)| *vid);
+        let mut rule_execs: Vec<RuleExec> = self.iter_rule_execs().cloned().collect();
+        rule_execs.sort_by_key(|e| e.rid);
+        let mut tuples: Vec<Tuple> = self.tuples.values().cloned().collect();
+        tuples.sort_by_key(Tuple::id);
+        StoreDump {
+            node: self.node,
+            prov,
+            rule_execs,
+            tuples,
+        }
+    }
+
+    /// A stable digest of the store's canonical content (used by tests and
+    /// the log-store integrity check).
+    pub fn content_digest(&self) -> u64 {
+        let dump = self.dump();
+        let mut h = StableHasher::new();
+        h.write_str(dump.node.as_str());
+        h.write_u64(dump.prov.len() as u64);
+        for (vid, entries) in &dump.prov {
+            h.write_u64(vid.0);
+            h.write_u64(entries.len() as u64);
+            for e in entries {
+                h.write_u64(e.rid.map(|r| r.0).unwrap_or(0));
+                h.write_str(e.rloc.as_str());
+            }
+        }
+        h.write_u64(dump.rule_execs.len() as u64);
+        for e in &dump.rule_execs {
+            h.write_u64(e.rid.0);
+            h.write_str(e.rule.as_str());
+            h.write_str(e.node.as_str());
+            h.write_u64(e.inputs.len() as u64);
+            for i in &e.inputs {
+                h.write_u64(i.0);
+            }
+        }
+        h.finish()
+    }
+}
+
+/// Collect interned address names appearing in a value tree.
+fn collect_addr_names(values: &[Value], out: &mut BTreeSet<&'static str>) {
+    for v in values {
+        match v {
+            Value::Addr(a) => {
+                out.insert(a.as_str());
+            }
+            Value::List(l) => collect_addr_names(l, out),
+            _ => {}
+        }
+    }
+}
+
+impl PartialEq for ProvenanceStore {
+    fn eq(&self, other: &Self) -> bool {
+        self.dump() == other.dump()
+    }
+}
+
+/// Canonical serialized form of a store.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct StoreDump {
+    node: NodeId,
+    prov: Vec<(TupleId, Vec<ProvEntry>)>,
+    rule_execs: Vec<RuleExec>,
+    tuples: Vec<Tuple>,
+}
+
+impl Serialize for ProvenanceStore {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.dump().serialize(serializer)
+    }
+}
+
+impl Deserialize for ProvenanceStore {
+    fn deserialize<'de, D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let dump = StoreDump::deserialize(d)?;
+        let mut store = ProvenanceStore::new(dump.node);
+        for (vid, entries) in dump.prov {
+            for entry in entries {
+                store.add_prov(vid, entry);
+            }
+        }
+        for exec in dump.rule_execs {
+            store.add_rule_exec(exec);
+        }
+        for tuple in dump.tuples {
+            store.register_tuple(&tuple);
+        }
+        Ok(store)
     }
 }
 
@@ -234,21 +484,34 @@ mod tests {
         Tuple::new(rel, vec![Value::addr(node), Value::Int(x)])
     }
 
+    fn sym(s: &str) -> Sym {
+        Sym::new(s)
+    }
+
+    fn nid(s: &str) -> NodeId {
+        NodeId::new(s)
+    }
+
     #[test]
     fn rid_is_stable_and_order_sensitive() {
         let a = TupleId(1);
         let b = TupleId(2);
         assert_eq!(
-            RuleExecId::compute("r1", "n1", &[a, b]),
-            RuleExecId::compute("r1", "n1", &[a, b])
+            RuleExecId::compute(sym("r1"), nid("n1"), &[a, b]),
+            RuleExecId::compute(sym("r1"), nid("n1"), &[a, b])
         );
         assert_ne!(
-            RuleExecId::compute("r1", "n1", &[a, b]),
-            RuleExecId::compute("r1", "n1", &[b, a])
+            RuleExecId::compute(sym("r1"), nid("n1"), &[a, b]),
+            RuleExecId::compute(sym("r1"), nid("n1"), &[b, a])
         );
         assert_ne!(
-            RuleExecId::compute("r1", "n1", &[a]),
-            RuleExecId::compute("r1", "n2", &[a])
+            RuleExecId::compute(sym("r1"), nid("n1"), &[a]),
+            RuleExecId::compute(sym("r1"), nid("n2"), &[a])
+        );
+        // The interned and string entry points share one digest.
+        assert_eq!(
+            RuleExecId::compute(sym("r1"), nid("n1"), &[a, b]),
+            RuleExecId::compute_str("r1", "n1", &[a, b])
         );
     }
 
@@ -262,13 +525,13 @@ mod tests {
             rid: None,
             rloc: "n1".into(),
         };
-        assert!(store.add_prov(vid, base.clone()));
-        assert!(!store.add_prov(vid, base.clone()), "idempotent");
+        assert!(store.add_prov(vid, base));
+        assert!(!store.add_prov(vid, base), "idempotent");
         let exec = ProvEntry {
-            rid: Some(RuleExecId::compute("r1", "n2", &[TupleId(9)])),
+            rid: Some(RuleExecId::compute(sym("r1"), nid("n2"), &[TupleId(9)])),
             rloc: "n2".into(),
         };
-        store.add_prov(vid, exec.clone());
+        store.add_prov(vid, exec);
         assert_eq!(store.prov_entries(vid).len(), 2);
         assert!(store.remove_prov(vid, &base));
         assert!(!store.remove_prov(vid, &base));
@@ -279,9 +542,29 @@ mod tests {
     }
 
     #[test]
+    fn vertex_slots_are_reused_after_removal() {
+        let mut store = ProvenanceStore::new("n1");
+        let base = ProvEntry {
+            rid: None,
+            rloc: "n1".into(),
+        };
+        for round in 0..3 {
+            for i in 0..10 {
+                store.add_prov(TupleId(100 + i), base);
+            }
+            for i in 0..10 {
+                assert!(store.remove_prov(TupleId(100 + i), &base));
+            }
+            assert_eq!(store.stats().tuple_vertices, 0, "round {round}");
+        }
+        // The arena never grew past one generation of vertices.
+        assert!(store.vertices.len() <= 10);
+    }
+
+    #[test]
     fn rule_execs_round_trip() {
         let mut store = ProvenanceStore::new("n1");
-        let rid = RuleExecId::compute("r2", "n1", &[TupleId(1), TupleId(2)]);
+        let rid = RuleExecId::compute(sym("r2"), nid("n1"), &[TupleId(1), TupleId(2)]);
         let exec = RuleExec {
             rid,
             rule: "r2".into(),
@@ -296,7 +579,7 @@ mod tests {
     }
 
     #[test]
-    fn stats_reflect_contents() {
+    fn stats_reflect_contents_and_price_the_dictionary() {
         let mut store = ProvenanceStore::new("n1");
         let t = tuple("cost", "n1", 3);
         store.register_tuple(&t);
@@ -308,7 +591,7 @@ mod tests {
             },
         );
         store.add_rule_exec(RuleExec {
-            rid: RuleExecId::compute("r1", "n1", &[t.id()]),
+            rid: RuleExecId::compute(sym("r1"), nid("n1"), &[t.id()]),
             rule: "r1".into(),
             node: "n1".into(),
             inputs: vec![t.id()],
@@ -317,6 +600,56 @@ mod tests {
         assert_eq!(stats.prov_entries, 1);
         assert_eq!(stats.rule_execs, 1);
         assert_eq!(stats.tuple_vertices, 1);
-        assert!(stats.bytes > 0);
+        // Dictionary: "n1", "r1", "cost".
+        assert_eq!(stats.dict_bytes, (8 + 2) + (8 + 2) + (8 + 4));
+        assert!(stats.bytes > stats.dict_bytes);
+    }
+
+    #[test]
+    fn equality_and_digest_ignore_arena_history() {
+        let base = ProvEntry {
+            rid: None,
+            rloc: "n1".into(),
+        };
+        let other = ProvEntry {
+            rid: Some(RuleExecId(7)),
+            rloc: "n2".into(),
+        };
+        // Store A: churn before reaching the final state.
+        let mut a = ProvenanceStore::new("n1");
+        a.add_prov(TupleId(1), base);
+        a.add_prov(TupleId(9), base);
+        a.remove_prov(TupleId(9), &base);
+        a.add_prov(TupleId(1), other);
+        // Store B: the final state directly, in a different order.
+        let mut b = ProvenanceStore::new("n1");
+        b.add_prov(TupleId(1), other);
+        b.add_prov(TupleId(1), base);
+        assert_eq!(a, b);
+        assert_eq!(a.content_digest(), b.content_digest());
+    }
+
+    #[test]
+    fn serde_round_trips_through_the_canonical_dump() {
+        let mut store = ProvenanceStore::new("n1");
+        let t = tuple("cost", "n1", 3);
+        store.register_tuple(&t);
+        store.add_prov(
+            t.id(),
+            ProvEntry {
+                rid: None,
+                rloc: "n1".into(),
+            },
+        );
+        store.add_rule_exec(RuleExec {
+            rid: RuleExecId(42),
+            rule: "r1".into(),
+            node: "n1".into(),
+            inputs: vec![t.id()],
+        });
+        let content = serde::to_content(&store).unwrap();
+        let back: ProvenanceStore = serde::from_content(content).unwrap();
+        assert_eq!(store, back);
+        assert_eq!(store.stats(), back.stats());
     }
 }

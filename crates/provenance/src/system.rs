@@ -12,6 +12,11 @@
 //! graph is maintained *incrementally* as network state changes — the property
 //! the paper demonstrates with link failures and mobile networks.
 //!
+//! The stores live in a dense arena indexed by interned [`NodeId`]; one
+//! firing is applied with two integer-keyed lookups and zero string clones or
+//! comparisons — the `Addr = String` B-tree this replaces re-hashed the node
+//! name on every hop.
+//!
 //! The cross-node shipments of `prov` entries are the **maintenance traffic**
 //! of provenance capture; the system records it in a
 //! [`simnet::TrafficStats`] under the `"prov-maintenance"` category so the
@@ -19,10 +24,10 @@
 //! own traffic.
 
 use crate::store::{ProvEntry, ProvStoreStats, ProvenanceStore, RuleExec, RuleExecId};
-use nt_runtime::{Addr, Firing, Tuple, TupleId, BASE_RULE};
+use nt_runtime::{Addr, Firing, NodeId, Tuple, TupleId};
 use serde::{Deserialize, Serialize};
 use simnet::TrafficStats;
-use std::collections::BTreeMap;
+use std::collections::HashMap;
 
 /// Category name used for provenance-maintenance traffic.
 pub const MAINTENANCE_CATEGORY: &str = "prov-maintenance";
@@ -36,6 +41,8 @@ pub struct SystemStats {
     pub rule_execs: usize,
     /// Total tuple vertices.
     pub tuple_vertices: usize,
+    /// Total one-time dictionary bytes across stores.
+    pub dict_bytes: usize,
     /// Total approximate bytes of provenance state.
     pub bytes: usize,
     /// Firings processed (derivations).
@@ -44,10 +51,12 @@ pub struct SystemStats {
     pub retractions_applied: u64,
 }
 
-/// The distributed provenance maintenance engine (one store per node).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+/// The distributed provenance maintenance engine (one store per node, in a
+/// dense arena indexed by interned node id).
+#[derive(Debug, Clone, Default)]
 pub struct ProvenanceSystem {
-    stores: BTreeMap<Addr, ProvenanceStore>,
+    stores: Vec<ProvenanceStore>,
+    by_node: HashMap<NodeId, u32>,
     traffic: TrafficStats,
     firings_applied: u64,
     retractions_applied: u64,
@@ -55,35 +64,55 @@ pub struct ProvenanceSystem {
 
 impl ProvenanceSystem {
     /// Create a system with stores for the given nodes.
-    pub fn new(nodes: impl IntoIterator<Item = impl Into<Addr>>) -> Self {
+    pub fn new(nodes: impl IntoIterator<Item = impl Into<NodeId>>) -> Self {
         let mut system = ProvenanceSystem::default();
         for n in nodes {
-            let n = n.into();
-            system.stores.insert(n.clone(), ProvenanceStore::new(n));
+            system.slot(n.into());
         }
         system
     }
 
+    /// The arena slot of a node's store, creating it if unknown.
+    fn slot(&mut self, node: NodeId) -> usize {
+        match self.by_node.get(&node) {
+            Some(&slot) => slot as usize,
+            None => {
+                let slot = self.stores.len();
+                self.stores.push(ProvenanceStore::new(node));
+                self.by_node.insert(node, slot as u32);
+                slot
+            }
+        }
+    }
+
     /// Access a node's store (creating it lazily if unknown).
-    pub fn store_mut(&mut self, node: &str) -> &mut ProvenanceStore {
-        self.stores
-            .entry(node.to_string())
-            .or_insert_with(|| ProvenanceStore::new(node))
+    pub fn store_mut(&mut self, node: impl Into<NodeId>) -> &mut ProvenanceStore {
+        let slot = self.slot(node.into());
+        &mut self.stores[slot]
     }
 
-    /// Access a node's store.
+    /// Access a node's store by boundary name.
     pub fn store(&self, node: &str) -> Option<&ProvenanceStore> {
-        self.stores.get(node)
+        self.store_id(NodeId::new(node))
     }
 
-    /// Iterate over all stores.
+    /// Access a node's store by interned id (the hot-path lookup).
+    pub fn store_id(&self, node: NodeId) -> Option<&ProvenanceStore> {
+        self.by_node
+            .get(&node)
+            .map(|&slot| &self.stores[slot as usize])
+    }
+
+    /// Iterate over all stores (arena order: creation order, deterministic).
     pub fn stores(&self) -> impl Iterator<Item = &ProvenanceStore> {
-        self.stores.values()
+        self.stores.iter()
     }
 
-    /// Node names with provenance state.
+    /// Node names with provenance state, in name order.
     pub fn nodes(&self) -> Vec<Addr> {
-        self.stores.keys().cloned().collect()
+        let mut nodes: Vec<Addr> = self.stores.iter().map(|s| s.node).collect();
+        nodes.sort();
+        nodes
     }
 
     /// Cross-node provenance maintenance traffic recorded so far.
@@ -111,26 +140,26 @@ impl ProvenanceSystem {
 
     fn apply_insert(&mut self, firing: &Firing) {
         let vid = firing.head.id();
-        if firing.rule == BASE_RULE {
-            let store = self.store_mut(&firing.head_home);
+        if firing.rule == nt_runtime::base_rule_sym() {
+            let store = self.store_mut(firing.head_home);
             store.register_tuple(&firing.head);
             store.add_prov(
                 vid,
                 ProvEntry {
                     rid: None,
-                    rloc: firing.head_home.clone(),
+                    rloc: firing.head_home,
                 },
             );
             return;
         }
-        let rid = RuleExecId::compute(&firing.rule, &firing.node, &firing.inputs);
+        let rid = RuleExecId::compute(firing.rule, firing.node, &firing.inputs);
         // ruleExec lives where the rule fired.
         {
-            let store = self.store_mut(&firing.node);
+            let store = self.store_mut(firing.node);
             store.add_rule_exec(RuleExec {
                 rid,
-                rule: firing.rule.clone(),
-                node: firing.node.clone(),
+                rule: firing.rule,
+                node: firing.node,
                 inputs: firing.inputs.clone(),
             });
             // The input tuples are local to the executing node
@@ -142,7 +171,7 @@ impl ProvenanceSystem {
         // prov entry lives at the head tuple's home.
         let entry = ProvEntry {
             rid: Some(rid),
-            rloc: firing.node.clone(),
+            rloc: firing.node,
         };
         if firing.head_home != firing.node {
             self.traffic.record(
@@ -152,30 +181,29 @@ impl ProvenanceSystem {
                 entry.wire_size() + firing.head.wire_size(),
             );
         }
-        let store = self.store_mut(&firing.head_home);
+        let store = self.store_mut(firing.head_home);
         store.register_tuple(&firing.head);
         store.add_prov(vid, entry);
     }
 
     fn apply_retract(&mut self, firing: &Firing) {
         let vid = firing.head.id();
-        if firing.rule == BASE_RULE {
-            let home = firing.head_home.clone();
-            let store = self.store_mut(&home);
-            store.remove_prov(
+        if firing.rule == nt_runtime::base_rule_sym() {
+            let home = firing.head_home;
+            self.store_mut(home).remove_prov(
                 vid,
                 &ProvEntry {
                     rid: None,
-                    rloc: home.clone(),
+                    rloc: home,
                 },
             );
             return;
         }
-        let rid = RuleExecId::compute(&firing.rule, &firing.node, &firing.inputs);
-        self.store_mut(&firing.node).remove_rule_exec(rid);
+        let rid = RuleExecId::compute(firing.rule, firing.node, &firing.inputs);
+        self.store_mut(firing.node).remove_rule_exec(rid);
         let entry = ProvEntry {
             rid: Some(rid),
-            rloc: firing.node.clone(),
+            rloc: firing.node,
         };
         if firing.head_home != firing.node {
             self.traffic.record(
@@ -185,21 +213,21 @@ impl ProvenanceSystem {
                 entry.wire_size(),
             );
         }
-        self.store_mut(&firing.head_home).remove_prov(vid, &entry);
+        self.store_mut(firing.head_home).remove_prov(vid, &entry);
     }
 
     /// Find the content of a tuple vertex, looking at its home node first and
     /// then anywhere (the executing node also knows input tuple contents).
     pub fn tuple(&self, vid: TupleId) -> Option<&Tuple> {
-        self.stores.values().find_map(|s| s.tuple(vid))
+        self.stores.iter().find_map(|s| s.tuple(vid))
     }
 
     /// The home node of a tuple vertex: the node whose `prov` table has it.
-    pub fn vertex_home(&self, vid: TupleId) -> Option<&Addr> {
+    pub fn vertex_home(&self, vid: TupleId) -> Option<NodeId> {
         self.stores
-            .values()
+            .iter()
             .find(|s| s.has_vertex(vid))
-            .map(|s| &s.node)
+            .map(|s| s.node)
     }
 
     /// Aggregate statistics across all stores.
@@ -209,26 +237,81 @@ impl ProvenanceSystem {
             retractions_applied: self.retractions_applied,
             ..SystemStats::default()
         };
-        for store in self.stores.values() {
+        for store in &self.stores {
             let ProvStoreStats {
                 prov_entries,
                 rule_execs,
                 tuple_vertices,
+                dict_bytes,
                 bytes,
             } = store.stats();
             stats.prov_entries += prov_entries;
             stats.rule_execs += rule_execs;
             stats.tuple_vertices += tuple_vertices;
+            stats.dict_bytes += dict_bytes;
             stats.bytes += bytes;
         }
         stats
     }
 }
 
+impl PartialEq for ProvenanceSystem {
+    fn eq(&self, other: &Self) -> bool {
+        self.dump() == other.dump()
+    }
+}
+
+/// Canonical serialized form of a system (stores in node-name order).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct SystemDump {
+    stores: Vec<ProvenanceStore>,
+    traffic: TrafficStats,
+    firings_applied: u64,
+    retractions_applied: u64,
+}
+
+impl ProvenanceSystem {
+    fn dump(&self) -> SystemDump {
+        let mut stores = self.stores.clone();
+        stores.sort_by_key(|s| s.node);
+        SystemDump {
+            stores,
+            traffic: self.traffic.clone(),
+            firings_applied: self.firings_applied,
+            retractions_applied: self.retractions_applied,
+        }
+    }
+}
+
+impl Serialize for ProvenanceSystem {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.dump().serialize(serializer)
+    }
+}
+
+impl Deserialize for ProvenanceSystem {
+    fn deserialize<'de, D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let dump = SystemDump::deserialize(d)?;
+        let mut system = ProvenanceSystem {
+            traffic: dump.traffic,
+            firings_applied: dump.firings_applied,
+            retractions_applied: dump.retractions_applied,
+            ..ProvenanceSystem::default()
+        };
+        for store in dump.stores {
+            let node = store.node;
+            let slot = system.stores.len();
+            system.stores.push(store);
+            system.by_node.insert(node, slot as u32);
+        }
+        Ok(system)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nt_runtime::Value;
+    use nt_runtime::{base_rule_sym, Sym, Value};
 
     fn tuple(rel: &str, node: &str, x: i64) -> Tuple {
         Tuple::new(rel, vec![Value::addr(node), Value::Int(x)])
@@ -236,10 +319,10 @@ mod tests {
 
     fn base_firing(t: &Tuple, node: &str) -> Firing {
         Firing {
-            rule: BASE_RULE.to_string(),
-            node: node.to_string(),
+            rule: base_rule_sym(),
+            node: node.into(),
             head: t.clone(),
-            head_home: node.to_string(),
+            head_home: node.into(),
             inputs: vec![],
             input_tuples: vec![],
             insert: true,
@@ -248,10 +331,10 @@ mod tests {
 
     fn rule_firing(rule: &str, exec: &str, head: &Tuple, home: &str, inputs: &[Tuple]) -> Firing {
         Firing {
-            rule: rule.to_string(),
-            node: exec.to_string(),
+            rule: Sym::new(rule),
+            node: exec.into(),
             head: head.clone(),
-            head_home: home.to_string(),
+            head_home: home.into(),
             inputs: inputs.iter().map(Tuple::id).collect(),
             input_tuples: inputs.to_vec(),
             insert: true,
@@ -287,7 +370,7 @@ mod tests {
                 .category_messages(MAINTENANCE_CATEGORY),
             1
         );
-        assert_eq!(sys.vertex_home(cost.id()), Some(&"n2".to_string()));
+        assert_eq!(sys.vertex_home(cost.id()), Some(NodeId::new("n2")));
         assert_eq!(sys.tuple(link.id()), Some(&link));
     }
 
@@ -344,5 +427,34 @@ mod tests {
             2,
             "two alternative derivations recorded"
         );
+    }
+
+    #[test]
+    fn lazily_created_stores_are_addressable() {
+        let mut sys = ProvenanceSystem::new(Vec::<String>::new());
+        let link = tuple("link", "n7", 1);
+        sys.apply_firing(&base_firing(&link, "n7"));
+        assert!(sys.store("n7").unwrap().has_vertex(link.id()));
+        assert_eq!(sys.nodes(), vec![NodeId::new("n7")]);
+    }
+
+    #[test]
+    fn serde_round_trips_the_whole_system() {
+        let mut sys = ProvenanceSystem::new(["n1", "n2"]);
+        let link = tuple("link", "n1", 5);
+        let cost = tuple("cost", "n2", 5);
+        sys.apply_firing(&base_firing(&link, "n1"));
+        sys.apply_firing(&rule_firing(
+            "r1",
+            "n1",
+            &cost,
+            "n2",
+            std::slice::from_ref(&link),
+        ));
+        let content = serde::to_content(&sys).unwrap();
+        let back: ProvenanceSystem = serde::from_content(content).unwrap();
+        assert_eq!(sys, back);
+        assert_eq!(sys.stats(), back.stats());
+        assert_eq!(back.vertex_home(cost.id()), Some(NodeId::new("n2")));
     }
 }

@@ -3,14 +3,14 @@
 //! and the assembled graph is always acyclic when derivations respect
 //! stratification (inputs created before outputs).
 
-use nt_runtime::{Firing, Tuple, Value, BASE_RULE};
+use nt_runtime::{base_rule_sym, Firing, NodeId, Sym, Tuple, Value};
 use proptest::prelude::*;
 use provenance::{ProvGraph, ProvenanceSystem};
 
 /// Build a layered set of firings: base tuples in layer 0, each derived tuple
 /// in layer i uses inputs from layer i-1.
 fn layered_firings(layers: usize, width: usize, nodes: usize) -> Vec<Firing> {
-    let node = |i: usize| format!("n{}", (i % nodes) + 1);
+    let node = |i: usize| NodeId::new(&format!("n{}", (i % nodes) + 1));
     let tuple = |layer: usize, i: usize| {
         Tuple::new(
             format!("rel{layer}"),
@@ -20,7 +20,7 @@ fn layered_firings(layers: usize, width: usize, nodes: usize) -> Vec<Firing> {
     let mut firings = Vec::new();
     for i in 0..width {
         firings.push(Firing {
-            rule: BASE_RULE.into(),
+            rule: base_rule_sym(),
             node: node(i),
             head: tuple(0, i),
             head_home: node(i),
@@ -34,7 +34,7 @@ fn layered_firings(layers: usize, width: usize, nodes: usize) -> Vec<Firing> {
             let input_a = tuple(layer - 1, i);
             let input_b = tuple(layer - 1, (i + 1) % width);
             firings.push(Firing {
-                rule: format!("r{layer}"),
+                rule: Sym::new(&format!("r{layer}")),
                 node: node(i),
                 head: tuple(layer, i),
                 head_home: node(i + 1),

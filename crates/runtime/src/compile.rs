@@ -9,6 +9,7 @@
 
 use crate::catalog::Catalog;
 use crate::error::{Result, RuntimeError};
+use crate::value::Sym;
 use ndlog::localize::{localize_rule, RuleLocation};
 use ndlog::{AggregateFunc, BodyElem, Literal, Predicate, Program, Rule, RuleKind, Term};
 use serde::{Deserialize, Serialize};
@@ -122,6 +123,11 @@ fn build_join_plan(positive: &[Predicate], trigger: Option<usize>) -> JoinPlan {
 pub struct CompiledRule {
     /// The (localized) source rule.
     pub rule: Rule,
+    /// The rule name, interned once at compile time (what firings carry).
+    pub name_sym: Sym,
+    /// Interned relation names of `positive`, in the same order (what the
+    /// join hot path uses for table lookups).
+    pub positive_syms: Vec<Sym>,
     /// Index of this rule within the compiled program.
     pub index: usize,
     /// Where the rule executes.
@@ -170,12 +176,12 @@ pub struct CompiledProgram {
     /// Executable rules (maybe rules are excluded — they are evaluated by the
     /// legacy-application proxy, not by the engine).
     pub rules: Vec<CompiledRule>,
-    /// relation name -> (rule index, positive-atom index) pairs to evaluate
+    /// relation symbol -> (rule index, positive-atom index) pairs to evaluate
     /// when a delta of that relation arrives.
-    pub triggers: HashMap<String, Vec<(usize, usize)>>,
-    /// relation name -> rule indices that must be *reconciled* when the
+    pub triggers: HashMap<Sym, Vec<(usize, usize)>>,
+    /// relation symbol -> rule indices that must be *reconciled* when the
     /// relation changes (rules where the relation appears negated).
-    pub negation_triggers: HashMap<String, Vec<usize>>,
+    pub negation_triggers: HashMap<Sym, Vec<usize>>,
 }
 
 impl CompiledProgram {
@@ -193,8 +199,8 @@ impl CompiledProgram {
         let catalog = Catalog::from_program(&localized)?;
 
         let mut rules = Vec::new();
-        let mut triggers: HashMap<String, Vec<(usize, usize)>> = HashMap::new();
-        let mut negation_triggers: HashMap<String, Vec<usize>> = HashMap::new();
+        let mut triggers: HashMap<Sym, Vec<(usize, usize)>> = HashMap::new();
+        let mut negation_triggers: HashMap<Sym, Vec<usize>> = HashMap::new();
 
         for rule in &localized.rules {
             if rule.kind == RuleKind::Maybe {
@@ -204,13 +210,13 @@ impl CompiledProgram {
             let compiled = compile_rule(rule, index, &catalog)?;
             for (atom_idx, atom) in compiled.positive.iter().enumerate() {
                 triggers
-                    .entry(atom.relation.clone())
+                    .entry(Sym::new(&atom.relation))
                     .or_default()
                     .push((index, atom_idx));
             }
             for atom in &compiled.negated {
                 negation_triggers
-                    .entry(atom.relation.clone())
+                    .entry(Sym::new(&atom.relation))
                     .or_default()
                     .push(index);
             }
@@ -337,6 +343,8 @@ fn compile_rule(rule: &Rule, index: usize, catalog: &Catalog) -> Result<Compiled
     };
 
     Ok(CompiledRule {
+        name_sym: Sym::new(&rule.name),
+        positive_syms: positive.iter().map(|p| Sym::new(&p.relation)).collect(),
         rule: rule.clone(),
         index,
         exec: localized.exec_location,
@@ -373,7 +381,7 @@ mod tests {
         assert!(r3.aggregate.is_some());
         assert_eq!(r3.aggregate.as_ref().unwrap().agg_col, 2);
         // link triggers r1 and the ship rule.
-        let link_triggers = &cp.triggers["link"];
+        let link_triggers = &cp.triggers[&Sym::new("link")];
         assert_eq!(link_triggers.len(), 2);
         // The aux relation exists in the catalog.
         assert!(cp.catalog.schema("r2_aux").is_some());
@@ -463,7 +471,7 @@ mod tests {
         let cp =
             CompiledProgram::from_source("r1 isolated(@N,M) :- node(@N), peer(@N,M), !link(@N,M).")
                 .unwrap();
-        assert_eq!(cp.negation_triggers["link"], vec![0]);
+        assert_eq!(cp.negation_triggers[&Sym::new("link")], vec![0]);
         assert!(cp.rules[0].has_negation());
     }
 }

@@ -30,9 +30,11 @@
 
 use crate::compile::{CompiledProgram, CompiledRule};
 use crate::eval::{eval_expr, eval_filter, literal_value, Bindings};
-use crate::store::{Database, Derivation, Membership, BASE_RULE};
+#[cfg(test)]
+use crate::store::BASE_RULE;
+use crate::store::{base_rule_sym, Database, Derivation, Membership};
 use crate::tuple::{Delta, Tuple, TupleId};
-use crate::value::{Addr, Value};
+use crate::value::{Addr, Sym, Value};
 use ndlog::{AggregateFunc, BodyElem, Literal, Predicate, Term};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
@@ -98,11 +100,13 @@ pub struct EngineStats {
     pub agg_recomputes: u64,
 }
 
-/// A rule-execution event, reported for provenance capture.
+/// A rule-execution event, reported for provenance capture. Every identifier
+/// in a firing is interned, so the provenance layer consumes fixed-width
+/// records without string traffic.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Firing {
-    /// Rule name ([`BASE_RULE`] for base-tuple events).
-    pub rule: String,
+    /// Rule name ([`crate::store::BASE_RULE`] for base-tuple events).
+    pub rule: Sym,
     /// Node where the rule executed (always this engine's node).
     pub node: Addr,
     /// The derived (or retracted) head tuple.
@@ -174,6 +178,8 @@ pub struct NodeEngine {
     queue: VecDeque<WorkItem>,
     /// (rule index, group key) -> current aggregate head tuple + derivation.
     agg_state: HashMap<(usize, Vec<Value>), (Tuple, Derivation)>,
+    /// Memoized `relation -> __out::relation` symbols.
+    outbox_syms: HashMap<Sym, Sym>,
     stats: EngineStats,
 }
 
@@ -187,13 +193,14 @@ impl NodeEngine {
             db,
             queue: VecDeque::new(),
             agg_state: HashMap::new(),
+            outbox_syms: HashMap::new(),
             stats: EngineStats::default(),
         }
     }
 
     /// The node name this engine runs on.
     pub fn node(&self) -> &str {
-        &self.config.node
+        self.config.node.as_str()
     }
 
     /// The compiled program.
@@ -218,13 +225,13 @@ impl NodeEngine {
 
     /// Queue the insertion of a base (extensional) tuple at this node.
     pub fn insert_base(&mut self, tuple: Tuple) {
-        let derivation = Derivation::base(self.config.node.clone());
+        let derivation = Derivation::base(self.config.node);
         self.queue.push_back(WorkItem::Add { tuple, derivation });
     }
 
     /// Queue the deletion of a base tuple previously inserted at this node.
     pub fn delete_base(&mut self, tuple: Tuple) {
-        let derivation = Derivation::base(self.config.node.clone());
+        let derivation = Derivation::base(self.config.node);
         self.queue.push_back(WorkItem::Remove { tuple, derivation });
     }
 
@@ -267,12 +274,12 @@ impl NodeEngine {
     // ----------------------------------------------------------------------
 
     fn ensure_table(&mut self, tuple: &Tuple) {
-        if self.db.table(&tuple.relation).is_none() {
+        if self.db.table_sym(tuple.relation).is_none() {
             // Relations unknown to the program (e.g. environment relations fed
             // for observation only) get a lenient schema: location column 0,
             // set semantics.
             self.db.register(crate::catalog::RelationSchema {
-                name: tuple.relation.clone(),
+                name: tuple.relation.as_str().to_string(),
                 arity: tuple.arity(),
                 location_col: 0,
                 key_cols: (0..tuple.arity()).collect(),
@@ -290,7 +297,7 @@ impl NodeEngine {
     fn canonical_tuple(&self, tuple: Tuple) -> Tuple {
         match self
             .db
-            .table(&tuple.relation)
+            .table_sym(tuple.relation)
             .and_then(|table| table.get(&tuple))
         {
             Some(stored) if stored.tuple.id() != tuple.id() => stored.tuple.clone(),
@@ -305,7 +312,7 @@ impl NodeEngine {
         let inputs = derivation.inputs.clone();
         let membership = self
             .db
-            .table_mut(&tuple.relation)
+            .table_mut_sym(tuple.relation)
             .expect("table ensured")
             .add_derivation(&tuple, derivation);
 
@@ -314,16 +321,15 @@ impl NodeEngine {
             Membership::Appeared | Membership::AddedDerivation | Membership::Replaced(_)
         ) {
             for input in &inputs {
-                self.db
-                    .index_dependency(*input, &tuple.relation, tuple.id());
+                self.db.index_dependency(*input, tuple.relation, tuple.id());
             }
             if is_base {
                 // Report base tuples to the provenance layer.
                 out.firings.push(Firing {
-                    rule: BASE_RULE.to_string(),
-                    node: self.config.node.clone(),
+                    rule: base_rule_sym(),
+                    node: self.config.node,
                     head: tuple.clone(),
-                    head_home: self.config.node.clone(),
+                    head_home: self.config.node,
                     inputs: Vec::new(),
                     input_tuples: Vec::new(),
                     insert: true,
@@ -350,7 +356,7 @@ impl NodeEngine {
 
     fn apply_remove(&mut self, tuple: Tuple, derivation: Derivation, out: &mut StepOutput) {
         let tuple = self.canonical_tuple(tuple);
-        let Some(table) = self.db.table_mut(&tuple.relation) else {
+        let Some(table) = self.db.table_mut_sym(tuple.relation) else {
             return;
         };
         let is_base = derivation.is_base();
@@ -361,10 +367,10 @@ impl NodeEngine {
         ) && is_base
         {
             out.firings.push(Firing {
-                rule: BASE_RULE.to_string(),
-                node: self.config.node.clone(),
+                rule: base_rule_sym(),
+                node: self.config.node,
                 head: tuple.clone(),
-                head_home: self.config.node.clone(),
+                head_home: self.config.node,
                 inputs: Vec::new(),
                 input_tuples: Vec::new(),
                 insert: false,
@@ -388,21 +394,21 @@ impl NodeEngine {
                 // outbox entry and notify the remote home.
                 let home = self
                     .head_home(outbox_rel, &dep_tuple)
-                    .unwrap_or_else(|| self.config.node.clone());
+                    .unwrap_or(self.config.node);
                 for derivation in derivations {
                     self.stats.retractions += 1;
                     out.firings.push(Firing {
-                        rule: derivation.rule.clone(),
-                        node: self.config.node.clone(),
+                        rule: derivation.rule,
+                        node: self.config.node,
                         head: dep_tuple.clone(),
-                        head_home: home.clone(),
+                        head_home: home,
                         inputs: derivation.inputs.clone(),
                         input_tuples: Vec::new(),
                         insert: false,
                     });
                     let membership = self
                         .db
-                        .table_mut(&relation)
+                        .table_mut_sym(relation)
                         .expect("outbox table exists")
                         .remove_derivation(&dep_tuple, &derivation);
                     if matches!(
@@ -412,7 +418,7 @@ impl NodeEngine {
                         self.stats.tuples_sent += 1;
                         self.stats.bytes_sent += dep_tuple.wire_size() as u64;
                         out.sends.push(RemoteDelta {
-                            dest: home.clone(),
+                            dest: home,
                             delta: Delta::Delete(dep_tuple.clone()),
                             derivation,
                         });
@@ -422,10 +428,10 @@ impl NodeEngine {
                 for derivation in derivations {
                     self.stats.retractions += 1;
                     out.firings.push(Firing {
-                        rule: derivation.rule.clone(),
-                        node: self.config.node.clone(),
+                        rule: derivation.rule,
+                        node: self.config.node,
                         head: dep_tuple.clone(),
-                        head_home: self.config.node.clone(),
+                        head_home: self.config.node,
                         inputs: derivation.inputs.clone(),
                         input_tuples: Vec::new(),
                         insert: false,
@@ -563,7 +569,7 @@ impl NodeEngine {
         }
         let step = &steps[pos];
         let atom = &rule.positive[step.atom];
-        let Some(table) = self.db.table(&atom.relation) else {
+        let Some(table) = self.db.table_sym(rule.positive_syms[step.atom]) else {
             return;
         };
         let bound = if self.config.use_join_indexes {
@@ -610,8 +616,8 @@ impl NodeEngine {
             return;
         };
         let derivation = Derivation {
-            rule: rule.rule.name.clone(),
-            node: self.config.node.clone(),
+            rule: rule.name_sym,
+            node: self.config.node,
             inputs: inputs.iter().map(Tuple::id).collect(),
         };
         self.emit_derivation(head, derivation, true, inputs.to_vec(), out);
@@ -683,17 +689,17 @@ impl NodeEngine {
     ) {
         let home = self
             .head_home(&head.relation, &head)
-            .unwrap_or_else(|| self.config.node.clone());
+            .unwrap_or(self.config.node);
         if insert {
             self.stats.rule_firings += 1;
         } else {
             self.stats.retractions += 1;
         }
         out.firings.push(Firing {
-            rule: derivation.rule.clone(),
-            node: self.config.node.clone(),
+            rule: derivation.rule,
+            node: self.config.node,
             head: head.clone(),
-            head_home: home.clone(),
+            head_home: home,
             inputs: derivation.inputs.clone(),
             input_tuples,
             insert,
@@ -714,15 +720,15 @@ impl NodeEngine {
         }
         // Remote head: track in the outbox so that later input deletions can
         // retract the remote derivation, and ship the delta.
-        let outbox_name = format!("{OUTBOX_PREFIX}{}", head.relation);
-        if self.db.table(&outbox_name).is_none() {
+        let outbox_sym = self.outbox_sym(head.relation);
+        if self.db.table_sym(outbox_sym).is_none() {
             let base = self
                 .program
                 .catalog
                 .schema(&head.relation)
                 .cloned()
                 .unwrap_or(crate::catalog::RelationSchema {
-                    name: head.relation.clone(),
+                    name: head.relation.as_str().to_string(),
                     arity: head.arity(),
                     location_col: 0,
                     key_cols: (0..head.arity()).collect(),
@@ -730,7 +736,7 @@ impl NodeEngine {
                     lifetime: None,
                 });
             self.db.register(crate::catalog::RelationSchema {
-                name: outbox_name.clone(),
+                name: outbox_sym.as_str().to_string(),
                 arity: base.arity,
                 location_col: base.location_col,
                 // Set semantics: the authoritative replacement decision is
@@ -744,7 +750,7 @@ impl NodeEngine {
             let inputs = derivation.inputs.clone();
             let membership = self
                 .db
-                .table_mut(&outbox_name)
+                .table_mut_sym(outbox_sym)
                 .expect("outbox registered")
                 .add_derivation(&head, derivation.clone());
             if matches!(
@@ -752,7 +758,7 @@ impl NodeEngine {
                 Membership::Appeared | Membership::AddedDerivation | Membership::Replaced(_)
             ) {
                 for input in inputs {
-                    self.db.index_dependency(input, &outbox_name, head.id());
+                    self.db.index_dependency(input, outbox_sym, head.id());
                 }
                 self.stats.tuples_sent += 1;
                 self.stats.bytes_sent += head.wire_size() as u64;
@@ -765,7 +771,7 @@ impl NodeEngine {
         } else {
             let membership = self
                 .db
-                .table_mut(&outbox_name)
+                .table_mut_sym(outbox_sym)
                 .expect("outbox registered")
                 .remove_derivation(&head, &derivation);
             if matches!(
@@ -783,6 +789,15 @@ impl NodeEngine {
         }
     }
 
+    /// The interned `__out::<relation>` symbol, memoized per relation so the
+    /// hot send path never formats a string.
+    fn outbox_sym(&mut self, relation: Sym) -> Sym {
+        *self
+            .outbox_syms
+            .entry(relation)
+            .or_insert_with(|| Sym::new(&format!("{OUTBOX_PREFIX}{relation}")))
+    }
+
     fn head_home(&self, relation: &str, tuple: &Tuple) -> Option<Addr> {
         let loc_col = self
             .program
@@ -790,7 +805,7 @@ impl NodeEngine {
             .schema(relation)
             .map(|s| s.location_col)
             .unwrap_or(0);
-        tuple.location(loc_col).map(str::to_string)
+        tuple.values.get(loc_col).and_then(Value::as_node_id)
     }
 
     // ----------------------------------------------------------------------
@@ -921,8 +936,8 @@ impl NodeEngine {
             let head = build_agg_head(&rule.rule.head, &group, &agg_value, rule.head_loc_col);
             head.map(|head| {
                 let derivation = Derivation {
-                    rule: rule.rule.name.clone(),
-                    node: self.config.node.clone(),
+                    rule: rule.name_sym,
+                    node: self.config.node,
                     inputs: witnesses.iter().map(Tuple::id).collect(),
                 };
                 (head, derivation, witnesses)
@@ -998,8 +1013,8 @@ impl NodeEngine {
                 continue;
             };
             let derivation = Derivation {
-                rule: rule.rule.name.clone(),
-                node: self.config.node.clone(),
+                rule: rule.name_sym,
+                node: self.config.node,
                 inputs: inputs.iter().map(Tuple::id).collect(),
             };
             if !new_derivations
@@ -1012,16 +1027,12 @@ impl NodeEngine {
 
         // Currently recorded derivations of this rule at this node (local
         // tables and outbox tables).
-        let mut old_derivations: Vec<(String, Tuple, Derivation)> = Vec::new();
-        for table in self.db.tables() {
+        let mut old_derivations: Vec<(Sym, Tuple, Derivation)> = Vec::new();
+        for (relation, table) in self.db.tables_with_syms() {
             for stored in table.iter() {
                 for d in &stored.derivations {
-                    if d.rule == rule.rule.name && d.node == self.config.node {
-                        old_derivations.push((
-                            table.schema.name.clone(),
-                            stored.tuple.clone(),
-                            d.clone(),
-                        ));
+                    if d.rule == rule.name_sym && d.node == self.config.node {
+                        old_derivations.push((relation, stored.tuple.clone(), d.clone()));
                     }
                 }
             }
@@ -1037,10 +1048,10 @@ impl NodeEngine {
                     self.emit_derivation(tuple.clone(), derivation.clone(), false, Vec::new(), out);
                 } else {
                     out.firings.push(Firing {
-                        rule: derivation.rule.clone(),
-                        node: self.config.node.clone(),
+                        rule: derivation.rule,
+                        node: self.config.node,
                         head: tuple.clone(),
-                        head_home: self.config.node.clone(),
+                        head_home: self.config.node,
                         inputs: derivation.inputs.clone(),
                         input_tuples: Vec::new(),
                         insert: false,
@@ -1169,7 +1180,7 @@ pub fn values_match(a: &Value, b: &Value) -> bool {
         return true;
     }
     match (a, b) {
-        (Value::Addr(x), Value::Str(y)) | (Value::Str(x), Value::Addr(y)) => x == y,
+        (Value::Addr(x), Value::Str(y)) | (Value::Str(y), Value::Addr(x)) => *x == **y,
         _ => false,
     }
 }
@@ -1196,7 +1207,7 @@ pub fn build_head(
         };
         if idx == head_loc_col {
             if let Value::Str(s) = value {
-                value = Value::Addr(s);
+                value = Value::Addr(s.into());
             }
         }
         values.push(value);
@@ -1238,7 +1249,7 @@ fn build_agg_head(
         };
         if idx == head_loc_col {
             if let Value::Str(s) = value {
-                value = Value::Addr(s);
+                value = Value::Addr(s.into());
             }
         }
         values.push(value);
@@ -1249,7 +1260,6 @@ fn build_agg_head(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::compile::CompiledProgram;
 
     const MINCOST: &str = "materialize(link, infinity, infinity, keys(1,2,3)).\n\
          materialize(cost, infinity, infinity, keys(1,2,3)).\n\

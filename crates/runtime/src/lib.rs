@@ -33,6 +33,10 @@ pub use compile::{CompiledProgram, CompiledRule};
 pub use engine::{EngineConfig, EngineStats, Firing, NodeEngine, RemoteDelta, StepOutput};
 pub use error::{Result, RuntimeError};
 pub use eval::Bindings;
-pub use store::{Database, Derivation, Membership, ProbeIter, StoredTuple, Table, BASE_RULE};
+pub use store::{
+    base_rule_sym, Database, Derivation, Membership, ProbeIter, StoredTuple, Table, BASE_RULE,
+};
 pub use tuple::{Delta, Tuple, TupleId};
-pub use value::{Addr, StableHasher, Value};
+pub use value::{
+    rule_exec_digest, Addr, Interner, InternerSnapshot, NodeId, StableHasher, Sym, Value,
+};

@@ -14,29 +14,37 @@
 
 use crate::catalog::RelationSchema;
 use crate::tuple::{Tuple, TupleId};
-use crate::value::Value;
+use crate::value::{NodeId, Sym, Value};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// The rule name used for base (externally inserted) tuples.
 pub const BASE_RULE: &str = "__base";
 
-/// One derivation supporting a tuple.
+/// The interned [`BASE_RULE`] symbol (memoized — callers on the firing hot
+/// path compare handles with integer equality, no pool lookup).
+pub fn base_rule_sym() -> Sym {
+    static BASE: std::sync::OnceLock<Sym> = std::sync::OnceLock::new();
+    *BASE.get_or_init(|| Sym::new(BASE_RULE))
+}
+
+/// One derivation supporting a tuple. Rule and node are interned handles, so
+/// a `Derivation` clone copies three machine words plus the input-id list.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Derivation {
     /// Rule that fired (or [`BASE_RULE`]).
-    pub rule: String,
+    pub rule: Sym,
     /// Node on which the rule executed.
-    pub node: String,
+    pub node: NodeId,
     /// Identifiers of the body tuples that fed the firing, in body order.
     pub inputs: Vec<TupleId>,
 }
 
 impl Derivation {
     /// The base derivation for externally inserted tuples at `node`.
-    pub fn base(node: impl Into<String>) -> Self {
+    pub fn base(node: impl Into<NodeId>) -> Self {
         Derivation {
-            rule: BASE_RULE.to_string(),
+            rule: base_rule_sym(),
             node: node.into(),
             inputs: Vec::new(),
         }
@@ -44,7 +52,7 @@ impl Derivation {
 
     /// True for base derivations.
     pub fn is_base(&self) -> bool {
-        self.rule == BASE_RULE
+        self.rule == base_rule_sym()
     }
 }
 
@@ -129,7 +137,7 @@ pub struct Table {
 ///   recursively.
 fn index_key(v: &Value) -> Value {
     match v {
-        Value::Addr(a) => Value::Str(a.clone()),
+        Value::Addr(a) => Value::Str(a.as_str().to_string()),
         Value::Double(d) => {
             if d.is_nan() {
                 Value::Double(f64::NAN)
@@ -461,14 +469,20 @@ pub struct DatabaseStats {
 
 /// The per-node database: one [`Table`] per relation plus the reverse
 /// dependency index used for cascading deletions.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Database {
-    tables: BTreeMap<String, Table>,
+    /// Tables keyed by interned relation symbol. A `HashMap` so the join hot
+    /// path pays one integer hash per lookup — `Sym`'s `Ord` resolves
+    /// strings, which would put lock-taking string compares inside a B-tree
+    /// walk.
+    tables: HashMap<Sym, Table>,
+    /// Relation symbols in name order (maintained on register), so iteration
+    /// and serialization stay deterministic despite the hash map.
+    order: Vec<Sym>,
     /// input tuple id -> (relation, derived tuple id) pairs of derivations
     /// that used it. The derived tuple ids refer to tuples stored in
     /// `tables`.
-    #[serde(skip)]
-    dependents: HashMap<TupleId, HashSet<(String, TupleId)>>,
+    dependents: HashMap<TupleId, HashSet<(Sym, TupleId)>>,
 }
 
 impl Database {
@@ -476,48 +490,67 @@ impl Database {
     pub fn new(schemas: impl IntoIterator<Item = RelationSchema>) -> Self {
         let mut db = Database::default();
         for s in schemas {
-            db.tables.insert(s.name.clone(), Table::new(s));
+            db.register(s);
         }
         db
     }
 
     /// Register an additional relation (idempotent).
     pub fn register(&mut self, schema: RelationSchema) {
-        self.tables
-            .entry(schema.name.clone())
-            .or_insert_with(|| Table::new(schema));
+        let sym = Sym::new(&schema.name);
+        if let std::collections::hash_map::Entry::Vacant(v) = self.tables.entry(sym) {
+            v.insert(Table::new(schema));
+            let pos = self.order.partition_point(|s| *s < sym);
+            self.order.insert(pos, sym);
+        }
     }
 
-    /// Access a table.
+    /// Access a table by (boundary) relation name.
     pub fn table(&self, relation: &str) -> Option<&Table> {
-        self.tables.get(relation)
+        self.tables.get(&Sym::new(relation))
+    }
+
+    /// Access a table by interned relation symbol (the hot-path lookup).
+    pub fn table_sym(&self, relation: Sym) -> Option<&Table> {
+        self.tables.get(&relation)
     }
 
     /// Mutable access to a table.
     pub fn table_mut(&mut self, relation: &str) -> Option<&mut Table> {
-        self.tables.get_mut(relation)
+        self.tables.get_mut(&Sym::new(relation))
     }
 
-    /// Iterate over all tables.
+    /// Mutable access to a table by interned symbol.
+    pub fn table_mut_sym(&mut self, relation: Sym) -> Option<&mut Table> {
+        self.tables.get_mut(&relation)
+    }
+
+    /// Iterate over all tables, in relation-name order.
     pub fn tables(&self) -> impl Iterator<Item = &Table> {
-        self.tables.values()
+        self.order.iter().map(|s| &self.tables[s])
+    }
+
+    /// Iterate over `(relation symbol, table)` pairs in relation-name order
+    /// (saves callers re-interning `schema.name`).
+    pub fn tables_with_syms(&self) -> impl Iterator<Item = (Sym, &Table)> {
+        self.order.iter().map(|s| (*s, &self.tables[s]))
     }
 
     /// Record that `derived` (in `relation`) has a derivation using `input`.
-    pub fn index_dependency(&mut self, input: TupleId, relation: &str, derived: TupleId) {
+    pub fn index_dependency(&mut self, input: TupleId, relation: Sym, derived: TupleId) {
         self.dependents
             .entry(input)
             .or_default()
-            .insert((relation.to_string(), derived));
+            .insert((relation, derived));
     }
 
     /// Tuples that have a derivation using `input`, as (relation, stored
     /// tuple, matching derivations) triples.
-    pub fn dependents_of(&self, input: TupleId) -> Vec<(String, Tuple, Vec<Derivation>)> {
+    pub fn dependents_of(&self, input: TupleId) -> Vec<(Sym, Tuple, Vec<Derivation>)> {
         let mut out = Vec::new();
         if let Some(deps) = self.dependents.get(&input) {
             // Deterministic order.
-            let mut deps: Vec<_> = deps.iter().cloned().collect();
+            let mut deps: Vec<_> = deps.iter().copied().collect();
             deps.sort();
             for (relation, derived_id) in deps {
                 if let Some(st) = self
@@ -532,7 +565,7 @@ impl Database {
                         .cloned()
                         .collect();
                     if !matching.is_empty() {
-                        out.push((relation.clone(), st.tuple.clone(), matching));
+                        out.push((relation, st.tuple.clone(), matching));
                     }
                 }
             }
@@ -562,6 +595,28 @@ impl Database {
     /// All tuples of a relation (empty vec when the relation is unknown).
     pub fn relation_tuples(&self, relation: &str) -> Vec<Tuple> {
         self.table(relation).map(|t| t.tuples()).unwrap_or_default()
+    }
+}
+
+// Serialized as a name-ordered (relation, table) list; the dependency index
+// is derived state and is rebuilt by the engine as derivations re-index.
+impl Serialize for Database {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let entries: Vec<(Sym, &Table)> = self.tables_with_syms().collect();
+        entries.serialize(serializer)
+    }
+}
+
+impl Deserialize for Database {
+    fn deserialize<'de, D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let entries = Vec::<(Sym, Table)>::deserialize(d)?;
+        let mut db = Database::default();
+        for (sym, table) in entries {
+            db.order.push(sym);
+            db.tables.insert(sym, table);
+        }
+        db.order.sort();
+        Ok(db)
     }
 }
 
@@ -676,7 +731,7 @@ mod tests {
         db.table_mut("cost")
             .unwrap()
             .add_derivation(&derived, deriv.clone());
-        db.index_dependency(base.id(), "cost", derived.id());
+        db.index_dependency(base.id(), Sym::new("cost"), derived.id());
 
         let deps = db.dependents_of(base.id());
         assert_eq!(deps.len(), 1);

@@ -1,6 +1,6 @@
 //! Tuples and tuple identifiers.
 
-use crate::value::{StableHasher, Value};
+use crate::value::{StableHasher, Sym, Value};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -19,18 +19,20 @@ impl fmt::Display for TupleId {
     }
 }
 
-/// A ground tuple: relation name plus attribute values.
+/// A ground tuple: relation name plus attribute values. The relation name is
+/// interned ([`Sym`]), so cloning a tuple never copies it and relation
+/// comparisons on the join/provenance hot paths are integer compares.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Tuple {
     /// Relation this tuple belongs to.
-    pub relation: String,
+    pub relation: Sym,
     /// Attribute values, in schema order.
     pub values: Vec<Value>,
 }
 
 impl Tuple {
-    /// Create a tuple.
-    pub fn new(relation: impl Into<String>, values: Vec<Value>) -> Self {
+    /// Create a tuple (interning the relation name).
+    pub fn new(relation: impl Into<Sym>, values: Vec<Value>) -> Self {
         Tuple {
             relation: relation.into(),
             values,
@@ -58,9 +60,11 @@ impl Tuple {
         self.values.get(loc_col).and_then(|v| v.as_addr())
     }
 
-    /// Approximate wire size in bytes (for traffic accounting).
+    /// Approximate wire size in bytes (for traffic accounting). The relation
+    /// name ships as a fixed-width interned id (the dictionary travels once
+    /// per snapshot, not per tuple).
     pub fn wire_size(&self) -> usize {
-        8 + self.relation.len() + self.values.iter().map(Value::wire_size).sum::<usize>()
+        8 + Sym::WIRE_SIZE + self.values.iter().map(Value::wire_size).sum::<usize>()
     }
 
     /// Project the tuple onto the given column indices.

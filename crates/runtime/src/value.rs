@@ -10,10 +10,15 @@ use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 
+pub use nt_intern::{rule_exec_digest, Interner, InternerSnapshot, NodeId, StableHasher, Sym};
+
 /// A network address / node name. NetTrails identifies nodes by name (the
 /// paper shows addresses such as `node1`); the simulator maps names to
-/// simulated endpoints.
-pub type Addr = String;
+/// simulated endpoints. Addresses are interned: an `Addr` is a 4-byte handle
+/// ([`NodeId`]) into the process-global string arena, so cloning, hashing and
+/// equality on the maintenance and query hot paths never touch string data.
+/// Strings appear only at the API boundary (`&str` in, `Display`/serde out).
+pub type Addr = NodeId;
 
 /// Dynamically typed runtime value.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -38,8 +43,8 @@ pub enum Value {
 }
 
 impl Value {
-    /// Build an address value.
-    pub fn addr(a: impl Into<String>) -> Value {
+    /// Build an address value (interning the name).
+    pub fn addr(a: impl Into<Addr>) -> Value {
         Value::Addr(a.into())
     }
 
@@ -84,9 +89,19 @@ impl Value {
     /// The address, if this is an address value.
     pub fn as_addr(&self) -> Option<&str> {
         match self {
-            Value::Addr(a) => Some(a),
+            Value::Addr(a) => Some(a.as_str()),
             // Location columns written as string constants also work.
             Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The interned node id, if this is an address value (string constants in
+    /// location columns are interned on the way out).
+    pub fn as_node_id(&self) -> Option<NodeId> {
+        match self {
+            Value::Addr(a) => Some(*a),
+            Value::Str(s) => Some(NodeId::new(s)),
             _ => None,
         }
     }
@@ -159,7 +174,10 @@ impl Value {
             Value::Int(_) | Value::Double(_) | Value::Id(_) => 8,
             Value::Bool(_) => 1,
             Value::Str(s) => 4 + s.len(),
-            Value::Addr(a) => 4 + a.len(),
+            // Addresses ship as fixed-width interned ids; the dictionary is
+            // carried once per snapshot (see `InternerSnapshot::wire_size`),
+            // not per message.
+            Value::Addr(_) => NodeId::WIRE_SIZE,
             Value::List(l) => 4 + l.iter().map(Value::wire_size).sum::<usize>(),
             Value::Infinity => 1,
         }
@@ -264,65 +282,6 @@ impl From<bool> for Value {
 impl From<f64> for Value {
     fn from(v: f64) -> Self {
         Value::Double(v)
-    }
-}
-
-/// A small, dependency-free FNV-1a 64-bit hasher with stable output.
-///
-/// Provenance vertex identifiers must be identical across nodes, runs and
-/// platforms, so we do not use `std::collections::hash_map::DefaultHasher`
-/// (whose algorithm is unspecified).
-#[derive(Debug, Clone)]
-pub struct StableHasher {
-    state: u64,
-}
-
-impl Default for StableHasher {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl StableHasher {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-
-    /// Create a hasher with the standard FNV offset basis.
-    pub fn new() -> Self {
-        StableHasher {
-            state: Self::OFFSET,
-        }
-    }
-
-    /// Absorb a byte.
-    pub fn write_u8(&mut self, b: u8) {
-        self.state ^= b as u64;
-        self.state = self.state.wrapping_mul(Self::PRIME);
-    }
-
-    /// Absorb a u64 (little-endian bytes).
-    pub fn write_u64(&mut self, v: u64) {
-        for b in v.to_le_bytes() {
-            self.write_u8(b);
-        }
-    }
-
-    /// Absorb a byte slice.
-    pub fn write_bytes(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.write_u8(b);
-        }
-    }
-
-    /// Absorb a string, length-prefixed.
-    pub fn write_str(&mut self, s: &str) {
-        self.write_u64(s.len() as u64);
-        self.write_bytes(s.as_bytes());
-    }
-
-    /// Final digest.
-    pub fn finish(&self) -> u64 {
-        self.state
     }
 }
 

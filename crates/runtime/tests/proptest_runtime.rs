@@ -8,7 +8,7 @@ fn value_strategy() -> impl Strategy<Value = Value> {
         any::<i64>().prop_map(Value::Int),
         any::<bool>().prop_map(Value::Bool),
         "[a-z0-9]{0,8}".prop_map(Value::Str),
-        "[a-z0-9]{1,4}".prop_map(Value::Addr),
+        "[a-z0-9]{1,4}".prop_map(Value::addr),
         (-1000.0f64..1000.0).prop_map(Value::Double),
         Just(Value::Infinity),
         proptest::collection::vec(any::<i64>().prop_map(Value::Int), 0..4).prop_map(Value::List),
@@ -71,7 +71,7 @@ proptest! {
             .collect();
         let derivations: Vec<Derivation> = (0..3)
             .map(|i| Derivation {
-                rule: format!("r{i}"),
+                rule: format!("r{i}").into(),
                 node: "n1".into(),
                 inputs: vec![TupleId(i as u64)],
             })

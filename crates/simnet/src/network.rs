@@ -9,6 +9,7 @@
 use crate::stats::TrafficStats;
 use crate::time::SimTime;
 use crate::topology::Topology;
+use nt_intern::NodeId;
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -33,15 +34,16 @@ impl Default for NetworkConfig {
     }
 }
 
-/// A message delivered to a node.
+/// A message delivered to a node. Endpoints are interned node ids, so
+/// queueing and delivering a message never clones address strings.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Delivered<M> {
     /// Delivery time.
     pub at: SimTime,
     /// Sender.
-    pub from: String,
+    pub from: NodeId,
     /// Receiver.
-    pub to: String,
+    pub to: NodeId,
     /// Payload.
     pub payload: M,
     /// Category the message was charged to.
@@ -52,8 +54,8 @@ pub struct Delivered<M> {
 struct InFlight<M> {
     deliver_at: SimTime,
     seq: u64,
-    from: String,
-    to: String,
+    from: NodeId,
+    to: NodeId,
     payload: M,
     category: String,
 }
@@ -146,21 +148,27 @@ impl<M> Network<M> {
     /// charging it to `category`. Returns the scheduled delivery time.
     pub fn send(
         &mut self,
-        from: &str,
-        to: &str,
+        from: impl Into<NodeId>,
+        to: impl Into<NodeId>,
         payload: M,
         payload_bytes: usize,
         category: &str,
     ) -> SimTime {
-        let deliver_at = self.now + self.latency(from, to);
+        let from = from.into();
+        let to = to.into();
+        let deliver_at = self.now + self.latency(&from, &to);
         self.seq += 1;
-        self.stats
-            .record(from, to, category, payload_bytes + self.config.header_bytes);
+        self.stats.record(
+            &from,
+            &to,
+            category,
+            payload_bytes + self.config.header_bytes,
+        );
         self.queue.push(Reverse(InFlight {
             deliver_at,
             seq: self.seq,
-            from: from.to_string(),
-            to: to.to_string(),
+            from,
+            to,
             payload,
             category: category.to_string(),
         }));
@@ -169,13 +177,14 @@ impl<M> Network<M> {
 
     /// Deliver a message to a node immediately (zero latency, no traffic
     /// charge). Used for a node's messages to itself.
-    pub fn loopback(&mut self, node: &str, payload: M, category: &str) {
+    pub fn loopback(&mut self, node: impl Into<NodeId>, payload: M, category: &str) {
+        let node = node.into();
         self.seq += 1;
         self.queue.push(Reverse(InFlight {
             deliver_at: self.now,
             seq: self.seq,
-            from: node.to_string(),
-            to: node.to_string(),
+            from: node,
+            to: node,
             payload,
             category: category.to_string(),
         }));

@@ -94,7 +94,7 @@ mod tests {
             home: "n1".into(),
             is_base: false,
             derivations: vec![RuleExecNode {
-                rid: RuleExecId::compute("mc3", "n1", &[link.id()]),
+                rid: RuleExecId::compute_str("mc3", "n1", &[link.id()]),
                 rule: "mc3".into(),
                 node: "n1".into(),
                 inputs: vec![ProofTree {

@@ -296,13 +296,13 @@ mod tests {
             is_base: false,
             derivations: vec![
                 RuleExecNode {
-                    rid: RuleExecId::compute("r3", "n1", &[TupleId(2)]),
+                    rid: RuleExecId::compute_str("r3", "n1", &[TupleId(2)]),
                     rule: "r3".into(),
                     node: "n1".into(),
                     inputs: vec![leaf("cost_a", true), leaf("cost_b", true)],
                 },
                 RuleExecNode {
-                    rid: RuleExecId::compute("r2", "n2", &[TupleId(3)]),
+                    rid: RuleExecId::compute_str("r2", "n2", &[TupleId(3)]),
                     rule: "r2".into(),
                     node: "n2".into(),
                     inputs: vec![leaf("link", true)],

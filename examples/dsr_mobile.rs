@@ -81,10 +81,8 @@ fn main() {
             &QueryOptions::default(),
         );
         if let QueryResult::ParticipatingNodes(nodes) = result {
-            println!(
-                "\nprovenance of {target}: derived using state from nodes {:?}",
-                nodes
-            );
+            let names: Vec<&str> = nodes.iter().map(|n| n.as_str()).collect();
+            println!("\nprovenance of {target}: derived using state from nodes {names:?}");
         }
     } else {
         println!("\nnetwork is currently partitioned: no shortest routes to explain");

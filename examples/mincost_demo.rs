@@ -23,10 +23,11 @@ fn snapshot(nt: &NetTrails) -> SystemSnapshot {
     for node in nt.nodes() {
         let engine = nt.engine(&node).expect("engine exists");
         snap.nodes.insert(
-            node.clone(),
+            node,
             NodeSnapshot::capture(&node, engine.database(), nt.provenance()),
         );
     }
+    snap.stamp_dictionary();
     snap
 }
 

@@ -67,7 +67,7 @@ fn main() {
     );
 
     // Explain one of them, comparing query optimizations.
-    let Some((home, target)) = changed.first().map(|(n, t)| (n.clone(), t.clone())) else {
+    let Some((home, target)) = changed.first().map(|(n, t)| (*n, t.clone())) else {
         println!("nothing changed — the failed link was not on any best path");
         return;
     };

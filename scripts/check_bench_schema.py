@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Assert that a freshly generated BENCH_results.json has the same schema as
+the committed one.
+
+Usage: check_bench_schema.py <committed.json> <fresh.json>
+
+Values (timings, byte counts) are expected to differ between machines; the
+*shape* — the format marker, the set of keys at every level, and the element
+shape of each array — must not drift silently. CI regenerates the report and
+fails when the schema of the regenerated file differs from the committed one.
+"""
+
+import json
+import sys
+
+
+def shape(value, depth=0):
+    """A structural fingerprint: dict key-sets, array element shapes, scalar
+    type names. Arrays are summarized by the union of their element shapes so
+    row counts don't matter."""
+    if isinstance(value, dict):
+        return {k: shape(v, depth + 1) for k, v in sorted(value.items())}
+    if isinstance(value, list):
+        shapes = []
+        for v in value:
+            s = shape(v, depth + 1)
+            if s not in shapes:
+                shapes.append(s)
+        return ["array", shapes]
+    if isinstance(value, bool):
+        return "bool"
+    if isinstance(value, (int, float)):
+        return "number"
+    if value is None:
+        return "null"
+    return "string"
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    committed_path, fresh_path = sys.argv[1], sys.argv[2]
+    with open(committed_path) as f:
+        committed = json.load(f)
+    with open(fresh_path) as f:
+        fresh = json.load(f)
+
+    if committed.get("format") != fresh.get("format"):
+        sys.exit(
+            f"format marker changed: {committed.get('format')!r} -> "
+            f"{fresh.get('format')!r}. Update BENCH_results.json in the same "
+            "change that bumps the schema."
+        )
+
+    committed_shape = shape(committed)
+    fresh_shape = shape(fresh)
+    if committed_shape != fresh_shape:
+        print("BENCH_results.json schema drift detected.", file=sys.stderr)
+        print("--- committed shape ---", file=sys.stderr)
+        json.dump(committed_shape, sys.stderr, indent=1)
+        print("\n--- regenerated shape ---", file=sys.stderr)
+        json.dump(fresh_shape, sys.stderr, indent=1)
+        sys.exit(
+            "\nRegenerate and commit BENCH_results.json "
+            "(cargo run --release -p nettrails-bench --bin report)."
+        )
+    print(f"BENCH_results.json schema OK ({committed.get('format')})")
+
+
+if __name__ == "__main__":
+    main()

@@ -17,10 +17,11 @@ fn snapshot(nt: &NetTrails) -> SystemSnapshot {
     for node in nt.nodes() {
         let engine = nt.engine(&node).unwrap();
         snap.nodes.insert(
-            node.clone(),
+            node,
             NodeSnapshot::capture(&node, engine.database(), nt.provenance()),
         );
     }
+    snap.stamp_dictionary();
     snap
 }
 

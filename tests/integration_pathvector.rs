@@ -2,6 +2,7 @@
 //! MINCOST/reference, and every stored path is a real path in the topology.
 
 use nettrails::{NetTrails, NetTrailsConfig};
+use nt_runtime::NodeId;
 use simnet::Topology;
 
 fn run(topology: Topology) -> NetTrails {
@@ -101,6 +102,9 @@ fn best_path_provenance_spans_the_nodes_on_the_path() {
     // destination n4 does not: link tuples live at their source, so the route
     // to n4 is derived entirely from state held at n1..n3.
     for n in ["n1", "n2", "n3"] {
-        assert!(nodes.contains(n), "{n} missing from {nodes:?}");
+        assert!(
+            nodes.contains(&NodeId::new(n)),
+            "{n} missing from {nodes:?}"
+        );
     }
 }
