@@ -49,6 +49,33 @@ struct ProvenanceStoreReport {
     query_wall_us_cached: u64,
 }
 
+/// Wire accounting of batched per-destination delta shipping vs the
+/// per-tuple baseline, both measured in the same report run with identical
+/// payload pricing (fixed-width interned records + once-per-destination
+/// dictionary headers). The saving is the amortized per-message framing.
+#[derive(Serialize)]
+struct DeltaShippingReport {
+    scenario: String,
+    /// Protocol messages under batched shipping.
+    messages_sent: u64,
+    /// Delta records those messages carried (coalescing means
+    /// `messages_sent < tuples_shipped`).
+    tuples_shipped: u64,
+    /// Dictionary-header bytes (interned strings shipped once per
+    /// destination on first use).
+    dict_header_bytes: u64,
+    /// Fixed-width record-body bytes (tuple + derivation payloads).
+    body_bytes: u64,
+    /// Total protocol bytes on the wire under batched shipping, including
+    /// per-message network framing headers.
+    batched_total_bytes: u64,
+    /// Total protocol bytes for the same workload shipped one message per
+    /// tuple (same payload accounting, one framing header per record).
+    per_tuple_total_bytes: u64,
+    /// `per_tuple_total_bytes / batched_total_bytes`.
+    reduction_factor: f64,
+}
+
 #[derive(Serialize)]
 struct BenchResults {
     /// Schema marker for downstream tooling.
@@ -63,6 +90,9 @@ struct BenchResults {
     /// Provenance-store bytes (interned vs string encoding) and query
     /// wall-clock on the standard scenarios.
     provenance_stores: Vec<ProvenanceStoreReport>,
+    /// Batched delta shipping vs per-tuple baseline on the standard
+    /// scenarios.
+    delta_shipping: Vec<DeltaShippingReport>,
 }
 
 /// Wire size of a value under the pre-interning encoding (addresses carried
@@ -137,6 +167,29 @@ fn provenance_store_report(name: &str, program: &str, topology: Topology) -> Pro
         bytes_reduction_factor: string_bytes as f64 / stats.bytes.max(1) as f64,
         query_wall_us_uncached,
         query_wall_us_cached,
+    }
+}
+
+fn delta_shipping_report(name: &str, program: &str, topology: Topology) -> DeltaShippingReport {
+    let run = |config: NetTrailsConfig| {
+        let mut nt = NetTrails::new(program, topology.clone(), config).expect("program compiles");
+        nt.seed_links_from_topology();
+        nt.run_to_fixpoint();
+        nt.stats()
+    };
+    let batched = run(NetTrailsConfig::default());
+    let per_tuple = run(NetTrailsConfig::without_batching());
+    let batched_total_bytes = batched.network.bytes;
+    let per_tuple_total_bytes = per_tuple.network.bytes;
+    DeltaShippingReport {
+        scenario: name.to_string(),
+        messages_sent: batched.network.messages,
+        tuples_shipped: batched.network.records,
+        dict_header_bytes: batched.engine.dict_bytes_sent,
+        body_bytes: batched.engine.bytes_sent - batched.engine.dict_bytes_sent,
+        batched_total_bytes,
+        per_tuple_total_bytes,
+        reduction_factor: per_tuple_total_bytes as f64 / batched_total_bytes.max(1) as f64,
     }
 }
 
@@ -220,12 +273,41 @@ fn main() {
         );
     }
 
+    let delta_shipping = vec![
+        delta_shipping_report(
+            "pathvector_ladder4",
+            protocols::pathvector::PROGRAM,
+            Topology::ladder(4),
+        ),
+        delta_shipping_report(
+            "mincost_ladder4",
+            protocols::mincost::PROGRAM,
+            Topology::ladder(4),
+        ),
+    ];
+    println!("\nDelta shipping (batched per-destination vs per-tuple baseline):");
+    for r in &delta_shipping {
+        println!(
+            "  {:20} msgs={:>6} tuples={:>6} dict={:>6}B body={:>8}B \
+             batched={:>8}B per-tuple={:>8}B ({:.2}x fewer bytes)",
+            r.scenario,
+            r.messages_sent,
+            r.tuples_shipped,
+            r.dict_header_bytes,
+            r.body_bytes,
+            r.batched_total_bytes,
+            r.per_tuple_total_bytes,
+            r.reduction_factor,
+        );
+    }
+
     let results = BenchResults {
-        format: "nettrails-bench-results/v2".to_string(),
+        format: "nettrails-bench-results/v3".to_string(),
         experiment_wall_ms,
         tables,
         join_probes,
         provenance_stores,
+        delta_shipping,
     };
     let json = serde_json::to_string_pretty(&results).expect("results serialize");
     std::fs::write(RESULTS_PATH, &json).expect("write BENCH_results.json");

@@ -35,6 +35,11 @@ pub struct HarnessStats {
     pub trace_events: usize,
     /// Inter-AS BGP messages exchanged (and intercepted by the proxy).
     pub messages: u64,
+    /// Interception batches the proxy observed: consecutive messages relayed
+    /// on the same (sender, receiver) adjacency are intercepted together
+    /// (the BGP-side analogue of the platform's per-destination delta
+    /// batches), so `message_batches <= messages`.
+    pub message_batches: u64,
     /// Best-route (FIB) changes across all ASes.
     pub fib_changes: u64,
     /// Outputs whose cause was inferred by a maybe rule.
@@ -152,24 +157,39 @@ impl BgpHarness {
 
     fn propagate(&mut self, mut queue: VecDeque<(String, crate::speaker::Outgoing)>) {
         while let Some((from, outgoing)) = queue.pop_front() {
-            self.stats.messages += 1;
-            let observation = Observation {
-                from: from.clone(),
-                to: outgoing.to.clone(),
-                message: outgoing.message.clone(),
-            };
-            let firings = self.proxy.observe(&observation);
+            let to = outgoing.to.clone();
+            // Coalesce the run of queued messages relayed on the same
+            // (from, to) adjacency into one interception batch. Only
+            // consecutive messages are grouped — reordering deliveries
+            // would change route selection — so batching is purely a relay
+            // optimization and provenance is unchanged.
+            let mut messages = vec![outgoing];
+            while matches!(queue.front(), Some((f, o)) if *f == from && o.to == to) {
+                messages.push(queue.pop_front().expect("peeked front").1);
+            }
+            self.stats.messages += messages.len() as u64;
+            self.stats.message_batches += 1;
+            let observations: Vec<Observation> = messages
+                .iter()
+                .map(|m| Observation {
+                    from: from.clone(),
+                    to: to.clone(),
+                    message: m.message.clone(),
+                })
+                .collect();
+            let firings = self.proxy.observe_batch(&observations);
             self.provenance.apply_firings(firings.iter());
 
-            let prefix = outgoing.message.prefix().to_string();
-            let Some(receiver) = self.speakers.get_mut(&outgoing.to) else {
-                continue;
-            };
-            let responses = receiver.receive(&from, &outgoing.message);
-            let receiver_name = outgoing.to.clone();
-            self.record_fib_change(&receiver_name, &prefix);
-            for r in responses {
-                queue.push_back((receiver_name.clone(), r));
+            for outgoing in messages {
+                let prefix = outgoing.message.prefix().to_string();
+                let Some(receiver) = self.speakers.get_mut(&to) else {
+                    continue;
+                };
+                let responses = receiver.receive(&from, &outgoing.message);
+                self.record_fib_change(&to, &prefix);
+                for r in responses {
+                    queue.push_back((to.clone(), r));
+                }
             }
         }
         self.stats.maybe_matches = self.proxy.matched_outputs;
@@ -330,6 +350,17 @@ mod tests {
         assert!(
             h.stats().fib_changes >= 10,
             "announce + withdraw across 6 ASes"
+        );
+    }
+
+    #[test]
+    fn relay_batches_are_counted() {
+        let mut h = BgpHarness::new(small_topology());
+        h.apply_event(&announce("AS1000", "10.0.0.0/24"));
+        assert!(h.stats().message_batches > 0);
+        assert!(
+            h.stats().message_batches <= h.stats().messages,
+            "a batch carries at least one message"
         );
     }
 

@@ -123,6 +123,20 @@ impl Proxy {
         )
     }
 
+    /// Process a batch of messages intercepted on one AS adjacency (same
+    /// sender, same receiver — one interception window) and return the
+    /// provenance events they imply, in wire order. Maybe-rule matching is
+    /// per message: an output is attributed against the inputs its sender
+    /// had received *before* the batch, exactly as if the messages had been
+    /// intercepted one by one, so batching the relay changes no provenance.
+    pub fn observe_batch(&mut self, observations: &[Observation]) -> Vec<Firing> {
+        let mut firings = Vec::new();
+        for observation in observations {
+            firings.extend(self.observe(observation));
+        }
+        firings
+    }
+
     /// Process one intercepted message and return the provenance events it
     /// implies. Withdrawals carry no route and produce no provenance (the
     /// message log is append-only history).
@@ -321,6 +335,22 @@ mod tests {
             message: BgpMessage::Withdraw { prefix: "p".into() },
         });
         assert!(firings.is_empty());
+    }
+
+    #[test]
+    fn observe_batch_matches_sequential_observation() {
+        let obs = [
+            announce("AS1000", "AS200", "p1", &["AS1000"]),
+            announce("AS1000", "AS200", "p2", &["AS1000"]),
+        ];
+        let mut sequential = Proxy::new();
+        let expected: Vec<Firing> = obs
+            .iter()
+            .flat_map(|o| sequential.observe(o).into_iter().collect::<Vec<_>>())
+            .collect();
+        let mut batched = Proxy::new();
+        assert_eq!(batched.observe_batch(&obs), expected);
+        assert_eq!(batched.unmatched_outputs, sequential.unmatched_outputs);
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! The NetTrails platform: engines + network + provenance, orchestrated.
 
 use nt_runtime::{
-    Addr, CompiledProgram, Delta, Derivation, EngineConfig, EngineStats, NodeEngine, Tuple,
+    Addr, CompiledProgram, Delta, DeltaBatch, Derivation, EngineConfig, EngineStats, NodeEngine,
+    Tuple,
 };
 use provenance::{
     ProvGraph, ProvenanceSystem, QueryEngine, QueryKind, QueryOptions, QueryResult, QueryStats,
@@ -19,12 +20,23 @@ pub const PROTOCOL_CATEGORY: &str = "protocol";
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum NetMessage {
     /// An inserted or deleted tuple together with the derivation that
-    /// justifies it.
+    /// justifies it — the per-tuple wire format, kept as the measurable
+    /// baseline batched shipping is compared against
+    /// (`NetTrailsConfig::without_batching`).
     Delta {
         /// The change.
         delta: Delta,
         /// Why it holds (stored by the receiving engine; used for retraction).
         derivation: Derivation,
+    },
+    /// One engine round's deltas for a single destination: fixed-width
+    /// records plus the shared dictionary header carrying the strings this
+    /// destination has not been sent before. Priced as
+    /// `header_bytes + Σ record bytes`, with one network framing header for
+    /// the whole batch.
+    DeltaBatch {
+        /// The coalesced batch.
+        batch: DeltaBatch,
     },
 }
 
@@ -43,6 +55,17 @@ pub struct NetTrailsConfig {
     /// default). Disable for the reference full-scan evaluation used by the
     /// join-probe regression experiments.
     pub use_join_indexes: bool,
+    /// Ship engine outboxes as one [`NetMessage::DeltaBatch`] per
+    /// (round, destination) — the default. Disable for the per-tuple
+    /// baseline (one `NetMessage::Delta` per record) the delta-shipping
+    /// experiment compares against; payload pricing is identical in both
+    /// modes, so the difference is purely per-message framing overhead.
+    pub batch_shipping: bool,
+    /// Tolerate deltas addressed to nodes that do not exist (they are
+    /// counted in [`RunReport::misrouted`] and dropped). By default a
+    /// misrouted delta fails loudly in debug builds — it means the program
+    /// derived a head whose location attribute names an unknown node.
+    pub tolerate_misrouted: bool,
 }
 
 impl Default for NetTrailsConfig {
@@ -52,6 +75,8 @@ impl Default for NetTrailsConfig {
             network: NetworkConfig::default(),
             max_rounds: 1_000_000,
             use_join_indexes: true,
+            batch_shipping: true,
+            tolerate_misrouted: false,
         }
     }
 }
@@ -73,6 +98,15 @@ impl NetTrailsConfig {
             ..NetTrailsConfig::default()
         }
     }
+
+    /// A configuration that ships one message per tuple (the pre-batching
+    /// baseline the delta-shipping experiment compares against).
+    pub fn without_batching() -> Self {
+        NetTrailsConfig {
+            batch_shipping: false,
+            ..NetTrailsConfig::default()
+        }
+    }
 }
 
 /// What happened during one `run_to_fixpoint` call.
@@ -86,6 +120,12 @@ pub struct RunReport {
     pub insertions: usize,
     /// Local tuple deletions observed across all nodes.
     pub deletions: usize,
+    /// Messages addressed to a node that does not exist (dropped). Always 0
+    /// for well-formed programs; a non-zero count means a rule derived a
+    /// head whose location attribute names an unknown node. Unless
+    /// [`NetTrailsConfig::tolerate_misrouted`] is set, this also fails
+    /// loudly in debug builds.
+    pub misrouted: usize,
     /// True when the round cap was hit before quiescence.
     pub truncated: bool,
 }
@@ -257,18 +297,46 @@ impl NetTrails {
                 if self.config.capture_provenance {
                     self.provenance.apply_firings(out.firings.iter());
                 }
-                for send in out.sends {
-                    let bytes = send.delta.tuple().wire_size();
-                    self.network.send(
-                        node,
-                        send.dest,
-                        NetMessage::Delta {
-                            delta: send.delta,
-                            derivation: send.derivation,
-                        },
-                        bytes,
-                        PROTOCOL_CATEGORY,
-                    );
+                for batch in out.sends {
+                    if batch.is_empty() {
+                        continue;
+                    }
+                    let dest = batch.dest;
+                    if self.config.batch_shipping {
+                        // One message per (round, dest), priced as the
+                        // engine accounted it: dictionary header + n
+                        // fixed-width record bodies.
+                        let bytes = batch.wire_size();
+                        let records = batch.len();
+                        self.network.send_batch(
+                            node,
+                            dest,
+                            NetMessage::DeltaBatch { batch },
+                            bytes,
+                            records,
+                            PROTOCOL_CATEGORY,
+                        );
+                    } else {
+                        // Per-tuple baseline: one message per record. The
+                        // batch's dictionary header still has to reach the
+                        // destination exactly once; charge it to the first
+                        // record's message so total payload bytes match the
+                        // engine's accounting in both modes.
+                        let mut dict_bytes = batch.header_bytes();
+                        for record in batch.records {
+                            let bytes = record.wire_size() + std::mem::take(&mut dict_bytes);
+                            self.network.send(
+                                node,
+                                dest,
+                                NetMessage::Delta {
+                                    delta: record.delta,
+                                    derivation: record.derivation,
+                                },
+                                bytes,
+                                PROTOCOL_CATEGORY,
+                            );
+                        }
+                    }
                 }
             }
             // 2. Deliver the next batch of in-flight messages.
@@ -277,10 +345,22 @@ impl NetTrails {
                 let batch = self.network.advance();
                 report.deliveries += batch.len();
                 for delivered in batch {
-                    if let Some(engine) = self.engines.get_mut(&delivered.to) {
-                        match delivered.payload {
-                            NetMessage::Delta { delta, derivation } => {
-                                engine.apply_remote(delta, derivation)
+                    let Some(engine) = self.engines.get_mut(&delivered.to) else {
+                        report.misrouted += 1;
+                        debug_assert!(
+                            self.config.tolerate_misrouted,
+                            "message misrouted to unknown node {} (payload {:?})",
+                            delivered.to, delivered.payload
+                        );
+                        continue;
+                    };
+                    match delivered.payload {
+                        NetMessage::Delta { delta, derivation } => {
+                            engine.apply_remote(delta, derivation)
+                        }
+                        NetMessage::DeltaBatch { batch } => {
+                            for record in batch.records {
+                                engine.apply_remote(record.delta, record.derivation);
                             }
                         }
                     }
@@ -395,6 +475,7 @@ impl NetTrails {
             engine.retractions += s.retractions;
             engine.tuples_sent += s.tuples_sent;
             engine.bytes_sent += s.bytes_sent;
+            engine.dict_bytes_sent += s.dict_bytes_sent;
             engine.join_probes += s.join_probes;
             engine.agg_recomputes += s.agg_recomputes;
             for table in e.database().tables() {
@@ -616,5 +697,111 @@ mod tests {
         assert!(stats.network.messages > 0);
         assert!(stats.provenance.prov_entries > 0);
         assert!(stats.stored_tuples > 0);
+    }
+
+    /// The engine is the single source of truth for protocol payload bytes:
+    /// what the network charged (minus its per-message framing headers) must
+    /// equal `EngineStats::bytes_sent` exactly — in both shipping modes.
+    #[test]
+    fn engine_bytes_equal_network_bytes() {
+        for config in [
+            NetTrailsConfig::default(),
+            NetTrailsConfig::without_batching(),
+        ] {
+            let header = config.network.header_bytes as u64;
+            let mut nt =
+                NetTrails::new(protocols::mincost::PROGRAM, Topology::ladder(3), config).unwrap();
+            nt.seed_links_from_topology();
+            nt.run_to_fixpoint();
+            let stats = nt.stats();
+            let msgs = stats.network.category_messages(PROTOCOL_CATEGORY);
+            let payload = stats.network.category_bytes(PROTOCOL_CATEGORY) - msgs * header;
+            assert_eq!(
+                stats.engine.bytes_sent, payload,
+                "engine accounting must match the network charge"
+            );
+            assert_eq!(stats.engine.tuples_sent, stats.network.records);
+        }
+    }
+
+    /// Batched shipping actually coalesces: fewer protocol messages than
+    /// shipped records, and fewer total protocol bytes than the per-tuple
+    /// baseline (per-message framing headers are paid once per batch).
+    #[test]
+    fn batching_coalesces_messages_and_reduces_bytes() {
+        let run = |config: NetTrailsConfig| {
+            let mut nt =
+                NetTrails::new(protocols::pathvector::PROGRAM, Topology::ladder(3), config)
+                    .unwrap();
+            nt.seed_links_from_topology();
+            nt.run_to_fixpoint();
+            nt.stats()
+        };
+        let batched = run(NetTrailsConfig::default());
+        let per_tuple = run(NetTrailsConfig::without_batching());
+        assert!(
+            batched.network.messages < batched.network.records,
+            "coalescing happened: {} messages carried {} records",
+            batched.network.messages,
+            batched.network.records,
+        );
+        assert_eq!(per_tuple.network.messages, per_tuple.network.records);
+        // Identical engine work and payload in both modes...
+        assert_eq!(batched.engine.tuples_sent, per_tuple.engine.tuples_sent);
+        assert_eq!(batched.engine.bytes_sent, per_tuple.engine.bytes_sent);
+        // ... so the byte saving is exactly the amortized framing headers.
+        assert!(
+            batched.network.bytes < per_tuple.network.bytes,
+            "batched {} >= per-tuple {}",
+            batched.network.bytes,
+            per_tuple.network.bytes,
+        );
+    }
+
+    /// Both shipping modes converge to identical protocol state.
+    #[test]
+    fn batched_and_per_tuple_shipping_reach_the_same_fixpoint() {
+        let run = |config: NetTrailsConfig| {
+            let mut nt =
+                NetTrails::new(protocols::mincost::PROGRAM, Topology::ring(5), config).unwrap();
+            nt.seed_links_from_topology();
+            nt.run_to_fixpoint();
+            let mut rows = nt.relation("minCost");
+            rows.sort_by_key(|(n, t)| (*n, t.to_string()));
+            rows
+        };
+        assert_eq!(
+            run(NetTrailsConfig::default()),
+            run(NetTrailsConfig::without_batching())
+        );
+    }
+
+    /// Deltas addressed to unknown nodes are counted, not silently dropped.
+    #[test]
+    fn misrouted_deltas_are_counted() {
+        let mut nt = NetTrails::new(
+            "r1 reach(@D,S) :- link(@S,D,C).",
+            Topology::line(2),
+            NetTrailsConfig {
+                tolerate_misrouted: true,
+                ..NetTrailsConfig::default()
+            },
+        )
+        .unwrap();
+        // A link whose endpoint names a node outside the topology: the
+        // derived reach head is addressed to the non-existent "ghost".
+        nt.insert_fact(
+            "n1",
+            Tuple::new(
+                "link",
+                vec![
+                    nt_runtime::Value::addr("n1"),
+                    nt_runtime::Value::addr("ghost"),
+                    nt_runtime::Value::Int(1),
+                ],
+            ),
+        );
+        let report = nt.run_to_fixpoint();
+        assert_eq!(report.misrouted, 1);
     }
 }

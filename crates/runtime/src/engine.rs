@@ -5,8 +5,12 @@
 //! evaluation: every inserted or deleted tuple is a delta that is joined
 //! against the stored tables, producing new deltas, until a local fixpoint is
 //! reached. Derived tuples whose home (location attribute) is another node are
-//! not stored locally; instead the engine records them in an *outbox* and
-//! reports them as [`RemoteDelta`]s for the network layer (crate `simnet`,
+//! not stored locally; instead the engine records them in an *outbox*,
+//! coalesces the implied sends (an insert/delete pair for the same tuple and
+//! derivation within one round cancels; identical re-emissions dedupe) and
+//! flushes them as per-destination [`DeltaBatch`]es — fixed-width
+//! [`DeltaRecord`] bodies plus a shared dictionary header carrying each
+//! batch's first-use strings — for the network layer (crate `simnet`,
 //! orchestrated by the `nettrails` platform) to deliver.
 //!
 //! ## Incremental deletions
@@ -37,7 +41,7 @@ use crate::tuple::{Delta, Tuple, TupleId};
 use crate::value::{Addr, Sym, Value};
 use ndlog::{AggregateFunc, BodyElem, Literal, Predicate, Term};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 /// Prefix for the internal outbox tables that track derivations whose head
@@ -89,8 +93,14 @@ pub struct EngineStats {
     pub retractions: u64,
     /// Tuples handed to the network layer.
     pub tuples_sent: u64,
-    /// Estimated bytes handed to the network layer.
+    /// Estimated bytes handed to the network layer (dictionary headers +
+    /// record bodies of every shipped batch). The engine is the single
+    /// source of truth for protocol payload bytes; the platform charges the
+    /// network with exactly these sizes.
     pub bytes_sent: u64,
+    /// The dictionary-header share of `bytes_sent`: interned strings shipped
+    /// once per (destination, first use).
+    pub dict_bytes_sent: u64,
     /// Candidate tuples actually examined while joining body atoms,
     /// checking negated atoms and recomputing aggregate groups. With
     /// index-backed probing this counts only the tuples surfaced by the
@@ -133,11 +143,79 @@ pub struct RemoteDelta {
     pub derivation: Derivation,
 }
 
+/// One record inside a [`DeltaBatch`]: the shipped change plus the derivation
+/// that justifies it. Every identifier in the body is a fixed-width interned
+/// handle; the strings behind the handles travel in the batch's dictionary
+/// header the first time the destination sees them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeltaRecord {
+    /// The insertion or deletion to apply at the destination.
+    pub delta: Delta,
+    /// The derivation that justifies it (the receiving engine stores it).
+    pub derivation: Derivation,
+}
+
+impl DeltaRecord {
+    /// Wire size of the record body: a 1-byte polarity tag, the tuple in the
+    /// interned encoding and the derivation that travels with it.
+    pub fn wire_size(&self) -> usize {
+        1 + self.delta.tuple().wire_size() + self.derivation.wire_size()
+    }
+}
+
+/// All deltas an engine ships to one destination in one round, plus the
+/// dictionary header resolving every interned handle the destination has not
+/// been sent before. The network layer prices a batch as
+/// `header_bytes + Σ record bytes` and charges one per-message framing header
+/// for the whole batch instead of one per tuple — dictionary entries are
+/// charged exactly once per (destination, first use), like a snapshot's
+/// `dict_bytes`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeltaBatch {
+    /// Destination node.
+    pub dest: Addr,
+    /// Dictionary entries (interned strings) first shipped to `dest` by this
+    /// batch, in first-use order.
+    pub dict: Vec<String>,
+    /// The shipped records, in emission order.
+    pub records: Vec<DeltaRecord>,
+}
+
+impl DeltaBatch {
+    /// Bytes of the shared dictionary header: a 4-byte id plus a
+    /// length-prefixed string per entry (the same pricing as
+    /// `InternerSnapshot::wire_size`).
+    pub fn header_bytes(&self) -> usize {
+        self.dict.iter().map(|s| 4 + 4 + s.len()).sum()
+    }
+
+    /// Bytes of the record bodies.
+    pub fn body_bytes(&self) -> usize {
+        self.records.iter().map(DeltaRecord::wire_size).sum()
+    }
+
+    /// Total priced payload: dictionary header + fixed-width record bodies.
+    pub fn wire_size(&self) -> usize {
+        self.header_bytes() + self.body_bytes()
+    }
+
+    /// Number of records in the batch.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the batch carries no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
 /// Everything produced by one [`NodeEngine::run`] call.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct StepOutput {
-    /// Tuples to ship to other nodes.
-    pub sends: Vec<RemoteDelta>,
+    /// Per-destination batches of tuples to ship to other nodes (one batch
+    /// per destination per round).
+    pub sends: Vec<DeltaBatch>,
     /// Rule execution events (for provenance capture).
     pub firings: Vec<Firing>,
     /// Local membership changes (insertions / deletions of visible tuples).
@@ -180,6 +258,19 @@ pub struct NodeEngine {
     agg_state: HashMap<(usize, Vec<Value>), (Tuple, Derivation)>,
     /// Memoized `relation -> __out::relation` symbols.
     outbox_syms: HashMap<Sym, Sym>,
+    /// Sends queued during the current run, coalesced into per-destination
+    /// batches when the run flushes. A slot is `None` when a later opposite
+    /// delta for the same (dest, tuple, derivation) cancelled it.
+    pending_sends: Vec<Option<RemoteDelta>>,
+    /// Live pending slots per (dest, tuple id) — the coalescing index that
+    /// guarantees a (tuple, derivation) pair is shipped at most once per
+    /// round. Each slot list holds one entry per distinct pending
+    /// derivation of that tuple.
+    pending_index: HashMap<(Addr, TupleId), Vec<usize>>,
+    /// Interned strings (raw pool ids) already shipped to each destination;
+    /// a batch's dictionary header carries only the strings its destination
+    /// has never seen.
+    dict_sent: HashMap<Addr, HashSet<u32>>,
     stats: EngineStats,
 }
 
@@ -194,6 +285,9 @@ impl NodeEngine {
             queue: VecDeque::new(),
             agg_state: HashMap::new(),
             outbox_syms: HashMap::new(),
+            pending_sends: Vec::new(),
+            pending_index: HashMap::new(),
+            dict_sent: HashMap::new(),
             stats: EngineStats::default(),
         }
     }
@@ -261,7 +355,90 @@ impl NodeEngine {
                 }
             }
         }
+        self.flush_sends(&mut out);
         out
+    }
+
+    // ----------------------------------------------------------------------
+    // batched delta shipping
+    // ----------------------------------------------------------------------
+
+    /// Queue a delta for shipment to `dest`, coalescing against sends already
+    /// pending this round: an insert followed by a delete of the same
+    /// (tuple, derivation) — or vice versa — is a net no-op at the
+    /// destination and both records are dropped; an identical re-emission is
+    /// deduplicated. The outbox membership transitions guarantee polarities
+    /// for one (tuple, derivation) strictly alternate, so "same pair, same
+    /// polarity" only arises from redundant re-derivation paths.
+    fn queue_send(&mut self, dest: Addr, delta: Delta, derivation: Derivation) {
+        let sends = &mut self.pending_sends;
+        let slots = self
+            .pending_index
+            .entry((dest, delta.tuple().id()))
+            .or_default();
+        // Almost every (dest, tuple) has one pending derivation, so a linear
+        // scan of the slot list beats keying the map on the derivation (which
+        // would clone its heap-allocated input list once per send).
+        if let Some(pos) = slots.iter().position(|&s| {
+            sends[s]
+                .as_ref()
+                .is_some_and(|p| p.derivation == derivation)
+        }) {
+            let slot = slots[pos];
+            let prev = sends[slot].take().expect("indexed slot is live");
+            if prev.delta.is_insert() == delta.is_insert() {
+                // Duplicate emission of the same record: keep the first.
+                sends[slot] = Some(prev);
+            } else {
+                // Opposite polarity: the pair cancels; ship neither.
+                slots.swap_remove(pos);
+            }
+            return;
+        }
+        slots.push(sends.len());
+        sends.push(Some(RemoteDelta {
+            dest,
+            delta,
+            derivation,
+        }));
+    }
+
+    /// Coalesce the surviving pending sends into one [`DeltaBatch`] per
+    /// destination (record order = emission order) and account the priced
+    /// payload. This is the single place `tuples_sent` / `bytes_sent` are
+    /// bumped, so engine counters are the source of truth the platform's
+    /// network charge must agree with.
+    fn flush_sends(&mut self, out: &mut StepOutput) {
+        self.pending_index.clear();
+        if self.pending_sends.is_empty() {
+            return;
+        }
+        let mut order: Vec<Addr> = Vec::new();
+        let mut batches: HashMap<Addr, DeltaBatch> = HashMap::new();
+        for slot in std::mem::take(&mut self.pending_sends) {
+            let Some(send) = slot else { continue };
+            let batch = batches.entry(send.dest).or_insert_with(|| {
+                order.push(send.dest);
+                DeltaBatch {
+                    dest: send.dest,
+                    dict: Vec::new(),
+                    records: Vec::new(),
+                }
+            });
+            let seen = self.dict_sent.entry(send.dest).or_default();
+            collect_record_dict(send.delta.tuple(), &send.derivation, seen, &mut batch.dict);
+            batch.records.push(DeltaRecord {
+                delta: send.delta,
+                derivation: send.derivation,
+            });
+        }
+        for dest in order {
+            let batch = batches.remove(&dest).expect("batch recorded");
+            self.stats.tuples_sent += batch.records.len() as u64;
+            self.stats.bytes_sent += batch.wire_size() as u64;
+            self.stats.dict_bytes_sent += batch.header_bytes() as u64;
+            out.sends.push(batch);
+        }
     }
 
     /// Convenience: all tuples of a relation currently stored at this node.
@@ -406,23 +583,7 @@ impl NodeEngine {
                         input_tuples: Vec::new(),
                         insert: false,
                     });
-                    let membership = self
-                        .db
-                        .table_mut_sym(relation)
-                        .expect("outbox table exists")
-                        .remove_derivation(&dep_tuple, &derivation);
-                    if matches!(
-                        membership,
-                        Membership::Disappeared | Membership::RemovedDerivation
-                    ) {
-                        self.stats.tuples_sent += 1;
-                        self.stats.bytes_sent += dep_tuple.wire_size() as u64;
-                        out.sends.push(RemoteDelta {
-                            dest: home,
-                            delta: Delta::Delete(dep_tuple.clone()),
-                            derivation,
-                        });
-                    }
+                    self.retract_outbox(relation, &dep_tuple, derivation, home);
                 }
             } else {
                 for derivation in derivations {
@@ -760,32 +921,39 @@ impl NodeEngine {
                 for input in inputs {
                     self.db.index_dependency(input, outbox_sym, head.id());
                 }
-                self.stats.tuples_sent += 1;
-                self.stats.bytes_sent += head.wire_size() as u64;
-                out.sends.push(RemoteDelta {
-                    dest: home,
-                    delta: Delta::Insert(head),
-                    derivation,
-                });
+                self.queue_send(home, Delta::Insert(head), derivation);
             }
         } else {
-            let membership = self
-                .db
-                .table_mut_sym(outbox_sym)
-                .expect("outbox registered")
-                .remove_derivation(&head, &derivation);
-            if matches!(
-                membership,
-                Membership::Disappeared | Membership::RemovedDerivation
-            ) {
-                self.stats.tuples_sent += 1;
-                self.stats.bytes_sent += head.wire_size() as u64;
-                out.sends.push(RemoteDelta {
-                    dest: home,
-                    delta: Delta::Delete(head),
-                    derivation,
-                });
-            }
+            self.retract_outbox(outbox_sym, &head, derivation, home);
+        }
+    }
+
+    /// The single outbox-retraction path. Every caller — the input-cascade in
+    /// [`Self::on_disappear`] and the aggregate/negation reconciliation in
+    /// [`Self::emit_derivation`] — funnels through here, so a remote
+    /// retraction performs exactly one membership transition and is queued
+    /// for shipment at most once per round.
+    fn retract_outbox(
+        &mut self,
+        outbox_sym: Sym,
+        tuple: &Tuple,
+        derivation: Derivation,
+        home: Addr,
+    ) {
+        // Both callers hold the invariant that the outbox table exists (the
+        // dependency index / reconciliation only yield registered outbox
+        // relations); fail loudly rather than silently dropping a remote
+        // retraction and leaving the destination with a stale tuple.
+        let table = self
+            .db
+            .table_mut_sym(outbox_sym)
+            .expect("outbox table exists for retraction");
+        let membership = table.remove_derivation(tuple, &derivation);
+        if matches!(
+            membership,
+            Membership::Disappeared | Membership::RemovedDerivation
+        ) {
+            self.queue_send(home, Delta::Delete(tuple.clone()), derivation);
         }
     }
 
@@ -1158,6 +1326,52 @@ fn match_atom_undo(
     ok
 }
 
+/// Collect the interned strings referenced by a shipped record that the
+/// destination has not been sent before, in first-use order: the relation
+/// name, every address value (recursively through lists) and the
+/// derivation's rule and node. `seen` tracks raw pool ids already shipped to
+/// the destination ([`Sym`] and [`crate::value::NodeId`] share one pool, so
+/// one id space covers both).
+fn collect_record_dict(
+    tuple: &Tuple,
+    derivation: &Derivation,
+    seen: &mut HashSet<u32>,
+    dict: &mut Vec<String>,
+) {
+    fn push_entry(id: u32, s: &str, seen: &mut HashSet<u32>, dict: &mut Vec<String>) {
+        if seen.insert(id) {
+            dict.push(s.to_string());
+        }
+    }
+    fn walk_value(v: &Value, seen: &mut HashSet<u32>, dict: &mut Vec<String>) {
+        match v {
+            Value::Addr(a) => push_entry(a.index(), a.as_str(), seen, dict),
+            Value::List(l) => {
+                for v in l {
+                    walk_value(v, seen, dict);
+                }
+            }
+            _ => {}
+        }
+    }
+    push_entry(tuple.relation.index(), tuple.relation.as_str(), seen, dict);
+    for v in &tuple.values {
+        walk_value(v, seen, dict);
+    }
+    push_entry(
+        derivation.rule.index(),
+        derivation.rule.as_str(),
+        seen,
+        dict,
+    );
+    push_entry(
+        derivation.node.index(),
+        derivation.node.as_str(),
+        seen,
+        dict,
+    );
+}
+
 /// Resolve a plan's bound columns against the current bindings into concrete
 /// probe values.
 fn resolve_bound_cols(
@@ -1305,14 +1519,23 @@ mod tests {
         let out = e.run();
         assert_eq!(out.sends.len(), 1);
         assert_eq!(out.sends[0].dest, "n2");
-        assert!(matches!(out.sends[0].delta, Delta::Insert(_)));
+        assert_eq!(out.sends[0].records.len(), 1);
+        assert!(matches!(out.sends[0].records[0].delta, Delta::Insert(_)));
+        // The first batch to n2 carries the dictionary entries its records
+        // reference (relation, addresses, rule, node).
+        assert!(out.sends[0].dict.iter().any(|s| s == "reach"));
+        assert!(out.sends[0].dict.iter().any(|s| s == "r1"));
         // Not stored locally.
         assert!(e.relation("reach").is_empty());
-        // Deleting the link retracts the remote derivation.
+        // Deleting the link retracts the remote derivation; the dictionary
+        // was already shipped, so the retraction batch carries none of the
+        // already-sent strings again.
         e.delete_base(link("n1", "n2", 1));
         let out = e.run();
         assert_eq!(out.sends.len(), 1);
-        assert!(matches!(out.sends[0].delta, Delta::Delete(_)));
+        assert_eq!(out.sends[0].records.len(), 1);
+        assert!(matches!(out.sends[0].records[0].delta, Delta::Delete(_)));
+        assert!(out.sends[0].dict.is_empty());
     }
 
     #[test]
@@ -1323,9 +1546,11 @@ mod tests {
         let mut receiver = NodeEngine::new(program, EngineConfig::new("n2"));
         sender.insert_base(link("n1", "n2", 1));
         let out = sender.run();
-        for send in out.sends {
-            assert_eq!(send.dest, "n2");
-            receiver.apply_remote(send.delta, send.derivation);
+        for batch in out.sends {
+            assert_eq!(batch.dest, "n2");
+            for record in batch.records {
+                receiver.apply_remote(record.delta, record.derivation);
+            }
         }
         receiver.run();
         assert_eq!(receiver.relation("reach").len(), 1);
@@ -1468,6 +1693,96 @@ mod tests {
         e.insert_base(link("n1", "n3", 5));
         let out = e.run();
         assert!(out.truncated);
+    }
+
+    /// Regression: re-deriving a head already present in the outbox must not
+    /// ship the identical (tuple, derivation) record twice in one round —
+    /// both historical insert paths now funnel through `queue_send`, whose
+    /// pending index keeps at most one live record per (dest, tuple,
+    /// derivation).
+    #[test]
+    fn rederivation_ships_an_outbox_tuple_at_most_once_per_round() {
+        // The same delta matches both body-atom positions, so the rule fires
+        // twice with an identical head and derivation.
+        let mut e = engine("n1", "r1 reach(@D,S) :- link(@S,D,C), link(@S,D,C).");
+        e.insert_base(link("n1", "n2", 1));
+        let out = e.run();
+        let records: usize = out.sends.iter().map(|b| b.records.len()).sum();
+        assert_eq!(records, 1, "identical re-derivation must ship once");
+        // A genuinely different derivation of the same head still ships: the
+        // destination counts derivations for retraction correctness.
+        let mut e = engine(
+            "n1",
+            "r1 reach(@D,S) :- link(@S,D,C).\nr2 reach(@D,S) :- back(@S,D,C).",
+        );
+        e.insert_base(link("n1", "n2", 1));
+        e.insert_base(Tuple::new(
+            "back",
+            vec![Value::addr("n1"), Value::addr("n2"), Value::Int(9)],
+        ));
+        let out = e.run();
+        let records: usize = out.sends.iter().map(|b| b.records.len()).sum();
+        assert_eq!(records, 2, "distinct derivations both ship");
+    }
+
+    /// An insert and a delete of the same (tuple, derivation) within one
+    /// round are a net no-op at the destination: the pair cancels and
+    /// nothing is shipped.
+    #[test]
+    fn same_round_insert_delete_pairs_cancel() {
+        let mut e = engine("n1", "r1 reach(@D,S) :- link(@S,D,C).");
+        e.insert_base(link("n1", "n2", 1));
+        e.delete_base(link("n1", "n2", 1));
+        let out = e.run();
+        assert!(
+            out.sends.iter().all(|b| b.records.is_empty()),
+            "cancelled churn must not reach the wire: {:?}",
+            out.sends
+        );
+        assert_eq!(e.stats().tuples_sent, 0);
+        assert_eq!(e.stats().bytes_sent, 0);
+    }
+
+    /// Sends to several destinations coalesce into one batch per
+    /// destination per round, and engine byte counters equal the priced
+    /// batch sizes exactly.
+    #[test]
+    fn sends_coalesce_into_one_batch_per_destination() {
+        let mut e = engine("n1", "r1 reach(@D,S) :- link(@S,D,C).");
+        e.insert_base(link("n1", "n2", 1));
+        e.insert_base(link("n1", "n2", 2));
+        e.insert_base(link("n1", "n3", 1));
+        let out = e.run();
+        assert_eq!(out.sends.len(), 2, "one batch per destination");
+        let to_n2 = out.sends.iter().find(|b| b.dest == "n2").unwrap();
+        assert_eq!(to_n2.records.len(), 2, "records to n2 share one batch");
+        let total: u64 = out.sends.iter().map(|b| b.wire_size() as u64).sum();
+        assert_eq!(e.stats().tuples_sent, 3);
+        assert_eq!(e.stats().bytes_sent, total);
+        let dict: u64 = out.sends.iter().map(|b| b.header_bytes() as u64).sum();
+        assert_eq!(e.stats().dict_bytes_sent, dict);
+        assert!(dict > 0, "first contact ships dictionary entries");
+    }
+
+    /// Dictionary entries are charged once per (destination, first use):
+    /// a second round to the same destination only ships strings it has
+    /// never sent there.
+    #[test]
+    fn dictionary_is_shipped_once_per_destination() {
+        let mut e = engine("n1", "r1 reach(@D,S) :- link(@S,D,C).");
+        e.insert_base(link("n1", "n2", 1));
+        let first = e.run();
+        assert!(!first.sends[0].dict.is_empty());
+        // Another tuple to the same destination: all identifiers already
+        // shipped, so the new batch's header is empty.
+        e.insert_base(link("n1", "n2", 7));
+        let second = e.run();
+        assert_eq!(second.sends.len(), 1);
+        assert!(second.sends[0].dict.is_empty());
+        // A new destination starts its own dictionary from scratch.
+        e.insert_base(link("n1", "n3", 1));
+        let third = e.run();
+        assert!(third.sends[0].dict.iter().any(|s| s == "reach"));
     }
 
     #[test]

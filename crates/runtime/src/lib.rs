@@ -30,7 +30,9 @@ pub mod value;
 
 pub use catalog::{Catalog, RelationSchema};
 pub use compile::{CompiledProgram, CompiledRule};
-pub use engine::{EngineConfig, EngineStats, Firing, NodeEngine, RemoteDelta, StepOutput};
+pub use engine::{
+    DeltaBatch, DeltaRecord, EngineConfig, EngineStats, Firing, NodeEngine, RemoteDelta, StepOutput,
+};
 pub use error::{Result, RuntimeError};
 pub use eval::Bindings;
 pub use store::{

@@ -54,6 +54,14 @@ impl Derivation {
     pub fn is_base(&self) -> bool {
         self.rule == base_rule_sym()
     }
+
+    /// Wire size of the derivation in the interned encoding: fixed-width rule
+    /// and node handles, a 4-byte input count and 8 bytes per input id. A
+    /// shipped delta always carries its derivation (the receiving engine
+    /// stores it for retraction), so traffic accounting must price it.
+    pub fn wire_size(&self) -> usize {
+        Sym::WIRE_SIZE + NodeId::WIRE_SIZE + 4 + 8 * self.inputs.len()
+    }
 }
 
 /// A tuple plus its supporting derivations.

@@ -17,6 +17,11 @@ pub struct TrafficStats {
     pub messages: u64,
     /// Total payload bytes sent.
     pub bytes: u64,
+    /// Total records (tuples/deltas) carried by the messages. Equal to
+    /// `messages` for unbatched traffic; batched delta shipping packs many
+    /// records into one message, so `messages < records` measures how much
+    /// coalescing happened.
+    pub records: u64,
     /// Per-category (messages, bytes).
     pub by_category: BTreeMap<String, (u64, u64)>,
     /// Per-directed-link message counts, keyed by `"src->dst"`.
@@ -24,10 +29,23 @@ pub struct TrafficStats {
 }
 
 impl TrafficStats {
-    /// Record one message.
+    /// Record one message carrying a single record.
     pub fn record(&mut self, src: &str, dst: &str, category: &str, bytes: usize) {
+        self.record_batch(src, dst, category, bytes, 1);
+    }
+
+    /// Record one message carrying `records` coalesced records.
+    pub fn record_batch(
+        &mut self,
+        src: &str,
+        dst: &str,
+        category: &str,
+        bytes: usize,
+        records: usize,
+    ) {
         self.messages += 1;
         self.bytes += bytes as u64;
+        self.records += records as u64;
         let entry = self.by_category.entry(category.to_string()).or_default();
         entry.0 += 1;
         entry.1 += bytes as u64;
@@ -48,6 +66,7 @@ impl TrafficStats {
     pub fn merge(&mut self, other: &TrafficStats) {
         self.messages += other.messages;
         self.bytes += other.bytes;
+        self.records += other.records;
         for (k, (m, b)) in &other.by_category {
             let e = self.by_category.entry(k.clone()).or_default();
             e.0 += m;
@@ -64,6 +83,7 @@ impl TrafficStats {
         let mut out = TrafficStats {
             messages: self.messages - earlier.messages,
             bytes: self.bytes - earlier.bytes,
+            records: self.records - earlier.records,
             ..TrafficStats::default()
         };
         for (k, (m, b)) in &self.by_category {

@@ -36,6 +36,41 @@ def shape(value, depth=0):
     return "string"
 
 
+# Sections every BENCH_results.json must carry, with the keys each of their
+# rows must have. A report missing one of these (or a row missing a key)
+# fails even when committed and fresh agree — the schema requirement is
+# absolute, not merely drift-free.
+REQUIRED_SECTIONS = {
+    "delta_shipping": {
+        "scenario",
+        "messages_sent",
+        "tuples_shipped",
+        "dict_header_bytes",
+        "body_bytes",
+        "batched_total_bytes",
+        "per_tuple_total_bytes",
+        "reduction_factor",
+    },
+}
+
+
+def check_required_sections(name, doc):
+    for section, required_keys in REQUIRED_SECTIONS.items():
+        rows = doc.get(section)
+        if not isinstance(rows, list) or not rows:
+            sys.exit(
+                f"{name}: required section {section!r} is missing or empty. "
+                "Regenerate BENCH_results.json "
+                "(cargo run --release -p nettrails-bench --bin report)."
+            )
+        for i, row in enumerate(rows):
+            missing = required_keys - set(row)
+            if missing:
+                sys.exit(
+                    f"{name}: {section}[{i}] is missing keys {sorted(missing)}."
+                )
+
+
 def main():
     if len(sys.argv) != 3:
         sys.exit(__doc__)
@@ -44,6 +79,9 @@ def main():
         committed = json.load(f)
     with open(fresh_path) as f:
         fresh = json.load(f)
+
+    check_required_sections(committed_path, committed)
+    check_required_sections(fresh_path, fresh)
 
     if committed.get("format") != fresh.get("format"):
         sys.exit(
