@@ -7,8 +7,8 @@
 //! ```
 
 use nettrails::{NetTrails, NetTrailsConfig, ReportTable};
-use nt_runtime::Value;
-use provenance::{QueryKind, QueryOptions};
+use nt_runtime::{base_rule_sym, Firing, NodeId, Sym, Tuple, Value};
+use provenance::{ProvenanceSystem, QueryKind, QueryOptions};
 use serde::Serialize;
 use simnet::Topology;
 use std::time::Instant;
@@ -76,6 +76,39 @@ struct DeltaShippingReport {
     reduction_factor: f64,
 }
 
+/// One row of the sharded-maintenance scaling sweep: the same synthetic
+/// firing stream applied through the shard router at one shard count.
+/// Determinism is part of the measurement: `matches_single_shard` asserts
+/// the resulting provenance state is bit-identical to the S=1 run, and the
+/// cross-shard exchange counts are exact (stable name-hash routing), so CI
+/// can gate on them drifting.
+#[derive(Serialize)]
+struct ShardedProvenanceReport {
+    scenario: String,
+    /// Shard count of this run.
+    shards: usize,
+    /// Rounds the stream was chunked into.
+    rounds: usize,
+    /// Total firings applied (inserts + retractions).
+    firings: u64,
+    /// Wall-clock microseconds to maintain the whole stream.
+    wall_us: u64,
+    /// Cores available to the run (`std::thread::available_parallelism`).
+    /// Shard workers only engage when this is > 1, so single-core hosts
+    /// measure pure routing/exchange overhead, not parallel speedup.
+    host_parallelism: usize,
+    /// Cross-shard maintenance batches sealed (0 for S=1).
+    cross_shard_batches: u64,
+    /// `ruleExec` halves those batches carried.
+    cross_shard_records: u64,
+    /// Once-per-destination dictionary bytes the exchange shipped.
+    cross_shard_dict_bytes: u64,
+    /// `wall_us(S=1) / wall_us(S)` within this sweep.
+    speedup_vs_single: f64,
+    /// True when the final system content digest equals the S=1 run's.
+    matches_single_shard: bool,
+}
+
 #[derive(Serialize)]
 struct BenchResults {
     /// Schema marker for downstream tooling.
@@ -93,6 +126,10 @@ struct BenchResults {
     /// Batched delta shipping vs per-tuple baseline on the standard
     /// scenarios.
     delta_shipping: Vec<DeltaShippingReport>,
+    /// Sharded provenance maintenance: shard-count sweep (S ∈ {1, 2, 4, 8})
+    /// over a synthetic maintenance stream, with wall-clock, cross-shard
+    /// exchange counts and the determinism check.
+    sharded_provenance: Vec<ShardedProvenanceReport>,
 }
 
 /// Wire size of a value under the pre-interning encoding (addresses carried
@@ -191,6 +228,129 @@ fn delta_shipping_report(name: &str, program: &str, topology: Topology) -> Delta
         per_tuple_total_bytes,
         reduction_factor: per_tuple_total_bytes as f64 / batched_total_bytes.max(1) as f64,
     }
+}
+
+/// A deterministic synthetic maintenance workload: `width` base tuples over
+/// `nodes` nodes and `layers - 1` derived layers. Post-localization, most
+/// rule heads are homed at the executing node, so three quarters of the
+/// derived firings here are exec-local and every fourth is homed one node
+/// over (crossing nodes — and, at S > 1, usually shards). A churn phase then
+/// retracts and re-derives every third derived firing. Chunked into rounds
+/// the way the platform feeds the maintenance engine.
+fn maintenance_rounds(
+    node_names: &[String],
+    layers: usize,
+    width: usize,
+    round_size: usize,
+) -> Vec<Vec<Firing>> {
+    let node = |i: usize| NodeId::new(&node_names[i % node_names.len()]);
+    let tuple = |layer: usize, i: usize| {
+        Tuple::new(
+            format!("m{layer}"),
+            vec![Value::addr(node(i)), Value::Int(i as i64)],
+        )
+    };
+    let mut inserts = Vec::new();
+    for i in 0..width {
+        inserts.push(Firing {
+            rule: base_rule_sym(),
+            node: node(i),
+            head: tuple(0, i),
+            head_home: node(i),
+            inputs: vec![],
+            input_tuples: vec![],
+            insert: true,
+        });
+    }
+    let mut churnable = Vec::new();
+    for layer in 1..layers {
+        for i in 0..width {
+            let a = tuple(layer - 1, i);
+            let b = tuple(layer - 1, (i + 1) % width);
+            let home = if i % 4 == 0 { node(i + 1) } else { node(i) };
+            let firing = Firing {
+                rule: Sym::new(&format!("r{layer}")),
+                node: node(i),
+                head: tuple(layer, i),
+                head_home: home,
+                inputs: vec![a.id(), b.id()],
+                input_tuples: vec![a, b],
+                insert: true,
+            };
+            if i % 3 == 0 {
+                churnable.push(firing.clone());
+            }
+            inserts.push(firing);
+        }
+    }
+    let mut rounds: Vec<Vec<Firing>> = inserts
+        .chunks(round_size)
+        .map(|chunk| chunk.to_vec())
+        .collect();
+    // Churn: retract every third derived firing in one round, re-derive in
+    // the next (retractions ship without input tuple contents).
+    rounds.push(
+        churnable
+            .iter()
+            .map(|f| {
+                let mut r = f.clone();
+                r.insert = false;
+                r.input_tuples.clear();
+                r
+            })
+            .collect(),
+    );
+    rounds.push(churnable);
+    rounds
+}
+
+/// Sweep the shard router over S ∈ {1, 2, 4, 8} on one synthetic
+/// maintenance stream, measuring wall-clock and cross-shard exchange, and
+/// checking every run against the S=1 content digest.
+fn sharded_provenance_sweep(
+    scenario: &str,
+    nodes: usize,
+    layers: usize,
+    width: usize,
+    round_size: usize,
+) -> Vec<ShardedProvenanceReport> {
+    let node_names: Vec<String> = (0..nodes).map(|i| format!("s{i:02}")).collect();
+    let rounds = maintenance_rounds(&node_names, layers, width, round_size);
+    let firings: u64 = rounds.iter().map(|r| r.len() as u64).sum();
+    let host_parallelism = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let mut reports = Vec::new();
+    let mut single_digest = 0u64;
+    let mut single_wall = 0u64;
+    for shards in [1usize, 2, 4, 8] {
+        let mut system = ProvenanceSystem::with_shards(node_names.iter(), shards);
+        let start = Instant::now();
+        for round in &rounds {
+            system.apply_round(round);
+        }
+        let wall_us = start.elapsed().as_micros() as u64;
+        let digest = system.content_digest();
+        if shards == 1 {
+            single_digest = digest;
+            single_wall = wall_us;
+        }
+        let stats = system.shard_stats();
+        reports.push(ShardedProvenanceReport {
+            scenario: scenario.to_string(),
+            shards,
+            rounds: rounds.len(),
+            firings,
+            wall_us,
+            host_parallelism,
+            cross_shard_batches: stats.cross_shard_batches,
+            cross_shard_records: stats.cross_shard_records,
+            cross_shard_dict_bytes: stats.cross_shard_dict_bytes,
+            speedup_vs_single: single_wall as f64 / wall_us.max(1) as f64,
+            matches_single_shard: digest == single_digest,
+        });
+    }
+    reports
 }
 
 fn probe_comparison(name: &str, program: &str, topology: Topology) -> JoinProbeComparison {
@@ -301,13 +461,32 @@ fn main() {
         );
     }
 
+    let sharded_provenance = sharded_provenance_sweep("synthetic_64n_4l", 64, 4, 4096, 2048);
+    println!("\nSharded provenance maintenance (S-way shard router, synthetic stream):");
+    for r in &sharded_provenance {
+        println!(
+            "  {:16} S={:1} wall={:>8}us ({:>4.2}x vs S=1, {} core(s)) batches={:>4} \
+             records={:>6} dict={:>6}B identical={}",
+            r.scenario,
+            r.shards,
+            r.wall_us,
+            r.speedup_vs_single,
+            r.host_parallelism,
+            r.cross_shard_batches,
+            r.cross_shard_records,
+            r.cross_shard_dict_bytes,
+            r.matches_single_shard,
+        );
+    }
+
     let results = BenchResults {
-        format: "nettrails-bench-results/v3".to_string(),
+        format: "nettrails-bench-results/v4".to_string(),
         experiment_wall_ms,
         tables,
         join_probes,
         provenance_stores,
         delta_shipping,
+        sharded_provenance,
     };
     let json = serde_json::to_string_pretty(&results).expect("results serialize");
     std::fs::write(RESULTS_PATH, &json).expect("write BENCH_results.json");

@@ -31,6 +31,7 @@
 //! interned vs. string inputs cannot silently diverge.
 
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::{OnceLock, RwLock};
@@ -69,8 +70,30 @@ fn intern(s: &str) -> u32 {
     id
 }
 
+thread_local! {
+    /// Per-thread id → string cache. Interned strings are immutable and
+    /// leaked and ids are assigned once, so a cached entry can never go
+    /// stale — after the first resolution of an id on a thread, `as_str` is
+    /// lock-free. This matters for shard-parallel provenance maintenance:
+    /// worker threads resolve names in every digest, and a shared
+    /// `RwLock::read` on that path serializes them on one cache line.
+    static RESOLVED: RefCell<Vec<Option<&'static str>>> = const { RefCell::new(Vec::new()) };
+}
+
 fn resolve(id: u32) -> &'static str {
-    pool().read().expect("interner lock").strings[id as usize]
+    let idx = id as usize;
+    RESOLVED.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        if let Some(Some(s)) = cache.get(idx) {
+            return *s;
+        }
+        let s = pool().read().expect("interner lock").strings[idx];
+        if cache.len() <= idx {
+            cache.resize(idx + 1, None);
+        }
+        cache[idx] = Some(s);
+        s
+    })
 }
 
 /// Facade over the process-global intern pool.
@@ -123,8 +146,18 @@ impl InternerSnapshot {
     /// One-time wire cost of shipping the dictionary: a 4-byte id plus a
     /// length-prefixed string per entry.
     pub fn wire_size(&self) -> usize {
-        self.strings.iter().map(|s| 4 + 4 + s.len()).sum()
+        self.strings.iter().map(|s| dict_entry_wire_size(s)).sum()
     }
+}
+
+/// The wire cost of one dictionary entry: a 4-byte id plus a length-prefixed
+/// string. This is the *single* pricing rule for every dictionary in the
+/// system — snapshot dictionaries ([`InternerSnapshot::wire_size`]), the
+/// engine's per-destination `DeltaBatch` headers, the provenance stores'
+/// `dict_bytes` accounting and the cross-shard `MaintBatch` headers all
+/// delegate here, so the layers cannot drift apart.
+pub fn dict_entry_wire_size(s: &str) -> usize {
+    4 + 4 + s.len()
 }
 
 // ---------------------------------------------------------------------------
@@ -395,6 +428,23 @@ impl StableHasher {
     }
 }
 
+/// The single implementation of shard routing: map an interned node to one of
+/// `shards` home shards by a stable hash of its *name*.
+///
+/// Every layer that partitions work by node — the runtime's firing stream
+/// tags, the provenance shard router, the bench sweep — calls this function,
+/// so a node can never be homed to different shards by different layers. The
+/// hash covers the resolved string (never the intern id), making placement
+/// identical across processes and independent of interning order.
+pub fn shard_route(node: NodeId, shards: usize) -> usize {
+    if shards <= 1 {
+        return 0;
+    }
+    let mut h = StableHasher::new();
+    h.write_str(node.as_str());
+    (h.finish() % shards as u64) as usize
+}
+
 /// The single implementation of the rule-execution digest: a stable hash of
 /// the rule name, the executing node and the input tuple identifiers.
 ///
@@ -473,6 +523,26 @@ mod tests {
         assert_eq!(content.as_str(), Some("serde-node"));
         let back: NodeId = serde::from_content(content).unwrap();
         assert_eq!(back, n);
+    }
+
+    #[test]
+    fn shard_route_is_stable_and_name_based() {
+        let n = NodeId::new("route-node");
+        // Single shard always routes home 0, any shard count is in range and
+        // deterministic across calls (the hash covers the name, not the id).
+        assert_eq!(shard_route(n, 0), 0);
+        assert_eq!(shard_route(n, 1), 0);
+        for shards in [2usize, 4, 8, 13] {
+            let s = shard_route(n, shards);
+            assert!(s < shards);
+            assert_eq!(s, shard_route(NodeId::new("route-node"), shards));
+        }
+        // A reasonable spread: 64 nodes over 4 shards never collapse into one.
+        let mut seen = [false; 4];
+        for i in 0..64 {
+            seen[shard_route(NodeId::new(&format!("spread{i}")), 4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all 4 shards receive nodes");
     }
 
     #[test]

@@ -1,12 +1,12 @@
 //! The NetTrails platform: engines + network + provenance, orchestrated.
 
 use nt_runtime::{
-    Addr, CompiledProgram, Delta, DeltaBatch, Derivation, EngineConfig, EngineStats, NodeEngine,
-    Tuple,
+    Addr, CompiledProgram, Delta, DeltaBatch, Derivation, EngineConfig, EngineStats, Firing,
+    NodeEngine, Tuple,
 };
 use provenance::{
     ProvGraph, ProvenanceSystem, QueryEngine, QueryKind, QueryOptions, QueryResult, QueryStats,
-    SystemStats,
+    ShardStats, SystemStats,
 };
 use serde::{Deserialize, Serialize};
 use simnet::{Network, NetworkConfig, SimTime, Topology, TopologyEvent, TrafficStats};
@@ -66,6 +66,13 @@ pub struct NetTrailsConfig {
     /// misrouted delta fails loudly in debug builds — it means the program
     /// derived a head whose location attribute names an unknown node.
     pub tolerate_misrouted: bool,
+    /// Number of worker shards the provenance arena is partitioned across.
+    /// Each round's firing stream is partitioned by `head_home` and
+    /// maintained shard-parallel; cross-shard `ruleExec` halves travel in
+    /// per-destination maintenance batches. `1` (the default) is the
+    /// sequential reference path; any value yields a bit-identical graph
+    /// (see `provenance::shard`).
+    pub prov_shards: usize,
 }
 
 impl Default for NetTrailsConfig {
@@ -77,6 +84,7 @@ impl Default for NetTrailsConfig {
             use_join_indexes: true,
             batch_shipping: true,
             tolerate_misrouted: false,
+            prov_shards: 1,
         }
     }
 }
@@ -104,6 +112,15 @@ impl NetTrailsConfig {
     pub fn without_batching() -> Self {
         NetTrailsConfig {
             batch_shipping: false,
+            ..NetTrailsConfig::default()
+        }
+    }
+
+    /// A configuration that maintains provenance across `shards` worker
+    /// shards.
+    pub fn with_prov_shards(shards: usize) -> Self {
+        NetTrailsConfig {
+            prov_shards: shards,
             ..NetTrailsConfig::default()
         }
     }
@@ -149,6 +166,9 @@ pub struct PlatformStats {
     pub provenance: SystemStats,
     /// Cross-node provenance maintenance traffic.
     pub provenance_traffic: TrafficStats,
+    /// Cross-shard exchange of the sharded maintenance engine (batches,
+    /// records, dictionary bytes). All zeros when `prov_shards == 1`.
+    pub provenance_sharding: ShardStats,
     /// Tuples currently stored across all nodes (excluding internal outbox
     /// relations).
     pub stored_tuples: usize,
@@ -183,7 +203,7 @@ impl NetTrails {
                 NodeEngine::new(program.clone(), engine_config),
             );
         }
-        let provenance = ProvenanceSystem::new(topology.nodes());
+        let provenance = ProvenanceSystem::with_shards(topology.nodes(), config.prov_shards);
         let network = Network::new(topology, config.network.clone());
         Ok(NetTrails {
             program,
@@ -278,6 +298,11 @@ impl NetTrails {
         let mut report = RunReport::default();
         loop {
             let mut progressed = false;
+            // This round's firing stream: collected across engines (in
+            // deterministic node order) and applied once per round through
+            // the sharded maintenance pipeline, which partitions it by
+            // `head_home`.
+            let mut round_firings: Vec<Firing> = Vec::new();
             // 1. Run every engine with pending deltas to its local fixpoint.
             let nodes: Vec<Addr> = self.engines.keys().cloned().collect();
             for node in &nodes {
@@ -286,7 +311,7 @@ impl NetTrails {
                     continue;
                 }
                 progressed = true;
-                let out = engine.run();
+                let mut out = engine.run();
                 report.truncated |= out.truncated;
                 for change in &out.local_changes {
                     match change {
@@ -295,7 +320,7 @@ impl NetTrails {
                     }
                 }
                 if self.config.capture_provenance {
-                    self.provenance.apply_firings(out.firings.iter());
+                    round_firings.append(&mut out.firings);
                 }
                 for batch in out.sends {
                     if batch.is_empty() {
@@ -338,6 +363,9 @@ impl NetTrails {
                         }
                     }
                 }
+            }
+            if !round_firings.is_empty() {
+                self.provenance.apply_round(&round_firings);
             }
             // 2. Deliver the next batch of in-flight messages.
             if !self.network.idle() {
@@ -489,6 +517,7 @@ impl NetTrails {
             network: self.network.stats().clone(),
             provenance: self.provenance.stats(),
             provenance_traffic: self.provenance.maintenance_traffic().clone(),
+            provenance_sharding: self.provenance.shard_stats().clone(),
             stored_tuples,
         }
     }
@@ -774,6 +803,65 @@ mod tests {
             run(NetTrailsConfig::default()),
             run(NetTrailsConfig::without_batching())
         );
+    }
+
+    /// Sharded provenance maintenance is invisible to the result: sorted
+    /// protocol output, provenance stats and the per-store content digests
+    /// are bit-identical to the single-shard run for every shard count.
+    #[test]
+    fn sharded_maintenance_matches_single_shard_run() {
+        let run = |shards: usize| {
+            let mut nt = NetTrails::new(
+                protocols::pathvector::PROGRAM,
+                Topology::ladder(3),
+                NetTrailsConfig::with_prov_shards(shards),
+            )
+            .unwrap();
+            nt.seed_links_from_topology();
+            nt.run_to_fixpoint();
+            // Churn: drop a link and re-converge, so retraction maintenance
+            // also goes through the sharded pipeline.
+            nt.apply_topology_event(&TopologyEvent::LinkDown {
+                a: "n2".into(),
+                b: "n3".into(),
+            });
+            let mut rows = nt.relation("bestPathCost");
+            rows.sort_by_key(|(n, t)| (*n, t.to_string()));
+            (
+                rows,
+                nt.provenance().stats(),
+                nt.provenance().content_digest(),
+            )
+        };
+        let (rows1, stats1, digest1) = run(1);
+        for shards in [2usize, 4, 8] {
+            let (rows, stats, digest) = run(shards);
+            assert_eq!(rows, rows1, "sorted output identical at S={shards}");
+            assert_eq!(stats, stats1, "provenance stats identical at S={shards}");
+            assert_eq!(digest, digest1, "provenance graph identical at S={shards}");
+        }
+    }
+
+    /// With more than one shard, cross-shard maintenance exchange shows up
+    /// in the platform stats.
+    #[test]
+    fn cross_shard_exchange_is_reported() {
+        let mut nt = NetTrails::new(
+            protocols::mincost::PROGRAM,
+            Topology::ladder(3),
+            NetTrailsConfig::with_prov_shards(4),
+        )
+        .unwrap();
+        nt.seed_links_from_topology();
+        nt.run_to_fixpoint();
+        let sharding = nt.stats().provenance_sharding;
+        assert_eq!(sharding.shards, 4);
+        assert!(sharding.phased_rounds > 0);
+        assert!(
+            sharding.cross_shard_records > 0,
+            "a ladder's rules fire across shard boundaries"
+        );
+        assert!(sharding.cross_shard_dict_bytes > 0);
     }
 
     /// Deltas addressed to unknown nodes are counted, not silently dropped.

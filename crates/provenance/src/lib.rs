@@ -28,6 +28,7 @@ pub mod graph;
 pub mod proql;
 pub mod query;
 pub mod rewrite;
+pub mod shard;
 pub mod store;
 pub mod system;
 
@@ -37,5 +38,6 @@ pub use query::{
     ProofTree, QueryEngine, QueryKind, QueryOptions, QueryResult, QueryStats, TraversalOrder,
 };
 pub use rewrite::{rewrite_for_provenance, PROV_RELATION, RULE_EXEC_RELATION};
+pub use shard::{MaintBatch, MaintRecord, ProvenanceShard, ShardStats, MAINTENANCE_CATEGORY};
 pub use store::{ProvEntry, ProvStoreStats, ProvenanceStore, RuleExec, RuleExecId};
 pub use system::{ProvenanceSystem, SystemStats};

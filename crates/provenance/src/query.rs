@@ -342,7 +342,7 @@ impl QueryEngine {
         }
         let messages_before = stats.messages;
         let entries = system
-            .store_id(node)
+            .store(node)
             .map(|s| s.prov_entries(vid))
             .unwrap_or_default();
         let mut expanded = 0usize;
@@ -365,7 +365,7 @@ impl QueryEngine {
                 self.charge(stats, node, entry.rloc, 96, options);
                 frontier_hops.push(options.hop_rtt_ms);
             }
-            let Some(exec) = system.store_id(entry.rloc).and_then(|s| s.rule_exec(rid)) else {
+            let Some(exec) = system.store(entry.rloc).and_then(|s| s.rule_exec(rid)) else {
                 continue;
             };
             let mut exec_node = RuleExecNode {

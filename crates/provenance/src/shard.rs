@@ -1,0 +1,493 @@
+//! One shard of the partitioned provenance arena, plus the cross-shard
+//! maintenance batch format.
+//!
+//! The [`crate::ProvenanceSystem`] router hashes every node into one of `S`
+//! shards ([`nt_runtime::shard_route`] — a stable name hash shared with the
+//! runtime's firing-stream tags) and re-homes each node's
+//! [`ProvenanceStore`] inside its shard's dense arena. A round of firings is
+//! then maintained in two steps:
+//!
+//! 1. **Route + exchange** (serial, cheap): the stream is partitioned by
+//!    [`nt_runtime::Firing::home_shard`], each firing tagged with its stream
+//!    sequence number. Firings whose executing node is homed on a different
+//!    shard than their head get the `ruleExec` half of their maintenance
+//!    work — a [`MaintRecord`] — shipped to the executing node's shard in a
+//!    per-(source, destination) [`MaintBatch`]: fixed-width records behind a
+//!    once-per-destination dictionary header, the same wire discipline as
+//!    the engine's `DeltaBatch` delta shipping.
+//! 2. **Apply** (parallel, scoped threads over disjoint `&mut` shard
+//!    slices): each shard merge-applies its routed substream (the `prov`
+//!    entry + head registration of each firing, plus the `ruleExec` half
+//!    when the executing node is local) and its incoming [`MaintRecord`]s,
+//!    in ascending sequence order.
+//!
+//! Determinism: every operation on one store happens at the shard that owns
+//! it, and the sequence-ordered merge applies those operations in exactly
+//! the order the sequential single-shard engine would. The resulting stores
+//! — including the order-sensitive tuple display cache — are bit-identical
+//! for every shard count; only the cross-shard exchange metrics
+//! ([`ShardStats`]) vary with `S`.
+
+use crate::store::{collect_addr_names, ProvEntry, ProvenanceStore, RuleExec, RuleExecId};
+use nt_runtime::{Firing, NodeId, Sym, Tuple, TupleId};
+use serde::{Deserialize, Serialize};
+use simnet::TrafficStats;
+use std::collections::{BTreeSet, HashMap};
+
+/// Category name used for provenance-maintenance traffic.
+pub const MAINTENANCE_CATEGORY: &str = "prov-maintenance";
+
+/// The `ruleExec` half of a firing whose executing node is homed on another
+/// shard: everything the destination shard needs to maintain its `ruleExec`
+/// table and input-tuple display cache at the right stream position. A
+/// fixed-width header (sequence number, polarity, rid, interned rule/node
+/// ids) plus the input posting list and, for insertions, the input tuple
+/// contents.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MaintRecord {
+    /// Round-local stream sequence number of the originating firing; the
+    /// destination shard merge-applies records and its own substream in
+    /// ascending sequence order, reproducing the sequential schedule.
+    pub seq: u32,
+    /// True for a derivation, false for a retraction.
+    pub insert: bool,
+    /// Rule name (interned).
+    pub rule: Sym,
+    /// The executing node — the record's destination store.
+    pub node: NodeId,
+    /// Input tuple identifiers, in body order.
+    pub inputs: Vec<TupleId>,
+    /// Input tuple contents (empty for retractions, which carry only ids).
+    pub input_tuples: Vec<Tuple>,
+}
+
+impl MaintRecord {
+    /// Build the shippable `ruleExec` half of a derived firing. The caller
+    /// (the router) is responsible for only doing this when the executing
+    /// node is homed on a different shard than the head. The rule-execution
+    /// id is *not* shipped: it is a stable digest of (rule, node, inputs),
+    /// so the destination shard derives it — off the serial routing path and
+    /// off the wire, exactly like delta-shipping receivers re-derive
+    /// content-addressed identifiers.
+    pub fn from_firing(seq: u32, firing: &Firing) -> Self {
+        debug_assert!(firing.rule != nt_runtime::base_rule_sym());
+        MaintRecord {
+            seq,
+            insert: firing.insert,
+            rule: firing.rule,
+            node: firing.node,
+            inputs: firing.inputs.clone(),
+            input_tuples: if firing.insert {
+                firing.input_tuples.clone()
+            } else {
+                // Engines ship retractions without input tuple contents.
+                Vec::new()
+            },
+        }
+    }
+
+    /// The rule-execution id this record maintains (derived, never shipped).
+    pub fn rid(&self) -> RuleExecId {
+        RuleExecId::compute(self.rule, self.node, &self.inputs)
+    }
+
+    /// Wire size of the record body in the interned encoding: 4-byte
+    /// sequence number, 1-byte polarity, fixed-width rule/node ids, 8 bytes
+    /// per input VID, plus the interned input-tuple payloads. Dictionary
+    /// cost is carried by the batch header ([`MaintBatch::header_bytes`]),
+    /// not here.
+    pub fn wire_size(&self) -> usize {
+        4 + 1
+            + Sym::WIRE_SIZE
+            + NodeId::WIRE_SIZE
+            + 8 * self.inputs.len()
+            + self
+                .input_tuples
+                .iter()
+                .map(Tuple::wire_size)
+                .sum::<usize>()
+    }
+
+    /// The interned strings a receiver must know to decode this record.
+    pub(crate) fn dictionary(&self, out: &mut BTreeSet<&'static str>) {
+        out.insert(self.rule.as_str());
+        out.insert(self.node.as_str());
+        for t in &self.input_tuples {
+            out.insert(t.relation.as_str());
+            collect_addr_names(&t.values, out);
+        }
+    }
+}
+
+/// One routing outbox sealed for shipment: every [`MaintRecord`] one source
+/// shard produced for one destination shard during a round, behind the
+/// dictionary entries the destination has not been sent before. Mirrors the
+/// engine's `DeltaBatch` wire format (PR 3): fixed-width bodies, first-use
+/// strings shipped once per destination, one framing unit per batch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MaintBatch {
+    /// Shard that produced the records.
+    pub src_shard: usize,
+    /// Shard that must apply them.
+    pub dst_shard: usize,
+    /// Dictionary entries first shipped to `dst_shard` by this batch, in
+    /// sorted order.
+    pub dict: Vec<String>,
+    /// The records, in ascending sequence order.
+    pub records: Vec<MaintRecord>,
+}
+
+impl MaintBatch {
+    /// Bytes of the dictionary header: one shared pricing rule
+    /// ([`nt_runtime::dict_entry_wire_size`]) with `DeltaBatch` headers and
+    /// snapshot dictionaries.
+    pub fn header_bytes(&self) -> usize {
+        self.dict
+            .iter()
+            .map(|s| nt_runtime::dict_entry_wire_size(s))
+            .sum()
+    }
+
+    /// Bytes of the record bodies.
+    pub fn body_bytes(&self) -> usize {
+        self.records.iter().map(MaintRecord::wire_size).sum()
+    }
+
+    /// Total priced payload: dictionary header + fixed-width record bodies.
+    pub fn wire_size(&self) -> usize {
+        self.header_bytes() + self.body_bytes()
+    }
+
+    /// Number of records in the batch.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the batch carries no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+/// Cross-shard exchange metrics of the sharded maintenance engine. These are
+/// the only numbers that legitimately vary with the shard count; the graph,
+/// per-store digests and [`crate::SystemStats`] are shard-count-invariant.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardStats {
+    /// Number of shards the arena is partitioned into.
+    pub shards: usize,
+    /// Rounds applied through the route/exchange/apply pipeline.
+    pub phased_rounds: u64,
+    /// Rounds whose apply phase actually ran on scoped worker threads
+    /// (small rounds run the same phase inline).
+    pub parallel_rounds: u64,
+    /// Cross-shard maintenance batches sealed.
+    pub cross_shard_batches: u64,
+    /// Maintenance records those batches carried.
+    pub cross_shard_records: u64,
+    /// Fixed-width record-body bytes exchanged across shards.
+    pub cross_shard_body_bytes: u64,
+    /// Once-per-destination dictionary-header bytes exchanged across shards.
+    pub cross_shard_dict_bytes: u64,
+}
+
+/// One shard of the provenance arena: the stores of every node whose stable
+/// name hash routes here, in a dense creation-order arena (the same layout
+/// the pre-sharding `ProvenanceSystem` used for the whole network).
+#[derive(Debug, Clone, Default)]
+pub struct ProvenanceShard {
+    index: usize,
+    stores: Vec<ProvenanceStore>,
+    by_node: HashMap<NodeId, u32>,
+}
+
+impl ProvenanceShard {
+    /// Create an empty shard.
+    pub(crate) fn new(index: usize) -> Self {
+        ProvenanceShard {
+            index,
+            ..ProvenanceShard::default()
+        }
+    }
+
+    /// This shard's position in the router.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Number of stores homed on this shard.
+    pub fn len(&self) -> usize {
+        self.stores.len()
+    }
+
+    /// True when no node is homed on this shard.
+    pub fn is_empty(&self) -> bool {
+        self.stores.is_empty()
+    }
+
+    /// The arena slot of a node's store, creating it if unknown.
+    fn slot(&mut self, node: NodeId) -> usize {
+        match self.by_node.get(&node) {
+            Some(&slot) => slot as usize,
+            None => {
+                let slot = self.stores.len();
+                self.stores.push(ProvenanceStore::new(node));
+                self.by_node.insert(node, slot as u32);
+                slot
+            }
+        }
+    }
+
+    /// Access a node's store (creating it lazily if unknown). The caller is
+    /// responsible for routing: the node must hash to this shard.
+    pub(crate) fn store_mut(&mut self, node: NodeId) -> &mut ProvenanceStore {
+        let slot = self.slot(node);
+        &mut self.stores[slot]
+    }
+
+    /// Access a node's store.
+    pub(crate) fn store(&self, node: NodeId) -> Option<&ProvenanceStore> {
+        self.by_node
+            .get(&node)
+            .map(|&slot| &self.stores[slot as usize])
+    }
+
+    /// Adopt a fully built store (snapshot restore path).
+    pub(crate) fn insert_store(&mut self, store: ProvenanceStore) {
+        let node = store.node;
+        let slot = self.slot(node);
+        self.stores[slot] = store;
+    }
+
+    /// Iterate over this shard's stores in arena (creation) order.
+    pub fn stores(&self) -> impl Iterator<Item = &ProvenanceStore> {
+        self.stores.iter()
+    }
+
+    /// Apply the home half of one firing: the `prov` entry and head-tuple
+    /// registration at `head_home` (which must be homed on this shard), plus
+    /// the `ruleExec` half when `exec_local` says the executing node lives
+    /// here too (when it does not, the router has already shipped the
+    /// corresponding [`MaintRecord`] to the owning shard).
+    ///
+    /// Cross-**node** maintenance traffic (the paper's E4 overhead metric) is
+    /// recorded into `traffic` exactly as the single-shard engine does — that
+    /// accounting is about node placement and is independent of sharding.
+    pub(crate) fn apply_home(
+        &mut self,
+        firing: &Firing,
+        exec_local: bool,
+        traffic: &mut TrafficStats,
+    ) {
+        if firing.insert {
+            self.apply_home_insert(firing, exec_local, traffic);
+        } else {
+            self.apply_home_retract(firing, exec_local, traffic);
+        }
+    }
+
+    fn apply_home_insert(&mut self, firing: &Firing, exec_local: bool, traffic: &mut TrafficStats) {
+        let vid = firing.head.id();
+        if firing.rule == nt_runtime::base_rule_sym() {
+            let store = self.store_mut(firing.head_home);
+            store.register_tuple(&firing.head);
+            store.add_prov(
+                vid,
+                ProvEntry {
+                    rid: None,
+                    rloc: firing.head_home,
+                },
+            );
+            return;
+        }
+        let rid = RuleExecId::compute(firing.rule, firing.node, &firing.inputs);
+        // ruleExec lives where the rule fired; apply it here when that is
+        // this shard.
+        if exec_local {
+            let store = self.store_mut(firing.node);
+            store.add_rule_exec(RuleExec {
+                rid,
+                rule: firing.rule,
+                node: firing.node,
+                inputs: firing.inputs.clone(),
+            });
+            // The input tuples are local to the executing node
+            // (post-localization), so remember their contents for display.
+            for input in &firing.input_tuples {
+                store.register_tuple(input);
+            }
+        }
+        // prov entry lives at the head tuple's home.
+        let entry = ProvEntry {
+            rid: Some(rid),
+            rloc: firing.node,
+        };
+        if firing.head_home != firing.node {
+            traffic.record(
+                &firing.node,
+                &firing.head_home,
+                MAINTENANCE_CATEGORY,
+                entry.wire_size() + firing.head.wire_size(),
+            );
+        }
+        let store = self.store_mut(firing.head_home);
+        store.register_tuple(&firing.head);
+        store.add_prov(vid, entry);
+    }
+
+    fn apply_home_retract(
+        &mut self,
+        firing: &Firing,
+        exec_local: bool,
+        traffic: &mut TrafficStats,
+    ) {
+        let vid = firing.head.id();
+        if firing.rule == nt_runtime::base_rule_sym() {
+            let home = firing.head_home;
+            self.store_mut(home).remove_prov(
+                vid,
+                &ProvEntry {
+                    rid: None,
+                    rloc: home,
+                },
+            );
+            return;
+        }
+        let rid = RuleExecId::compute(firing.rule, firing.node, &firing.inputs);
+        if exec_local {
+            self.store_mut(firing.node).remove_rule_exec(rid);
+        }
+        let entry = ProvEntry {
+            rid: Some(rid),
+            rloc: firing.node,
+        };
+        if firing.head_home != firing.node {
+            traffic.record(
+                &firing.node,
+                &firing.head_home,
+                MAINTENANCE_CATEGORY,
+                entry.wire_size(),
+            );
+        }
+        self.store_mut(firing.head_home).remove_prov(vid, &entry);
+    }
+
+    /// Apply a shipped `ruleExec` half at the executing node's store (which
+    /// must be homed on this shard).
+    pub(crate) fn apply_exec(&mut self, record: &MaintRecord) {
+        let rid = record.rid();
+        if record.insert {
+            let store = self.store_mut(record.node);
+            store.add_rule_exec(RuleExec {
+                rid,
+                rule: record.rule,
+                node: record.node,
+                inputs: record.inputs.clone(),
+            });
+            // The input tuples are local to the executing node
+            // (post-localization), so remember their contents for display.
+            for input in &record.input_tuples {
+                store.register_tuple(input);
+            }
+        } else {
+            self.store_mut(record.node).remove_rule_exec(rid);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nt_runtime::Value;
+
+    #[test]
+    fn maint_record_wire_size_is_fixed_width_plus_payload() {
+        let t = Tuple::new("link", vec![Value::addr("n1"), Value::Int(1)]);
+        let rec = MaintRecord {
+            seq: 0,
+            insert: true,
+            rule: Sym::new("r1"),
+            node: NodeId::new("n1"),
+            inputs: vec![t.id()],
+            input_tuples: vec![t.clone()],
+        };
+        assert_eq!(rec.wire_size(), 4 + 1 + 4 + 4 + 8 + t.wire_size());
+        let retract = MaintRecord {
+            insert: false,
+            input_tuples: Vec::new(),
+            ..rec.clone()
+        };
+        assert_eq!(retract.wire_size(), 4 + 1 + 4 + 4 + 8);
+    }
+
+    #[test]
+    fn maint_record_from_firing_carries_the_exec_half() {
+        let input = Tuple::new("link", vec![Value::addr("n1"), Value::Int(1)]);
+        let head = Tuple::new("cost", vec![Value::addr("n2"), Value::Int(1)]);
+        let mut firing = Firing {
+            rule: Sym::new("r1"),
+            node: NodeId::new("n1"),
+            head,
+            head_home: NodeId::new("n2"),
+            inputs: vec![input.id()],
+            input_tuples: vec![input.clone()],
+            insert: true,
+        };
+        let rec = MaintRecord::from_firing(7, &firing);
+        assert_eq!(rec.seq, 7);
+        assert!(rec.insert);
+        assert_eq!(
+            rec.rid(),
+            RuleExecId::compute(firing.rule, firing.node, &firing.inputs)
+        );
+        assert_eq!(rec.input_tuples, vec![input]);
+        firing.insert = false;
+        let retract = MaintRecord::from_firing(8, &firing);
+        assert!(!retract.insert);
+        assert!(
+            retract.input_tuples.is_empty(),
+            "retractions ship without input contents"
+        );
+    }
+
+    #[test]
+    fn maint_batch_prices_header_and_bodies() {
+        let rec = MaintRecord {
+            seq: 1,
+            insert: false,
+            rule: Sym::new("r1"),
+            node: NodeId::new("n1"),
+            inputs: vec![],
+            input_tuples: vec![],
+        };
+        let batch = MaintBatch {
+            src_shard: 0,
+            dst_shard: 1,
+            dict: vec!["r1".to_string(), "n1".to_string()],
+            records: vec![rec.clone(), rec],
+        };
+        assert_eq!(batch.header_bytes(), (4 + 4 + 2) * 2);
+        assert_eq!(batch.body_bytes(), 2 * (4 + 1 + 4 + 4));
+        assert_eq!(batch.wire_size(), batch.header_bytes() + batch.body_bytes());
+        assert_eq!(batch.len(), 2);
+        assert!(!batch.is_empty());
+    }
+
+    #[test]
+    fn record_dictionary_covers_rule_node_and_tuple_names() {
+        let t = Tuple::new("link", vec![Value::addr("n9"), Value::Int(1)]);
+        let rec = MaintRecord {
+            seq: 0,
+            insert: true,
+            rule: Sym::new("ruleX"),
+            node: NodeId::new("nodeY"),
+            inputs: vec![t.id()],
+            input_tuples: vec![t],
+        };
+        let mut dict = BTreeSet::new();
+        rec.dictionary(&mut dict);
+        for name in ["ruleX", "nodeY", "link", "n9"] {
+            assert!(dict.contains(name), "{name} missing from dictionary");
+        }
+    }
+}

@@ -38,7 +38,7 @@ pub struct RuleExecId(pub u64);
 impl RuleExecId {
     /// Compute the RID for a rule execution from interned identifiers.
     ///
-    /// Delegates to [`nt_intern::rule_exec_digest`] — the single stable-digest
+    /// Delegates to [`nt_runtime::rule_exec_digest`] — the single stable-digest
     /// implementation shared with the string-keyed entry point
     /// ([`RuleExecId::compute_str`]), so interned and string inputs cannot
     /// silently diverge. The digest hashes the resolved strings, never the
@@ -362,7 +362,11 @@ impl ProvenanceStore {
         }
         record_bytes += self.tuples.values().map(Tuple::wire_size).sum::<usize>();
         // One-time dictionary: 4-byte id + length-prefixed string per name.
-        let dict_bytes: usize = self.dictionary().iter().map(|s| 4 + 4 + s.len()).sum();
+        let dict_bytes: usize = self
+            .dictionary()
+            .iter()
+            .map(|s| nt_runtime::dict_entry_wire_size(s))
+            .sum();
         ProvStoreStats {
             prov_entries,
             rule_execs,
@@ -423,7 +427,7 @@ impl ProvenanceStore {
 }
 
 /// Collect interned address names appearing in a value tree.
-fn collect_addr_names(values: &[Value], out: &mut BTreeSet<&'static str>) {
+pub(crate) fn collect_addr_names(values: &[Value], out: &mut BTreeSet<&'static str>) {
     for v in values {
         match v {
             Value::Addr(a) => {

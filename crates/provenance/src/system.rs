@@ -1,4 +1,5 @@
-//! The distributed provenance maintenance engine.
+//! The distributed provenance maintenance engine: a shard router over
+//! [`ProvenanceShard`]s.
 //!
 //! A [`ProvenanceSystem`] owns one [`ProvenanceStore`] per node and consumes
 //! the rule-execution events ([`Firing`]) emitted by the per-node runtime
@@ -12,25 +13,58 @@
 //! graph is maintained *incrementally* as network state changes — the property
 //! the paper demonstrates with link failures and mobile networks.
 //!
-//! The stores live in a dense arena indexed by interned [`NodeId`]; one
-//! firing is applied with two integer-keyed lookups and zero string clones or
-//! comparisons — the `Addr = String` B-tree this replaces re-hashed the node
-//! name on every hop.
+//! ## Sharded maintenance
+//!
+//! The stores are partitioned across `S` shards by a stable hash of the node
+//! name ([`nt_runtime::shard_route`]); each shard keeps its stores in a dense
+//! arena, so one firing is applied with two integer-keyed lookups and zero
+//! string clones or comparisons. A round of firings
+//! ([`ProvenanceSystem::apply_round`]) is partitioned by
+//! [`Firing::home_shard`], cross-shard `ruleExec` halves are exchanged as
+//! per-destination [`MaintBatch`]es with once-per-destination dictionary
+//! headers (the same wire discipline as the engine's batched delta
+//! shipping), and per-shard maintenance then runs in parallel — scoped
+//! threads over disjoint `&mut` shard slices, each merge-applying its
+//! substream and incoming records in stream-sequence order. See the
+//! [`crate::shard`] module documentation for the determinism argument: the
+//! resulting stores and [`SystemStats`] are bit-identical for every shard
+//! count.
 //!
 //! The cross-node shipments of `prov` entries are the **maintenance traffic**
 //! of provenance capture; the system records it in a
 //! [`simnet::TrafficStats`] under the `"prov-maintenance"` category so the
 //! overhead experiment (E4 in DESIGN.md) can report it next to the protocol's
-//! own traffic.
+//! own traffic. Cross-**shard** exchange is a separate, shard-count-dependent
+//! metric reported by [`ProvenanceSystem::shard_stats`].
 
-use crate::store::{ProvEntry, ProvStoreStats, ProvenanceStore, RuleExec, RuleExecId};
-use nt_runtime::{Addr, Firing, NodeId, Tuple, TupleId};
+pub use crate::shard::MAINTENANCE_CATEGORY;
+
+use crate::shard::{MaintBatch, MaintRecord, ProvenanceShard, ShardStats};
+use crate::store::ProvenanceStore;
+use nt_runtime::{shard_route, Addr, Firing, NodeId, Tuple, TupleId};
 use serde::{Deserialize, Serialize};
 use simnet::TrafficStats;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashSet};
+use std::sync::OnceLock;
 
-/// Category name used for provenance-maintenance traffic.
-pub const MAINTENANCE_CATEGORY: &str = "prov-maintenance";
+/// Rounds at least this large run their apply phase on scoped worker
+/// threads; smaller rounds run the identical phase inline (same routing,
+/// same batch exchange, same result — spawning is purely an execution
+/// detail).
+const SPAWN_THRESHOLD: usize = 64;
+
+/// True when this machine can actually run shard workers concurrently.
+/// On a single-core host scoped threads only add scheduling overhead, so the
+/// apply phase runs inline there — the exact same `apply_pass` code, so the
+/// result is identical; only wall-clock differs.
+fn workers_available() -> bool {
+    static AVAILABLE: OnceLock<bool> = OnceLock::new();
+    *AVAILABLE.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|p| p.get() > 1)
+            .unwrap_or(false)
+    })
+}
 
 /// Aggregate statistics across every node's provenance store.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -51,208 +85,331 @@ pub struct SystemStats {
     pub retractions_applied: u64,
 }
 
-/// The distributed provenance maintenance engine (one store per node, in a
-/// dense arena indexed by interned node id).
-#[derive(Debug, Clone, Default)]
+/// The distributed provenance maintenance engine: per-node stores re-homed
+/// into `S` hash-partitioned shards, with rounds maintained shard-parallel.
+#[derive(Debug, Clone)]
 pub struct ProvenanceSystem {
-    stores: Vec<ProvenanceStore>,
-    by_node: HashMap<NodeId, u32>,
+    shards: Vec<ProvenanceShard>,
     traffic: TrafficStats,
     firings_applied: u64,
     retractions_applied: u64,
+    /// Per-destination-shard dictionary memory: interned strings already
+    /// shipped, so later batches carry only first-use entries (the same
+    /// lifecycle as the engine's per-destination delta dictionaries).
+    dict_sent: Vec<HashSet<&'static str>>,
+    shard_stats: ShardStats,
+}
+
+impl Default for ProvenanceSystem {
+    fn default() -> Self {
+        ProvenanceSystem::with_shard_count(1)
+    }
 }
 
 impl ProvenanceSystem {
-    /// Create a system with stores for the given nodes.
+    /// Create a single-shard system with stores for the given nodes.
     pub fn new(nodes: impl IntoIterator<Item = impl Into<NodeId>>) -> Self {
-        let mut system = ProvenanceSystem::default();
+        Self::with_shards(nodes, 1)
+    }
+
+    /// Create a system with stores for the given nodes, partitioned across
+    /// `shards` worker shards (clamped to at least 1).
+    pub fn with_shards(nodes: impl IntoIterator<Item = impl Into<NodeId>>, shards: usize) -> Self {
+        let mut system = ProvenanceSystem::with_shard_count(shards);
         for n in nodes {
-            system.slot(n.into());
+            system.store_mut(n.into());
         }
         system
     }
 
-    /// The arena slot of a node's store, creating it if unknown.
-    fn slot(&mut self, node: NodeId) -> usize {
-        match self.by_node.get(&node) {
-            Some(&slot) => slot as usize,
-            None => {
-                let slot = self.stores.len();
-                self.stores.push(ProvenanceStore::new(node));
-                self.by_node.insert(node, slot as u32);
-                slot
-            }
+    fn with_shard_count(shards: usize) -> Self {
+        let shards = shards.max(1);
+        ProvenanceSystem {
+            shards: (0..shards).map(ProvenanceShard::new).collect(),
+            traffic: TrafficStats::default(),
+            firings_applied: 0,
+            retractions_applied: 0,
+            dict_sent: (0..shards).map(|_| HashSet::new()).collect(),
+            shard_stats: ShardStats {
+                shards,
+                ..ShardStats::default()
+            },
         }
+    }
+
+    /// Number of shards the store arena is partitioned into.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a node's store is homed on (stable name hash — the single
+    /// resolution path shared with [`Firing::home_shard`]).
+    pub fn shard_of(&self, node: NodeId) -> usize {
+        shard_route(node, self.shards.len())
+    }
+
+    /// Iterate over the shards (router order).
+    pub fn shards(&self) -> impl Iterator<Item = &ProvenanceShard> {
+        self.shards.iter()
     }
 
     /// Access a node's store (creating it lazily if unknown).
     pub fn store_mut(&mut self, node: impl Into<NodeId>) -> &mut ProvenanceStore {
-        let slot = self.slot(node.into());
-        &mut self.stores[slot]
+        let node = node.into();
+        let shard = self.shard_of(node);
+        self.shards[shard].store_mut(node)
     }
 
-    /// Access a node's store by boundary name.
-    pub fn store(&self, node: &str) -> Option<&ProvenanceStore> {
-        self.store_id(NodeId::new(node))
+    /// Access a node's store. This is the single interned accessor: any
+    /// `Into<NodeId>` (a `NodeId`, `&str`, `String`, …) is interned once and
+    /// routed through the same shard hash the maintenance path uses.
+    pub fn store(&self, node: impl Into<NodeId>) -> Option<&ProvenanceStore> {
+        let node = node.into();
+        self.shards[self.shard_of(node)].store(node)
     }
 
-    /// Access a node's store by interned id (the hot-path lookup).
-    pub fn store_id(&self, node: NodeId) -> Option<&ProvenanceStore> {
-        self.by_node
-            .get(&node)
-            .map(|&slot| &self.stores[slot as usize])
-    }
-
-    /// Iterate over all stores (arena order: creation order, deterministic).
+    /// Iterate over all stores in node-name order (deterministic and
+    /// independent of the shard count and of store creation history).
     pub fn stores(&self) -> impl Iterator<Item = &ProvenanceStore> {
-        self.stores.iter()
+        let mut all: Vec<&ProvenanceStore> = self
+            .shards
+            .iter()
+            .flat_map(ProvenanceShard::stores)
+            .collect();
+        all.sort_by_key(|s| s.node);
+        all.into_iter()
     }
 
     /// Node names with provenance state, in name order.
     pub fn nodes(&self) -> Vec<Addr> {
-        let mut nodes: Vec<Addr> = self.stores.iter().map(|s| s.node).collect();
-        nodes.sort();
-        nodes
+        self.stores().map(|s| s.node).collect()
     }
 
-    /// Cross-node provenance maintenance traffic recorded so far.
+    /// Cross-node provenance maintenance traffic recorded so far. This is a
+    /// node-placement metric: identical for every shard count.
     pub fn maintenance_traffic(&self) -> &TrafficStats {
         &self.traffic
     }
 
+    /// Cross-shard exchange metrics (batches, records, bytes). The only
+    /// numbers that vary with the shard count.
+    pub fn shard_stats(&self) -> &ShardStats {
+        &self.shard_stats
+    }
+
     /// Apply one rule-execution event from a runtime engine.
     pub fn apply_firing(&mut self, firing: &Firing) {
-        if firing.insert {
-            self.firings_applied += 1;
-            self.apply_insert(firing);
-        } else {
-            self.retractions_applied += 1;
-            self.apply_retract(firing);
-        }
+        self.apply_refs(&[firing]);
     }
 
     /// Apply every firing in a batch (the usual pattern after an engine run).
     pub fn apply_firings<'a>(&mut self, firings: impl IntoIterator<Item = &'a Firing>) {
-        for f in firings {
-            self.apply_firing(f);
-        }
+        let refs: Vec<&Firing> = firings.into_iter().collect();
+        self.apply_refs(&refs);
     }
 
-    fn apply_insert(&mut self, firing: &Firing) {
-        let vid = firing.head.id();
-        if firing.rule == nt_runtime::base_rule_sym() {
-            let store = self.store_mut(firing.head_home);
-            store.register_tuple(&firing.head);
-            store.add_prov(
-                vid,
-                ProvEntry {
-                    rid: None,
-                    rloc: firing.head_home,
-                },
-            );
-            return;
-        }
-        let rid = RuleExecId::compute(firing.rule, firing.node, &firing.inputs);
-        // ruleExec lives where the rule fired.
-        {
-            let store = self.store_mut(firing.node);
-            store.add_rule_exec(RuleExec {
-                rid,
-                rule: firing.rule,
-                node: firing.node,
-                inputs: firing.inputs.clone(),
-            });
-            // The input tuples are local to the executing node
-            // (post-localization), so remember their contents for display.
-            for input in &firing.input_tuples {
-                store.register_tuple(input);
+    /// Apply one round's firing stream through the sharded pipeline:
+    /// partition by [`Firing::home_shard`], exchange cross-shard `ruleExec`
+    /// halves as [`MaintBatch`]es, then run per-shard maintenance in
+    /// parallel, each shard merge-applying its substream and incoming
+    /// records in stream-sequence order. With a single shard this
+    /// degenerates to the sequential path; the result is bit-identical
+    /// either way.
+    pub fn apply_round(&mut self, firings: &[Firing]) {
+        let refs: Vec<&Firing> = firings.iter().collect();
+        self.apply_refs(&refs);
+    }
+
+    fn apply_refs(&mut self, firings: &[&Firing]) {
+        for f in firings {
+            if f.insert {
+                self.firings_applied += 1;
+            } else {
+                self.retractions_applied += 1;
             }
         }
-        // prov entry lives at the head tuple's home.
-        let entry = ProvEntry {
-            rid: Some(rid),
-            rloc: firing.node,
-        };
-        if firing.head_home != firing.node {
-            self.traffic.record(
-                &firing.node,
-                &firing.head_home,
-                MAINTENANCE_CATEGORY,
-                entry.wire_size() + firing.head.wire_size(),
-            );
-        }
-        let store = self.store_mut(firing.head_home);
-        store.register_tuple(&firing.head);
-        store.add_prov(vid, entry);
-    }
-
-    fn apply_retract(&mut self, firing: &Firing) {
-        let vid = firing.head.id();
-        if firing.rule == nt_runtime::base_rule_sym() {
-            let home = firing.head_home;
-            self.store_mut(home).remove_prov(
-                vid,
-                &ProvEntry {
-                    rid: None,
-                    rloc: home,
-                },
-            );
+        let n = self.shards.len();
+        if n == 1 {
+            // Single shard: every exec half is local; apply in stream order.
+            let shard = &mut self.shards[0];
+            for f in firings {
+                shard.apply_home(f, true, &mut self.traffic);
+            }
             return;
         }
-        let rid = RuleExecId::compute(firing.rule, firing.node, &firing.inputs);
-        self.store_mut(firing.node).remove_rule_exec(rid);
-        let entry = ProvEntry {
-            rid: Some(rid),
-            rloc: firing.node,
-        };
-        if firing.head_home != firing.node {
-            self.traffic.record(
-                &firing.node,
-                &firing.head_home,
-                MAINTENANCE_CATEGORY,
-                entry.wire_size(),
-            );
+        if firings.is_empty() {
+            return;
         }
-        self.store_mut(firing.head_home).remove_prov(vid, &entry);
+        self.shard_stats.phased_rounds += 1;
+        // Route: partition the stream by home shard (sequence-tagged, so the
+        // apply phase can reproduce the global order per shard; exec
+        // locality precomputed so workers never re-hash) and collect the
+        // cross-shard ruleExec halves into per-(src, dst) outboxes.
+        let mut routed: Vec<Vec<(u32, bool, &Firing)>> = vec![Vec::new(); n];
+        let mut outboxes: Vec<Vec<Vec<MaintRecord>>> = vec![vec![Vec::new(); n]; n];
+        let base = nt_runtime::base_rule_sym();
+        for (seq, f) in firings.iter().enumerate() {
+            let seq = seq as u32;
+            let home = f.home_shard(n);
+            let mut exec_local = true;
+            if f.rule != base {
+                let exec = f.exec_shard(n);
+                if exec != home {
+                    exec_local = false;
+                    outboxes[home][exec].push(MaintRecord::from_firing(seq, f));
+                }
+            }
+            routed[home].push((seq, exec_local, f));
+        }
+        // Exchange: seal the outboxes into cross-shard batches — serial, in
+        // (src, dst) order, so dictionary first-use accounting is
+        // deterministic — and hand each destination its records in ascending
+        // sequence order.
+        let mut incoming: Vec<Vec<MaintRecord>> = vec![Vec::new(); n];
+        for (src, outbox) in outboxes.into_iter().enumerate() {
+            for (dst, records) in outbox.into_iter().enumerate() {
+                if records.is_empty() {
+                    continue;
+                }
+                let batch = self.seal_batch(src, dst, records);
+                incoming[dst].extend(batch.records);
+            }
+        }
+        for records in &mut incoming {
+            records.sort_by_key(|r| r.seq);
+        }
+        // Apply: per-shard maintenance over disjoint `&mut` shard slices,
+        // merging each shard's substream with its incoming records by
+        // sequence number. Per-shard traffic deltas are merged in shard
+        // order afterwards (commutative sums, so the totals are identical to
+        // the sequential path).
+        let threaded = firings.len() >= SPAWN_THRESHOLD && workers_available();
+        let deltas: Vec<TrafficStats> = if threaded {
+            self.shard_stats.parallel_rounds += 1;
+            let shards = &mut self.shards;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = shards
+                    .iter_mut()
+                    .zip(routed.iter().zip(incoming.iter()))
+                    .map(|(shard, (stream, execs))| {
+                        scope.spawn(move || apply_pass(shard, stream, execs))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard worker"))
+                    .collect()
+            })
+        } else {
+            self.shards
+                .iter_mut()
+                .zip(routed.iter().zip(incoming.iter()))
+                .map(|(shard, (stream, execs))| apply_pass(shard, stream, execs))
+                .collect()
+        };
+        for delta in &deltas {
+            self.traffic.merge(delta);
+        }
     }
 
-    /// Find the content of a tuple vertex, looking at its home node first and
-    /// then anywhere (the executing node also knows input tuple contents).
+    /// Seal one outbox into a [`MaintBatch`], shipping only the dictionary
+    /// entries the destination shard has not been sent before, and account
+    /// the exchange.
+    fn seal_batch(&mut self, src: usize, dst: usize, records: Vec<MaintRecord>) -> MaintBatch {
+        let mut needed: BTreeSet<&'static str> = BTreeSet::new();
+        for r in &records {
+            r.dictionary(&mut needed);
+        }
+        let sent = &mut self.dict_sent[dst];
+        let dict: Vec<String> = needed
+            .into_iter()
+            .filter(|s| sent.insert(s))
+            .map(str::to_string)
+            .collect();
+        let batch = MaintBatch {
+            src_shard: src,
+            dst_shard: dst,
+            dict,
+            records,
+        };
+        self.shard_stats.cross_shard_batches += 1;
+        self.shard_stats.cross_shard_records += batch.len() as u64;
+        self.shard_stats.cross_shard_body_bytes += batch.body_bytes() as u64;
+        self.shard_stats.cross_shard_dict_bytes += batch.header_bytes() as u64;
+        batch
+    }
+
+    /// Find the content of a tuple vertex. Tuple identifiers are content
+    /// digests, so every store that knows a VID knows the same content.
     pub fn tuple(&self, vid: TupleId) -> Option<&Tuple> {
-        self.stores.iter().find_map(|s| s.tuple(vid))
+        self.shards
+            .iter()
+            .flat_map(ProvenanceShard::stores)
+            .find_map(|s| s.tuple(vid))
     }
 
     /// The home node of a tuple vertex: the node whose `prov` table has it.
     pub fn vertex_home(&self, vid: TupleId) -> Option<NodeId> {
-        self.stores
+        self.shards
             .iter()
+            .flat_map(ProvenanceShard::stores)
             .find(|s| s.has_vertex(vid))
             .map(|s| s.node)
     }
 
-    /// Aggregate statistics across all stores.
+    /// Aggregate statistics across all stores. Shard-count invariant.
     pub fn stats(&self) -> SystemStats {
         let mut stats = SystemStats {
             firings_applied: self.firings_applied,
             retractions_applied: self.retractions_applied,
             ..SystemStats::default()
         };
-        for store in &self.stores {
-            let ProvStoreStats {
-                prov_entries,
-                rule_execs,
-                tuple_vertices,
-                dict_bytes,
-                bytes,
-            } = store.stats();
-            stats.prov_entries += prov_entries;
-            stats.rule_execs += rule_execs;
-            stats.tuple_vertices += tuple_vertices;
-            stats.dict_bytes += dict_bytes;
-            stats.bytes += bytes;
+        for store in self.shards.iter().flat_map(ProvenanceShard::stores) {
+            let s = store.stats();
+            stats.prov_entries += s.prov_entries;
+            stats.rule_execs += s.rule_execs;
+            stats.tuple_vertices += s.tuple_vertices;
+            stats.dict_bytes += s.dict_bytes;
+            stats.bytes += s.bytes;
         }
         stats
     }
+
+    /// A stable digest of the whole system's canonical content (stores in
+    /// name order) — the quantity the sharding equivalence tests and the
+    /// bench sweep compare across shard counts.
+    pub fn content_digest(&self) -> u64 {
+        let mut h = nt_runtime::StableHasher::new();
+        for store in self.stores() {
+            h.write_u64(store.content_digest());
+        }
+        h.finish()
+    }
+}
+
+/// Apply phase of one shard: merge its routed substream (home halves, plus
+/// local exec halves) with the [`MaintRecord`]s shipped to it, in ascending
+/// stream-sequence order — exactly the schedule the sequential single-shard
+/// engine would run for the stores this shard owns. Cross-node maintenance
+/// traffic is recorded locally and merged by the router afterwards.
+fn apply_pass(
+    shard: &mut ProvenanceShard,
+    stream: &[(u32, bool, &Firing)],
+    execs: &[MaintRecord],
+) -> TrafficStats {
+    let mut traffic = TrafficStats::default();
+    let mut next_exec = 0usize;
+    for &(seq, exec_local, firing) in stream {
+        while next_exec < execs.len() && execs[next_exec].seq < seq {
+            shard.apply_exec(&execs[next_exec]);
+            next_exec += 1;
+        }
+        shard.apply_home(firing, exec_local, &mut traffic);
+    }
+    for record in &execs[next_exec..] {
+        shard.apply_exec(record);
+    }
+    traffic
 }
 
 impl PartialEq for ProvenanceSystem {
@@ -264,21 +421,23 @@ impl PartialEq for ProvenanceSystem {
 /// Canonical serialized form of a system (stores in node-name order).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct SystemDump {
+    shards: usize,
     stores: Vec<ProvenanceStore>,
     traffic: TrafficStats,
     firings_applied: u64,
     retractions_applied: u64,
+    shard_stats: ShardStats,
 }
 
 impl ProvenanceSystem {
     fn dump(&self) -> SystemDump {
-        let mut stores = self.stores.clone();
-        stores.sort_by_key(|s| s.node);
         SystemDump {
-            stores,
+            shards: self.shards.len(),
+            stores: self.stores().cloned().collect(),
             traffic: self.traffic.clone(),
             firings_applied: self.firings_applied,
             retractions_applied: self.retractions_applied,
+            shard_stats: self.shard_stats.clone(),
         }
     }
 }
@@ -292,17 +451,18 @@ impl Serialize for ProvenanceSystem {
 impl Deserialize for ProvenanceSystem {
     fn deserialize<'de, D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
         let dump = SystemDump::deserialize(d)?;
-        let mut system = ProvenanceSystem {
-            traffic: dump.traffic,
-            firings_applied: dump.firings_applied,
-            retractions_applied: dump.retractions_applied,
-            ..ProvenanceSystem::default()
-        };
+        let mut system = ProvenanceSystem::with_shard_count(dump.shards);
+        system.traffic = dump.traffic;
+        system.firings_applied = dump.firings_applied;
+        system.retractions_applied = dump.retractions_applied;
+        system.shard_stats = dump.shard_stats;
+        // Re-home every store through the same routing hash. The
+        // per-destination dictionary memory deliberately starts cold: a
+        // restored system re-ships first-use strings, exactly like the
+        // engine's per-destination delta dictionaries after a snapshot load.
         for store in dump.stores {
-            let node = store.node;
-            let slot = system.stores.len();
-            system.stores.push(store);
-            system.by_node.insert(node, slot as u32);
+            let shard = system.shard_of(store.node);
+            system.shards[shard].insert_store(store);
         }
         Ok(system)
     }
@@ -456,5 +616,119 @@ mod tests {
         assert_eq!(sys, back);
         assert_eq!(sys.stats(), back.stats());
         assert_eq!(back.vertex_home(cost.id()), Some(NodeId::new("n2")));
+    }
+
+    #[test]
+    fn sharded_system_round_trips_and_rehomes_stores() {
+        let mut sys = ProvenanceSystem::with_shards(["n1", "n2", "n3", "n4"], 4);
+        for (i, node) in ["n1", "n2", "n3", "n4"].iter().enumerate() {
+            let link = tuple("link", node, i as i64);
+            sys.apply_firing(&base_firing(&link, node));
+        }
+        let content = serde::to_content(&sys).unwrap();
+        let back: ProvenanceSystem = serde::from_content(content).unwrap();
+        assert_eq!(sys, back);
+        assert_eq!(back.num_shards(), 4);
+        // Every store sits on the shard its name hashes to.
+        for shard in back.shards() {
+            for store in shard.stores() {
+                assert_eq!(back.shard_of(store.node), shard.index());
+            }
+        }
+    }
+
+    /// The same firing stream produces the same graph, stats and digest for
+    /// every shard count — the core determinism guarantee of the router.
+    #[test]
+    fn shard_count_does_not_change_the_graph() {
+        let nodes: Vec<String> = (0..12).map(|i| format!("m{i}")).collect();
+        let mut stream = Vec::new();
+        let mut links = Vec::new();
+        for (i, node) in nodes.iter().enumerate() {
+            let link = tuple("link", node, i as i64);
+            stream.push(base_firing(&link, node));
+            links.push(link);
+        }
+        for (i, link) in links.iter().enumerate() {
+            // Rule fires at node i, head homed at node (i+5) % 12: most
+            // firings cross both nodes and shards.
+            let head = tuple("cost", &nodes[(i + 5) % nodes.len()], i as i64);
+            stream.push(rule_firing(
+                "r1",
+                &nodes[i],
+                &head,
+                &nodes[(i + 5) % nodes.len()],
+                std::slice::from_ref(link),
+            ));
+        }
+        // Retract a third of the derived heads.
+        for (i, link) in links.iter().enumerate().filter(|(i, _)| i % 3 == 0) {
+            let head = tuple("cost", &nodes[(i + 5) % nodes.len()], i as i64);
+            let mut r = rule_firing(
+                "r1",
+                &nodes[i],
+                &head,
+                &nodes[(i + 5) % nodes.len()],
+                std::slice::from_ref(link),
+            );
+            r.insert = false;
+            r.input_tuples.clear();
+            stream.push(r);
+        }
+
+        let mut single = ProvenanceSystem::with_shards(nodes.iter(), 1);
+        single.apply_round(&stream);
+        for shards in [2usize, 4, 8] {
+            let mut sharded = ProvenanceSystem::with_shards(nodes.iter(), shards);
+            sharded.apply_round(&stream);
+            assert_eq!(sharded.content_digest(), single.content_digest());
+            assert_eq!(sharded.stats(), single.stats());
+            assert_eq!(
+                sharded.maintenance_traffic(),
+                single.maintenance_traffic(),
+                "cross-node maintenance traffic is placement, not sharding"
+            );
+            assert_eq!(sharded.nodes(), single.nodes());
+        }
+    }
+
+    /// Cross-shard exchange is batched: records are counted, dictionaries
+    /// ship first-use-only, and a repeated round re-ships no dictionary.
+    #[test]
+    fn cross_shard_exchange_is_batched_with_first_use_dictionaries() {
+        let nodes: Vec<String> = (0..8).map(|i| format!("x{i}")).collect();
+        let mut stream = Vec::new();
+        for (i, node) in nodes.iter().enumerate() {
+            let link = tuple("link", node, i as i64);
+            stream.push(base_firing(&link, node));
+            let head = tuple("cost", &nodes[(i + 3) % nodes.len()], i as i64);
+            stream.push(rule_firing(
+                "r1",
+                node,
+                &head,
+                &nodes[(i + 3) % nodes.len()],
+                std::slice::from_ref(&link),
+            ));
+        }
+        let mut sys = ProvenanceSystem::with_shards(nodes.iter(), 4);
+        sys.apply_round(&stream);
+        let first = sys.shard_stats().clone();
+        assert_eq!(first.shards, 4);
+        assert!(first.cross_shard_records > 0, "stream crosses shards");
+        assert!(first.cross_shard_batches <= first.cross_shard_records);
+        assert!(first.cross_shard_dict_bytes > 0, "first round ships dict");
+        // Re-apply the same round: same records, but the per-destination
+        // dictionaries are already warm.
+        sys.apply_round(&stream);
+        let second = sys.shard_stats().clone();
+        assert_eq!(
+            second.cross_shard_records,
+            first.cross_shard_records * 2,
+            "same exchange volume"
+        );
+        assert_eq!(
+            second.cross_shard_dict_bytes, first.cross_shard_dict_bytes,
+            "no dictionary re-shipping"
+        );
     }
 }

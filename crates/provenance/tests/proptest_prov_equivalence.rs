@@ -11,101 +11,15 @@
 //! identifiers, the surviving state of each firing is decided by its last
 //! operation (insert ⇒ present, retract ⇒ absent), independent of how much
 //! churn happened in between and of arena slot reuse inside the stores.
+//!
+//! The firing pool and graph projection live in `tests/common`, shared with
+//! the sharded-maintenance equivalence suite.
 
-use nt_runtime::{base_rule_sym, Firing, NodeId, Sym, Tuple, Value};
+mod common;
+
+use common::{firing_pool, graph_shape, retraction_of, NODES};
 use proptest::prelude::*;
 use provenance::{ProvGraph, ProvenanceSystem};
-
-const NODES: [&str; 3] = ["n1", "n2", "n3"];
-
-fn node(i: usize) -> NodeId {
-    NodeId::new(NODES[i % NODES.len()])
-}
-
-fn tuple(layer: usize, i: usize) -> Tuple {
-    Tuple::new(
-        format!("rel{layer}"),
-        vec![Value::addr(node(i)), Value::Int(i as i64)],
-    )
-}
-
-/// A deterministic pool of candidate firings: `width` base tuples in layer 0,
-/// and for each later layer one derived firing per position joining two
-/// layer-below tuples, plus an alternative derivation every third position
-/// (so some heads have multiple prov entries).
-fn firing_pool(layers: usize, width: usize) -> Vec<Firing> {
-    let mut pool = Vec::new();
-    for i in 0..width {
-        pool.push(Firing {
-            rule: base_rule_sym(),
-            node: node(i),
-            head: tuple(0, i),
-            head_home: node(i),
-            inputs: vec![],
-            input_tuples: vec![],
-            insert: true,
-        });
-    }
-    for layer in 1..layers {
-        for i in 0..width {
-            let a = tuple(layer - 1, i);
-            let b = tuple(layer - 1, (i + 1) % width);
-            pool.push(Firing {
-                rule: Sym::new(&format!("r{layer}")),
-                node: node(i),
-                head: tuple(layer, i),
-                head_home: node(i + 1),
-                inputs: vec![a.id(), b.id()],
-                input_tuples: vec![a.clone(), b],
-                insert: true,
-            });
-            if i % 3 == 0 {
-                // Alternative derivation of the same head from one input.
-                pool.push(Firing {
-                    rule: Sym::new(&format!("alt{layer}")),
-                    node: node(i + 1),
-                    head: tuple(layer, i),
-                    head_home: node(i + 1),
-                    inputs: vec![a.id()],
-                    input_tuples: vec![a],
-                    insert: true,
-                });
-            }
-        }
-    }
-    pool
-}
-
-fn retraction_of(f: &Firing) -> Firing {
-    let mut r = f.clone();
-    r.insert = false;
-    // Engines ship retractions without input tuple contents.
-    r.input_tuples.clear();
-    r
-}
-
-/// The structure of a graph up to isomorphism on the display cache: vertex
-/// ids with their home and base flag (and rule/node for executions), plus the
-/// sorted edge list. Tuple *contents* are deliberately excluded — they are a
-/// best-effort display cache whose population is order-dependent (a store
-/// drops a tuple's content when its vertex dies, even if a neighbour
-/// execution registered the same content earlier).
-fn graph_shape(g: &ProvGraph) -> Vec<String> {
-    let mut shape: Vec<String> = g
-        .vertices
-        .iter()
-        .map(|(id, v)| match v {
-            provenance::ProvVertex::Tuple { home, is_base, .. } => {
-                format!("{id:?}@{home} base={is_base}")
-            }
-            provenance::ProvVertex::RuleExec { rule, node, .. } => {
-                format!("{id:?}@{node} rule={rule}")
-            }
-        })
-        .collect();
-    shape.extend(g.edges.iter().map(|e| format!("{:?}->{:?}", e.from, e.to)));
-    shape
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]

@@ -132,6 +132,23 @@ pub struct Firing {
     pub insert: bool,
 }
 
+impl Firing {
+    /// The shard that owns the head tuple's home store under an `S`-way
+    /// partitioning of the provenance arena — the routing tag a sharded
+    /// maintenance engine partitions the firing stream by. Stable name hash
+    /// ([`crate::shard_route`]), so every layer agrees on placement.
+    pub fn home_shard(&self, shards: usize) -> usize {
+        crate::shard_route(self.head_home, shards)
+    }
+
+    /// The shard that owns the executing node's store (where the `ruleExec`
+    /// half of this firing must be applied). When it differs from
+    /// [`Firing::home_shard`] the maintenance entry crosses shards.
+    pub fn exec_shard(&self, shards: usize) -> usize {
+        crate::shard_route(self.node, shards)
+    }
+}
+
 /// A delta destined for another node.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RemoteDelta {
@@ -186,7 +203,10 @@ impl DeltaBatch {
     /// length-prefixed string per entry (the same pricing as
     /// `InternerSnapshot::wire_size`).
     pub fn header_bytes(&self) -> usize {
-        self.dict.iter().map(|s| 4 + 4 + s.len()).sum()
+        self.dict
+            .iter()
+            .map(|s| crate::dict_entry_wire_size(s))
+            .sum()
     }
 
     /// Bytes of the record bodies.

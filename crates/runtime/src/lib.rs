@@ -40,5 +40,6 @@ pub use store::{
 };
 pub use tuple::{Delta, Tuple, TupleId};
 pub use value::{
-    rule_exec_digest, Addr, Interner, InternerSnapshot, NodeId, StableHasher, Sym, Value,
+    dict_entry_wire_size, rule_exec_digest, shard_route, Addr, Interner, InternerSnapshot, NodeId,
+    StableHasher, Sym, Value,
 };

@@ -10,7 +10,10 @@ use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 
-pub use nt_intern::{rule_exec_digest, Interner, InternerSnapshot, NodeId, StableHasher, Sym};
+pub use nt_intern::{
+    dict_entry_wire_size, rule_exec_digest, shard_route, Interner, InternerSnapshot, NodeId,
+    StableHasher, Sym,
+};
 
 /// A network address / node name. NetTrails identifies nodes by name (the
 /// paper shows addresses such as `node1`); the simulator maps names to

@@ -1,6 +1,6 @@
 #!/usr/bin/env python3
 """Assert that a freshly generated BENCH_results.json has the same schema as
-the committed one.
+the committed one, and gate the sharded-provenance sweep against regressions.
 
 Usage: check_bench_schema.py <committed.json> <fresh.json>
 
@@ -8,6 +8,19 @@ Values (timings, byte counts) are expected to differ between machines; the
 *shape* — the format marker, the set of keys at every level, and the element
 shape of each array — must not drift silently. CI regenerates the report and
 fails when the schema of the regenerated file differs from the committed one.
+
+On top of the schema check, the `sharded_provenance` section carries hard
+regression gates:
+
+* every fresh row must be deterministic (`matches_single_shard` true);
+* cross-shard batch/record counts must equal the committed baseline exactly
+  (routing is a stable name hash — any drift is a behavior change);
+* the fresh shard-4 wall-clock must stay within 1.5x of the committed
+  baseline, compared as the *sharding overhead ratio* (S=4 wall / S=1 wall
+  of the same run) so the gate is independent of how fast the measuring
+  machine is and of its core count — raw microseconds are not comparable
+  between a laptop baseline and a CI runner. A small absolute slack keeps
+  scheduler noise on trivial workloads from tripping the gate.
 """
 
 import json
@@ -51,7 +64,33 @@ REQUIRED_SECTIONS = {
         "per_tuple_total_bytes",
         "reduction_factor",
     },
+    "sharded_provenance": {
+        "scenario",
+        "shards",
+        "rounds",
+        "firings",
+        "wall_us",
+        "host_parallelism",
+        "cross_shard_batches",
+        "cross_shard_records",
+        "cross_shard_dict_bytes",
+        "speedup_vs_single",
+        "matches_single_shard",
+    },
 }
+
+# The shard-count sweep every report must cover.
+REQUIRED_SHARD_SWEEP = [1, 2, 4, 8]
+
+# Regression tolerance for the shard-4 wall-clock: fail when the fresh run's
+# sharding overhead ratio (S=4 wall / S=1 wall, same run and machine) is more
+# than WALL_TOLERANCE times the committed baseline's ratio AND the fresh S=4
+# wall is more than WALL_SLACK_US above its own S=1 wall (the slack keeps
+# scheduler noise on fast runs from tripping the gate).
+WALL_TOLERANCE = 1.5
+WALL_SLACK_US = 5000
+GATED_SHARDS = 4
+BASELINE_SHARDS = 1
 
 
 def check_required_sections(name, doc):
@@ -71,6 +110,81 @@ def check_required_sections(name, doc):
                 )
 
 
+def check_sharded_provenance(committed, fresh):
+    """Regression gates on the sharded-maintenance sweep (see module doc)."""
+
+    def rows_by_key(doc):
+        return {
+            (row["scenario"], row["shards"]): row
+            for row in doc.get("sharded_provenance", [])
+        }
+
+    committed_rows = rows_by_key(committed)
+    fresh_rows = rows_by_key(fresh)
+
+    for scenario in {k[0] for k in committed_rows}:
+        shards = sorted(s for (sc, s) in committed_rows if sc == scenario)
+        if shards != REQUIRED_SHARD_SWEEP:
+            sys.exit(
+                f"sharded_provenance[{scenario!r}] must sweep shards "
+                f"{REQUIRED_SHARD_SWEEP}, found {shards}."
+            )
+
+    for key, committed_row in sorted(committed_rows.items()):
+        scenario, shards = key
+        fresh_row = fresh_rows.get(key)
+        if fresh_row is None:
+            sys.exit(
+                f"sharded_provenance row {scenario!r} S={shards} missing from "
+                "the regenerated report."
+            )
+        if not fresh_row["matches_single_shard"]:
+            sys.exit(
+                f"sharded_provenance {scenario!r} S={shards}: regenerated run "
+                "is NOT bit-identical to the single-shard path "
+                "(matches_single_shard=false). Sharding broke determinism."
+            )
+        for counter in ("cross_shard_batches", "cross_shard_records"):
+            if fresh_row[counter] != committed_row[counter]:
+                sys.exit(
+                    f"sharded_provenance {scenario!r} S={shards}: {counter} "
+                    f"drifted ({committed_row[counter]} -> "
+                    f"{fresh_row[counter]}). Routing and batching are "
+                    "deterministic; update the committed BENCH_results.json "
+                    "in the same change that altered them."
+                )
+        if shards == GATED_SHARDS:
+            committed_single = committed_rows[(scenario, BASELINE_SHARDS)]
+            fresh_single = fresh_rows.get((scenario, BASELINE_SHARDS))
+            if fresh_single is None:
+                sys.exit(
+                    f"sharded_provenance row {scenario!r} "
+                    f"S={BASELINE_SHARDS} missing from the regenerated "
+                    "report."
+                )
+            committed_ratio = committed_row["wall_us"] / max(
+                committed_single["wall_us"], 1
+            )
+            fresh_ratio = fresh_row["wall_us"] / max(fresh_single["wall_us"], 1)
+            if (
+                fresh_ratio > committed_ratio * WALL_TOLERANCE
+                and fresh_row["wall_us"]
+                > fresh_single["wall_us"] + WALL_SLACK_US
+            ):
+                sys.exit(
+                    f"sharded_provenance {scenario!r} S={shards}: sharding "
+                    f"overhead regressed — wall-clock is {fresh_ratio:.2f}x "
+                    f"the same run's S={BASELINE_SHARDS} path, more than "
+                    f"{WALL_TOLERANCE}x the committed baseline ratio of "
+                    f"{committed_ratio:.2f}x."
+                )
+    print(
+        "sharded_provenance gate OK "
+        f"({len(committed_rows)} rows, shard-{GATED_SHARDS} overhead ratio "
+        f"within {WALL_TOLERANCE}x of baseline, exchange counts exact)"
+    )
+
+
 def main():
     if len(sys.argv) != 3:
         sys.exit(__doc__)
@@ -82,6 +196,7 @@ def main():
 
     check_required_sections(committed_path, committed)
     check_required_sections(fresh_path, fresh)
+    check_sharded_provenance(committed, fresh)
 
     if committed.get("format") != fresh.get("format"):
         sys.exit(

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Run the exact steps CI runs (.github/workflows/ci.yml), locally.
+#
+#   scripts/ci_local.sh          # everything (lint job, then test job)
+#   scripts/ci_local.sh lint     # just the lint job
+#   scripts/ci_local.sh test     # just the test job
+#
+# Keep this file and ci.yml in sync: a builder who passes this script must
+# pass CI, and vice versa.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+lint() {
+    echo "==> [lint] cargo fmt --all --check"
+    cargo fmt --all --check
+
+    echo "==> [lint] cargo clippy --workspace --all-targets -- -D warnings"
+    cargo clippy --workspace --all-targets -- -D warnings
+
+    echo '==> [lint] RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps'
+    RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+}
+
+test_job() {
+    echo "==> [test] cargo build --release --workspace"
+    cargo build --release --workspace
+
+    echo "==> [test] cargo test -q --workspace"
+    cargo test -q --workspace
+
+    echo "==> [test] cargo build --benches --workspace"
+    cargo build --benches --workspace
+
+    echo "==> [test] bench schema + sharded-provenance regression gate"
+    regen="$(mktemp -d)"
+    trap 'rm -rf "$regen"' EXIT
+    (cd "$regen" && cargo run --release --manifest-path "$OLDPWD/Cargo.toml" -p nettrails-bench --bin report > /dev/null)
+    python3 scripts/check_bench_schema.py BENCH_results.json "$regen/BENCH_results.json"
+}
+
+case "${1:-all}" in
+    lint) lint ;;
+    test) test_job ;;
+    all)
+        lint
+        test_job
+        ;;
+    *)
+        echo "usage: $0 [lint|test|all]" >&2
+        exit 2
+        ;;
+esac
+
+echo "ci_local: all requested jobs passed"

@@ -92,7 +92,7 @@ fn provenance_tracks_every_derived_min_cost_tuple_after_churn() {
     // Every currently stored minCost tuple has a vertex in the provenance
     // graph at its home node.
     for (node, tuple) in nt.relation("minCost") {
-        let store = nt.provenance().store(&node).expect("store exists");
+        let store = nt.provenance().store(node).expect("store exists");
         assert!(
             store.has_vertex(tuple.id()),
             "{tuple} at {node} missing from the provenance store"
