@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nettrails_bench::{converged, mincost_ladder};
-use provenance::{QueryKind, QueryOptions, QueryResult};
+use provenance::{QueryKind, QueryResult};
 use simnet::Topology;
 use std::time::Duration;
 use vis::HypertreeLayout;
@@ -31,8 +31,11 @@ fn bench(c: &mut Criterion) {
                 .unwrap();
             b.iter(|| {
                 let graph = nt.provenance_graph();
-                let (result, _) =
-                    nt.query(&node, &target, QueryKind::Lineage, &QueryOptions::default());
+                let (result, _) = nt
+                    .query(&target)
+                    .from_node(&node)
+                    .kind(QueryKind::Lineage)
+                    .run();
                 let QueryResult::Lineage(tree) = result else {
                     unreachable!()
                 };

@@ -42,7 +42,12 @@ fn bench(c: &mut Criterion) {
                     nt.clear_query_cache();
                     let mut messages = 0u64;
                     for (node, tuple) in targets.iter().chain(targets.iter()) {
-                        let (_, stats) = nt.query(node, tuple, QueryKind::Lineage, options);
+                        let (_, stats) = nt
+                            .query(tuple)
+                            .from_node(node)
+                            .kind(QueryKind::Lineage)
+                            .options(options.clone())
+                            .run();
                         messages += stats.messages;
                     }
                     messages

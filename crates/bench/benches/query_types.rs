@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nettrails_bench::converged;
-use provenance::{QueryKind, QueryOptions};
+use provenance::QueryKind;
 use simnet::Topology;
 use std::time::Duration;
 
@@ -24,7 +24,7 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 let mut total = 0u64;
                 for (node, tuple) in &targets {
-                    let (_, stats) = nt.query(node, tuple, kind, &QueryOptions::default());
+                    let (_, stats) = nt.query(tuple).from_node(node).kind(kind).run();
                     total += stats.vertices_visited;
                 }
                 total

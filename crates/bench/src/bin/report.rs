@@ -8,7 +8,7 @@
 
 use nettrails::{NetTrails, NetTrailsConfig, ReportTable};
 use nt_runtime::{base_rule_sym, Firing, NodeId, Sym, Tuple, Value};
-use provenance::{ProvenanceSystem, QueryKind, QueryOptions};
+use provenance::{ProvenanceSystem, QueryKind, QueryOptions, QueryResult, TraversalOrder};
 use serde::Serialize;
 use simnet::Topology;
 use std::time::Instant;
@@ -109,6 +109,41 @@ struct ShardedProvenanceReport {
     matches_single_shard: bool,
 }
 
+/// One row of the distributed query fan-out comparison: the *same* lineage
+/// query executed as a message-driven session under both traversal orders,
+/// on a fresh converged platform each (so per-destination dictionaries start
+/// cold for both). Latency is *measured* — the simulated-clock span of the
+/// session — so `bfs_beats_dfs` is a property of the executor's schedule
+/// (max over hop chains vs. sum of hops), not of a latency formula; CI gates
+/// on it.
+#[derive(Serialize)]
+struct QueryFanoutReport {
+    scenario: String,
+    /// Depth of the proof tree the query expanded.
+    proof_depth: usize,
+    /// Hop records exchanged (identical across traversal orders).
+    query_records: u64,
+    /// Frames shipped under sequential depth-first traversal.
+    dfs_messages: u64,
+    /// Frames shipped under concurrent breadth-first fan-out (per-destination
+    /// coalescing makes this smaller).
+    bfs_messages: u64,
+    /// Payload bytes (dictionary headers included) under depth-first.
+    dfs_bytes: u64,
+    /// Payload bytes under breadth-first.
+    bfs_bytes: u64,
+    /// First-use dictionary bytes within `bfs_bytes`.
+    bfs_dict_bytes: u64,
+    /// Measured session latency, depth-first (simulated ms).
+    dfs_latency_ms: f64,
+    /// Measured session latency, breadth-first (simulated ms).
+    bfs_latency_ms: f64,
+    /// `dfs_latency_ms / bfs_latency_ms`.
+    fanout_speedup: f64,
+    /// True when breadth-first measured no worse than depth-first.
+    bfs_beats_dfs: bool,
+}
+
 #[derive(Serialize)]
 struct BenchResults {
     /// Schema marker for downstream tooling.
@@ -130,6 +165,10 @@ struct BenchResults {
     /// over a synthetic maintenance stream, with wall-clock, cross-shard
     /// exchange counts and the determinism check.
     sharded_provenance: Vec<ShardedProvenanceReport>,
+    /// Distributed query fan-out: DFS vs BFS message-driven sessions on the
+    /// standard scenarios, with measured (simulated-clock) latency. CI gates
+    /// `bfs_beats_dfs`.
+    query_fanout: Vec<QueryFanoutReport>,
 }
 
 /// Wire size of a value under the pre-interning encoding (addresses carried
@@ -182,7 +221,11 @@ fn provenance_store_report(name: &str, program: &str, topology: Topology) -> Pro
     let sweep = |nt: &mut NetTrails, options: &QueryOptions| -> u64 {
         let start = Instant::now();
         for (node, tuple) in &targets {
-            nt.query(node.as_str(), tuple, QueryKind::Lineage, options);
+            nt.query(tuple)
+                .from_node(node.as_str())
+                .kind(QueryKind::Lineage)
+                .options(options.clone())
+                .run();
         }
         start.elapsed().as_micros() as u64
     };
@@ -353,6 +396,61 @@ fn sharded_provenance_sweep(
     reports
 }
 
+/// Run the deepest lineage query of a scenario as a distributed session
+/// under one traversal order, on a fresh converged platform (cold
+/// per-destination dictionaries), and report the proof depth plus the
+/// session stats.
+fn fanout_run(
+    program: &str,
+    topology: &Topology,
+    traversal: TraversalOrder,
+) -> (usize, provenance::QueryStats) {
+    let mut nt = NetTrails::new(program, topology.clone(), NetTrailsConfig::default())
+        .expect("program compiles");
+    nt.seed_links_from_topology();
+    nt.run_to_fixpoint();
+    let (node, target) = nt
+        .relation("minCost")
+        .into_iter()
+        .chain(nt.relation("bestPathCost"))
+        .max_by_key(|(_, t)| t.values[2].as_int())
+        .expect("a derived tuple to explain");
+    let (result, stats) = nt
+        .query(&target)
+        .from_node(&node)
+        .kind(QueryKind::Lineage)
+        .traversal(traversal)
+        .run();
+    let QueryResult::Lineage(tree) = result else {
+        unreachable!("lineage query returns a tree");
+    };
+    (tree.depth(), stats)
+}
+
+fn query_fanout_report(name: &str, program: &str, topology: Topology) -> QueryFanoutReport {
+    let (depth, dfs) = fanout_run(program, &topology, TraversalOrder::DepthFirst);
+    let (bfs_depth, bfs) = fanout_run(program, &topology, TraversalOrder::BreadthFirst);
+    assert_eq!(
+        depth, bfs_depth,
+        "traversal order must not change the proof"
+    );
+    assert_eq!(dfs.records, bfs.records, "same hop records either way");
+    QueryFanoutReport {
+        scenario: name.to_string(),
+        proof_depth: depth,
+        query_records: dfs.records,
+        dfs_messages: dfs.messages,
+        bfs_messages: bfs.messages,
+        dfs_bytes: dfs.bytes,
+        bfs_bytes: bfs.bytes,
+        bfs_dict_bytes: bfs.dict_bytes,
+        dfs_latency_ms: dfs.latency_ms,
+        bfs_latency_ms: bfs.latency_ms,
+        fanout_speedup: dfs.latency_ms / bfs.latency_ms.max(f64::EPSILON),
+        bfs_beats_dfs: bfs.latency_ms <= dfs.latency_ms,
+    }
+}
+
 fn probe_comparison(name: &str, program: &str, topology: Topology) -> JoinProbeComparison {
     let converge = |config: NetTrailsConfig| -> u64 {
         let mut nt = NetTrails::new(program, topology.clone(), config).expect("program compiles");
@@ -479,14 +577,47 @@ fn main() {
         );
     }
 
+    let query_fanout = vec![
+        query_fanout_report(
+            "pathvector_ladder4",
+            protocols::pathvector::PROGRAM,
+            Topology::ladder(4),
+        ),
+        query_fanout_report(
+            "mincost_ladder4",
+            protocols::mincost::PROGRAM,
+            Topology::ladder(4),
+        ),
+    ];
+    println!("\nDistributed query fan-out (measured on the simulated clock):");
+    for r in &query_fanout {
+        println!(
+            "  {:20} depth={:2} records={:>4} msgs dfs={:>4} bfs={:>4} bytes dfs={:>7} \
+             bfs={:>7} (dict {:>5}) latency dfs={:>8.1}ms bfs={:>8.1}ms ({:.2}x) beats={}",
+            r.scenario,
+            r.proof_depth,
+            r.query_records,
+            r.dfs_messages,
+            r.bfs_messages,
+            r.dfs_bytes,
+            r.bfs_bytes,
+            r.bfs_dict_bytes,
+            r.dfs_latency_ms,
+            r.bfs_latency_ms,
+            r.fanout_speedup,
+            r.bfs_beats_dfs,
+        );
+    }
+
     let results = BenchResults {
-        format: "nettrails-bench-results/v4".to_string(),
+        format: "nettrails-bench-results/v5".to_string(),
         experiment_wall_ms,
         tables,
         join_probes,
         provenance_stores,
         delta_shipping,
         sharded_provenance,
+        query_fanout,
     };
     let json = serde_json::to_string_pretty(&results).expect("results serialize");
     std::fs::write(RESULTS_PATH, &json).expect("write BENCH_results.json");

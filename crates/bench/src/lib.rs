@@ -63,8 +63,11 @@ pub fn experiment_mincost_provenance(sizes: &[usize]) -> ReportTable {
             .into_iter()
             .max_by_key(|(_, t)| t.values[2].as_int())
             .expect("at least one minCost tuple");
-        let (result, stats) =
-            nt.query(&node, &target, QueryKind::Lineage, &QueryOptions::default());
+        let (result, stats) = nt
+            .query(&target)
+            .from_node(&node)
+            .kind(QueryKind::Lineage)
+            .run();
         let QueryResult::Lineage(tree) = result else {
             unreachable!()
         };
@@ -215,7 +218,7 @@ pub fn experiment_query_types() -> ReportTable {
         let mut messages = 0u64;
         let mut vertices = 0u64;
         for (node, tuple) in &targets {
-            let (_, stats) = nt.query(node, tuple, kind, &QueryOptions::default());
+            let (_, stats) = nt.query(tuple).from_node(node).kind(kind).run();
             messages += stats.messages;
             vertices += stats.vertices_visited;
         }
@@ -242,7 +245,12 @@ pub fn experiment_query_optimizations() -> ReportTable {
         let mut latency: f64 = 0.0;
         // Query the whole mix twice — the repetition is what caching exploits.
         for (node, tuple) in targets.iter().chain(targets.iter()) {
-            let (_, stats) = nt.query(node, tuple, QueryKind::Lineage, options);
+            let (_, stats) = nt
+                .query(tuple)
+                .from_node(node)
+                .kind(QueryKind::Lineage)
+                .options(options.clone())
+                .run();
             messages += stats.messages;
             bytes += stats.bytes;
             latency += stats.latency_ms;

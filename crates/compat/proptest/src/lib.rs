@@ -598,6 +598,20 @@ macro_rules! prop_assert_eq {
             }
         }
     };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "{}: `{:?}` != `{:?}`",
+                        format!($($fmt)+),
+                        l,
+                        r
+                    )));
+                }
+            }
+        }
+    };
 }
 
 /// Assert inequality inside a `proptest!` body.

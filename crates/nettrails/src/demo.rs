@@ -123,7 +123,12 @@ impl DemoScript {
                     });
                     match target {
                         Some((_, tuple)) => {
-                            let (result, stats) = nt.query(querier, &tuple, *kind, options);
+                            let (result, stats) = nt
+                                .query(&tuple)
+                                .from_node(querier)
+                                .kind(*kind)
+                                .options(options.clone())
+                                .run();
                             DemoOutcome::Answered {
                                 target: Some(tuple),
                                 result: Some(result),

@@ -18,7 +18,7 @@
 //!
 //! ```
 //! use nettrails::{NetTrails, NetTrailsConfig};
-//! use provenance::{QueryKind, QueryOptions};
+//! use provenance::QueryKind;
 //! use simnet::Topology;
 //!
 //! let mut nt = NetTrails::new(
@@ -39,9 +39,14 @@
 //! assert_eq!(node, "n1");
 //! assert_eq!(min_cost.values[2].as_int(), Some(2));
 //!
-//! // And its provenance can be queried from any node.
-//! let (result, _stats) = nt.query("n3", &min_cost, QueryKind::ParticipatingNodes,
-//!                                 &QueryOptions::default());
+//! // And its provenance can be queried from any node: the session rides the
+//! // simulated wire as real per-destination query frames.
+//! let (result, stats) = nt
+//!     .query(&min_cost)
+//!     .from_node("n3")
+//!     .kind(QueryKind::ParticipatingNodes)
+//!     .run();
+//! assert!(stats.latency_ms > 0.0, "measured, not modelled");
 //! ```
 
 pub mod demo;
@@ -49,7 +54,9 @@ pub mod platform;
 pub mod report;
 
 pub use demo::{DemoOutcome, DemoScript, DemoStep};
-pub use platform::{NetMessage, NetTrails, NetTrailsConfig, PlatformStats, RunReport};
+pub use platform::{
+    NetMessage, NetTrails, NetTrailsConfig, PlatformStats, QuerySession, RunReport,
+};
 pub use report::{ExperimentRow, ReportTable};
 
 // Re-export the pieces users need to drive the platform without adding every

@@ -2,14 +2,15 @@
 
 use nt_runtime::{
     Addr, CompiledProgram, Delta, DeltaBatch, Derivation, EngineConfig, EngineStats, Firing,
-    NodeEngine, Tuple,
+    NodeEngine, Tuple, TupleId,
 };
 use provenance::{
-    ProvGraph, ProvenanceSystem, QueryEngine, QueryKind, QueryOptions, QueryResult, QueryStats,
-    ShardStats, SystemStats,
+    ProvGraph, ProvenanceSystem, QueryBatch, QueryEngine, QueryExecutor, QueryHandle, QueryKind,
+    QueryMode, QueryOptions, QueryResult, QuerySpec, QueryStats, RuleExecNode, ShardStats,
+    SystemStats, TraversalOrder, QUERY_CATEGORY,
 };
 use serde::{Deserialize, Serialize};
-use simnet::{Network, NetworkConfig, SimTime, Topology, TopologyEvent, TrafficStats};
+use simnet::{Delivered, Network, NetworkConfig, SimTime, Topology, TopologyEvent, TrafficStats};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -37,6 +38,21 @@ pub enum NetMessage {
     DeltaBatch {
         /// The coalesced batch.
         batch: DeltaBatch,
+    },
+    /// One query-executor flush's requests from one node to another:
+    /// expand-vertex/expand-exec/cancel records asking the destination to do
+    /// traversal work, behind a first-use dictionary header (requests are
+    /// string-free, so the header is usually empty). Charged to the
+    /// `"prov-query"` category.
+    QueryRequest {
+        /// The sealed frame.
+        batch: QueryBatch,
+    },
+    /// Completed proof subtrees travelling back to the node that asked for
+    /// them — the response half of the query protocol, same frame format.
+    QueryResponse {
+        /// The sealed frame.
+        batch: QueryBatch,
     },
 }
 
@@ -181,7 +197,14 @@ pub struct NetTrails {
     engines: BTreeMap<Addr, NodeEngine>,
     network: Network<NetMessage>,
     provenance: ProvenanceSystem,
+    /// The in-process query engine: the [`QueryMode::Local`] path.
     query_engine: QueryEngine,
+    /// The step-driven distributed query executor: the
+    /// [`QueryMode::Distributed`] path, pumped by the round loop.
+    query_executor: QueryExecutor,
+    /// Misrouted deliveries observed outside `run_to_fixpoint` (see
+    /// [`NetTrails::stray_misrouted`]).
+    stray_misrouted: usize,
     config: NetTrailsConfig,
     source: String,
 }
@@ -205,12 +228,20 @@ impl NetTrails {
         }
         let provenance = ProvenanceSystem::with_shards(topology.nodes(), config.prov_shards);
         let network = Network::new(topology, config.network.clone());
+        // The local engine's estimate charges one round trip (request +
+        // response) at the network's default per-link delay, so its numbers
+        // line up with what the distributed executor measures on uniform
+        // topologies.
+        let query_engine =
+            QueryEngine::with_hop_rtt_ms(2.0 * config.network.default_latency_ms as f64);
         Ok(NetTrails {
             program,
             engines,
             network,
             provenance,
-            query_engine: QueryEngine::new(),
+            query_engine,
+            query_executor: QueryExecutor::new(),
+            stray_misrouted: 0,
             config,
             source: program_src.to_string(),
         })
@@ -246,9 +277,16 @@ impl NetTrails {
         &self.provenance
     }
 
-    /// The provenance query engine (exposing its cache / cumulative traffic).
+    /// The in-process (local-mode) query engine, exposing its cache and
+    /// cumulative estimated traffic.
     pub fn query_engine(&self) -> &QueryEngine {
         &self.query_engine
+    }
+
+    /// The distributed query executor, exposing its cache, session state
+    /// and cumulative wire traffic.
+    pub fn query_executor(&self) -> &QueryExecutor {
+        &self.query_executor
     }
 
     /// Assemble the centralized provenance graph (what the Log Store ships to
@@ -367,32 +405,19 @@ impl NetTrails {
             if !round_firings.is_empty() {
                 self.provenance.apply_round(&round_firings);
             }
-            // 2. Deliver the next batch of in-flight messages.
+            // 2. Ship whatever the query executor staged (concurrent query
+            // sessions ride the same wire discipline as everything else).
+            progressed |= self.flush_query_frames();
+            // 3. Deliver the next batch of in-flight messages.
             if !self.network.idle() {
                 progressed = true;
                 let batch = self.network.advance();
                 report.deliveries += batch.len();
                 for delivered in batch {
-                    let Some(engine) = self.engines.get_mut(&delivered.to) else {
-                        report.misrouted += 1;
-                        debug_assert!(
-                            self.config.tolerate_misrouted,
-                            "message misrouted to unknown node {} (payload {:?})",
-                            delivered.to, delivered.payload
-                        );
-                        continue;
-                    };
-                    match delivered.payload {
-                        NetMessage::Delta { delta, derivation } => {
-                            engine.apply_remote(delta, derivation)
-                        }
-                        NetMessage::DeltaBatch { batch } => {
-                            for record in batch.records {
-                                engine.apply_remote(record.delta, record.derivation);
-                            }
-                        }
-                    }
+                    self.dispatch(delivered, &mut report);
                 }
+                // Query deliveries may immediately stage follow-up frames.
+                progressed |= self.flush_query_frames();
             }
             if !progressed {
                 break;
@@ -475,21 +500,201 @@ impl NetTrails {
             .find(|(_, t)| predicate(t))
     }
 
-    /// Issue a provenance query for `target` from `querier`.
-    pub fn query(
-        &mut self,
-        querier: &str,
-        target: &Tuple,
-        kind: QueryKind,
-        options: &QueryOptions,
-    ) -> (QueryResult, QueryStats) {
-        self.query_engine
-            .query(&self.provenance, querier, target, kind, options)
+    // ------------------------------------------------------------------
+    // provenance queries
+    // ------------------------------------------------------------------
+
+    /// Open a query session for `target`: a fluent builder over the
+    /// question, traversal, pruning and execution mode, terminated by
+    /// [`QuerySession::submit`] (asynchronous handle) or
+    /// [`QuerySession::run`] (drive to completion).
+    ///
+    /// ```ignore
+    /// let (result, stats) = nt
+    ///     .query(&tuple)
+    ///     .from_node("n3")
+    ///     .kind(QueryKind::Lineage)
+    ///     .traversal(TraversalOrder::BreadthFirst)
+    ///     .max_depth(4)
+    ///     .run();
+    /// ```
+    ///
+    /// The querier defaults to the target's home node; the mode defaults to
+    /// [`QueryMode::Distributed`], where every cross-node hop is a real
+    /// `prov-query` frame through the simulated network and the reported
+    /// latency is measured off the network clock.
+    pub fn query(&mut self, target: &Tuple) -> QuerySession<'_> {
+        self.query_vid(target.id())
     }
 
-    /// Clear the provenance query cache (between benchmark configurations).
+    /// Open a query session addressed directly by VID.
+    pub fn query_vid(&mut self, vid: TupleId) -> QuerySession<'_> {
+        let querier = self
+            .provenance
+            .vertex_home(vid)
+            .or_else(|| self.engines.keys().next().copied())
+            .unwrap_or_default();
+        QuerySession {
+            nt: self,
+            spec: QuerySpec {
+                querier,
+                vid,
+                kind: QueryKind::Lineage,
+                mode: QueryMode::Distributed,
+                options: QueryOptions::default(),
+            },
+        }
+    }
+
+    /// Submit a compiled [`QuerySpec`]. [`QueryMode::Local`] runs the
+    /// in-process engine synchronously; [`QueryMode::Distributed`] starts a
+    /// message-driven session that the round loop pumps.
+    pub fn submit_query(&mut self, spec: QuerySpec) -> QueryHandle {
+        match spec.mode {
+            QueryMode::Local => {
+                let (result, stats) = self.query_engine.run(&self.provenance, &spec);
+                self.query_executor.adopt_result(result, stats)
+            }
+            QueryMode::Distributed => {
+                let now = self.network.now();
+                self.query_executor.submit(&self.provenance, spec, now)
+            }
+        }
+    }
+
+    /// True when the session has its final result (or was cancelled).
+    pub fn query_done(&self, handle: QueryHandle) -> bool {
+        self.query_executor.is_done(handle)
+    }
+
+    /// One pump step of the query plane: ship staged frames, then advance
+    /// the network and deliver. Returns false when there was nothing to do.
+    pub fn poll_queries(&mut self) -> bool {
+        let mut progressed = self.flush_query_frames();
+        if !self.network.idle() {
+            progressed = true;
+            let batch = self.network.advance();
+            let mut sink = RunReport::default();
+            for delivered in batch {
+                self.dispatch(delivered, &mut sink);
+            }
+            // Misroutes delivered while pumping outside `run_to_fixpoint`
+            // have no RunReport to land in; keep them visible.
+            self.stray_misrouted += sink.misrouted;
+            self.flush_query_frames();
+        }
+        progressed
+    }
+
+    /// Misrouted deliveries observed while pumping the query plane outside
+    /// [`NetTrails::run_to_fixpoint`] (runs count their own into their
+    /// [`RunReport::misrouted`]).
+    pub fn stray_misrouted(&self) -> usize {
+        self.stray_misrouted
+    }
+
+    /// Drive the network until `handle` completes and return its result.
+    ///
+    /// Panics if the session was cancelled (use [`NetTrails::cancel_query`]'s
+    /// return value instead) or stalls, which would be an executor bug.
+    pub fn wait_query(&mut self, handle: QueryHandle) -> (QueryResult, QueryStats) {
+        while !self.query_executor.is_done(handle) {
+            assert!(
+                self.poll_queries(),
+                "query session stalled with an idle network"
+            );
+        }
+        let (result, stats) = self
+            .query_executor
+            .take_result(handle)
+            .expect("session finished");
+        (result.expect("query was cancelled, not completed"), stats)
+    }
+
+    /// Cancel a running session: outstanding subtrees are abandoned, one
+    /// cancel frame per affected node is shipped (and charged), and the
+    /// traffic spent so far is returned. Partial results remain redeemable
+    /// through [`NetTrails::take_query_partials`].
+    pub fn cancel_query(&mut self, handle: QueryHandle) -> QueryStats {
+        let now = self.network.now();
+        self.query_executor.cancel(handle, now);
+        // Ship the cancel frames now (so they are charged to this session's
+        // stats), but do NOT drain the network: other concurrent sessions
+        // keep their own pace, and this session's in-flight strays are
+        // dropped whenever the driver next advances deliveries.
+        self.flush_query_frames();
+        self.query_executor.stats_so_far(handle).unwrap_or_default()
+    }
+
+    /// Drain the root-level derivations a session has streamed so far
+    /// (partial results; works while running, after completion and after
+    /// cancellation).
+    pub fn take_query_partials(&mut self, handle: QueryHandle) -> Vec<RuleExecNode> {
+        self.query_executor.take_partials(handle)
+    }
+
+    /// Ship every staged query frame through the network. Returns true when
+    /// anything was sent.
+    fn flush_query_frames(&mut self) -> bool {
+        let batches = self.query_executor.poll();
+        let sent = !batches.is_empty();
+        for batch in batches {
+            let bytes = batch.wire_size();
+            let records = batch.len();
+            let (from, to) = (batch.from, batch.to);
+            let message = if batch.is_request() {
+                NetMessage::QueryRequest { batch }
+            } else {
+                NetMessage::QueryResponse { batch }
+            };
+            self.network
+                .send_batch(from, to, message, bytes, records, QUERY_CATEGORY);
+        }
+        sent
+    }
+
+    /// Route one delivered message to its consumer: query frames to the
+    /// executor, deltas to the destination engine.
+    fn dispatch(&mut self, delivered: Delivered<NetMessage>, report: &mut RunReport) {
+        match delivered.payload {
+            NetMessage::QueryRequest { batch } | NetMessage::QueryResponse { batch } => {
+                let now = self.network.now();
+                self.query_executor.deliver(&self.provenance, batch, now);
+            }
+            payload => {
+                let Some(engine) = self.engines.get_mut(&delivered.to) else {
+                    report.misrouted += 1;
+                    debug_assert!(
+                        self.config.tolerate_misrouted,
+                        "message misrouted to unknown node {} (payload {:?})",
+                        delivered.to, payload
+                    );
+                    return;
+                };
+                match payload {
+                    NetMessage::Delta { delta, derivation } => {
+                        engine.apply_remote(delta, derivation)
+                    }
+                    NetMessage::DeltaBatch { batch } => {
+                        for record in batch.records {
+                            engine.apply_remote(record.delta, record.derivation);
+                        }
+                    }
+                    NetMessage::QueryRequest { .. } | NetMessage::QueryResponse { .. } => {
+                        unreachable!("query frames are dispatched above")
+                    }
+                }
+            }
+        }
+    }
+
+    /// Clear both provenance query caches — and the executor's
+    /// per-destination dictionary memory, so byte counts start cold too
+    /// (between benchmark configurations).
     pub fn clear_query_cache(&mut self) {
         self.query_engine.clear_cache();
+        self.query_executor.clear_cache();
+        self.query_executor.reset_dictionaries();
     }
 
     /// Aggregated statistics.
@@ -520,6 +725,91 @@ impl NetTrails {
             provenance_sharding: self.provenance.shard_stats().clone(),
             stored_tuples,
         }
+    }
+}
+
+/// A fluent query session builder; see [`NetTrails::query`]. Dropping the
+/// builder without calling [`QuerySession::submit`] or [`QuerySession::run`]
+/// issues nothing.
+#[derive(Debug)]
+pub struct QuerySession<'a> {
+    nt: &'a mut NetTrails,
+    spec: QuerySpec,
+}
+
+impl QuerySession<'_> {
+    /// Issue the query from this node (default: the target's home).
+    pub fn from_node(mut self, querier: &str) -> Self {
+        self.spec.querier = Addr::new(querier);
+        self
+    }
+
+    /// Which provenance question to ask (default: [`QueryKind::Lineage`]).
+    pub fn kind(mut self, kind: QueryKind) -> Self {
+        self.spec.kind = kind;
+        self
+    }
+
+    /// Traversal order (default: depth-first).
+    pub fn traversal(mut self, traversal: TraversalOrder) -> Self {
+        self.spec.options.traversal = traversal;
+        self
+    }
+
+    /// Reuse cached sub-results from previous queries.
+    pub fn cached(mut self) -> Self {
+        self.spec.options.use_cache = true;
+        self
+    }
+
+    /// Threshold pruning: stop descending below this depth.
+    pub fn max_depth(mut self, depth: usize) -> Self {
+        self.spec.options.max_depth = Some(depth);
+        self
+    }
+
+    /// Threshold pruning: expand at most this many alternative derivations
+    /// per tuple vertex.
+    pub fn max_derivations(mut self, limit: usize) -> Self {
+        self.spec.options.max_derivations_per_vertex = Some(limit);
+        self
+    }
+
+    /// Replace the whole option set at once.
+    pub fn options(mut self, options: QueryOptions) -> Self {
+        self.spec.options = options;
+        self
+    }
+
+    /// Execution mode (default: [`QueryMode::Distributed`]).
+    pub fn mode(mut self, mode: QueryMode) -> Self {
+        self.spec.mode = mode;
+        self
+    }
+
+    /// Shorthand for `.mode(QueryMode::Local)`: the in-process oracle path.
+    pub fn local(self) -> Self {
+        self.mode(QueryMode::Local)
+    }
+
+    /// The compiled spec this builder will submit.
+    pub fn spec(&self) -> &QuerySpec {
+        &self.spec
+    }
+
+    /// Submit the session and return its handle; the platform's round loop
+    /// (or [`NetTrails::poll_queries`] / [`NetTrails::wait_query`]) drives
+    /// it.
+    pub fn submit(self) -> QueryHandle {
+        let QuerySession { nt, spec } = self;
+        nt.submit_query(spec)
+    }
+
+    /// Submit and drive the session to completion.
+    pub fn run(self) -> (QueryResult, QueryStats) {
+        let QuerySession { nt, spec } = self;
+        let handle = nt.submit_query(spec);
+        nt.wait_query(handle)
     }
 }
 
@@ -609,12 +899,11 @@ mod tests {
                 t.values[0].as_addr() == Some("n1") && t.values[1].as_addr() == Some("n3")
             })
             .unwrap();
-        let (result, stats) = nt.query(
-            "n3",
-            &target,
-            QueryKind::ParticipatingNodes,
-            &QueryOptions::default(),
-        );
+        let (result, stats) = nt
+            .query(&target)
+            .from_node("n3")
+            .kind(QueryKind::ParticipatingNodes)
+            .run();
         let QueryResult::ParticipatingNodes(nodes) = result else {
             panic!("wrong result type");
         };
@@ -623,13 +912,15 @@ mod tests {
                 && nodes.contains(&nt_runtime::NodeId::new("n2"))
         );
         assert!(stats.messages > 0);
+        assert!(stats.latency_ms > 0.0, "hops take simulated time");
+        // The query traffic rode the real wire, in its own category.
+        assert!(nt.stats().network.category_messages(QUERY_CATEGORY) >= stats.messages);
 
-        let (result, _) = nt.query(
-            "n1",
-            &target,
-            QueryKind::BaseTuples,
-            &QueryOptions::default(),
-        );
+        let (result, _) = nt
+            .query(&target)
+            .from_node("n1")
+            .kind(QueryKind::BaseTuples)
+            .run();
         let QueryResult::BaseTuples(bases) = result else {
             panic!()
         };
@@ -640,6 +931,121 @@ mod tests {
             "base tuples of minCost are links"
         );
         assert!(!bases.is_empty());
+    }
+
+    /// The distributed session and the in-process oracle agree on every
+    /// result; the distributed one measures its latency off the clock.
+    #[test]
+    fn distributed_and_local_modes_agree() {
+        let mut nt = mincost_on(Topology::ring(4));
+        let targets = nt.relation("minCost");
+        for kind in [
+            QueryKind::Lineage,
+            QueryKind::BaseTuples,
+            QueryKind::ParticipatingNodes,
+            QueryKind::DerivationCount,
+        ] {
+            for (node, tuple) in targets.iter().take(4) {
+                let (dist, dist_stats) = nt.query(tuple).from_node(node).kind(kind).run();
+                let (local, local_stats) = nt.query(tuple).from_node(node).kind(kind).local().run();
+                assert_eq!(dist, local, "{kind:?}");
+                assert_eq!(dist_stats.vertices_visited, local_stats.vertices_visited);
+                assert_eq!(dist_stats.records, local_stats.records);
+            }
+        }
+    }
+
+    /// Breadth-first fan-out measurably beats depth-first on multi-hop
+    /// proofs: the session clock spans max(hop chain), not the hop sum.
+    #[test]
+    fn breadth_first_fanout_measures_lower_latency() {
+        let mut nt = mincost_on(Topology::line(4));
+        let (node, target) = nt
+            .find_tuple("minCost", |t| {
+                t.values[0].as_addr() == Some("n1") && t.values[1].as_addr() == Some("n4")
+            })
+            .unwrap();
+        let (r_dfs, dfs) = nt
+            .query(&target)
+            .from_node(node.as_str())
+            .traversal(TraversalOrder::DepthFirst)
+            .run();
+        let (r_bfs, bfs) = nt
+            .query(&target)
+            .from_node(node.as_str())
+            .traversal(TraversalOrder::BreadthFirst)
+            .run();
+        assert_eq!(r_dfs, r_bfs, "traversal order must not change the answer");
+        assert_eq!(dfs.records, bfs.records, "same protocol records");
+        assert!(dfs.latency_ms > 0.0 && bfs.latency_ms > 0.0);
+        assert!(
+            bfs.latency_ms < dfs.latency_ms,
+            "measured fan-out latency {} must beat sequential {}",
+            bfs.latency_ms,
+            dfs.latency_ms
+        );
+        assert!(bfs.messages <= dfs.messages, "fan-out coalesces frames");
+    }
+
+    /// Cancelling a session stops its traffic; partials stay redeemable.
+    #[test]
+    fn queries_can_be_cancelled_mid_flight() {
+        let mut nt = mincost_on(Topology::line(4));
+        let (_, target) = nt
+            .find_tuple("minCost", |t| {
+                t.values[0].as_addr() == Some("n1") && t.values[1].as_addr() == Some("n4")
+            })
+            .unwrap();
+        let full = nt.query(&target).from_node("n4").run().1;
+        let handle = nt.query(&target).from_node("n4").submit();
+        // Take a couple of pump steps, then abandon the traversal.
+        nt.poll_queries();
+        nt.poll_queries();
+        assert!(!nt.query_done(handle));
+        let cancelled = nt.cancel_query(handle);
+        assert!(nt.query_done(handle));
+        assert!(
+            cancelled.records < full.records,
+            "abandoned subtrees stop consuming traffic ({} vs {})",
+            cancelled.records,
+            full.records
+        );
+        let _ = nt.take_query_partials(handle);
+    }
+
+    /// The query cache, like the stores it mirrors, is invalidated by
+    /// incremental maintenance: churn between cached queries can never
+    /// serve a stale proof tree.
+    #[test]
+    fn cached_queries_stay_fresh_across_churn() {
+        let mut nt = mincost_on(Topology::ring(4));
+        let (node, target) = nt
+            .find_tuple("minCost", |t| {
+                t.values[0].as_addr() == Some("n1") && t.values[1].as_addr() == Some("n2")
+            })
+            .unwrap();
+        let (before, _) = nt.query(&target).from_node(node.as_str()).cached().run();
+        // Fail a link: minCost(n1,n2) now only holds the long way around.
+        nt.apply_topology_event(&TopologyEvent::LinkDown {
+            a: "n1".into(),
+            b: "n2".into(),
+        });
+        let (_, fresh_target) = nt
+            .find_tuple("minCost", |t| {
+                t.values[0].as_addr() == Some("n1") && t.values[1].as_addr() == Some("n2")
+            })
+            .expect("still reachable the long way");
+        let (cached_after, _) = nt
+            .query(&fresh_target)
+            .from_node(node.as_str())
+            .cached()
+            .run();
+        let (uncached_after, _) = nt.query(&fresh_target).from_node(node.as_str()).run();
+        assert_eq!(
+            cached_after, uncached_after,
+            "stale cache entries must be evicted, not served"
+        );
+        assert_ne!(before, cached_after, "the link failure changed the proof");
     }
 
     #[test]
@@ -706,16 +1112,20 @@ mod tests {
     fn query_cache_and_traversal_options_are_exposed() {
         let mut nt = mincost_on(Topology::ladder(3));
         let (_, target) = nt.relation("minCost").into_iter().next_back().unwrap();
-        let cached = QueryOptions {
-            use_cache: true,
-            traversal: TraversalOrder::BreadthFirst,
-            ..QueryOptions::default()
+        let session = |nt: &mut NetTrails| {
+            nt.query(&target)
+                .from_node("n1")
+                .traversal(TraversalOrder::BreadthFirst)
+                .cached()
+                .run()
         };
-        let (_, first) = nt.query("n1", &target, QueryKind::Lineage, &cached);
-        let (_, second) = nt.query("n1", &target, QueryKind::Lineage, &cached);
+        let (_, first) = session(&mut nt);
+        let (_, second) = session(&mut nt);
         assert!(second.messages <= first.messages);
+        assert!(nt.query_executor().cache_size() > 0);
         nt.clear_query_cache();
         assert_eq!(nt.query_engine().cache_size(), 0);
+        assert_eq!(nt.query_executor().cache_size(), 0);
     }
 
     #[test]

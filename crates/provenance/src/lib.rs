@@ -17,7 +17,10 @@
 //!   participating nodes, and the number of alternative derivations — with the
 //!   three optimizations highlighted in the paper: caching of previously
 //!   queried results, alternative tree-traversal orders, and threshold-based
-//!   pruning.
+//!   pruning. Queries execute either as message-driven sessions over a real
+//!   wire layer (the step-driven [`QueryExecutor`], `QueryMode::Distributed`)
+//!   or through the legacy in-process recursion ([`QueryEngine`],
+//!   `QueryMode::Local`), with a property suite proving the two bit-identical.
 //!
 //! The [`graph`] module assembles a global (centralized) view of the
 //! distributed graph for the visualizer and the log store, matching the
@@ -25,6 +28,7 @@
 //! 2.3.
 
 pub mod graph;
+pub mod pool;
 pub mod proql;
 pub mod query;
 pub mod rewrite;
@@ -35,7 +39,8 @@ pub mod system;
 pub use graph::{ProvEdge, ProvGraph, ProvVertex};
 pub use proql::{parse_query as parse_proql, ProqlQuery, ProqlResult};
 pub use query::{
-    ProofTree, QueryEngine, QueryKind, QueryOptions, QueryResult, QueryStats, TraversalOrder,
+    ProofTree, QueryBatch, QueryEngine, QueryExecutor, QueryHandle, QueryKind, QueryMode, QueryOp,
+    QueryOptions, QueryResult, QuerySpec, QueryStats, RuleExecNode, TraversalOrder, QUERY_CATEGORY,
 };
 pub use rewrite::{rewrite_for_provenance, PROV_RELATION, RULE_EXEC_RELATION};
 pub use shard::{MaintBatch, MaintRecord, ProvenanceShard, ShardStats, MAINTENANCE_CATEGORY};

@@ -1,0 +1,157 @@
+//! Persistent shard worker pool.
+//!
+//! The sharded maintenance engine used to spawn scoped threads for every
+//! round's apply phase; on deep fixpoints (hundreds of rounds) the spawn and
+//! join cost dominated the phase itself. This module keeps one process-wide
+//! pool of long-lived workers — spawned once, parked on a shared queue —
+//! and lets the router dispatch its per-shard apply closures to them.
+//!
+//! The closures borrow the round's shard slices and firing stream, so they
+//! are **not** `'static`. [`run_borrowed`] makes that sound the same way
+//! `std::thread::scope` does: the caller blocks on a completion barrier (one
+//! acknowledgement per task) before returning, so every borrow strictly
+//! outlives the workers' use of it. The lifetime is erased only to cross the
+//! queue, never to outlive the call.
+//!
+//! Workers survive task panics (the panic is caught, the acknowledgement
+//! channel closes, and the dispatching caller propagates the failure), so
+//! one poisoned round cannot leak threads or strand the next round.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Mutex, OnceLock};
+
+/// A type-erased unit of work.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Pool {
+    queue: Sender<Job>,
+    workers: usize,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+static JOBS_EXECUTED: AtomicU64 = AtomicU64::new(0);
+
+/// Build (once) and return the process-wide pool. One worker per available
+/// core: the router never has more runnable shards than cores worth running
+/// in parallel, and excess tasks simply queue.
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| {
+        let workers = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        let (tx, rx) = channel::<Job>();
+        let rx = std::sync::Arc::new(Mutex::new(rx));
+        for i in 0..workers {
+            let rx: std::sync::Arc<Mutex<Receiver<Job>>> = rx.clone();
+            std::thread::Builder::new()
+                .name(format!("prov-shard-{i}"))
+                .spawn(move || loop {
+                    let job = {
+                        let guard = rx.lock().expect("pool queue lock");
+                        guard.recv()
+                    };
+                    match job {
+                        Ok(job) => {
+                            JOBS_EXECUTED.fetch_add(1, Ordering::Relaxed);
+                            // Keep the worker alive across task panics; the
+                            // dispatcher notices the missing acknowledgement.
+                            let _ = std::panic::catch_unwind(AssertUnwindSafe(job));
+                        }
+                        // The queue sender lives in a static: this only
+                        // happens at process teardown.
+                        Err(_) => return,
+                    }
+                })
+                .expect("spawn shard worker");
+        }
+        Pool { queue: tx, workers }
+    })
+}
+
+/// Number of long-lived workers in the pool (0 until first use).
+pub fn workers() -> usize {
+    POOL.get().map(|p| p.workers).unwrap_or(0)
+}
+
+/// Total jobs ever executed by the pool (tests assert reuse: this grows
+/// while [`workers`] stays constant).
+pub fn jobs_executed() -> u64 {
+    JOBS_EXECUTED.load(Ordering::Relaxed)
+}
+
+/// Run every task on the persistent pool and return their results in task
+/// order. Blocks until all tasks finished — the completion barrier that
+/// makes the borrowed (non-`'static`) closures sound.
+///
+/// Panics if a task panicked (mirroring the `join().expect(..)` behavior of
+/// the scoped-thread code this replaces).
+pub fn run_borrowed<'env, R: Send + 'env>(
+    tasks: Vec<Box<dyn FnOnce() -> R + Send + 'env>>,
+) -> Vec<R> {
+    let n = tasks.len();
+    let (done_tx, done_rx) = channel::<(usize, R)>();
+    for (index, task) in tasks.into_iter().enumerate() {
+        let done = done_tx.clone();
+        let job: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+            let result = task();
+            // The dispatcher may have given up (it panics on a lost task
+            // and drops the receiver); a failed send is then irrelevant.
+            let _ = done.send((index, result));
+        });
+        // SAFETY: the job only borrows data alive for 'env, and this
+        // function does not return until every job has acknowledged
+        // completion (or a loss is detected, which panics and aborts the
+        // round) — so the erased borrows never dangle. This is the same
+        // contract std::thread::scope enforces, expressed over a queue.
+        let job: Job = unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Job>(job) };
+        pool().queue.send(job).expect("pool queue closed");
+    }
+    drop(done_tx);
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for _ in 0..n {
+        let (index, result) = done_rx.recv().expect("shard worker task panicked");
+        results[index] = Some(result);
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every task reported"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_task_order() {
+        let inputs: Vec<usize> = (0..32).collect();
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send + '_>> = inputs
+            .iter()
+            .map(|&i| Box::new(move || i * 2) as Box<dyn FnOnce() -> usize + Send + '_>)
+            .collect();
+        let results = run_borrowed(tasks);
+        assert_eq!(results, (0..32).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn workers_are_spawned_once_and_reused() {
+        let borrowed = vec![1u64, 2, 3, 4];
+        let run = |data: &Vec<u64>| {
+            let tasks: Vec<Box<dyn FnOnce() -> u64 + Send + '_>> = data
+                .iter()
+                .map(|v| Box::new(move || *v + 1) as Box<dyn FnOnce() -> u64 + Send + '_>)
+                .collect();
+            run_borrowed(tasks)
+        };
+        let first = run(&borrowed);
+        let spawned = workers();
+        let jobs_after_first = jobs_executed();
+        let second = run(&borrowed);
+        assert_eq!(first, vec![2, 3, 4, 5]);
+        assert_eq!(first, second);
+        assert_eq!(workers(), spawned, "no re-spawning between rounds");
+        assert!(jobs_executed() >= jobs_after_first + borrowed.len() as u64);
+    }
+}

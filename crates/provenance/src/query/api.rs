@@ -1,0 +1,279 @@
+//! The public query surface: options, specs, handles and result types.
+//!
+//! A query is described by a [`QuerySpec`] — target vertex, querying node,
+//! question ([`QueryKind`]), execution mode ([`QueryMode`]) and optimization
+//! knobs ([`QueryOptions`]). Callers usually build one through a fluent
+//! session builder (`NetTrails::query(&tuple).kind(..).traversal(..)` in the
+//! platform crate) and get back a [`QueryHandle`] they can poll, stream
+//! partial results from, cancel, or wait on for the final
+//! ([`QueryResult`], [`QueryStats`]) pair.
+
+use crate::store::RuleExecId;
+use nt_runtime::{Addr, NodeId, Sym, Tuple, TupleId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Traffic category used for provenance query messages.
+pub const QUERY_CATEGORY: &str = "prov-query";
+
+/// Which provenance question to ask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum QueryKind {
+    /// Full proof tree (lineage).
+    Lineage,
+    /// Set of contributing base tuples.
+    BaseTuples,
+    /// Set of nodes that participated in any derivation.
+    ParticipatingNodes,
+    /// Number of alternative derivations (proof trees).
+    DerivationCount,
+}
+
+/// Order in which the distributed traversal visits the graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum TraversalOrder {
+    /// Sequential depth-first traversal: one outstanding request at a time.
+    /// Fewest simultaneous messages, highest latency.
+    #[default]
+    DepthFirst,
+    /// Parallel breadth-first traversal: every child of a frontier is queried
+    /// concurrently. Latency grows with the *depth* of the proof tree instead
+    /// of its size.
+    BreadthFirst,
+}
+
+/// How a query is executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum QueryMode {
+    /// Message-driven execution over the simulated network: cross-node hops
+    /// are real [`crate::query::wire::QueryBatch`] frames, and
+    /// [`QueryStats::latency_ms`] is measured off the network clock.
+    #[default]
+    Distributed,
+    /// The legacy in-process recursion ([`crate::QueryEngine`]): no wire
+    /// traffic is generated, hop costs are estimated. Kept as the
+    /// equivalence oracle and for single-node embedding.
+    Local,
+}
+
+/// Query execution options (the paper's optimization knobs).
+///
+/// The per-hop latency is no longer an option: under
+/// [`QueryMode::Distributed`] it is whatever the network's per-link delay
+/// config yields, measured; the local engine estimates with its own
+/// [`crate::QueryEngine::hop_rtt_ms`] knob.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct QueryOptions {
+    /// Reuse cached sub-results from previous queries.
+    pub use_cache: bool,
+    /// Traversal order.
+    pub traversal: TraversalOrder,
+    /// Expand at most this many alternative derivations per tuple vertex
+    /// (threshold-based pruning); `None` = expand everything.
+    pub max_derivations_per_vertex: Option<usize>,
+    /// Stop descending below this depth (rule executions count one level);
+    /// `None` = unbounded.
+    pub max_depth: Option<usize>,
+}
+
+impl QueryOptions {
+    /// Options with caching enabled.
+    pub fn cached() -> Self {
+        QueryOptions {
+            use_cache: true,
+            ..QueryOptions::default()
+        }
+    }
+}
+
+/// A fully-specified query: what to ask, from where, and how to execute it.
+/// This is what a session builder compiles down to and what both execution
+/// engines consume.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuerySpec {
+    /// Node issuing the query.
+    pub querier: NodeId,
+    /// Target tuple vertex.
+    pub vid: TupleId,
+    /// The question.
+    pub kind: QueryKind,
+    /// Execution mode.
+    pub mode: QueryMode,
+    /// Optimization knobs.
+    pub options: QueryOptions,
+}
+
+/// Handle of a submitted query session. Cheap to copy; redeem it against the
+/// executor (or the platform) for partial results, cancellation, or the
+/// final result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct QueryHandle(pub u64);
+
+/// A proof tree: the lineage of a tuple.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProofTree {
+    /// The tuple vertex.
+    pub vid: TupleId,
+    /// Tuple contents, when known to the provenance system.
+    pub tuple: Option<Tuple>,
+    /// Node where the tuple lives (interned).
+    pub home: NodeId,
+    /// True when the tuple is a base tuple at this vertex (it may *also* have
+    /// rule derivations).
+    pub is_base: bool,
+    /// One entry per (expanded) derivation.
+    pub derivations: Vec<RuleExecNode>,
+    /// True when pruning cut the expansion at this vertex.
+    pub pruned: bool,
+}
+
+/// A rule-execution vertex in a proof tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RuleExecNode {
+    /// Identifier of the rule execution.
+    pub rid: RuleExecId,
+    /// Rule name (interned).
+    pub rule: Sym,
+    /// Node where the rule executed (interned).
+    pub node: NodeId,
+    /// Sub-trees for every input tuple, in body order.
+    pub inputs: Vec<ProofTree>,
+}
+
+impl ProofTree {
+    /// Total number of vertices (tuple + rule-execution) in the tree.
+    pub fn size(&self) -> usize {
+        1 + self
+            .derivations
+            .iter()
+            .map(|d| 1 + d.inputs.iter().map(ProofTree::size).sum::<usize>())
+            .sum::<usize>()
+    }
+
+    /// Depth of the tree in tuple-vertex levels.
+    pub fn depth(&self) -> usize {
+        1 + self
+            .derivations
+            .iter()
+            .flat_map(|d| d.inputs.iter().map(ProofTree::depth))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Leaves of the tree that are base tuples.
+    pub fn base_leaves(&self) -> Vec<&ProofTree> {
+        let mut out = Vec::new();
+        self.collect_base_leaves(&mut out);
+        out
+    }
+
+    fn collect_base_leaves<'a>(&'a self, out: &mut Vec<&'a ProofTree>) {
+        if self.is_base {
+            out.push(self);
+        }
+        for d in &self.derivations {
+            for input in &d.inputs {
+                input.collect_base_leaves(out);
+            }
+        }
+    }
+}
+
+/// Result of a provenance query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum QueryResult {
+    /// Lineage result.
+    Lineage(ProofTree),
+    /// Contributing base tuple identifiers (with contents when known).
+    BaseTuples(Vec<(TupleId, Option<Tuple>)>),
+    /// Participating node names.
+    ParticipatingNodes(BTreeSet<Addr>),
+    /// Number of alternative derivations.
+    DerivationCount(u64),
+}
+
+/// Work and traffic measurements for a single query.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct QueryStats {
+    /// Cross-node frames exchanged (request + response messages). Batched
+    /// fan-out packs several records into one frame, so under
+    /// [`TraversalOrder::BreadthFirst`] this can be smaller than `records`.
+    pub messages: u64,
+    /// Protocol records those frames carried (one per hop request/response).
+    pub records: u64,
+    /// Payload bytes exchanged, including dictionary headers.
+    pub bytes: u64,
+    /// Dictionary-header bytes (interned strings shipped once per
+    /// destination on first use) within `bytes`.
+    pub dict_bytes: u64,
+    /// Vertices visited.
+    pub vertices_visited: u64,
+    /// Cache hits (sub-results reused).
+    pub cache_hits: u64,
+    /// Completion latency in milliseconds. Under
+    /// [`QueryMode::Distributed`] this is *measured* — the simulated-clock
+    /// span between submission and the last frame of the session — so
+    /// breadth-first fan-out genuinely completes in `max(hop)` while
+    /// depth-first pays every hop sequentially. Under [`QueryMode::Local`]
+    /// it is the legacy per-hop estimate.
+    pub latency_ms: f64,
+}
+
+/// Project a completed lineage tree into the requested result form. Shared
+/// by the local and distributed engines, so the two paths cannot diverge in
+/// anything but how the tree was obtained.
+pub(crate) fn project_result(kind: QueryKind, tree: ProofTree) -> QueryResult {
+    match kind {
+        QueryKind::Lineage => QueryResult::Lineage(tree),
+        QueryKind::BaseTuples => {
+            let mut out: Vec<(TupleId, Option<Tuple>)> = tree
+                .base_leaves()
+                .iter()
+                .map(|t| (t.vid, t.tuple.clone()))
+                .collect();
+            out.sort_by_key(|(vid, _)| *vid);
+            out.dedup_by_key(|(vid, _)| *vid);
+            QueryResult::BaseTuples(out)
+        }
+        QueryKind::ParticipatingNodes => {
+            let mut nodes = BTreeSet::new();
+            collect_nodes(&tree, &mut nodes);
+            QueryResult::ParticipatingNodes(nodes)
+        }
+        QueryKind::DerivationCount => QueryResult::DerivationCount(count_derivations(&tree)),
+    }
+}
+
+/// Every node a proof tree touches: each vertex's home and each rule
+/// execution's node. Doubles as the set of stores the tree was *read* from,
+/// which is what the query cache stamps entries with.
+pub(crate) fn collect_nodes(tree: &ProofTree, out: &mut BTreeSet<Addr>) {
+    out.insert(tree.home);
+    for d in &tree.derivations {
+        out.insert(d.node);
+        for input in &d.inputs {
+            collect_nodes(input, out);
+        }
+    }
+}
+
+/// Number of alternative derivations (proof trees) represented by a lineage
+/// tree: base vertices contribute one derivation, every rule execution
+/// contributes the product of its inputs' counts, and a tuple's count is the
+/// sum over its derivations.
+fn count_derivations(tree: &ProofTree) -> u64 {
+    let mut count: u64 = if tree.is_base { 1 } else { 0 };
+    for d in &tree.derivations {
+        let mut product = 1u64;
+        for input in &d.inputs {
+            product = product.saturating_mul(count_derivations(input).max(1));
+        }
+        count = count.saturating_add(product);
+    }
+    if count == 0 && tree.pruned {
+        // A pruned vertex still represents at least one derivation.
+        1
+    } else {
+        count
+    }
+}

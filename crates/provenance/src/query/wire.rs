@@ -1,0 +1,307 @@
+//! The query wire protocol: per-destination frames of fixed-header records
+//! behind first-use dictionary headers.
+//!
+//! Cross-node hops of the distributed traversal are [`QueryOp`] records.
+//! Within one executor flush, every record a node produces for one
+//! destination is coalesced into a single [`QueryBatch`] frame — the same
+//! per-(source, destination) discipline as the engine's `DeltaBatch` delta
+//! shipping and the shard router's `MaintBatch` exchange: fixed-width record
+//! headers, interned identifiers priced at 4 bytes, and each identifier's
+//! string shipped to a destination exactly once, in the dictionary header of
+//! the first frame that references it.
+//!
+//! Requests are tiny and string-free (ids and digests only); responses carry
+//! completed proof subtrees, whose interned rule/node/relation names are what
+//! the dictionary headers pay for.
+
+use crate::query::api::{ProofTree, RuleExecNode};
+use crate::store::{collect_addr_names, RuleExecId};
+use nt_runtime::{NodeId, Sym, Tuple, TupleId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// One record of the query protocol. `qid` names the session, `frame` the
+/// continuation in the session's frame arena that the record targets (the
+/// remote frame to start for requests, the awaiting frame to resume for
+/// responses).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum QueryOp {
+    /// Expand the proof tree of `vid`, whose `prov` entries live at the
+    /// destination (the initial querier → home hop). `path` carries the
+    /// ancestor vertices of the traversal for distributed cycle detection.
+    ExpandVertex {
+        /// Session id.
+        qid: u64,
+        /// Frame to start at the destination.
+        frame: u32,
+        /// Vertex to expand.
+        vid: TupleId,
+        /// Depth of the vertex in the traversal.
+        depth: u32,
+        /// Ancestor vertices (cycle guard).
+        path: Vec<TupleId>,
+    },
+    /// Expand rule execution `rid` stored at the destination, including the
+    /// proof subtrees of its input tuples (which are local to the executing
+    /// node).
+    ExpandExec {
+        /// Session id.
+        qid: u64,
+        /// Frame to start at the destination.
+        frame: u32,
+        /// Rule execution to expand.
+        rid: RuleExecId,
+        /// Depth of the requesting vertex.
+        depth: u32,
+        /// Ancestor vertices (cycle guard).
+        path: Vec<TupleId>,
+    },
+    /// Completed vertex subtree, returned to the awaiting frame.
+    VertexDone {
+        /// Session id.
+        qid: u64,
+        /// Awaiting frame at the destination.
+        frame: u32,
+        /// The completed subtree.
+        tree: ProofTree,
+    },
+    /// Completed rule-execution subtree (`None` when the rid is unknown at
+    /// the responding node), returned to the awaiting frame.
+    ExecDone {
+        /// Session id.
+        qid: u64,
+        /// Awaiting frame at the destination.
+        frame: u32,
+        /// The completed subtree, if the execution was found.
+        exec: Option<RuleExecNode>,
+    },
+    /// Abandon all of the session's outstanding work at the destination
+    /// (cancellation / pruning propagation): in-progress frames there are
+    /// dropped and produce no further responses.
+    Cancel {
+        /// Session id.
+        qid: u64,
+    },
+}
+
+impl QueryOp {
+    /// Session the record belongs to.
+    pub fn qid(&self) -> u64 {
+        match self {
+            QueryOp::ExpandVertex { qid, .. }
+            | QueryOp::ExpandExec { qid, .. }
+            | QueryOp::VertexDone { qid, .. }
+            | QueryOp::ExecDone { qid, .. }
+            | QueryOp::Cancel { qid } => *qid,
+        }
+    }
+
+    /// True for records that ask the destination to do expansion work
+    /// (carried in `NetMessage::QueryRequest` frames); false for completed
+    /// subtrees travelling back (`NetMessage::QueryResponse`).
+    pub fn is_request(&self) -> bool {
+        matches!(
+            self,
+            QueryOp::ExpandVertex { .. } | QueryOp::ExpandExec { .. } | QueryOp::Cancel { .. }
+        )
+    }
+
+    /// Wire size of the record body in the interned encoding: a 1-byte tag,
+    /// an 8-byte session id and a 4-byte frame id, plus the variant payload —
+    /// 8-byte digests/vids (with 8 bytes per path ancestor) for requests,
+    /// the interned subtree payload for responses. Dictionary cost is
+    /// carried by the batch header ([`QueryBatch::header_bytes`]), not here.
+    pub fn wire_size(&self) -> usize {
+        let header = 1 + 8 + 4;
+        header
+            + match self {
+                QueryOp::ExpandVertex { path, .. } => 8 + 4 + 8 * path.len(),
+                QueryOp::ExpandExec { path, .. } => 8 + 4 + 8 * path.len(),
+                QueryOp::VertexDone { tree, .. } => tree_wire_size(tree),
+                QueryOp::ExecDone { exec, .. } => {
+                    1 + exec.as_ref().map(exec_wire_size).unwrap_or(0)
+                }
+                QueryOp::Cancel { .. } => 0,
+            }
+    }
+
+    /// The interned strings a receiver must know to decode this record.
+    pub fn dictionary(&self, out: &mut BTreeSet<&'static str>) {
+        match self {
+            QueryOp::ExpandVertex { .. } | QueryOp::ExpandExec { .. } | QueryOp::Cancel { .. } => {}
+            QueryOp::VertexDone { tree, .. } => tree_dictionary(tree, out),
+            QueryOp::ExecDone { exec, .. } => {
+                if let Some(exec) = exec {
+                    exec_dictionary(exec, out);
+                }
+            }
+        }
+    }
+}
+
+/// One executor flush's records from one node to another, sealed for
+/// shipment behind the dictionary entries the destination has not been sent
+/// before.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryBatch {
+    /// Sending node.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+    /// Dictionary entries first shipped to `to` by this frame, in sorted
+    /// order.
+    pub dict: Vec<String>,
+    /// The records.
+    pub ops: Vec<QueryOp>,
+}
+
+impl QueryBatch {
+    /// Bytes of the dictionary header: one shared pricing rule
+    /// ([`nt_runtime::dict_entry_wire_size`]) with `DeltaBatch` headers,
+    /// `MaintBatch` headers and snapshot dictionaries.
+    pub fn header_bytes(&self) -> usize {
+        self.dict
+            .iter()
+            .map(|s| nt_runtime::dict_entry_wire_size(s))
+            .sum()
+    }
+
+    /// Bytes of the record bodies.
+    pub fn body_bytes(&self) -> usize {
+        self.ops.iter().map(QueryOp::wire_size).sum()
+    }
+
+    /// Total priced payload: dictionary header + record bodies.
+    pub fn wire_size(&self) -> usize {
+        self.header_bytes() + self.body_bytes()
+    }
+
+    /// Number of records in the frame.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when the frame carries no records.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// True when every record is a request (frames are homogeneous: the
+    /// executor never mixes directions within one frame).
+    pub fn is_request(&self) -> bool {
+        self.ops.iter().all(QueryOp::is_request)
+    }
+}
+
+/// Wire size of a proof subtree in the interned encoding: per tuple vertex
+/// an 8-byte vid, 4-byte home id and 2 flag bytes plus the optional tuple
+/// payload; per rule-execution vertex an 8-byte rid and 4-byte rule/node
+/// ids.
+pub fn tree_wire_size(tree: &ProofTree) -> usize {
+    8 + NodeId::WIRE_SIZE
+        + 2
+        + tree.tuple.as_ref().map(Tuple::wire_size).unwrap_or(0)
+        + tree.derivations.iter().map(exec_wire_size).sum::<usize>()
+}
+
+/// Wire size of a rule-execution subtree (see [`tree_wire_size`]).
+pub fn exec_wire_size(exec: &RuleExecNode) -> usize {
+    8 + Sym::WIRE_SIZE + NodeId::WIRE_SIZE + exec.inputs.iter().map(tree_wire_size).sum::<usize>()
+}
+
+/// Collect the interned strings referenced by a proof subtree.
+pub fn tree_dictionary(tree: &ProofTree, out: &mut BTreeSet<&'static str>) {
+    out.insert(tree.home.as_str());
+    if let Some(tuple) = &tree.tuple {
+        out.insert(tuple.relation.as_str());
+        collect_addr_names(&tuple.values, out);
+    }
+    for d in &tree.derivations {
+        exec_dictionary(d, out);
+    }
+}
+
+/// Collect the interned strings referenced by a rule-execution subtree.
+pub fn exec_dictionary(exec: &RuleExecNode, out: &mut BTreeSet<&'static str>) {
+    out.insert(exec.rule.as_str());
+    out.insert(exec.node.as_str());
+    for input in &exec.inputs {
+        tree_dictionary(input, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nt_runtime::Value;
+
+    fn leaf(rel: &str, node: &str, x: i64) -> ProofTree {
+        let tuple = Tuple::new(rel, vec![Value::addr(node), Value::Int(x)]);
+        ProofTree {
+            vid: tuple.id(),
+            tuple: Some(tuple),
+            home: NodeId::new(node),
+            is_base: true,
+            derivations: Vec::new(),
+            pruned: false,
+        }
+    }
+
+    #[test]
+    fn request_records_are_fixed_width_plus_path() {
+        let op = QueryOp::ExpandExec {
+            qid: 1,
+            frame: 2,
+            rid: RuleExecId(9),
+            depth: 3,
+            path: vec![TupleId(1), TupleId(2)],
+        };
+        assert_eq!(op.wire_size(), (1 + 8 + 4) + 8 + 4 + 16);
+        assert!(op.is_request());
+        let mut dict = BTreeSet::new();
+        op.dictionary(&mut dict);
+        assert!(dict.is_empty(), "requests ship no strings");
+    }
+
+    #[test]
+    fn response_records_price_the_subtree_and_name_its_strings() {
+        let tree = leaf("link", "n1", 7);
+        let tuple_bytes = tree.tuple.as_ref().unwrap().wire_size();
+        let op = QueryOp::VertexDone {
+            qid: 1,
+            frame: 0,
+            tree: tree.clone(),
+        };
+        assert_eq!(op.wire_size(), (1 + 8 + 4) + 8 + 4 + 2 + tuple_bytes);
+        assert!(!op.is_request());
+        let mut dict = BTreeSet::new();
+        op.dictionary(&mut dict);
+        for name in ["link", "n1"] {
+            assert!(dict.contains(name), "{name} missing from dictionary");
+        }
+    }
+
+    #[test]
+    fn batches_price_header_and_bodies_separately() {
+        let batch = QueryBatch {
+            from: NodeId::new("n1"),
+            to: NodeId::new("n2"),
+            dict: vec!["link".to_string()],
+            ops: vec![
+                QueryOp::Cancel { qid: 4 },
+                QueryOp::ExecDone {
+                    qid: 4,
+                    frame: 1,
+                    exec: None,
+                },
+            ],
+        };
+        assert_eq!(batch.header_bytes(), 4 + 4 + 4);
+        assert_eq!(batch.body_bytes(), (1 + 8 + 4) + (1 + 8 + 4) + 1);
+        assert_eq!(batch.wire_size(), batch.header_bytes() + batch.body_bytes());
+        assert_eq!(batch.len(), 2);
+        assert!(!batch.is_empty());
+        assert!(!batch.is_request(), "mixed frames count as responses");
+        assert_eq!(batch.ops[0].qid(), 4);
+    }
+}

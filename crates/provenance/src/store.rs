@@ -171,6 +171,11 @@ pub struct ProvenanceStore {
     free_execs: Vec<u32>,
     /// Display information: VID -> tuple content, for tuples homed here.
     tuples: HashMap<TupleId, Tuple>,
+    /// Mutation counter: bumped whenever the store's content actually
+    /// changes (idempotent re-inserts do not count). Query caches stamp
+    /// their entries with this version, so incremental maintenance — deletes
+    /// included — invalidates exactly the sub-results it could have changed.
+    version: u64,
 }
 
 impl ProvenanceStore {
@@ -182,15 +187,25 @@ impl ProvenanceStore {
         }
     }
 
+    /// The store's mutation version (see the `version` field).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
     /// Record the content of a tuple homed at this node (so queries and the
     /// visualizer can show attribute values, as in Figure 2(c) of the paper).
     pub fn register_tuple(&mut self, tuple: &Tuple) {
-        self.tuples.insert(tuple.id(), tuple.clone());
+        let prev = self.tuples.insert(tuple.id(), tuple.clone());
+        if prev.as_ref() != Some(tuple) {
+            self.version += 1;
+        }
     }
 
     /// Forget a tuple's content (after its last derivation disappears).
     pub fn unregister_tuple(&mut self, vid: TupleId) {
-        self.tuples.remove(&vid);
+        if self.tuples.remove(&vid).is_some() {
+            self.version += 1;
+        }
     }
 
     /// The recorded content of a tuple, if known.
@@ -224,6 +239,7 @@ impl ProvenanceStore {
             Ok(_) => false,
             Err(pos) => {
                 entries.insert(pos, entry);
+                self.version += 1;
                 true
             }
         }
@@ -246,6 +262,7 @@ impl ProvenanceStore {
             self.free_vertices.push(slot);
             self.tuples.remove(&vid);
         }
+        self.version += 1;
         true
     }
 
@@ -293,6 +310,7 @@ impl ProvenanceStore {
             }
         };
         self.exec_index.insert(rid, slot);
+        self.version += 1;
         true
     }
 
@@ -304,6 +322,7 @@ impl ProvenanceStore {
         self.execs[slot as usize].live = false;
         self.execs[slot as usize].exec.inputs.clear();
         self.free_execs.push(slot);
+        self.version += 1;
         true
     }
 
@@ -607,6 +626,34 @@ mod tests {
         // Dictionary: "n1", "r1", "cost".
         assert_eq!(stats.dict_bytes, (8 + 2) + (8 + 2) + (8 + 4));
         assert!(stats.bytes > stats.dict_bytes);
+    }
+
+    #[test]
+    fn version_counts_real_mutations_only() {
+        let mut store = ProvenanceStore::new("n1");
+        assert_eq!(store.version(), 0);
+        let t = tuple("cost", "n1", 3);
+        store.register_tuple(&t);
+        let v1 = store.version();
+        assert!(v1 > 0);
+        // Idempotent re-registration of identical content: no bump.
+        store.register_tuple(&t);
+        assert_eq!(store.version(), v1);
+        let base = ProvEntry {
+            rid: None,
+            rloc: "n1".into(),
+        };
+        store.add_prov(t.id(), base);
+        let v2 = store.version();
+        assert!(v2 > v1);
+        store.add_prov(t.id(), base);
+        assert_eq!(store.version(), v2, "duplicate prov entry is a no-op");
+        // Deletes bump too — the property the query cache relies on.
+        store.remove_prov(t.id(), &base);
+        assert!(store.version() > v2);
+        let v3 = store.version();
+        store.remove_prov(t.id(), &base);
+        assert_eq!(store.version(), v3, "removing a missing entry is a no-op");
     }
 
     #[test]

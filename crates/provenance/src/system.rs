@@ -23,9 +23,11 @@
 //! [`Firing::home_shard`], cross-shard `ruleExec` halves are exchanged as
 //! per-destination [`MaintBatch`]es with once-per-destination dictionary
 //! headers (the same wire discipline as the engine's batched delta
-//! shipping), and per-shard maintenance then runs in parallel — scoped
-//! threads over disjoint `&mut` shard slices, each merge-applying its
-//! substream and incoming records in stream-sequence order. See the
+//! shipping), and per-shard maintenance then runs in parallel — the
+//! per-shard apply closures (over disjoint `&mut` shard slices) are
+//! dispatched to the persistent worker pool ([`crate::pool`]), each
+//! merge-applying its substream and incoming records in stream-sequence
+//! order. See the
 //! [`crate::shard`] module documentation for the determinism argument: the
 //! resulting stores and [`SystemStats`] are bit-identical for every shard
 //! count.
@@ -47,16 +49,16 @@ use simnet::TrafficStats;
 use std::collections::{BTreeSet, HashSet};
 use std::sync::OnceLock;
 
-/// Rounds at least this large run their apply phase on scoped worker
-/// threads; smaller rounds run the identical phase inline (same routing,
-/// same batch exchange, same result — spawning is purely an execution
-/// detail).
+/// Rounds at least this large run their apply phase on the persistent
+/// worker pool; smaller rounds run the identical phase inline (same
+/// routing, same batch exchange, same result — dispatching is purely an
+/// execution detail).
 const SPAWN_THRESHOLD: usize = 64;
 
 /// True when this machine can actually run shard workers concurrently.
-/// On a single-core host scoped threads only add scheduling overhead, so the
-/// apply phase runs inline there — the exact same `apply_pass` code, so the
-/// result is identical; only wall-clock differs.
+/// On a single-core host worker dispatch only adds scheduling overhead, so
+/// the apply phase runs inline there — the exact same `apply_pass` code, so
+/// the result is identical; only wall-clock differs.
 fn workers_available() -> bool {
     static AVAILABLE: OnceLock<bool> = OnceLock::new();
     *AVAILABLE.get_or_init(|| {
@@ -278,28 +280,29 @@ impl ProvenanceSystem {
         for records in &mut incoming {
             records.sort_by_key(|r| r.seq);
         }
-        // Apply: per-shard maintenance over disjoint `&mut` shard slices,
-        // merging each shard's substream with its incoming records by
-        // sequence number. Per-shard traffic deltas are merged in shard
-        // order afterwards (commutative sums, so the totals are identical to
-        // the sequential path).
+        // Apply: per-shard maintenance over disjoint `&mut` shard slices
+        // (long-lived pool workers for large rounds), merging each shard's
+        // substream with its incoming records by sequence number. Per-shard
+        // traffic deltas are merged in shard order afterwards (commutative
+        // sums, so the totals are identical to the sequential path).
         let threaded = firings.len() >= SPAWN_THRESHOLD && workers_available();
         let deltas: Vec<TrafficStats> = if threaded {
             self.shard_stats.parallel_rounds += 1;
-            let shards = &mut self.shards;
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = shards
-                    .iter_mut()
-                    .zip(routed.iter().zip(incoming.iter()))
-                    .map(|(shard, (stream, execs))| {
-                        scope.spawn(move || apply_pass(shard, stream, execs))
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("shard worker"))
-                    .collect()
-            })
+            // Dispatch the per-shard apply closures to the persistent worker
+            // pool: long-lived threads parked on a queue, so deep fixpoints
+            // stop paying a spawn/join per round. run_borrowed blocks until
+            // every task acknowledged, which is what makes handing the
+            // disjoint `&mut` shard borrows to the pool sound.
+            let tasks: Vec<Box<dyn FnOnce() -> TrafficStats + Send + '_>> = self
+                .shards
+                .iter_mut()
+                .zip(routed.iter().zip(incoming.iter()))
+                .map(|(shard, (stream, execs))| {
+                    Box::new(move || apply_pass(shard, stream, execs))
+                        as Box<dyn FnOnce() -> TrafficStats + Send + '_>
+                })
+                .collect();
+            crate::pool::run_borrowed(tasks)
         } else {
             self.shards
                 .iter_mut()
@@ -690,6 +693,39 @@ mod tests {
             );
             assert_eq!(sharded.nodes(), single.nodes());
         }
+    }
+
+    /// Large rounds dispatch their apply phase to the persistent worker
+    /// pool: the workers are spawned once and reused, never re-spawned per
+    /// round.
+    #[test]
+    fn parallel_rounds_reuse_the_persistent_worker_pool() {
+        if !workers_available() {
+            return; // single-core host: the apply phase runs inline
+        }
+        let nodes: Vec<String> = (0..16).map(|i| format!("p{i:02}")).collect();
+        let mut stream = Vec::new();
+        for i in 0..(2 * SPAWN_THRESHOLD) {
+            let t = tuple("link", &nodes[i % nodes.len()], i as i64);
+            stream.push(base_firing(&t, &nodes[i % nodes.len()]));
+        }
+        let mut sys = ProvenanceSystem::with_shards(nodes.iter(), 4);
+        sys.apply_round(&stream);
+        assert_eq!(sys.shard_stats().parallel_rounds, 1);
+        let workers = crate::pool::workers();
+        assert!(workers > 0, "pool engaged for a large round");
+        let jobs = crate::pool::jobs_executed();
+        sys.apply_round(&stream);
+        assert_eq!(sys.shard_stats().parallel_rounds, 2);
+        assert_eq!(
+            crate::pool::workers(),
+            workers,
+            "workers are reused, not re-spawned"
+        );
+        assert!(
+            crate::pool::jobs_executed() >= jobs + 4,
+            "second round ran on the pool"
+        );
     }
 
     /// Cross-shard exchange is batched: records are counted, dictionaries

@@ -7,7 +7,7 @@
 //! ```
 
 use nettrails::{NetTrails, NetTrailsConfig};
-use provenance::{QueryKind, QueryOptions, QueryResult};
+use provenance::{QueryKind, QueryResult};
 use simnet::{MobilityModel, RandomWaypoint, Topology, TopologyEvent};
 
 fn main() {
@@ -74,12 +74,11 @@ fn main() {
 
     // Provenance of one surviving shortest route.
     if let Some((home, target)) = nt.relation("shortestRoute").into_iter().next() {
-        let (result, _) = nt.query(
-            &home,
-            &target,
-            QueryKind::ParticipatingNodes,
-            &QueryOptions::default(),
-        );
+        let (result, _) = nt
+            .query(&target)
+            .from_node(&home)
+            .kind(QueryKind::ParticipatingNodes)
+            .run();
         if let QueryResult::ParticipatingNodes(nodes) = result {
             let names: Vec<&str> = nodes.iter().map(|n| n.as_str()).collect();
             println!("\nprovenance of {target}: derived using state from nodes {names:?}");

@@ -8,7 +8,7 @@
 
 use logstore::{LogStore, NodeSnapshot, Replay, SystemSnapshot};
 use nettrails::{NetTrails, NetTrailsConfig};
-use provenance::{QueryKind, QueryOptions, QueryResult};
+use provenance::{QueryKind, QueryResult};
 use simnet::{Topology, TopologyEvent};
 use vis::{focus_on, render_topology_summary, HypertreeLayout};
 
@@ -64,7 +64,11 @@ fn main() {
         })
         .expect("minCost(n1,n8) derived");
     println!("\nfocusing on {target} stored at {home}");
-    let (result, _) = nt.query(&home, &target, QueryKind::Lineage, &QueryOptions::default());
+    let (result, _) = nt
+        .query(&target)
+        .from_node(&home)
+        .kind(QueryKind::Lineage)
+        .run();
     let QueryResult::Lineage(tree) = result else {
         unreachable!()
     };

@@ -7,7 +7,7 @@
 //! ```
 
 use nettrails::{NetTrails, NetTrailsConfig};
-use provenance::{QueryKind, QueryOptions, QueryResult, TraversalOrder};
+use provenance::{QueryKind, QueryResult, TraversalOrder};
 use simnet::{Topology, TopologyEvent};
 use vis::render_proof_tree;
 
@@ -72,41 +72,42 @@ fn main() {
         return;
     };
     println!("\n== explaining {target} (stored at {home}) ==");
-    let (result, plain) = nt.query(&home, &target, QueryKind::Lineage, &QueryOptions::default());
+    let (result, plain) = nt.query(&target).from_node(&home).run();
     if let QueryResult::Lineage(tree) = &result {
         print!("{}", render_proof_tree(tree));
     }
 
-    let (_, pruned) = nt.query(
-        &home,
-        &target,
-        QueryKind::Lineage,
-        &QueryOptions {
-            max_derivations_per_vertex: Some(1),
-            max_depth: Some(4),
-            ..QueryOptions::default()
-        },
-    );
-    let cached_opts = QueryOptions {
-        use_cache: true,
-        traversal: TraversalOrder::BreadthFirst,
-        ..QueryOptions::default()
+    let (_, pruned) = nt
+        .query(&target)
+        .from_node(&home)
+        .max_derivations(1)
+        .max_depth(4)
+        .run();
+    let cached = |nt: &mut nettrails::NetTrails| {
+        nt.query(&target)
+            .from_node(&home)
+            .cached()
+            .traversal(TraversalOrder::BreadthFirst)
+            .run()
+            .1
     };
-    let (_, first_cached) = nt.query(&home, &target, QueryKind::Lineage, &cached_opts);
-    let (_, second_cached) = nt.query(&home, &target, QueryKind::Lineage, &cached_opts);
+    let first_cached = cached(&mut nt);
+    let second_cached = cached(&mut nt);
 
-    println!("\nquery cost (messages):");
-    println!("  no optimization        : {}", plain.messages);
+    println!("\nquery cost (messages / measured ms):");
+    println!(
+        "  no optimization        : {} / {:.1}",
+        plain.messages, plain.latency_ms
+    );
     println!("  threshold pruning      : {}", pruned.messages);
     println!("  caching, first query   : {}", first_cached.messages);
     println!("  caching, repeat query  : {}", second_cached.messages);
 
-    let (count, _) = nt.query(
-        &home,
-        &target,
-        QueryKind::DerivationCount,
-        &QueryOptions::default(),
-    );
+    let (count, _) = nt
+        .query(&target)
+        .from_node(&home)
+        .kind(QueryKind::DerivationCount)
+        .run();
     if let QueryResult::DerivationCount(n) = count {
         println!("\nthe tuple has {n} alternative derivation(s)");
     }

@@ -6,7 +6,7 @@
 //! ```
 
 use nettrails::{NetTrails, NetTrailsConfig};
-use provenance::{QueryKind, QueryOptions, QueryResult};
+use provenance::{QueryKind, QueryResult};
 use simnet::Topology;
 use vis::{provenance_to_dot, render_proof_tree};
 
@@ -41,7 +41,11 @@ fn main() {
         })
         .expect("minCost(n1,n3) exists");
 
-    let (result, stats) = nt.query("n3", &target, QueryKind::Lineage, &QueryOptions::default());
+    let (result, stats) = nt
+        .query(&target)
+        .from_node("n3")
+        .kind(QueryKind::Lineage)
+        .run();
     let QueryResult::Lineage(tree) = result else {
         unreachable!()
     };

@@ -21,6 +21,16 @@ regression gates:
   machine is and of its core count — raw microseconds are not comparable
   between a laptop baseline and a CI runner. A small absolute slack keeps
   scheduler noise on trivial workloads from tripping the gate.
+
+The `query_fanout` section carries its own gates. Its latencies are
+*simulated-clock* measurements of message-driven query sessions, so they are
+deterministic and machine-independent:
+
+* breadth-first fan-out must measure no slower than depth-first on every
+  row, and strictly faster whenever the proof is multi-hop (depth > 2) —
+  this is the executor genuinely overlapping hops, not a latency formula;
+* records must match between the traversals (the fan-out changes the
+  schedule, never the work), and breadth-first must not ship more frames.
 """
 
 import json
@@ -76,6 +86,20 @@ REQUIRED_SECTIONS = {
         "cross_shard_dict_bytes",
         "speedup_vs_single",
         "matches_single_shard",
+    },
+    "query_fanout": {
+        "scenario",
+        "proof_depth",
+        "query_records",
+        "dfs_messages",
+        "bfs_messages",
+        "dfs_bytes",
+        "bfs_bytes",
+        "bfs_dict_bytes",
+        "dfs_latency_ms",
+        "bfs_latency_ms",
+        "fanout_speedup",
+        "bfs_beats_dfs",
     },
 }
 
@@ -185,6 +209,42 @@ def check_sharded_provenance(committed, fresh):
     )
 
 
+def check_query_fanout(fresh):
+    """Regression gates on the distributed query fan-out (see module doc)."""
+    rows = fresh.get("query_fanout", [])
+    for row in rows:
+        scenario = row["scenario"]
+        if row["query_records"] <= 0:
+            sys.exit(
+                f"query_fanout[{scenario!r}]: the session exchanged no "
+                "records — the distributed traversal never touched the wire."
+            )
+        if not row["bfs_beats_dfs"] or row["bfs_latency_ms"] > row["dfs_latency_ms"]:
+            sys.exit(
+                f"query_fanout[{scenario!r}]: breadth-first fan-out measured "
+                f"{row['bfs_latency_ms']:.1f}ms, slower than depth-first's "
+                f"{row['dfs_latency_ms']:.1f}ms. The executor stopped "
+                "overlapping hops."
+            )
+        if row["proof_depth"] > 2 and row["bfs_latency_ms"] >= row["dfs_latency_ms"]:
+            sys.exit(
+                f"query_fanout[{scenario!r}]: a depth-{row['proof_depth']} "
+                "proof must fan out strictly faster than the sequential "
+                f"traversal ({row['bfs_latency_ms']:.1f}ms vs "
+                f"{row['dfs_latency_ms']:.1f}ms)."
+            )
+        if row["bfs_messages"] > row["dfs_messages"]:
+            sys.exit(
+                f"query_fanout[{scenario!r}]: fan-out shipped more frames "
+                f"({row['bfs_messages']}) than the sequential traversal "
+                f"({row['dfs_messages']}); per-destination coalescing broke."
+            )
+    print(
+        f"query_fanout gate OK ({len(rows)} rows, measured BFS latency beats "
+        "DFS on every multi-hop proof)"
+    )
+
+
 def main():
     if len(sys.argv) != 3:
         sys.exit(__doc__)
@@ -197,6 +257,7 @@ def main():
     check_required_sections(committed_path, committed)
     check_required_sections(fresh_path, fresh)
     check_sharded_provenance(committed, fresh)
+    check_query_fanout(fresh)
 
     if committed.get("format") != fresh.get("format"):
         sys.exit(

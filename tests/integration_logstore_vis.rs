@@ -2,7 +2,7 @@
 
 use logstore::{LogStore, NodeSnapshot, Replay, SnapshotDiff, SystemSnapshot};
 use nettrails::{NetTrails, NetTrailsConfig};
-use provenance::{QueryKind, QueryOptions, QueryResult};
+use provenance::{QueryKind, QueryResult};
 use simnet::{Topology, TopologyEvent};
 use vis::{provenance_to_dot, render_proof_tree, topology_to_dot, HypertreeLayout};
 
@@ -109,7 +109,11 @@ fn visualizer_exports_are_well_formed_for_real_provenance() {
     assert!(topo_dot.contains("n1"));
 
     let (node, target) = nt.relation("minCost").into_iter().next_back().unwrap();
-    let (result, _) = nt.query(&node, &target, QueryKind::Lineage, &QueryOptions::default());
+    let (result, _) = nt
+        .query(&target)
+        .from_node(&node)
+        .kind(QueryKind::Lineage)
+        .run();
     let QueryResult::Lineage(tree) = result else {
         panic!()
     };

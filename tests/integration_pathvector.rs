@@ -82,19 +82,18 @@ fn best_path_costs_agree_with_mincost() {
 
 #[test]
 fn best_path_provenance_spans_the_nodes_on_the_path() {
-    use provenance::{QueryKind, QueryOptions, QueryResult};
+    use provenance::{QueryKind, QueryResult};
     let mut nt = run(Topology::line(4));
     let (_, target) = nt
         .find_tuple("bestPathCost", |t| {
             t.values[0].as_addr() == Some("n1") && t.values[1].as_addr() == Some("n4")
         })
         .expect("bestPathCost(n1,n4)");
-    let (result, _) = nt.query(
-        "n1",
-        &target,
-        QueryKind::ParticipatingNodes,
-        &QueryOptions::default(),
-    );
+    let (result, _) = nt
+        .query(&target)
+        .from_node("n1")
+        .kind(QueryKind::ParticipatingNodes)
+        .run();
     let QueryResult::ParticipatingNodes(nodes) = result else {
         panic!()
     };

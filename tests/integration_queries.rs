@@ -1,8 +1,11 @@
-//! Integration tests for the distributed provenance query engine and its
-//! optimizations, exercised over real protocol runs.
+//! Integration tests for the distributed provenance query protocol and its
+//! optimizations, exercised over real protocol runs. Queries execute in
+//! [`provenance::QueryMode::Distributed`] by default: every cross-node hop
+//! is a `prov-query` frame through the simulated network, and latency is
+//! measured off the network clock.
 
 use nettrails::{NetTrails, NetTrailsConfig};
-use provenance::{proql, QueryKind, QueryOptions, QueryResult, TraversalOrder};
+use provenance::{proql, QueryKind, QueryMode, QueryResult, TraversalOrder};
 use simnet::Topology;
 
 fn platform() -> NetTrails {
@@ -21,17 +24,16 @@ fn platform() -> NetTrails {
 fn derivation_counts_are_positive_and_consistent_with_lineage() {
     let mut nt = platform();
     for (node, tuple) in nt.relation("bestPathCost").into_iter().take(10) {
-        let (count, _) = nt.query(
-            &node,
-            &tuple,
-            QueryKind::DerivationCount,
-            &QueryOptions::default(),
-        );
+        let (count, _) = nt
+            .query(&tuple)
+            .from_node(&node)
+            .kind(QueryKind::DerivationCount)
+            .run();
         let QueryResult::DerivationCount(count) = count else {
             panic!()
         };
         assert!(count >= 1, "{tuple} should have at least one derivation");
-        let (lineage, _) = nt.query(&node, &tuple, QueryKind::Lineage, &QueryOptions::default());
+        let (lineage, _) = nt.query(&tuple).from_node(&node).run();
         let QueryResult::Lineage(tree) = lineage else {
             panic!()
         };
@@ -44,12 +46,11 @@ fn derivation_counts_are_positive_and_consistent_with_lineage() {
 fn base_tuples_of_protocol_state_are_always_links() {
     let mut nt = platform();
     for (node, tuple) in nt.relation("path").into_iter().take(20) {
-        let (result, _) = nt.query(
-            &node,
-            &tuple,
-            QueryKind::BaseTuples,
-            &QueryOptions::default(),
-        );
+        let (result, _) = nt
+            .query(&tuple)
+            .from_node(&node)
+            .kind(QueryKind::BaseTuples)
+            .run();
         let QueryResult::BaseTuples(bases) = result else {
             panic!()
         };
@@ -68,15 +69,14 @@ fn caching_reduces_traffic_for_repeated_and_overlapping_queries() {
     // Without caching: query everything twice and count messages.
     let mut uncached_messages = 0;
     for (node, tuple) in targets.iter().chain(targets.iter()) {
-        let (_, stats) = nt.query(node, tuple, QueryKind::Lineage, &QueryOptions::default());
+        let (_, stats) = nt.query(tuple).from_node(node).run();
         uncached_messages += stats.messages;
     }
     // With caching.
     nt.clear_query_cache();
-    let cached_opts = QueryOptions::cached();
     let mut cached_messages = 0;
     for (node, tuple) in targets.iter().chain(targets.iter()) {
-        let (_, stats) = nt.query(node, tuple, QueryKind::Lineage, &cached_opts);
+        let (_, stats) = nt.query(tuple).from_node(node).cached().run();
         cached_messages += stats.messages;
     }
     assert!(
@@ -93,38 +93,72 @@ fn pruning_bounds_the_result_and_reduces_traffic() {
         .into_iter()
         .max_by_key(|(_, t)| t.values[2].as_int())
         .unwrap();
-    let (full, full_stats) = nt.query(&node, &tuple, QueryKind::Lineage, &QueryOptions::default());
-    let pruned_opts = QueryOptions {
-        max_depth: Some(2),
-        max_derivations_per_vertex: Some(1),
-        ..QueryOptions::default()
-    };
-    let (pruned, pruned_stats) = nt.query(&node, &tuple, QueryKind::Lineage, &pruned_opts);
+    let (full, full_stats) = nt.query(&tuple).from_node(&node).run();
+    let (pruned, pruned_stats) = nt
+        .query(&tuple)
+        .from_node(&node)
+        .max_depth(2)
+        .max_derivations(1)
+        .run();
     let (QueryResult::Lineage(full), QueryResult::Lineage(pruned)) = (full, pruned) else {
         panic!()
     };
     assert!(pruned.size() <= full.size());
     assert!(pruned.depth() <= 3);
     assert!(pruned_stats.messages <= full_stats.messages);
+    assert!(pruned_stats.records <= full_stats.records);
 }
 
 #[test]
-fn traversal_orders_agree_on_results_and_differ_on_latency() {
+fn traversal_orders_agree_on_results_and_differ_on_measured_latency() {
     let mut nt = platform();
     let (node, tuple) = nt.relation("bestPathCost").into_iter().next_back().unwrap();
-    let dfs = QueryOptions {
-        traversal: TraversalOrder::DepthFirst,
-        ..QueryOptions::default()
-    };
-    let bfs = QueryOptions {
-        traversal: TraversalOrder::BreadthFirst,
-        ..QueryOptions::default()
-    };
-    let (r1, s1) = nt.query(&node, &tuple, QueryKind::BaseTuples, &dfs);
-    let (r2, s2) = nt.query(&node, &tuple, QueryKind::BaseTuples, &bfs);
+    let (r1, s1) = nt
+        .query(&tuple)
+        .from_node(&node)
+        .kind(QueryKind::BaseTuples)
+        .traversal(TraversalOrder::DepthFirst)
+        .run();
+    let (r2, s2) = nt
+        .query(&tuple)
+        .from_node(&node)
+        .kind(QueryKind::BaseTuples)
+        .traversal(TraversalOrder::BreadthFirst)
+        .run();
     assert_eq!(r1, r2, "traversal order must not change the answer");
-    assert_eq!(s1.messages, s2.messages);
+    // Same protocol records either way; breadth-first coalesces same-flush
+    // records into fewer frames and finishes sooner on the simulated clock.
+    assert_eq!(s1.records, s2.records);
+    assert!(s2.messages <= s1.messages);
     assert!(s2.latency_ms <= s1.latency_ms);
+}
+
+/// Distributed sessions and the in-process oracle agree on answers and
+/// work counts over a real protocol run (spot check; the exhaustive version
+/// is `tests/proptest_query_equivalence.rs`).
+#[test]
+fn distributed_mode_matches_local_mode() {
+    let mut nt = platform();
+    let targets: Vec<_> = nt.relation("bestPathCost").into_iter().take(6).collect();
+    for (node, tuple) in &targets {
+        for kind in [
+            QueryKind::Lineage,
+            QueryKind::BaseTuples,
+            QueryKind::ParticipatingNodes,
+            QueryKind::DerivationCount,
+        ] {
+            let (dist, dist_stats) = nt.query(tuple).from_node(node).kind(kind).run();
+            let (local, local_stats) = nt
+                .query(tuple)
+                .from_node(node)
+                .kind(kind)
+                .mode(QueryMode::Local)
+                .run();
+            assert_eq!(dist, local);
+            assert_eq!(dist_stats.vertices_visited, local_stats.vertices_visited);
+            assert_eq!(dist_stats.messages, local_stats.messages, "DFS frame count");
+        }
+    }
 }
 
 #[test]
@@ -148,12 +182,11 @@ fn proql_queries_agree_with_the_query_engine() {
         .filter(|(n, _)| n == "n1")
         .collect();
     for (node, tuple) in targets {
-        let (result, _) = nt.query(
-            &node,
-            &tuple,
-            QueryKind::BaseTuples,
-            &QueryOptions::default(),
-        );
+        let (result, _) = nt
+            .query(&tuple)
+            .from_node(&node)
+            .kind(QueryKind::BaseTuples)
+            .run();
         let QueryResult::BaseTuples(bases) = result else {
             panic!()
         };

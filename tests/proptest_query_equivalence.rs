@@ -1,0 +1,193 @@
+//! Query-mode equivalence: a message-driven distributed query session must
+//! be observationally identical to the legacy in-process recursion.
+//!
+//! For random topologies, protocols, link churn, targets, query kinds,
+//! traversal orders and pruning/caching options, `QueryMode::Distributed`
+//! must produce the same [`provenance::QueryResult`] (bit-identical trees:
+//! same derivation order, same pruned flags), the same vertex-visit and
+//! cache-hit counts, and — for the sequential depth-first schedule, where
+//! frames cannot coalesce — the same frame count as `QueryMode::Local`.
+//! Breadth-first fan-out may only *reduce* frames (same-flush coalescing),
+//! and its measured completion latency on multi-hop proofs must not exceed
+//! depth-first's.
+
+use nettrails::{NetTrails, NetTrailsConfig};
+use proptest::prelude::*;
+use provenance::{QueryKind, QueryMode, QueryOptions, QueryResult, TraversalOrder};
+use simnet::{Topology, TopologyEvent};
+
+fn topology_for(kind: usize, size: usize) -> Topology {
+    match kind % 3 {
+        0 => Topology::line(2 + size % 3),
+        1 => Topology::ring(3 + size % 3),
+        _ => Topology::ladder(2 + size % 2),
+    }
+}
+
+fn kind_for(i: usize) -> QueryKind {
+    match i % 4 {
+        0 => QueryKind::Lineage,
+        1 => QueryKind::BaseTuples,
+        2 => QueryKind::ParticipatingNodes,
+        _ => QueryKind::DerivationCount,
+    }
+}
+
+fn options_for(traversal: usize, cache: bool, depth: usize, derivs: usize) -> QueryOptions {
+    QueryOptions {
+        use_cache: cache,
+        traversal: if traversal.is_multiple_of(2) {
+            TraversalOrder::DepthFirst
+        } else {
+            TraversalOrder::BreadthFirst
+        },
+        // 0 = unbounded; small bounds exercise both pruning paths.
+        max_depth: (!depth.is_multiple_of(4)).then_some(depth % 4),
+        max_derivations_per_vertex: (!derivs.is_multiple_of(3)).then_some(derivs % 3),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn distributed_queries_match_the_local_oracle(
+        topo_kind in 0usize..3,
+        size in 0usize..6,
+        program_idx in 0usize..2,
+        churn in proptest::collection::vec((0usize..8, 0usize..8), 0..3),
+        queries in proptest::collection::vec(
+            // (target, kind × traversal, cache, max_depth, max_derivations)
+            (0usize..64, 0usize..8, 0usize..2, 0usize..4, 0usize..3),
+            1..6,
+        ),
+    ) {
+        let topology = topology_for(topo_kind, size);
+        let nodes: Vec<String> = topology.nodes().map(str::to_string).collect();
+        let program = if program_idx == 0 {
+            protocols::mincost::PROGRAM
+        } else {
+            protocols::pathvector::PROGRAM
+        };
+        let mut nt = NetTrails::new(program, topology, NetTrailsConfig::default())
+            .expect("program compiles");
+        nt.seed_links_from_topology();
+        nt.run_to_fixpoint();
+        for (a, b) in churn {
+            nt.apply_topology_event(&TopologyEvent::LinkDown {
+                a: nodes[a % nodes.len()].clone(),
+                b: nodes[b % nodes.len()].clone(),
+            });
+        }
+        let targets = if program_idx == 0 {
+            nt.relation("minCost")
+        } else {
+            nt.relation("bestPathCost")
+        };
+        if targets.is_empty() {
+            return Ok(());
+        }
+
+        // Run the random query mix twice per mode, in the same order, so
+        // cache evolution is comparable between the two engines.
+        for (t, kind_and_traversal, cache, depth, derivs) in queries {
+            let (querier, target) = &targets[t % targets.len()];
+            let kind = kind_for(kind_and_traversal % 4);
+            let options = options_for(kind_and_traversal / 4, cache == 1, depth, derivs);
+            for _ in 0..2 {
+                let (local, ls) = nt
+                    .query(target)
+                    .from_node(querier)
+                    .kind(kind)
+                    .options(options.clone())
+                    .mode(QueryMode::Local)
+                    .run();
+                let (dist, ds) = nt
+                    .query(target)
+                    .from_node(querier)
+                    .kind(kind)
+                    .options(options.clone())
+                    .run();
+                prop_assert_eq!(&local, &dist, "result for {:?} {:?}", kind, options);
+                if let QueryResult::Lineage(tree) = &dist {
+                    let QueryResult::Lineage(local_tree) = &local else {
+                        unreachable!()
+                    };
+                    prop_assert_eq!(tree.pruned, local_tree.pruned);
+                    prop_assert_eq!(tree.size(), local_tree.size());
+                }
+                prop_assert_eq!(
+                    ls.vertices_visited, ds.vertices_visited,
+                    "visits for {:?} {:?}", kind, options
+                );
+                prop_assert_eq!(
+                    ls.cache_hits, ds.cache_hits,
+                    "cache hits for {:?} {:?}", kind, options
+                );
+                prop_assert_eq!(
+                    ls.records, ds.records,
+                    "hop records for {:?} {:?}", kind, options
+                );
+                match options.traversal {
+                    TraversalOrder::DepthFirst => {
+                        prop_assert_eq!(ls.messages, ds.messages, "sequential frame count");
+                    }
+                    TraversalOrder::BreadthFirst => {
+                        prop_assert!(ds.messages <= ls.messages, "fan-out only coalesces");
+                    }
+                }
+            }
+        }
+    }
+
+    /// On multi-hop proofs the measured breadth-first completion time is
+    /// never worse than depth-first's — the max(hop-chain) vs sum(hop)
+    /// trade the paper describes, read off the simulated clock.
+    #[test]
+    fn breadth_first_measured_latency_is_never_worse(
+        topo_kind in 0usize..3,
+        size in 0usize..6,
+        program_idx in 0usize..2,
+    ) {
+        let topology = topology_for(topo_kind, size);
+        let program = if program_idx == 0 {
+            protocols::mincost::PROGRAM
+        } else {
+            protocols::pathvector::PROGRAM
+        };
+        let mut nt = NetTrails::new(program, topology, NetTrailsConfig::default())
+            .expect("program compiles");
+        nt.seed_links_from_topology();
+        nt.run_to_fixpoint();
+        let targets = if program_idx == 0 {
+            nt.relation("minCost")
+        } else {
+            nt.relation("bestPathCost")
+        };
+        if targets.is_empty() {
+            return Ok(());
+        }
+        for (querier, target) in targets.iter().take(6) {
+            let (rd, dfs) = nt
+                .query(target)
+                .from_node(querier)
+                .traversal(TraversalOrder::DepthFirst)
+                .run();
+            let (rb, bfs) = nt
+                .query(target)
+                .from_node(querier)
+                .traversal(TraversalOrder::BreadthFirst)
+                .run();
+            prop_assert_eq!(rd, rb);
+            // Chain-shaped proofs (every vertex a single derivation) have
+            // nothing to overlap, so equality is legitimate; the strict
+            // multi-hop gate lives in scripts/check_bench_schema.py over
+            // branching ladder scenarios.
+            prop_assert!(
+                bfs.latency_ms <= dfs.latency_ms,
+                "measured BFS {}ms must not exceed DFS {}ms ({} records)",
+                bfs.latency_ms, dfs.latency_ms, dfs.records
+            );
+        }
+    }
+}
