@@ -7,10 +7,14 @@
 //! ```
 
 use nettrails::{NetTrails, NetTrailsConfig, ReportTable};
-use nt_runtime::{base_rule_sym, Firing, NodeId, Sym, Tuple, Value};
+use nt_runtime::{
+    base_rule_sym, CompiledProgram, EngineConfig, EngineStats, Firing, NodeEngine, NodeId,
+    StepOutput, Sym, Tuple, Value,
+};
 use provenance::{ProvenanceSystem, QueryKind, QueryOptions, QueryResult, TraversalOrder};
 use serde::Serialize;
 use simnet::Topology;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// The file the results are written to (in the invocation directory).
@@ -97,6 +101,14 @@ struct ShardedProvenanceReport {
     /// Shard workers only engage when this is > 1, so single-core hosts
     /// measure pure routing/exchange overhead, not parallel speedup.
     host_parallelism: usize,
+    /// Shard workers the apply phase could actually engage: `min(shards,
+    /// host_parallelism)` on multi-core hosts, 1 (inline apply) on
+    /// single-core hosts. CI uses this to decide whether `speedup_vs_single`
+    /// is a real scaling measurement or pure overhead accounting.
+    workers_used: usize,
+    /// Firings applied per round, in round order (identical across the
+    /// shard sweep — the stream is fixed before the sweep starts).
+    firings_per_round: Vec<u64>,
     /// Cross-shard maintenance batches sealed (0 for S=1).
     cross_shard_batches: u64,
     /// `ruleExec` halves those batches carried.
@@ -107,6 +119,36 @@ struct ShardedProvenanceReport {
     speedup_vs_single: f64,
     /// True when the final system content digest equals the S=1 run's.
     matches_single_shard: bool,
+}
+
+/// One row of the morsel-driven parallel fixpoint sweep: the same
+/// fan-out-join generation (≥ 10^5 rule firings from one delta batch)
+/// evaluated by a single [`NodeEngine`] at one worker count. Determinism is
+/// part of the measurement: `matches_w1` asserts the run's full
+/// [`StepOutput`] (firing stream, local changes, outbox batches), final
+/// tables and engine counters are bit-identical to the W=1 run, so CI can
+/// gate on any divergence.
+#[derive(Serialize)]
+struct ParallelFixpointReport {
+    scenario: String,
+    /// `fixpoint_workers` of this run (morsels in flight on the shared pool).
+    workers: usize,
+    /// Monotonic trigger tasks in the measured generation.
+    tasks: u64,
+    /// Rule firings the generation committed.
+    firings: u64,
+    /// Wall-clock microseconds for the measured `run()`.
+    wall_us: u64,
+    /// Cores available to the run (`std::thread::available_parallelism`).
+    /// The pool has one worker per core, so single-core hosts measure
+    /// dispatch overhead, not speedup — CI skips the speedup gate there.
+    host_parallelism: usize,
+    /// Threads in the process-wide worker pool.
+    pool_workers: usize,
+    /// `wall_us(W=1) / wall_us(W)` within this sweep.
+    speedup_vs_w1: f64,
+    /// True when the run's outputs, tables and counters equal the W=1 run's.
+    matches_w1: bool,
 }
 
 /// One row of the distributed query fan-out comparison: the *same* lineage
@@ -165,6 +207,11 @@ struct BenchResults {
     /// over a synthetic maintenance stream, with wall-clock, cross-shard
     /// exchange counts and the determinism check.
     sharded_provenance: Vec<ShardedProvenanceReport>,
+    /// Morsel-driven parallel fixpoint: worker-count sweep (W ∈ {1, 2, 4})
+    /// over one large fan-out-join generation, with wall-clock and the
+    /// bit-identical-output check. CI gates `matches_w1` on every row and
+    /// the W=4 speedup on multi-core hosts.
+    parallel_fixpoint: Vec<ParallelFixpointReport>,
     /// Distributed query fan-out: DFS vs BFS message-driven sessions on the
     /// standard scenarios, with measured (simulated-clock) latency. CI gates
     /// `bfs_beats_dfs`.
@@ -359,7 +406,8 @@ fn sharded_provenance_sweep(
 ) -> Vec<ShardedProvenanceReport> {
     let node_names: Vec<String> = (0..nodes).map(|i| format!("s{i:02}")).collect();
     let rounds = maintenance_rounds(&node_names, layers, width, round_size);
-    let firings: u64 = rounds.iter().map(|r| r.len() as u64).sum();
+    let firings_per_round: Vec<u64> = rounds.iter().map(|r| r.len() as u64).collect();
+    let firings: u64 = firings_per_round.iter().sum();
     let host_parallelism = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1);
@@ -386,11 +434,108 @@ fn sharded_provenance_sweep(
             firings,
             wall_us,
             host_parallelism,
+            workers_used: if host_parallelism > 1 {
+                shards.min(host_parallelism)
+            } else {
+                1
+            },
+            firings_per_round: firings_per_round.clone(),
             cross_shard_batches: stats.cross_shard_batches,
             cross_shard_records: stats.cross_shard_records,
             cross_shard_dict_bytes: stats.cross_shard_dict_bytes,
             speedup_vs_single: single_wall as f64 / wall_us.max(1) as f64,
             matches_single_shard: digest == single_digest,
+        });
+    }
+    reports
+}
+
+/// Sweep the engine's fixpoint worker count over one large fan-out-join
+/// generation. The workload is a two-atom join `out(A,C) :- e(A,B), f(B,C)`
+/// with `keys * fanout` pre-loaded `f` facts and `probes` `e` facts inserted
+/// as a single delta batch, so one generation carries `probes` trigger tasks
+/// and commits `probes * fanout` firings — large enough that morsel dispatch
+/// is the dominant cost being measured, well past the engine's inline
+/// threshold. Every run is checked bit-for-bit against the W=1 run.
+fn parallel_fixpoint_sweep(
+    scenario: &str,
+    probes: usize,
+    keys: usize,
+    fanout: usize,
+) -> Vec<ParallelFixpointReport> {
+    let program = Arc::new(
+        CompiledProgram::from_source("r1 out(@S,A,C) :- e(@S,A,B), f(@S,B,C).")
+            .expect("program compiles"),
+    );
+    let host_parallelism = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let mut reports = Vec::new();
+    let mut baseline: Option<(StepOutput, Vec<String>, EngineStats)> = None;
+    let mut w1_wall = 0u64;
+    for workers in [1usize, 2, 4] {
+        let mut engine = NodeEngine::new(
+            program.clone(),
+            EngineConfig::new("n1").with_fixpoint_workers(workers),
+        );
+        // Pre-load the probe side; its generation joins against an empty `e`
+        // and commits nothing, leaving the tables converged.
+        for b in 0..keys {
+            for c in 0..fanout {
+                engine.insert_base(Tuple::new(
+                    "f",
+                    vec![
+                        Value::addr("n1"),
+                        Value::Int(b as i64),
+                        Value::Int(c as i64),
+                    ],
+                ));
+            }
+        }
+        engine.run();
+        // The measured generation: every `e` insert is one trigger task
+        // joining `fanout` stored `f` facts.
+        for a in 0..probes {
+            engine.insert_base(Tuple::new(
+                "e",
+                vec![
+                    Value::addr("n1"),
+                    Value::Int(a as i64),
+                    Value::Int((a % keys) as i64),
+                ],
+            ));
+        }
+        let start = Instant::now();
+        let out = engine.run();
+        let wall_us = start.elapsed().as_micros() as u64;
+        let firings = out.firings.len() as u64;
+        let mut table_dump: Vec<String> = engine
+            .database()
+            .tables()
+            .flat_map(|t| t.iter().map(|s| format!("{:?}", s)))
+            .collect();
+        table_dump.sort();
+        let stats = engine.stats().clone();
+        let matches_w1 = match &baseline {
+            None => {
+                w1_wall = wall_us;
+                baseline = Some((out, table_dump, stats));
+                true
+            }
+            Some((b_out, b_dump, b_stats)) => {
+                *b_out == out && *b_dump == table_dump && *b_stats == stats
+            }
+        };
+        reports.push(ParallelFixpointReport {
+            scenario: scenario.to_string(),
+            workers,
+            tasks: probes as u64,
+            firings,
+            wall_us,
+            host_parallelism,
+            pool_workers: provenance::pool::workers(),
+            speedup_vs_w1: w1_wall as f64 / wall_us.max(1) as f64,
+            matches_w1,
         });
     }
     reports
@@ -577,6 +722,24 @@ fn main() {
         );
     }
 
+    let parallel_fixpoint = parallel_fixpoint_sweep("fanout_join_2048x64", 2048, 16, 64);
+    println!("\nMorsel-driven parallel fixpoint (W-way worker sweep, fan-out join):");
+    for r in &parallel_fixpoint {
+        println!(
+            "  {:20} W={:1} tasks={:>5} firings={:>7} wall={:>8}us ({:>4.2}x vs W=1, \
+             {} core(s), pool={}) identical={}",
+            r.scenario,
+            r.workers,
+            r.tasks,
+            r.firings,
+            r.wall_us,
+            r.speedup_vs_w1,
+            r.host_parallelism,
+            r.pool_workers,
+            r.matches_w1,
+        );
+    }
+
     let query_fanout = vec![
         query_fanout_report(
             "pathvector_ladder4",
@@ -610,13 +773,14 @@ fn main() {
     }
 
     let results = BenchResults {
-        format: "nettrails-bench-results/v5".to_string(),
+        format: "nettrails-bench-results/v6".to_string(),
         experiment_wall_ms,
         tables,
         join_probes,
         provenance_stores,
         delta_shipping,
         sharded_provenance,
+        parallel_fixpoint,
         query_fanout,
     };
     let json = serde_json::to_string_pretty(&results).expect("results serialize");

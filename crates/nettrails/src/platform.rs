@@ -89,6 +89,17 @@ pub struct NetTrailsConfig {
     /// sequential reference path; any value yields a bit-identical graph
     /// (see `provenance::shard`).
     pub prov_shards: usize,
+    /// Evaluate each engine generation's monotonic rule triggers with up to
+    /// this many shared-pool workers (the morsel-driven parallel fixpoint).
+    /// `1` (the default) is the inline sequential path; any value yields
+    /// bit-identical engine output (see `nt_runtime::engine`).
+    pub fixpoint_workers: usize,
+    /// Minimum trigger tasks in an engine generation before morsels are
+    /// dispatched to the pool (below it evaluation runs inline with zero
+    /// pool traffic). Defaults to `nt_runtime::FIXPOINT_DISPATCH_THRESHOLD`;
+    /// `0` forces every parallel-configured generation through the pool —
+    /// used by the end-to-end equivalence tests.
+    pub fixpoint_dispatch_threshold: usize,
 }
 
 impl Default for NetTrailsConfig {
@@ -101,6 +112,8 @@ impl Default for NetTrailsConfig {
             batch_shipping: true,
             tolerate_misrouted: false,
             prov_shards: 1,
+            fixpoint_workers: 1,
+            fixpoint_dispatch_threshold: nt_runtime::FIXPOINT_DISPATCH_THRESHOLD,
         }
     }
 }
@@ -137,6 +150,15 @@ impl NetTrailsConfig {
     pub fn with_prov_shards(shards: usize) -> Self {
         NetTrailsConfig {
             prov_shards: shards,
+            ..NetTrailsConfig::default()
+        }
+    }
+
+    /// A configuration whose engines evaluate rule triggers with up to
+    /// `workers` shared-pool workers per generation.
+    pub fn with_fixpoint_workers(workers: usize) -> Self {
+        NetTrailsConfig {
+            fixpoint_workers: workers,
             ..NetTrailsConfig::default()
         }
     }
@@ -221,6 +243,8 @@ impl NetTrails {
         for node in topology.nodes() {
             let mut engine_config = EngineConfig::new(node);
             engine_config.use_join_indexes = config.use_join_indexes;
+            engine_config.fixpoint_workers = config.fixpoint_workers.max(1);
+            engine_config.fixpoint_dispatch_threshold = config.fixpoint_dispatch_threshold;
             engines.insert(
                 Addr::new(node),
                 NodeEngine::new(program.clone(), engine_config),

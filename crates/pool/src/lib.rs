@@ -1,17 +1,25 @@
-//! Persistent shard worker pool.
+//! Process-wide persistent worker pool.
 //!
-//! The sharded maintenance engine used to spawn scoped threads for every
-//! round's apply phase; on deep fixpoints (hundreds of rounds) the spawn and
-//! join cost dominated the phase itself. This module keeps one process-wide
-//! pool of long-lived workers — spawned once, parked on a shared queue —
-//! and lets the router dispatch its per-shard apply closures to them.
+//! The sharded provenance maintenance engine used to spawn scoped threads for
+//! every round's apply phase; on deep fixpoints (hundreds of rounds) the
+//! spawn and join cost dominated the phase itself. This crate keeps one
+//! process-wide pool of long-lived workers — spawned once, parked on a shared
+//! queue — and lets callers dispatch borrowed closures to them. It is shared
+//! by the provenance shard router (per-shard apply passes), the query
+//! executor pump, and the runtime's morsel-driven parallel fixpoint
+//! (per-morsel rule evaluation), which is why it lives in its own crate
+//! below both `nt-runtime` and `provenance`.
 //!
-//! The closures borrow the round's shard slices and firing stream, so they
-//! are **not** `'static`. [`run_borrowed`] makes that sound the same way
-//! `std::thread::scope` does: the caller blocks on a completion barrier (one
-//! acknowledgement per task) before returning, so every borrow strictly
-//! outlives the workers' use of it. The lifetime is erased only to cross the
-//! queue, never to outlive the call.
+//! The closures borrow per-round state (shard slices, firing streams, the
+//! engine's database), so they are **not** `'static`. [`run_borrowed`] makes
+//! that sound the same way `std::thread::scope` does: the caller blocks on a
+//! completion barrier (one acknowledgement per task) before returning, so
+//! every borrow strictly outlives the workers' use of it. The lifetime is
+//! erased only to cross the queue, never to outlive the call.
+//!
+//! [`run_borrowed_limited`] additionally caps how many tasks are in flight at
+//! once — the knob the parallel fixpoint sweeps to measure W ∈ {1, 2, 4}
+//! scaling on one machine without re-sizing the pool.
 //!
 //! Workers survive task panics (the panic is caught, the acknowledgement
 //! channel closes, and the dispatching caller propagates the failure), so
@@ -34,7 +42,7 @@ static POOL: OnceLock<Pool> = OnceLock::new();
 static JOBS_EXECUTED: AtomicU64 = AtomicU64::new(0);
 
 /// Build (once) and return the process-wide pool. One worker per available
-/// core: the router never has more runnable shards than cores worth running
+/// core: no caller ever has more runnable tasks than cores worth running
 /// in parallel, and excess tasks simply queue.
 fn pool() -> &'static Pool {
     POOL.get_or_init(|| {
@@ -46,7 +54,7 @@ fn pool() -> &'static Pool {
         for i in 0..workers {
             let rx: std::sync::Arc<Mutex<Receiver<Job>>> = rx.clone();
             std::thread::Builder::new()
-                .name(format!("prov-shard-{i}"))
+                .name(format!("nt-pool-{i}"))
                 .spawn(move || loop {
                     let job = {
                         let guard = rx.lock().expect("pool queue lock");
@@ -64,7 +72,7 @@ fn pool() -> &'static Pool {
                         Err(_) => return,
                     }
                 })
-                .expect("spawn shard worker");
+                .expect("spawn pool worker");
         }
         Pool { queue: tx, workers }
     })
@@ -90,9 +98,28 @@ pub fn jobs_executed() -> u64 {
 pub fn run_borrowed<'env, R: Send + 'env>(
     tasks: Vec<Box<dyn FnOnce() -> R + Send + 'env>>,
 ) -> Vec<R> {
+    let limit = tasks.len();
+    run_borrowed_limited(tasks, limit)
+}
+
+/// Like [`run_borrowed`], but keeps at most `limit` tasks in flight at once:
+/// the first `limit` tasks are dispatched immediately and each completion
+/// acknowledgement releases the next. With `limit >= tasks.len()` this is
+/// exactly [`run_borrowed`]; with `limit == 1` the tasks run one at a time
+/// (still on pool threads). Results come back in task order either way.
+///
+/// Panics if a task panicked or if `limit == 0` with tasks pending.
+pub fn run_borrowed_limited<'env, R: Send + 'env>(
+    tasks: Vec<Box<dyn FnOnce() -> R + Send + 'env>>,
+    limit: usize,
+) -> Vec<R> {
     let n = tasks.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    assert!(limit > 0, "cannot run tasks with a zero in-flight limit");
     let (done_tx, done_rx) = channel::<(usize, R)>();
-    for (index, task) in tasks.into_iter().enumerate() {
+    let dispatch = |index: usize, task: Box<dyn FnOnce() -> R + Send + 'env>| {
         let done = done_tx.clone();
         let job: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
             let result = task();
@@ -107,13 +134,20 @@ pub fn run_borrowed<'env, R: Send + 'env>(
         // contract std::thread::scope enforces, expressed over a queue.
         let job: Job = unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Job>(job) };
         pool().queue.send(job).expect("pool queue closed");
+    };
+    let mut pending = tasks.into_iter().enumerate();
+    for (index, task) in pending.by_ref().take(limit) {
+        dispatch(index, task);
     }
-    drop(done_tx);
     let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
     for _ in 0..n {
-        let (index, result) = done_rx.recv().expect("shard worker task panicked");
+        let (index, result) = done_rx.recv().expect("pool worker task panicked");
         results[index] = Some(result);
+        if let Some((next_index, task)) = pending.next() {
+            dispatch(next_index, task);
+        }
     }
+    drop(done_tx);
     results
         .into_iter()
         .map(|r| r.expect("every task reported"))
@@ -153,5 +187,24 @@ mod tests {
         assert_eq!(first, second);
         assert_eq!(workers(), spawned, "no re-spawning between rounds");
         assert!(jobs_executed() >= jobs_after_first + borrowed.len() as u64);
+    }
+
+    #[test]
+    fn limited_dispatch_returns_results_in_task_order() {
+        let inputs: Vec<usize> = (0..48).collect();
+        for limit in [1usize, 2, 4, 64] {
+            let tasks: Vec<Box<dyn FnOnce() -> usize + Send + '_>> = inputs
+                .iter()
+                .map(|&i| Box::new(move || i * 3) as Box<dyn FnOnce() -> usize + Send + '_>)
+                .collect();
+            let results = run_borrowed_limited(tasks, limit);
+            assert_eq!(results, (0..48).map(|i| i * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_task_list_is_a_no_op() {
+        let tasks: Vec<Box<dyn FnOnce() -> u8 + Send + 'static>> = Vec::new();
+        assert!(run_borrowed_limited(tasks, 1).is_empty());
     }
 }

@@ -28,13 +28,18 @@
 //! 2.3.
 
 pub mod graph;
-pub mod pool;
 pub mod proql;
 pub mod query;
 pub mod rewrite;
 pub mod shard;
 pub mod store;
 pub mod system;
+
+/// The process-wide persistent worker pool, hoisted into its own `nt-pool`
+/// crate so the runtime's parallel fixpoint can share it without a dependency
+/// cycle. Re-exported here so existing `provenance::pool::*` callers (the
+/// sharded apply phase, the query executor pump) keep working unchanged.
+pub use nt_pool as pool;
 
 pub use graph::{ProvEdge, ProvGraph, ProvVertex};
 pub use proql::{parse_query as parse_proql, ProqlQuery, ProqlResult};

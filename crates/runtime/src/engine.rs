@@ -1,10 +1,21 @@
 //! The per-node incremental evaluation engine.
 //!
 //! A [`NodeEngine`] holds one node's partition of every relation and evaluates
-//! the localized rules of a [`CompiledProgram`] using *pipelined semi-naive*
-//! evaluation: every inserted or deleted tuple is a delta that is joined
-//! against the stored tables, producing new deltas, until a local fixpoint is
-//! reached. Derived tuples whose home (location attribute) is another node are
+//! the localized rules of a [`CompiledProgram`] using *generation-based
+//! semi-naive* evaluation. Each [`NodeEngine::run`] call drains the delta
+//! queue in generations: all currently queued insertions and deletions are
+//! applied to the tables first (sequentially, in stream order), then the
+//! surviving membership changes are expanded into rule-evaluation trigger
+//! tasks. Monotonic tasks are pure reads against the now-frozen tables, so
+//! the morsel-driven dispatcher (module `morsel`) can fan them out across
+//! the shared worker pool (when [`EngineConfig::fixpoint_workers`] > 1 and
+//! the generation clears the dispatch threshold); their candidate firings are
+//! merged back on one thread in sequence order, which is where all mutation —
+//! derivation emission, aggregate recomputation, negation reconciliation,
+//! cascade deletion — happens. Derived tuples feed the next generation's
+//! queue until a local fixpoint is reached, and the output — tables,
+//! [`EngineStats`], outbox batches, provenance firings — is bit-identical at
+//! every worker count. Derived tuples whose home (location attribute) is another node are
 //! not stored locally; instead the engine records them in an *outbox*,
 //! coalesces the implied sends (an insert/delete pair for the same tuple and
 //! derivation within one round cancels; identical re-emissions dedupe) and
@@ -33,13 +44,14 @@
 //! provenance graph contains the base vertices.
 
 use crate::compile::{CompiledProgram, CompiledRule};
-use crate::eval::{eval_expr, eval_filter, literal_value, Bindings};
+use crate::eval::{literal_value, Bindings};
+use crate::morsel::{self, Candidate, EvalContext, MonoTask};
 #[cfg(test)]
 use crate::store::BASE_RULE;
 use crate::store::{base_rule_sym, Database, Derivation, Membership};
 use crate::tuple::{Delta, Tuple, TupleId};
 use crate::value::{Addr, Sym, Value};
-use ndlog::{AggregateFunc, BodyElem, Literal, Predicate, Term};
+use ndlog::{AggregateFunc, Literal, Predicate, Term};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
@@ -61,7 +73,22 @@ pub struct EngineConfig {
     /// table — kept as the reference path for equivalence tests and as the
     /// baseline the index regression tests compare against.
     pub use_join_indexes: bool,
+    /// Worker-pool parallelism for the morsel-driven fixpoint: the maximum
+    /// number of [`nt_pool`] workers a generation's monotonic trigger tasks
+    /// are spread across. `1` (the default) evaluates every generation
+    /// inline with zero pool traffic; any value produces bit-identical
+    /// output (see module `morsel` for the determinism discipline).
+    pub fixpoint_workers: usize,
+    /// Minimum number of trigger tasks in a generation before the engine
+    /// dispatches to the pool at all. Below it the per-job overhead dwarfs
+    /// the work (the same ≥64 heuristic the sharded provenance apply phase
+    /// uses), so small generations run inline even when
+    /// [`EngineConfig::fixpoint_workers`] > 1.
+    pub fixpoint_dispatch_threshold: usize,
 }
+
+/// Default for [`EngineConfig::fixpoint_dispatch_threshold`].
+pub const FIXPOINT_DISPATCH_THRESHOLD: usize = 64;
 
 impl EngineConfig {
     /// Config for a node with default limits.
@@ -70,6 +97,8 @@ impl EngineConfig {
             node: node.into(),
             max_deltas_per_run: 1_000_000,
             use_join_indexes: true,
+            fixpoint_workers: 1,
+            fixpoint_dispatch_threshold: FIXPOINT_DISPATCH_THRESHOLD,
         }
     }
 
@@ -77,6 +106,21 @@ impl EngineConfig {
     /// full-scan evaluation).
     pub fn without_indexes(mut self) -> Self {
         self.use_join_indexes = false;
+        self
+    }
+
+    /// Same config evaluating each generation's monotonic trigger tasks with
+    /// up to `workers` pool workers (clamped to at least 1).
+    pub fn with_fixpoint_workers(mut self, workers: usize) -> Self {
+        self.fixpoint_workers = workers.max(1);
+        self
+    }
+
+    /// Same config with a custom dispatch threshold (`0` forces every
+    /// parallel-configured generation through the pool — used by the
+    /// equivalence tests to exercise the dispatch path on tiny inputs).
+    pub fn with_fixpoint_dispatch_threshold(mut self, threshold: usize) -> Self {
+        self.fixpoint_dispatch_threshold = threshold;
         self
     }
 }
@@ -267,6 +311,36 @@ enum WorkItem {
     },
 }
 
+/// A membership transition observed while applying one generation's deltas,
+/// recorded in stream order. The apply phase only mutates tables; everything
+/// the old pipelined engine did *at* the transition — firings, local-change
+/// reporting, rule triggering, cascade deletion — replays from these events
+/// during the merge phase, at the same sequence position.
+#[derive(Debug, Clone)]
+enum GenEvent {
+    /// A base tuple gained or lost a derivation (reported to provenance).
+    BaseFire { tuple: Tuple, insert: bool },
+    /// A tuple became visible.
+    Appeared(Tuple),
+    /// A tuple lost its last derivation (cascade runs at merge time).
+    Disappeared(Tuple),
+}
+
+/// One rule trigger planned for an [`GenEvent::Appeared`] event. `Mono`
+/// triggers are evaluated (possibly in parallel) before the merge phase and
+/// consume their precomputed candidates in task order; aggregate and
+/// negation triggers always run sequentially in the merge.
+#[derive(Debug, Clone, Copy)]
+enum TriggerOp {
+    /// Consume the next precomputed `(candidates, probes)` result.
+    Mono,
+    /// Recompute the aggregate group(s) of this rule for the event's tuple.
+    Aggregate { rule_idx: usize },
+    /// Reconcile a rule containing negation (at most once per generation —
+    /// the tables it reads are frozen, so repeats compute the same result).
+    Reconcile { rule_idx: usize },
+}
+
 /// The per-node incremental evaluator. See the module documentation.
 #[derive(Debug, Clone)]
 pub struct NodeEngine {
@@ -357,26 +431,252 @@ impl NodeEngine {
         }
     }
 
-    /// Process queued deltas to a local fixpoint.
+    /// Process queued deltas to a local fixpoint, one generation at a time:
+    /// everything queued when a generation starts is applied and evaluated
+    /// together, and the derivations it emits form the next generation.
     pub fn run(&mut self) -> StepOutput {
         let mut out = StepOutput::default();
-        let mut processed = 0usize;
-        while let Some(item) = self.queue.pop_front() {
-            processed += 1;
-            if processed > self.config.max_deltas_per_run {
+        let mut budget = self.config.max_deltas_per_run;
+        while !self.queue.is_empty() {
+            if budget == 0 {
                 out.truncated = true;
                 break;
             }
-            self.stats.deltas_processed += 1;
-            match item {
-                WorkItem::Add { tuple, derivation } => self.apply_add(tuple, derivation, &mut out),
-                WorkItem::Remove { tuple, derivation } => {
-                    self.apply_remove(tuple, derivation, &mut out)
-                }
-            }
+            let take = self.queue.len().min(budget);
+            budget -= take;
+            self.stats.deltas_processed += take as u64;
+            let generation: Vec<WorkItem> = self.queue.drain(..take).collect();
+            self.process_generation(generation, &mut out);
         }
         self.flush_sends(&mut out);
         out
+    }
+
+    /// Evaluate one generation. Four phases:
+    ///
+    /// * **apply** — every delta performs its membership transition
+    ///   (sequentially, in stream order); transitions are recorded as
+    ///   [`GenEvent`]s and the tables do not change again until the merge
+    ///   emits into the *next* generation's queue.
+    /// * **plan** — each surviving `Appeared` event expands into its rule
+    ///   triggers. Insertions whose tuple died later in the same generation
+    ///   are skipped: their net effect on the frozen tables is nothing, so
+    ///   the rules they would have fired transiently never observe them.
+    /// * **evaluate** — the monotonic trigger tasks are pure reads against
+    ///   the frozen tables; [`morsel::evaluate_tasks`] runs them inline or
+    ///   fans them out across the worker pool, returning candidates in task
+    ///   order either way.
+    /// * **merge** — events replay in sequence order on this thread:
+    ///   firings and local changes are reported, candidates commit through
+    ///   [`Self::emit_derivation`], aggregates recompute, negation rules
+    ///   reconcile (once per generation) and disappearances cascade.
+    fn process_generation(&mut self, items: Vec<WorkItem>, out: &mut StepOutput) {
+        let mut events: Vec<GenEvent> = Vec::new();
+        for item in items {
+            match item {
+                WorkItem::Add { tuple, derivation } => {
+                    self.apply_add(tuple, derivation, &mut events)
+                }
+                WorkItem::Remove { tuple, derivation } => {
+                    self.apply_remove(tuple, derivation, &mut events)
+                }
+            }
+        }
+        let skip = self.net_events(&events);
+
+        let mut ops: Vec<Vec<TriggerOp>> = Vec::with_capacity(events.len());
+        let mut tasks: Vec<MonoTask> = Vec::new();
+        for (idx, event) in events.iter().enumerate() {
+            ops.push(match event {
+                GenEvent::Appeared(tuple) if !skip[idx] => {
+                    self.plan_insert_triggers(tuple, &mut tasks)
+                }
+                _ => Vec::new(),
+            });
+        }
+
+        let evaluated = {
+            let ctx = EvalContext {
+                db: &self.db,
+                program: self.program.as_ref(),
+                use_join_indexes: self.config.use_join_indexes,
+            };
+            morsel::evaluate_tasks(
+                &ctx,
+                &tasks,
+                self.config.fixpoint_workers,
+                self.config.fixpoint_dispatch_threshold,
+            )
+        };
+
+        let mut results = evaluated.into_iter();
+        let mut reconciled: HashSet<usize> = HashSet::new();
+        for ((idx, event), event_ops) in events.into_iter().enumerate().zip(ops) {
+            if skip[idx] {
+                continue;
+            }
+            match event {
+                GenEvent::BaseFire { tuple, insert } => out.firings.push(Firing {
+                    rule: base_rule_sym(),
+                    node: self.config.node,
+                    head: tuple.clone(),
+                    head_home: self.config.node,
+                    inputs: Vec::new(),
+                    input_tuples: Vec::new(),
+                    insert,
+                }),
+                GenEvent::Appeared(tuple) => {
+                    out.local_changes.push(Delta::Insert(tuple.clone()));
+                    for op in event_ops {
+                        match op {
+                            TriggerOp::Mono => {
+                                let (candidates, probes) =
+                                    results.next().expect("one result per planned task");
+                                self.stats.join_probes += probes;
+                                for candidate in candidates {
+                                    self.commit_candidate(candidate, out);
+                                }
+                            }
+                            TriggerOp::Aggregate { rule_idx } => {
+                                self.recompute_aggregate_for(rule_idx, &tuple, out)
+                            }
+                            TriggerOp::Reconcile { rule_idx } => {
+                                if reconciled.insert(rule_idx) {
+                                    self.reconcile_rule(rule_idx, out);
+                                }
+                            }
+                        }
+                    }
+                }
+                GenEvent::Disappeared(tuple) => {
+                    out.local_changes.push(Delta::Delete(tuple.clone()));
+                    self.on_disappear(&tuple, &mut reconciled, out);
+                }
+            }
+        }
+    }
+
+    /// Is `tuple` (by exact identity) still stored at the end of the apply
+    /// phase? Filters out insertions that were deleted — or displaced by a
+    /// keyed replacement — later in the same generation.
+    fn is_live(&self, tuple: &Tuple) -> bool {
+        self.db
+            .table_sym(tuple.relation)
+            .and_then(|table| table.get(tuple))
+            .is_some_and(|stored| stored.tuple.id() == tuple.id())
+    }
+
+    /// Decide which membership events of a generation are *transient churn*
+    /// and must not be replayed. Transitions for one tuple id strictly
+    /// alternate (appear / disappear / appear / …), so the generation's net
+    /// effect on the tuple follows from its first event and its final
+    /// liveness:
+    ///
+    /// * **present before, present after** (delete + re-derive, possibly
+    ///   with a different derivation) — every event is skipped. Downstream
+    ///   derivations reference the tuple *id*, which never stopped
+    ///   resolving, so neither the disappearance cascade nor the insertion
+    ///   triggers may run; running the cascade here is not just wasteful but
+    ///   wrong, because the frozen-table aggregate/negation recomputation
+    ///   correctly concludes "no change" and would never re-emit what the
+    ///   cascade retracted.
+    /// * **absent before, present after** — nets to the final appearance.
+    /// * **present before, absent after** — nets to the first
+    ///   disappearance.
+    /// * **absent before, absent after** (insert + delete of a previously
+    ///   unknown tuple) — nets to nothing: the tuple never fired a rule and
+    ///   has no dependents, so there is nothing to retract.
+    ///
+    /// Tuples with a single membership event keep it (a lone appearance is
+    /// final by alternation; a lone disappearance likewise). `BaseFire`
+    /// events are never skipped — base derivations really were added and
+    /// removed, and provenance capture tracks both sides.
+    fn net_events(&self, events: &[GenEvent]) -> Vec<bool> {
+        let mut skip = vec![false; events.len()];
+        let mut per_id: HashMap<TupleId, (bool, Vec<usize>)> = HashMap::new();
+        for (idx, event) in events.iter().enumerate() {
+            match event {
+                GenEvent::Appeared(t) => per_id
+                    .entry(t.id())
+                    .or_insert_with(|| (false, Vec::new()))
+                    .1
+                    .push(idx),
+                GenEvent::Disappeared(t) => per_id
+                    .entry(t.id())
+                    .or_insert_with(|| (true, Vec::new()))
+                    .1
+                    .push(idx),
+                GenEvent::BaseFire { .. } => {}
+            }
+        }
+        for (first_is_disappear, idxs) in per_id.into_values() {
+            if idxs.len() < 2 {
+                continue;
+            }
+            let live = match &events[idxs[0]] {
+                GenEvent::Appeared(t) | GenEvent::Disappeared(t) => self.is_live(t),
+                GenEvent::BaseFire { .. } => unreachable!("only membership events are indexed"),
+            };
+            let keep = match (first_is_disappear, live) {
+                // Present before and after: pure churn, nothing survives.
+                (true, true) => None,
+                // New tuple: the final appearance stands for all of them.
+                (false, true) => idxs
+                    .iter()
+                    .rev()
+                    .find(|&&i| matches!(events[i], GenEvent::Appeared(_)))
+                    .copied(),
+                // Deleted tuple: the first disappearance cascades once.
+                (true, false) => Some(idxs[0]),
+                // Appeared and died unseen: nothing to replay.
+                (false, false) => None,
+            };
+            for &idx in &idxs {
+                skip[idx] = keep != Some(idx);
+            }
+        }
+        skip
+    }
+
+    /// Expand an appeared tuple into its trigger ops (in the program's
+    /// trigger order), appending the monotonic ones to `tasks`.
+    fn plan_insert_triggers(&self, tuple: &Tuple, tasks: &mut Vec<MonoTask>) -> Vec<TriggerOp> {
+        let mut ops = Vec::new();
+        if let Some(triggers) = self.program.triggers.get(&tuple.relation) {
+            for &(rule_idx, atom_idx) in triggers {
+                let rule = &self.program.rules[rule_idx];
+                if rule.aggregate.is_some() {
+                    ops.push(TriggerOp::Aggregate { rule_idx });
+                } else if rule.has_negation() {
+                    ops.push(TriggerOp::Reconcile { rule_idx });
+                } else {
+                    tasks.push(MonoTask {
+                        rule_idx,
+                        atom_idx,
+                        tuple: tuple.clone(),
+                    });
+                    ops.push(TriggerOp::Mono);
+                }
+            }
+        }
+        if let Some(neg) = self.program.negation_triggers.get(&tuple.relation) {
+            for &rule_idx in neg {
+                ops.push(TriggerOp::Reconcile { rule_idx });
+            }
+        }
+        ops
+    }
+
+    /// Commit one precomputed candidate firing: build its derivation record
+    /// and route it through the normal emission path.
+    fn commit_candidate(&mut self, candidate: Candidate, out: &mut StepOutput) {
+        let rule_sym = self.program.rules[candidate.rule_idx].name_sym;
+        let derivation = Derivation {
+            rule: rule_sym,
+            node: self.config.node,
+            inputs: candidate.inputs.iter().map(Tuple::id).collect(),
+        };
+        self.emit_derivation(candidate.head, derivation, true, candidate.inputs, out);
     }
 
     // ----------------------------------------------------------------------
@@ -502,7 +802,7 @@ impl NodeEngine {
         }
     }
 
-    fn apply_add(&mut self, tuple: Tuple, derivation: Derivation, out: &mut StepOutput) {
+    fn apply_add(&mut self, tuple: Tuple, derivation: Derivation, events: &mut Vec<GenEvent>) {
         self.ensure_table(&tuple);
         let tuple = self.canonical_tuple(tuple);
         let is_base = derivation.is_base();
@@ -522,13 +822,8 @@ impl NodeEngine {
             }
             if is_base {
                 // Report base tuples to the provenance layer.
-                out.firings.push(Firing {
-                    rule: base_rule_sym(),
-                    node: self.config.node,
-                    head: tuple.clone(),
-                    head_home: self.config.node,
-                    inputs: Vec::new(),
-                    input_tuples: Vec::new(),
+                events.push(GenEvent::BaseFire {
+                    tuple: tuple.clone(),
                     insert: true,
                 });
             }
@@ -536,22 +831,17 @@ impl NodeEngine {
 
         match membership {
             Membership::Unchanged | Membership::AddedDerivation | Membership::NotFound => {}
-            Membership::Appeared => {
-                out.local_changes.push(Delta::Insert(tuple.clone()));
-                self.trigger_insert(&tuple, out);
-            }
+            Membership::Appeared => events.push(GenEvent::Appeared(tuple)),
             Membership::Replaced(old) => {
                 // Update-in-place: the displaced tuple disappears first.
-                out.local_changes.push(Delta::Delete(old.clone()));
-                self.on_disappear(&old, out);
-                out.local_changes.push(Delta::Insert(tuple.clone()));
-                self.trigger_insert(&tuple, out);
+                events.push(GenEvent::Disappeared(old));
+                events.push(GenEvent::Appeared(tuple));
             }
             Membership::Disappeared | Membership::RemovedDerivation => unreachable!(),
         }
     }
 
-    fn apply_remove(&mut self, tuple: Tuple, derivation: Derivation, out: &mut StepOutput) {
+    fn apply_remove(&mut self, tuple: Tuple, derivation: Derivation, events: &mut Vec<GenEvent>) {
         let tuple = self.canonical_tuple(tuple);
         let Some(table) = self.db.table_mut_sym(tuple.relation) else {
             return;
@@ -563,25 +853,26 @@ impl NodeEngine {
             Membership::Disappeared | Membership::RemovedDerivation
         ) && is_base
         {
-            out.firings.push(Firing {
-                rule: base_rule_sym(),
-                node: self.config.node,
-                head: tuple.clone(),
-                head_home: self.config.node,
-                inputs: Vec::new(),
-                input_tuples: Vec::new(),
+            events.push(GenEvent::BaseFire {
+                tuple: tuple.clone(),
                 insert: false,
             });
         }
         if membership == Membership::Disappeared {
-            out.local_changes.push(Delta::Delete(tuple.clone()));
-            self.on_disappear(&tuple, out);
+            events.push(GenEvent::Disappeared(tuple));
         }
     }
 
     /// A tuple lost its last derivation: cascade through the dependency index
-    /// and re-trigger aggregate / negation rules.
-    fn on_disappear(&mut self, tuple: &Tuple, out: &mut StepOutput) {
+    /// and re-trigger aggregate / negation rules. Runs at the event's merge
+    /// position, so its queue pushes interleave with the generation's other
+    /// emissions in sequence order.
+    fn on_disappear(
+        &mut self,
+        tuple: &Tuple,
+        reconciled: &mut HashSet<usize>,
+        out: &mut StepOutput,
+    ) {
         let id = tuple.id();
         let dependents = self.db.dependents_of(id);
         self.db.clear_dependency(id);
@@ -625,41 +916,17 @@ impl NodeEngine {
             }
         }
         // Aggregate and negation rules re-examine the affected groups.
-        self.trigger_nonmonotonic(tuple, out);
-    }
-
-    /// Rules to run when a tuple of `tuple.relation` appears.
-    fn trigger_insert(&mut self, tuple: &Tuple, out: &mut StepOutput) {
-        let triggers = self
-            .program
-            .triggers
-            .get(&tuple.relation)
-            .cloned()
-            .unwrap_or_default();
-        for (rule_idx, atom_idx) in triggers {
-            let rule = &self.program.rules[rule_idx];
-            if rule.aggregate.is_some() {
-                self.recompute_aggregate_for(rule_idx, tuple, out);
-            } else if rule.has_negation() {
-                self.reconcile_rule(rule_idx, out);
-            } else {
-                self.eval_rule_delta(rule_idx, atom_idx, tuple, out);
-            }
-        }
-        let neg = self
-            .program
-            .negation_triggers
-            .get(&tuple.relation)
-            .cloned()
-            .unwrap_or_default();
-        for rule_idx in neg {
-            self.reconcile_rule(rule_idx, out);
-        }
+        self.trigger_nonmonotonic(tuple, reconciled, out);
     }
 
     /// Aggregate-group recomputation and negation reconciliation triggered by
     /// a disappearance.
-    fn trigger_nonmonotonic(&mut self, tuple: &Tuple, out: &mut StepOutput) {
+    fn trigger_nonmonotonic(
+        &mut self,
+        tuple: &Tuple,
+        reconciled: &mut HashSet<usize>,
+        out: &mut StepOutput,
+    ) {
         let triggers = self
             .program
             .triggers
@@ -670,7 +937,7 @@ impl NodeEngine {
             let rule = &self.program.rules[rule_idx];
             if rule.aggregate.is_some() {
                 self.recompute_aggregate_for(rule_idx, tuple, out);
-            } else if rule.has_negation() {
+            } else if rule.has_negation() && reconciled.insert(rule_idx) {
                 self.reconcile_rule(rule_idx, out);
             }
         }
@@ -681,181 +948,10 @@ impl NodeEngine {
             .cloned()
             .unwrap_or_default();
         for rule_idx in neg {
-            self.reconcile_rule(rule_idx, out);
-        }
-    }
-
-    // ----------------------------------------------------------------------
-    // rule evaluation
-    // ----------------------------------------------------------------------
-
-    /// Evaluate a (non-aggregate, negation-free) rule against a single delta
-    /// tuple bound to the body atom `atom_idx`, following the precomputed
-    /// join plan for that trigger position.
-    fn eval_rule_delta(
-        &mut self,
-        rule_idx: usize,
-        atom_idx: usize,
-        delta_tuple: &Tuple,
-        out: &mut StepOutput,
-    ) {
-        let program = Arc::clone(&self.program);
-        let rule = &program.rules[rule_idx];
-        let mut bindings = Bindings::new();
-        if !match_atom(&rule.positive[atom_idx], delta_tuple, &mut bindings) {
-            return;
-        }
-        let mut matched: Vec<Option<Tuple>> = vec![None; rule.positive.len()];
-        matched[atom_idx] = Some(delta_tuple.clone());
-        let mut results = Vec::new();
-        let mut probes = 0u64;
-        self.join_plan(
-            rule,
-            &rule.plans[atom_idx].steps,
-            0,
-            &mut bindings,
-            &mut matched,
-            &mut results,
-            &mut probes,
-        );
-        self.stats.join_probes += probes;
-        for (bindings, inputs) in results {
-            self.fire_rule(rule, &bindings, &inputs, out);
-        }
-    }
-
-    /// Recursively join the atoms of a plan. Each step probes its table
-    /// through the bound columns the plan computed at compile time, so the
-    /// candidate set is an index posting list rather than the whole table;
-    /// bindings are extended in place (with undo) instead of cloned per
-    /// candidate. `probes` counts the candidates actually examined.
-    #[allow(clippy::too_many_arguments)]
-    fn join_plan(
-        &self,
-        rule: &CompiledRule,
-        steps: &[crate::compile::PlanStep],
-        pos: usize,
-        bindings: &mut Bindings,
-        matched: &mut Vec<Option<Tuple>>,
-        results: &mut Vec<(Bindings, Vec<Tuple>)>,
-        probes: &mut u64,
-    ) {
-        if pos == steps.len() {
-            let inputs: Vec<Tuple> = matched
-                .iter()
-                .map(|t| t.clone().expect("all atoms matched"))
-                .collect();
-            results.push((bindings.clone(), inputs));
-            return;
-        }
-        let step = &steps[pos];
-        let atom = &rule.positive[step.atom];
-        let Some(table) = self.db.table_sym(rule.positive_syms[step.atom]) else {
-            return;
-        };
-        let bound = if self.config.use_join_indexes {
-            resolve_bound_cols(&step.bound_cols, bindings)
-        } else {
-            Vec::new()
-        };
-        for stored in table.probe(&bound) {
-            *probes += 1;
-            let mut added = Vec::new();
-            if match_atom_undo(atom, &stored.tuple, bindings, &mut added) {
-                matched[step.atom] = Some(stored.tuple.clone());
-                self.join_plan(rule, steps, pos + 1, bindings, matched, results, probes);
-                matched[step.atom] = None;
-                for name in added {
-                    bindings.remove(&name);
-                }
+            if reconciled.insert(rule_idx) {
+                self.reconcile_rule(rule_idx, out);
             }
         }
-    }
-
-    /// Apply assignments / filters / negation checks and emit the derivation.
-    fn fire_rule(
-        &mut self,
-        rule: &CompiledRule,
-        bindings: &Bindings,
-        inputs: &[Tuple],
-        out: &mut StepOutput,
-    ) {
-        let Some(bindings) = self.apply_steps(rule, bindings.clone()) else {
-            return;
-        };
-        // Negation checks (only reachable from reconcile_rule, which passes
-        // rules with negation through here as well).
-        for (neg, probe_cols) in rule.negated.iter().zip(&rule.negated_probes) {
-            let mut probes = 0u64;
-            let hit = self.exists_match(neg, probe_cols, &bindings, &mut probes);
-            self.stats.join_probes += probes;
-            if hit {
-                return;
-            }
-        }
-        let Some(head) = build_head(&rule.rule.head, &bindings, rule.head_loc_col, None) else {
-            return;
-        };
-        let derivation = Derivation {
-            rule: rule.name_sym,
-            node: self.config.node,
-            inputs: inputs.iter().map(Tuple::id).collect(),
-        };
-        self.emit_derivation(head, derivation, true, inputs.to_vec(), out);
-    }
-
-    /// Evaluate assignments and filters; `None` when a filter rejects the
-    /// bindings or an expression fails to evaluate.
-    fn apply_steps(&self, rule: &CompiledRule, mut bindings: Bindings) -> Option<Bindings> {
-        for step in &rule.steps {
-            match step {
-                BodyElem::Assign { var, expr } => match eval_expr(expr, &bindings) {
-                    Ok(value) => match bindings.get(var) {
-                        Some(existing) if *existing != value => return None,
-                        _ => {
-                            bindings.insert(var.clone(), value);
-                        }
-                    },
-                    Err(_) => return None,
-                },
-                BodyElem::Filter(expr) => match eval_filter(expr, &bindings) {
-                    Ok(true) => {}
-                    _ => return None,
-                },
-                BodyElem::Atom(_) => {}
-            }
-        }
-        Some(bindings)
-    }
-
-    /// Does any stored tuple match `atom` under `bindings`? Probes the
-    /// relation's indexes through the compile-time bound columns instead of
-    /// scanning; `probes` counts the candidates examined.
-    fn exists_match(
-        &self,
-        atom: &Predicate,
-        probe_cols: &[(usize, crate::compile::BoundTerm)],
-        bindings: &Bindings,
-        probes: &mut u64,
-    ) -> bool {
-        let Some(table) = self.db.table(&atom.relation) else {
-            return false;
-        };
-        let bound = if self.config.use_join_indexes {
-            resolve_bound_cols(probe_cols, bindings)
-        } else {
-            Vec::new()
-        };
-        // One scratch clone for the whole check instead of one per candidate.
-        let mut scratch = bindings.clone();
-        for stored in table.probe(&bound) {
-            *probes += 1;
-            let mut added = Vec::new();
-            if match_atom_undo(atom, &stored.tuple, &mut scratch, &mut added) {
-                return true;
-            }
-        }
-        false
     }
 
     /// Route a derivation of `head`: apply locally when the head lives here,
@@ -1042,7 +1138,7 @@ impl NodeEngine {
                     group_bindings.insert(name.clone(), value.clone());
                 }
             }
-            resolve_bound_cols(&rule.aggregate_probe, &group_bindings)
+            morsel::resolve_bound_cols(&rule.aggregate_probe, &group_bindings)
         } else {
             Vec::new()
         };
@@ -1053,7 +1149,7 @@ impl NodeEngine {
                 if !match_atom(atom, &stored.tuple, &mut b) {
                     continue;
                 }
-                let Some(b) = self.apply_steps(rule, b) else {
+                let Some(b) = morsel::apply_steps(rule, b) else {
                     continue;
                 };
                 let Some(g) = group_key(rule, &b) else {
@@ -1164,54 +1260,61 @@ impl NodeEngine {
     fn reconcile_rule(&mut self, rule_idx: usize, out: &mut StepOutput) {
         let program = Arc::clone(&self.program);
         let rule = &program.rules[rule_idx];
-        // Compute the current matches (full join along the precomputed plan).
-        let mut matched: Vec<Option<Tuple>> = vec![None; rule.positive.len()];
-        let mut results = Vec::new();
-        let mut probes = 0u64;
-        let mut bindings = Bindings::new();
-        self.join_plan(
-            rule,
-            &rule.full_plan.steps,
-            0,
-            &mut bindings,
-            &mut matched,
-            &mut results,
-            &mut probes,
-        );
-        self.stats.join_probes += probes;
-
         let mut new_derivations: Vec<(Tuple, Derivation, Vec<Tuple>)> = Vec::new();
-        for (bindings, inputs) in results {
-            let Some(bindings) = self.apply_steps(rule, bindings) else {
-                continue;
+        let mut probes = 0u64;
+        {
+            // Read phase: a scoped evaluation context computes the current
+            // matches (full join along the precomputed plan); all mutation
+            // happens after the scope ends.
+            let ctx = EvalContext {
+                db: &self.db,
+                program: program.as_ref(),
+                use_join_indexes: self.config.use_join_indexes,
             };
-            let mut neg_probes = 0u64;
-            let negated_hit =
-                rule.negated
+            let mut matched: Vec<Option<Tuple>> = vec![None; rule.positive.len()];
+            let mut results = Vec::new();
+            let mut bindings = Bindings::new();
+            ctx.join_plan(
+                rule,
+                &rule.full_plan.steps,
+                0,
+                &mut bindings,
+                &mut matched,
+                &mut results,
+                &mut probes,
+            );
+            for (bindings, inputs) in results {
+                let Some(bindings) = morsel::apply_steps(rule, bindings) else {
+                    continue;
+                };
+                let negated_hit =
+                    rule.negated
+                        .iter()
+                        .zip(&rule.negated_probes)
+                        .any(|(neg, probe_cols)| {
+                            ctx.exists_match(neg, probe_cols, &bindings, &mut probes)
+                        });
+                if negated_hit {
+                    continue;
+                }
+                let Some(head) = build_head(&rule.rule.head, &bindings, rule.head_loc_col, None)
+                else {
+                    continue;
+                };
+                let derivation = Derivation {
+                    rule: rule.name_sym,
+                    node: self.config.node,
+                    inputs: inputs.iter().map(Tuple::id).collect(),
+                };
+                if !new_derivations
                     .iter()
-                    .zip(&rule.negated_probes)
-                    .any(|(neg, probe_cols)| {
-                        self.exists_match(neg, probe_cols, &bindings, &mut neg_probes)
-                    });
-            self.stats.join_probes += neg_probes;
-            if negated_hit {
-                continue;
-            }
-            let Some(head) = build_head(&rule.rule.head, &bindings, rule.head_loc_col, None) else {
-                continue;
-            };
-            let derivation = Derivation {
-                rule: rule.name_sym,
-                node: self.config.node,
-                inputs: inputs.iter().map(Tuple::id).collect(),
-            };
-            if !new_derivations
-                .iter()
-                .any(|(h, d, _)| *h == head && *d == derivation)
-            {
-                new_derivations.push((head, derivation, inputs));
+                    .any(|(h, d, _)| *h == head && *d == derivation)
+                {
+                    new_derivations.push((head, derivation, inputs));
+                }
             }
         }
+        self.stats.join_probes += probes;
 
         // Currently recorded derivations of this rule at this node (local
         // tables and outbox tables).
@@ -1297,55 +1400,6 @@ pub fn match_atom(atom: &Predicate, tuple: &Tuple, bindings: &mut Bindings) -> b
     true
 }
 
-/// Like [`match_atom`], but extends `bindings` in place instead of requiring
-/// the caller to clone them per candidate: variables newly bound are recorded
-/// in `added`, and on a failed match they are removed again before returning.
-/// On success the caller owns the cleanup (after recursing).
-fn match_atom_undo(
-    atom: &Predicate,
-    tuple: &Tuple,
-    bindings: &mut Bindings,
-    added: &mut Vec<String>,
-) -> bool {
-    if atom.relation != tuple.relation || atom.terms.len() != tuple.values.len() {
-        return false;
-    }
-    let mut ok = true;
-    for (term, value) in atom.terms.iter().zip(&tuple.values) {
-        match term {
-            Term::Wildcard => {}
-            Term::Variable { name, .. } => match bindings.get(name) {
-                Some(bound) => {
-                    if !values_match(bound, value) {
-                        ok = false;
-                        break;
-                    }
-                }
-                None => {
-                    bindings.insert(name.clone(), value.clone());
-                    added.push(name.clone());
-                }
-            },
-            Term::Constant { value: lit, .. } => {
-                if !literal_matches(lit, value) {
-                    ok = false;
-                    break;
-                }
-            }
-            Term::Aggregate(_) => {
-                ok = false;
-                break;
-            }
-        }
-    }
-    if !ok {
-        for name in added.drain(..) {
-            bindings.remove(&name);
-        }
-    }
-    ok
-}
-
 /// Collect the interned strings referenced by a shipped record that the
 /// destination has not been sent before, in first-use order: the relation
 /// name, every address value (recursively through lists) and the
@@ -1390,21 +1444,6 @@ fn collect_record_dict(
         seen,
         dict,
     );
-}
-
-/// Resolve a plan's bound columns against the current bindings into concrete
-/// probe values.
-fn resolve_bound_cols(
-    bound_cols: &[(usize, crate::compile::BoundTerm)],
-    bindings: &Bindings,
-) -> Vec<(usize, Value)> {
-    bound_cols
-        .iter()
-        .filter_map(|(col, bt)| match bt {
-            crate::compile::BoundTerm::Const(lit) => Some((*col, literal_value(lit))),
-            crate::compile::BoundTerm::Var(name) => bindings.get(name).map(|v| (*col, v.clone())),
-        })
-        .collect()
 }
 
 /// Value equality that treats `Addr` and `Str` with the same text as equal

@@ -3,9 +3,10 @@
 //! This crate implements the execution engine that RapidNet provides in the
 //! original system: every simulated node runs one [`engine::NodeEngine`] that
 //! stores that node's partition of every relation, evaluates the localized
-//! NDlog rules incrementally (pipelined semi-naive evaluation with
-//! derivation-counted deletions) and hands tuples destined for other nodes to
-//! the network layer.
+//! NDlog rules incrementally (generation-based semi-naive evaluation with
+//! derivation-counted deletions, optionally parallelized across the shared
+//! worker pool) and hands tuples destined for other nodes to the network
+//! layer.
 //!
 //! The main types are:
 //!
@@ -23,6 +24,7 @@ pub mod compile;
 pub mod engine;
 pub mod error;
 pub mod eval;
+mod morsel;
 pub mod store;
 pub mod transform;
 pub mod tuple;
@@ -31,7 +33,8 @@ pub mod value;
 pub use catalog::{Catalog, RelationSchema};
 pub use compile::{CompiledProgram, CompiledRule};
 pub use engine::{
-    DeltaBatch, DeltaRecord, EngineConfig, EngineStats, Firing, NodeEngine, RemoteDelta, StepOutput,
+    DeltaBatch, DeltaRecord, EngineConfig, EngineStats, Firing, NodeEngine, RemoteDelta,
+    StepOutput, FIXPOINT_DISPATCH_THRESHOLD,
 };
 pub use error::{Result, RuntimeError};
 pub use eval::Bindings;

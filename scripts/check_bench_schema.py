@@ -22,6 +22,22 @@ regression gates:
   between a laptop baseline and a CI runner. A small absolute slack keeps
   scheduler noise on trivial workloads from tripping the gate.
 
+Wall-clock gates on parallel sweeps are only meaningful where parallelism is
+physically possible: when the fresh run reports `host_parallelism == 1`, the
+sharded wall gate is demoted to a warning (the row still must be
+deterministic and its exchange counts exact).
+
+The `parallel_fixpoint` section (format v6) gates the morsel-driven parallel
+fixpoint of the node engine:
+
+* the sweep must cover W in {1, 2, 4} and every row's measured generation
+  must carry at least 10^5 firings (otherwise it measures dispatch, not
+  evaluation);
+* every row must be bit-identical to the W=1 run (`matches_w1` true) — the
+  determinism contract is absolute, on any host;
+* on hosts with >= 4 cores, the W=4 run must reach a 1.2x speedup over W=1;
+  single-core hosts skip that gate with a notice.
+
 The `query_fanout` section carries its own gates. Its latencies are
 *simulated-clock* measurements of message-driven query sessions, so they are
 deterministic and machine-independent:
@@ -81,11 +97,24 @@ REQUIRED_SECTIONS = {
         "firings",
         "wall_us",
         "host_parallelism",
+        "workers_used",
+        "firings_per_round",
         "cross_shard_batches",
         "cross_shard_records",
         "cross_shard_dict_bytes",
         "speedup_vs_single",
         "matches_single_shard",
+    },
+    "parallel_fixpoint": {
+        "scenario",
+        "workers",
+        "tasks",
+        "firings",
+        "wall_us",
+        "host_parallelism",
+        "pool_workers",
+        "speedup_vs_w1",
+        "matches_w1",
     },
     "query_fanout": {
         "scenario",
@@ -103,8 +132,19 @@ REQUIRED_SECTIONS = {
     },
 }
 
+# The format marker every report must carry (bumped with the schema).
+REQUIRED_FORMAT = "nettrails-bench-results/v6"
+
 # The shard-count sweep every report must cover.
 REQUIRED_SHARD_SWEEP = [1, 2, 4, 8]
+
+# The fixpoint worker sweep every report must cover, the firing floor that
+# makes its wall-clocks meaningful, and the W=4 speedup gate (enforced only
+# on hosts that can physically run 4 workers).
+REQUIRED_WORKER_SWEEP = [1, 2, 4]
+MIN_FIXPOINT_FIRINGS = 100_000
+FIXPOINT_SPEEDUP_WORKERS = 4
+FIXPOINT_MIN_SPEEDUP = 1.2
 
 # Regression tolerance for the shard-4 wall-clock: fail when the fresh run's
 # sharding overhead ratio (S=4 wall / S=1 wall, same run and machine) is more
@@ -195,17 +235,79 @@ def check_sharded_provenance(committed, fresh):
                 and fresh_row["wall_us"]
                 > fresh_single["wall_us"] + WALL_SLACK_US
             ):
-                sys.exit(
+                message = (
                     f"sharded_provenance {scenario!r} S={shards}: sharding "
                     f"overhead regressed — wall-clock is {fresh_ratio:.2f}x "
                     f"the same run's S={BASELINE_SHARDS} path, more than "
                     f"{WALL_TOLERANCE}x the committed baseline ratio of "
                     f"{committed_ratio:.2f}x."
                 )
+                if fresh_row.get("host_parallelism", 1) == 1:
+                    # Single-core host: shard workers never engaged
+                    # (workers_used == 1), so the wall-clock is pure
+                    # scheduler noise — advisory only.
+                    print(
+                        "WARNING (advisory on single-core host): " + message,
+                        file=sys.stderr,
+                    )
+                else:
+                    sys.exit(message)
     print(
         "sharded_provenance gate OK "
         f"({len(committed_rows)} rows, shard-{GATED_SHARDS} overhead ratio "
         f"within {WALL_TOLERANCE}x of baseline, exchange counts exact)"
+    )
+
+
+def check_parallel_fixpoint(fresh):
+    """Regression gates on the morsel-driven parallel fixpoint sweep (see
+    module doc)."""
+    rows = fresh.get("parallel_fixpoint", [])
+    by_scenario = {}
+    for row in rows:
+        by_scenario.setdefault(row["scenario"], {})[row["workers"]] = row
+
+    for scenario, sweep in sorted(by_scenario.items()):
+        workers = sorted(sweep)
+        if workers != REQUIRED_WORKER_SWEEP:
+            sys.exit(
+                f"parallel_fixpoint[{scenario!r}] must sweep workers "
+                f"{REQUIRED_WORKER_SWEEP}, found {workers}."
+            )
+        for w, row in sorted(sweep.items()):
+            if row["firings"] < MIN_FIXPOINT_FIRINGS:
+                sys.exit(
+                    f"parallel_fixpoint[{scenario!r}] W={w}: the measured "
+                    f"generation carried only {row['firings']} firings "
+                    f"(floor {MIN_FIXPOINT_FIRINGS}); the sweep no longer "
+                    "measures parallel evaluation."
+                )
+            if not row["matches_w1"]:
+                sys.exit(
+                    f"parallel_fixpoint[{scenario!r}] W={w}: run is NOT "
+                    "bit-identical to the W=1 engine (matches_w1=false). "
+                    "Parallel evaluation broke determinism."
+                )
+        gated = sweep[FIXPOINT_SPEEDUP_WORKERS]
+        if gated["host_parallelism"] >= FIXPOINT_SPEEDUP_WORKERS:
+            if gated["speedup_vs_w1"] < FIXPOINT_MIN_SPEEDUP:
+                sys.exit(
+                    f"parallel_fixpoint[{scenario!r}] "
+                    f"W={FIXPOINT_SPEEDUP_WORKERS}: speedup over W=1 is "
+                    f"{gated['speedup_vs_w1']:.2f}x on a "
+                    f"{gated['host_parallelism']}-core host (gate "
+                    f"{FIXPOINT_MIN_SPEEDUP}x)."
+                )
+        else:
+            print(
+                f"parallel_fixpoint[{scenario!r}]: speedup gate skipped — "
+                f"host has {gated['host_parallelism']} core(s), fewer than "
+                f"the {FIXPOINT_SPEEDUP_WORKERS} the gate needs "
+                "(determinism still checked on every row)."
+            )
+    print(
+        f"parallel_fixpoint gate OK ({len(rows)} rows, every worker count "
+        "bit-identical to W=1)"
     )
 
 
@@ -254,9 +356,18 @@ def main():
     with open(fresh_path) as f:
         fresh = json.load(f)
 
+    for name, doc in ((committed_path, committed), (fresh_path, fresh)):
+        if doc.get("format") != REQUIRED_FORMAT:
+            sys.exit(
+                f"{name}: format marker is {doc.get('format')!r}, expected "
+                f"{REQUIRED_FORMAT!r}. Regenerate BENCH_results.json "
+                "(cargo run --release -p nettrails-bench --bin report)."
+            )
+
     check_required_sections(committed_path, committed)
     check_required_sections(fresh_path, fresh)
     check_sharded_provenance(committed, fresh)
+    check_parallel_fixpoint(fresh)
     check_query_fanout(fresh)
 
     if committed.get("format") != fresh.get("format"):
