@@ -187,6 +187,31 @@ macro_rules! handle_type {
                 self.0
             }
 
+            /// Reconstruct a handle from a raw pool index previously obtained
+            /// via [`Self::index`] *in this process*. Returns `None` when the
+            /// index was never handed out — the columnar store uses this to
+            /// decode dictionary columns without trusting the codes blindly.
+            pub fn from_index(raw: u32) -> Option<Self> {
+                if (raw as usize) < Interner::len() {
+                    Some($name(raw))
+                } else {
+                    None
+                }
+            }
+
+            /// Resolve a string to its handle **without interning it**:
+            /// `None` when the string has never been interned. Probe paths
+            /// use this so looking up a value that cannot exist does not
+            /// grow the process-global pool as a side effect.
+            pub fn lookup(s: &str) -> Option<Self> {
+                pool()
+                    .read()
+                    .expect("interner lock")
+                    .index
+                    .get(s)
+                    .map(|id| $name(*id))
+            }
+
             /// Fixed wire width of the handle in the interned encoding.
             pub const WIRE_SIZE: usize = 4;
         }

@@ -100,6 +100,11 @@ pub struct NetTrailsConfig {
     /// `0` forces every parallel-configured generation through the pool —
     /// used by the end-to-end equivalence tests.
     pub fixpoint_dispatch_threshold: usize,
+    /// Store engine tables column-major with dictionary-encoded address
+    /// columns and vectorized join probes (the default). Disable for the
+    /// row-major reference layout; either backing yields bit-identical
+    /// engine output (see `nt_runtime::store`).
+    pub columnar_storage: bool,
 }
 
 impl Default for NetTrailsConfig {
@@ -114,6 +119,7 @@ impl Default for NetTrailsConfig {
             prov_shards: 1,
             fixpoint_workers: 1,
             fixpoint_dispatch_threshold: nt_runtime::FIXPOINT_DISPATCH_THRESHOLD,
+            columnar_storage: true,
         }
     }
 }
@@ -141,6 +147,16 @@ impl NetTrailsConfig {
     pub fn without_batching() -> Self {
         NetTrailsConfig {
             batch_shipping: false,
+            ..NetTrailsConfig::default()
+        }
+    }
+
+    /// A configuration whose engines keep tuples in the row-major reference
+    /// layout (the pre-columnar baseline the vectorized-join experiment
+    /// compares against).
+    pub fn with_row_storage() -> Self {
+        NetTrailsConfig {
+            columnar_storage: false,
             ..NetTrailsConfig::default()
         }
     }
@@ -245,6 +261,7 @@ impl NetTrails {
             engine_config.use_join_indexes = config.use_join_indexes;
             engine_config.fixpoint_workers = config.fixpoint_workers.max(1);
             engine_config.fixpoint_dispatch_threshold = config.fixpoint_dispatch_threshold;
+            engine_config.columnar_storage = config.columnar_storage;
             engines.insert(
                 Addr::new(node),
                 NodeEngine::new(program.clone(), engine_config),

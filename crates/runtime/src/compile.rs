@@ -37,6 +37,20 @@ pub enum BoundTerm {
     Var(String),
 }
 
+/// How a plan step expects [`crate::store::Table::probe`] to find its
+/// candidates, decided per bound set at compile time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProbeStrategy {
+    /// No column is bound when the step runs: the probe degrades to a
+    /// key-order scan of the whole table (a contiguous column sweep in the
+    /// columnar backing).
+    ColumnScan,
+    /// At least one bound column: the probe anchors on the most selective
+    /// posting list among them and verifies the residual bound columns
+    /// against the stored columns.
+    PostingList,
+}
+
 /// One step of a join plan: which atom to join next and which of its columns
 /// are already bound — the columns [`crate::store::Table::probe`] can use for
 /// an index lookup instead of a scan.
@@ -46,6 +60,8 @@ pub struct PlanStep {
     pub atom: usize,
     /// `(column, binding source)` pairs known bound when this step runs.
     pub bound_cols: Vec<(usize, BoundTerm)>,
+    /// How the probe kernel will evaluate this step.
+    pub strategy: ProbeStrategy,
 }
 
 /// A per-trigger join plan: the order in which the remaining positive atoms
@@ -110,9 +126,15 @@ fn build_join_plan(positive: &[Predicate], trigger: Option<usize>) -> JoinPlan {
         let atom_idx = remaining.remove(pick);
         let bound_cols = bound_cols_of(&positive[atom_idx], &bound_vars);
         bound_vars.extend(atom_vars(&positive[atom_idx]));
+        let strategy = if bound_cols.is_empty() {
+            ProbeStrategy::ColumnScan
+        } else {
+            ProbeStrategy::PostingList
+        };
         steps.push(PlanStep {
             atom: atom_idx,
             bound_cols,
+            strategy,
         });
     }
     JoinPlan { trigger, steps }
@@ -436,6 +458,19 @@ mod tests {
         assert_eq!(rule.full_plan.steps.len(), 2);
         assert!(rule.full_plan.steps[0].bound_cols.is_empty());
         assert!(!rule.full_plan.steps[1].bound_cols.is_empty());
+    }
+
+    #[test]
+    fn plan_steps_pick_scan_or_posting_list_per_bound_set() {
+        let cp = CompiledProgram::from_source("r1 out(@S,D) :- a(@S,Z), b(@S,Z,D).").unwrap();
+        let rule = cp.rule("r1").unwrap();
+        // Delta-triggered steps always have bound columns (the trigger binds
+        // shared variables) -> posting-list probes.
+        assert_eq!(rule.plans[0].steps[0].strategy, ProbeStrategy::PostingList);
+        assert_eq!(rule.plans[1].steps[0].strategy, ProbeStrategy::PostingList);
+        // A full-recompute plan starts unbound -> column scan, then probes.
+        assert_eq!(rule.full_plan.steps[0].strategy, ProbeStrategy::ColumnScan);
+        assert_eq!(rule.full_plan.steps[1].strategy, ProbeStrategy::PostingList);
     }
 
     #[test]

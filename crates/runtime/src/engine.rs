@@ -48,7 +48,7 @@ use crate::eval::{literal_value, Bindings};
 use crate::morsel::{self, Candidate, EvalContext, MonoTask};
 #[cfg(test)]
 use crate::store::BASE_RULE;
-use crate::store::{base_rule_sym, Database, Derivation, Membership};
+use crate::store::{base_rule_sym, Database, Derivation, Membership, TableBacking};
 use crate::tuple::{Delta, Tuple, TupleId};
 use crate::value::{Addr, Sym, Value};
 use ndlog::{AggregateFunc, Literal, Predicate, Term};
@@ -85,6 +85,11 @@ pub struct EngineConfig {
     /// uses), so small generations run inline even when
     /// [`EngineConfig::fixpoint_workers`] > 1.
     pub fixpoint_dispatch_threshold: usize,
+    /// Store tables column-major (the default). When disabled the engine
+    /// keeps the row-major reference layout — used by the equivalence
+    /// proptests and the `vectorized_joins` benchmark, which prove both
+    /// backings bit-identical and measure the wall-clock gap.
+    pub columnar_storage: bool,
 }
 
 /// Default for [`EngineConfig::fixpoint_dispatch_threshold`].
@@ -99,6 +104,7 @@ impl EngineConfig {
             use_join_indexes: true,
             fixpoint_workers: 1,
             fixpoint_dispatch_threshold: FIXPOINT_DISPATCH_THRESHOLD,
+            columnar_storage: true,
         }
     }
 
@@ -121,6 +127,13 @@ impl EngineConfig {
     /// equivalence tests to exercise the dispatch path on tiny inputs).
     pub fn with_fixpoint_dispatch_threshold(mut self, threshold: usize) -> Self {
         self.fixpoint_dispatch_threshold = threshold;
+        self
+    }
+
+    /// Same config storing tables in the row-major reference layout instead
+    /// of the columnar default.
+    pub fn with_row_storage(mut self) -> Self {
+        self.columnar_storage = false;
         self
     }
 }
@@ -147,8 +160,10 @@ pub struct EngineStats {
     pub dict_bytes_sent: u64,
     /// Candidate tuples actually examined while joining body atoms,
     /// checking negated atoms and recomputing aggregate groups. With
-    /// index-backed probing this counts only the tuples surfaced by the
-    /// chosen index; with scans it counts every stored tuple visited.
+    /// index-backed probing this counts only the tuples the probe kernel
+    /// yields — the anchor posting list already filtered on every bound
+    /// column — and is identical across storage backings; with scans it
+    /// counts every stored tuple visited.
     pub join_probes: u64,
     /// Aggregate group recomputations.
     pub agg_recomputes: u64,
@@ -371,7 +386,12 @@ pub struct NodeEngine {
 impl NodeEngine {
     /// Create an engine for `config.node` executing `program`.
     pub fn new(program: Arc<CompiledProgram>, config: EngineConfig) -> Self {
-        let db = Database::new(program.catalog.schemas().cloned());
+        let backing = if config.columnar_storage {
+            TableBacking::Columnar
+        } else {
+            TableBacking::Row
+        };
+        let db = Database::with_backing(program.catalog.schemas().cloned(), backing);
         NodeEngine {
             config,
             program,
@@ -563,7 +583,7 @@ impl NodeEngine {
         self.db
             .table_sym(tuple.relation)
             .and_then(|table| table.get(tuple))
-            .is_some_and(|stored| stored.tuple.id() == tuple.id())
+            .is_some_and(|stored| stored.id() == tuple.id())
     }
 
     /// Decide which membership events of a generation are *transient churn*
@@ -797,7 +817,7 @@ impl NodeEngine {
             .table_sym(tuple.relation)
             .and_then(|table| table.get(&tuple))
         {
-            Some(stored) if stored.tuple.id() != tuple.id() => stored.tuple.clone(),
+            Some(stored) if stored.id() != tuple.id() => stored.to_tuple(),
             _ => tuple,
         }
     }
@@ -1143,10 +1163,11 @@ impl NodeEngine {
             Vec::new()
         };
         if let Some(table) = self.db.table(&atom.relation) {
-            for stored in table.probe(&bound) {
+            for cand in table.probe(&bound) {
                 probes += 1;
                 let mut b = Bindings::new();
-                if !match_atom(atom, &stored.tuple, &mut b) {
+                let mut added = Vec::new();
+                if !morsel::match_candidate_undo(atom, &cand, &mut b, &mut added) {
                     continue;
                 }
                 let Some(b) = morsel::apply_steps(rule, b) else {
@@ -1166,7 +1187,7 @@ impl NodeEngine {
                         None => continue,
                     }
                 };
-                contributions.push((value, stored.tuple.clone()));
+                contributions.push((value, cand.to_tuple()));
             }
         }
         self.stats.join_probes += probes;
@@ -1320,11 +1341,19 @@ impl NodeEngine {
         // tables and outbox tables).
         let mut old_derivations: Vec<(Sym, Tuple, Derivation)> = Vec::new();
         for (relation, table) in self.db.tables_with_syms() {
-            for stored in table.iter() {
-                for d in &stored.derivations {
-                    if d.rule == rule.name_sym && d.node == self.config.node {
-                        old_derivations.push((relation, stored.tuple.clone(), d.clone()));
-                    }
+            for entry in table.iter() {
+                let matching: Vec<Derivation> = entry
+                    .derivations()
+                    .iter()
+                    .filter(|d| d.rule == rule.name_sym && d.node == self.config.node)
+                    .cloned()
+                    .collect();
+                if matching.is_empty() {
+                    continue;
+                }
+                let tuple = entry.to_tuple();
+                for d in matching {
+                    old_derivations.push((relation, tuple.clone(), d));
                 }
             }
         }
@@ -1446,17 +1475,10 @@ fn collect_record_dict(
     );
 }
 
-/// Value equality that treats `Addr` and `Str` with the same text as equal
-/// (programs write location constants as strings; tuples carry addresses).
-pub fn values_match(a: &Value, b: &Value) -> bool {
-    if a == b {
-        return true;
-    }
-    match (a, b) {
-        (Value::Addr(x), Value::Str(y)) | (Value::Str(y), Value::Addr(x)) => *x == **y,
-        _ => false,
-    }
-}
+/// Value equality that treats `Addr` and `Str` with the same text as equal —
+/// now defined next to `Value` itself (the storage layer's column matchers
+/// share it); re-exported here for the evaluation-layer callers.
+pub use crate::value::values_match;
 
 fn literal_matches(lit: &Literal, value: &Value) -> bool {
     values_match(&literal_value(lit), value)

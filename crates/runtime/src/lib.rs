@@ -31,7 +31,7 @@ pub mod tuple;
 pub mod value;
 
 pub use catalog::{Catalog, RelationSchema};
-pub use compile::{CompiledProgram, CompiledRule};
+pub use compile::{CompiledProgram, CompiledRule, ProbeStrategy};
 pub use engine::{
     DeltaBatch, DeltaRecord, EngineConfig, EngineStats, Firing, NodeEngine, RemoteDelta,
     StepOutput, FIXPOINT_DISPATCH_THRESHOLD,
@@ -39,7 +39,8 @@ pub use engine::{
 pub use error::{Result, RuntimeError};
 pub use eval::Bindings;
 pub use store::{
-    base_rule_sym, Database, Derivation, Membership, ProbeIter, StoredTuple, Table, BASE_RULE,
+    base_rule_sym, normalize_for_index, tuple_materializations, Database, Derivation, Membership,
+    ProbeIter, StoredTuple, Table, TableBacking, TupleRef, BASE_RULE,
 };
 pub use tuple::{Delta, Tuple, TupleId};
 pub use value::{

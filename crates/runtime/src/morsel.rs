@@ -35,11 +35,12 @@
 //! Probe counters are summed per task and folded in task order, so
 //! `EngineStats` is identical too.
 
-use crate::compile::{BoundTerm, CompiledProgram, CompiledRule};
-use crate::engine::{build_head, match_atom, values_match};
+use crate::compile::{BoundTerm, CompiledProgram, CompiledRule, ProbeStrategy};
+use crate::engine::{build_head, match_atom};
 use crate::eval::{eval_expr, eval_filter, literal_value, Bindings};
-use crate::store::Database;
+use crate::store::{Database, TupleRef};
 use crate::tuple::Tuple;
+use crate::value::Value;
 use ndlog::{BodyElem, Literal, Predicate, Term};
 
 /// Tasks per morsel. Small enough that a generation of a few hundred tasks
@@ -163,16 +164,19 @@ impl<'a> EvalContext<'a> {
         let Some(table) = self.db.table_sym(rule.positive_syms[step.atom]) else {
             return;
         };
-        let bound = if self.use_join_indexes {
+        let bound = if self.use_join_indexes && step.strategy == ProbeStrategy::PostingList {
             resolve_bound_cols(&step.bound_cols, bindings)
         } else {
             Vec::new()
         };
-        for stored in table.probe(&bound) {
+        for cand in table.probe(&bound) {
             *probes += 1;
             let mut added = Vec::new();
-            if match_atom_undo(atom, &stored.tuple, bindings, &mut added) {
-                matched[step.atom] = Some(stored.tuple.clone());
+            if match_candidate_undo(atom, &cand, bindings, &mut added) {
+                // Only a surviving candidate is materialized out of its
+                // columnar slot; the matching above reads the columns in
+                // place.
+                matched[step.atom] = Some(cand.to_tuple());
                 self.join_plan(rule, steps, pos + 1, bindings, matched, results, probes);
                 matched[step.atom] = None;
                 for name in added {
@@ -202,10 +206,10 @@ impl<'a> EvalContext<'a> {
         };
         // One scratch clone for the whole check instead of one per candidate.
         let mut scratch = bindings.clone();
-        for stored in table.probe(&bound) {
+        for cand in table.probe(&bound) {
             *probes += 1;
             let mut added = Vec::new();
-            if match_atom_undo(atom, &stored.tuple, &mut scratch, &mut added) {
+            if match_candidate_undo(atom, &cand, &mut scratch, &mut added) {
                 return true;
             }
         }
@@ -281,37 +285,39 @@ pub(crate) fn resolve_bound_cols(
         .collect()
 }
 
-/// Like [`match_atom`], but extends `bindings` in place instead of requiring
-/// the caller to clone them per candidate: variables newly bound are recorded
-/// in `added`, and on a failed match they are removed again before returning.
-/// On success the caller owns the cleanup (after recursing).
-fn match_atom_undo(
+/// Like [`match_atom`], but works on a borrowed probe candidate (matching
+/// column by column against the storage without materializing a `Tuple`) and
+/// extends `bindings` in place instead of requiring the caller to clone them
+/// per candidate: variables newly bound are recorded in `added`, and on a
+/// failed match they are removed again before returning. On success the
+/// caller owns the cleanup (after recursing).
+pub(crate) fn match_candidate_undo(
     atom: &Predicate,
-    tuple: &Tuple,
+    cand: &TupleRef<'_>,
     bindings: &mut Bindings,
     added: &mut Vec<String>,
 ) -> bool {
-    if atom.relation != tuple.relation || atom.terms.len() != tuple.values.len() {
+    if cand.relation().as_str() != atom.relation || atom.terms.len() != cand.arity() {
         return false;
     }
     let mut ok = true;
-    for (term, value) in atom.terms.iter().zip(&tuple.values) {
+    for (col, term) in atom.terms.iter().enumerate() {
         match term {
             Term::Wildcard => {}
             Term::Variable { name, .. } => match bindings.get(name) {
                 Some(bound) => {
-                    if !values_match(bound, value) {
+                    if !cand.matches(col, bound) {
                         ok = false;
                         break;
                     }
                 }
                 None => {
-                    bindings.insert(name.clone(), value.clone());
+                    bindings.insert(name.clone(), cand.value(col));
                     added.push(name.clone());
                 }
             },
             Term::Constant { value: lit, .. } => {
-                if !literal_matches(lit, value) {
+                if !literal_matches_ref(lit, cand, col) {
                     ok = false;
                     break;
                 }
@@ -330,6 +336,15 @@ fn match_atom_undo(
     ok
 }
 
-fn literal_matches(lit: &Literal, value: &crate::value::Value) -> bool {
-    values_match(&literal_value(lit), value)
+/// Does the candidate's column `col` match a program literal? String
+/// literals compare as text (matching `Addr` too) without allocating the
+/// `Value::Str` that [`literal_value`] would build per candidate.
+fn literal_matches_ref(lit: &Literal, cand: &TupleRef<'_>, col: usize) -> bool {
+    match lit {
+        Literal::Str(s) => cand.matches_text(col, s),
+        Literal::Int(v) => cand.matches(col, &Value::Int(*v)),
+        Literal::Double(v) => cand.matches(col, &Value::Double(*v)),
+        Literal::Bool(b) => cand.matches(col, &Value::Bool(*b)),
+        Literal::Infinity => cand.matches(col, &Value::Infinity),
+    }
 }

@@ -231,6 +231,21 @@ impl std::hash::Hash for Value {
     }
 }
 
+/// Value equality that treats `Addr` and `Str` with the same text as equal
+/// (programs write location constants as strings; tuples carry addresses).
+/// This is the matching predicate of the whole evaluation layer — join
+/// binding checks, literal matching and the storage layer's column matchers
+/// all agree on it.
+pub fn values_match(a: &Value, b: &Value) -> bool {
+    if a == b {
+        return true;
+    }
+    match (a, b) {
+        (Value::Addr(x), Value::Str(y)) | (Value::Str(y), Value::Addr(x)) => *x == **y,
+        _ => false,
+    }
+}
+
 fn total_f64_cmp(a: f64, b: f64) -> Ordering {
     a.partial_cmp(&b).unwrap_or_else(|| {
         // NaNs sort after everything; two NaNs are equal.

@@ -1,21 +1,18 @@
-//! Property: the morsel-driven parallel fixpoint is *bit-identical* to the
-//! sequential path at every worker count. For random programs (joins,
-//! filters, assignments, negation, `min` aggregation, remote heads) and
-//! random batched insert/delete sequences, an engine configured with W ∈
-//! {2, 4} workers must produce, run for run, exactly the same
-//! [`nt_runtime::StepOutput`] — outbox [`nt_runtime::DeltaBatch`]es including
-//! their dictionary headers, the provenance firing stream, local membership
-//! changes and the truncation flag — the same final tables with the same
-//! supporting derivations, and the same [`nt_runtime::EngineStats`] as the
-//! W = 1 engine.
-//!
-//! The dispatch threshold is pinned to 0 so even tiny generations take the
-//! pool path (the host sweep in the bench covers large generations); a
-//! second property leaves the default threshold in place to exercise the
-//! inline fallback's equality too.
+//! Property: the columnar table backing is *bit-identical* to the row-major
+//! reference layout. For random programs (joins, filters, assignments,
+//! negation, `min` aggregation, remote heads) and random batched
+//! insert/delete sequences, an engine storing its tables column-major must
+//! produce, run for run, exactly the same [`nt_runtime::StepOutput`] —
+//! outbox [`nt_runtime::DeltaBatch`]es including their dictionary headers,
+//! the provenance firing stream, local membership changes and the truncation
+//! flag — the same final tables with the same supporting derivations, and
+//! the same [`nt_runtime::EngineStats`] (`join_probes` included: the
+//! vectorized probe kernel must yield exactly the candidates the row store's
+//! probe yields, in the same order) as a row-backed engine, at every worker
+//! count.
 
 use nt_runtime::{
-    CompiledProgram, EngineConfig, EngineStats, NodeEngine, StepOutput, Tuple, Value,
+    CompiledProgram, EngineConfig, EngineStats, NodeEngine, StepOutput, TableBacking, Tuple, Value,
 };
 use proptest::prelude::*;
 use std::collections::BTreeMap;
@@ -34,10 +31,12 @@ const PROGRAMS: &[&str] = &[
     "materialize(m, infinity, infinity, keys(1,2)).\n\
      r1 m(@S,min<B>) :- e(@S,A,B).\n\
      r2 g(@S,A) :- e(@S,A,B), f(@S,B,A).",
-    // Three-atom chain join: morsels carrying skewed per-task work.
+    // Three-atom chain join: the probe kernel anchored on different columns
+    // per step.
     "r1 chain(@S,A,D) :- e(@S,A,B), f(@S,B,C), e(@S,C,D).",
-    // Remote heads: derivations shipped to another node exercise the outbox
-    // tables, send coalescing and per-destination dictionary headers.
+    // Remote heads: outbox tables store tuples of the *head* relation under
+    // a `__out::` table name — the columnar per-slot relation must preserve
+    // that distinction or retractions stop shipping.
     "r1 ship(@D,A,B) :- e(@S,A,B), peer(@S,D).\n\
      r2 h(@S,A,C) :- e(@S,A,B), f(@S,B,C).",
 ];
@@ -57,9 +56,8 @@ fn fact(relation: &str, a: i64, b: i64, b_double: bool) -> Tuple {
 /// relation -> tuple -> sorted derivation debug strings.
 type TableDump = BTreeMap<String, BTreeMap<String, Vec<String>>>;
 
-/// Apply the ops in batches of `batch` deltas per run (multi-delta
-/// generations are where parallel evaluation actually happens) and return
-/// every run's full output, the final table dump and the engine counters.
+/// Apply the ops in batches of `batch` deltas per run and return every run's
+/// full output, the final table dump and the engine counters.
 fn run_ops(
     program: &Arc<CompiledProgram>,
     config: EngineConfig,
@@ -67,7 +65,6 @@ fn run_ops(
     batch: usize,
 ) -> (Vec<StepOutput>, TableDump, EngineStats) {
     let mut engine = NodeEngine::new(program.clone(), config);
-    // Peers for the remote-head program; inert facts for the others.
     engine.insert_base(Tuple::new(
         "peer",
         vec![Value::addr("n1"), Value::addr("n2")],
@@ -108,11 +105,12 @@ fn run_ops(
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(40))]
 
-    /// W ∈ {2, 4} with a zero dispatch threshold (every generation goes
-    /// through the pool) equals W = 1 bit for bit: per-run outputs, final
-    /// tables and counters.
+    /// Columnar storage equals the row reference bit for bit: per-run
+    /// outputs, final tables and counters, at W ∈ {1, 4} (the parallel
+    /// configuration pins the dispatch threshold to 0 so every generation
+    /// takes the pool path over the columnar probe kernel).
     #[test]
-    fn forced_dispatch_matches_sequential(
+    fn columnar_matches_row_store(
         program_idx in 0usize..6,
         batch in 1usize..6,
         ops in proptest::collection::vec(
@@ -123,57 +121,41 @@ proptest! {
         let program = Arc::new(
             CompiledProgram::from_source(PROGRAMS[program_idx]).expect("pool programs compile"),
         );
-        let baseline = run_ops(&program, EngineConfig::new("n1"), &ops, batch);
-        for workers in [2usize, 4] {
-            let config = EngineConfig::new("n1")
-                .with_fixpoint_workers(workers)
-                .with_fixpoint_dispatch_threshold(0);
-            let parallel = run_ops(&program, config, &ops, batch);
+        for workers in [1usize, 4] {
+            let mut row_config = EngineConfig::new("n1").with_row_storage();
+            let mut col_config = EngineConfig::new("n1");
+            if workers > 1 {
+                row_config = row_config
+                    .with_fixpoint_workers(workers)
+                    .with_fixpoint_dispatch_threshold(0);
+                col_config = col_config
+                    .with_fixpoint_workers(workers)
+                    .with_fixpoint_dispatch_threshold(0);
+            }
+            prop_assert_eq!(col_config.columnar_storage, true);
+            prop_assert_eq!(row_config.columnar_storage, false);
+            let row = run_ops(&program, row_config, &ops, batch);
+            let col = run_ops(&program, col_config, &ops, batch);
             prop_assert_eq!(
-                &baseline.0, &parallel.0,
-                "per-run outputs diverged at W={}", workers
+                &row.0, &col.0,
+                "per-run outputs diverged between backings at W={}", workers
             );
             prop_assert_eq!(
-                &baseline.1, &parallel.1,
-                "final tables diverged at W={}", workers
+                &row.1, &col.1,
+                "final tables diverged between backings at W={}", workers
             );
             prop_assert_eq!(
-                &baseline.2, &parallel.2,
-                "engine stats diverged at W={}", workers
+                &row.2, &col.2,
+                "engine stats diverged between backings at W={}", workers
             );
         }
     }
 
-    /// The default threshold keeps small generations inline; a parallel
-    /// configuration must still be indistinguishable.
+    /// Full retraction drains every relation under the columnar backing
+    /// exactly as it does under the row backing — slot recycling through the
+    /// free list must never resurrect a tuple or strand an outbox entry.
     #[test]
-    fn default_threshold_matches_sequential(
-        program_idx in 0usize..6,
-        batch in 1usize..6,
-        ops in proptest::collection::vec(
-            (any::<bool>(), any::<bool>(), 0i64..4, 0i64..4, any::<bool>()),
-            1..20,
-        ),
-    ) {
-        let program = Arc::new(
-            CompiledProgram::from_source(PROGRAMS[program_idx]).expect("pool programs compile"),
-        );
-        let baseline = run_ops(&program, EngineConfig::new("n1"), &ops, batch);
-        let parallel = run_ops(
-            &program,
-            EngineConfig::new("n1").with_fixpoint_workers(4),
-            &ops,
-            batch,
-        );
-        prop_assert_eq!(&baseline.0, &parallel.0);
-        prop_assert_eq!(&baseline.1, &parallel.1);
-        prop_assert_eq!(&baseline.2, &parallel.2);
-    }
-
-    /// Full retraction drains every relation at every worker count (no
-    /// candidate computed against the frozen tables resurrects a tuple).
-    #[test]
-    fn full_retraction_drains_all_worker_counts(
+    fn full_retraction_drains_both_backings(
         program_idx in 0usize..6,
         facts in proptest::collection::vec(
             (any::<bool>(), 0i64..4, 0i64..4, any::<bool>()),
@@ -188,10 +170,11 @@ proptest! {
             .map(|(e, a, b, d)| (true, *e, *a, *b, *d))
             .collect();
         ops.extend(facts.iter().map(|(e, a, b, d)| (false, *e, *a, *b, *d)));
-        for workers in [1usize, 2, 4] {
-            let config = EngineConfig::new("n1")
-                .with_fixpoint_workers(workers)
-                .with_fixpoint_dispatch_threshold(0);
+        for backing in [TableBacking::Columnar, TableBacking::Row] {
+            let config = match backing {
+                TableBacking::Columnar => EngineConfig::new("n1"),
+                TableBacking::Row => EngineConfig::new("n1").with_row_storage(),
+            };
             let (_, state, _) = run_ops(&program, config, &ops, 4);
             for (relation, tuples) in &state {
                 if relation == "peer" {
@@ -199,10 +182,10 @@ proptest! {
                 }
                 prop_assert!(
                     tuples.is_empty(),
-                    "relation {} still holds {} tuples after full retraction at W={}",
+                    "relation {} still holds {} tuples after full retraction ({:?} backing)",
                     relation,
                     tuples.len(),
-                    workers
+                    backing
                 );
             }
         }

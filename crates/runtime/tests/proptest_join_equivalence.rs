@@ -67,12 +67,12 @@ fn run_ops(
         let mut tuples = BTreeMap::new();
         for stored in table.iter() {
             let mut derivations: Vec<String> = stored
-                .derivations
+                .derivations()
                 .iter()
                 .map(|d| format!("{d:?}"))
                 .collect();
             derivations.sort();
-            tuples.insert(stored.tuple.to_string(), derivations);
+            tuples.insert(stored.to_tuple().to_string(), derivations);
         }
         state.insert(table.schema.name.clone(), tuples);
     }

@@ -97,10 +97,11 @@ proptest! {
             // Every stored tuple has at least one derivation, and the id index
             // agrees with the primary index.
             for stored in table.iter() {
-                prop_assert!(!stored.derivations.is_empty());
+                prop_assert!(!stored.derivations().is_empty());
+                let tuple = stored.to_tuple();
                 prop_assert_eq!(
-                    table.get_by_id(stored.tuple.id()).map(|s| &s.tuple),
-                    Some(&stored.tuple)
+                    table.get_by_id(tuple.id()).map(|s| s.to_tuple()),
+                    Some(tuple)
                 );
             }
         }
