@@ -6,14 +6,18 @@
 //! cargo run --release -p nettrails-bench --bin report
 //! ```
 
+use logstore::{
+    KvBackend, LogBackend, LogStore, MemBackend, Replay, SegmentFileBackend, SnapshotCapturer,
+    SystemSnapshot,
+};
 use nettrails::{NetTrails, NetTrailsConfig, ReportTable};
 use nt_runtime::{
-    base_rule_sym, CompiledProgram, EngineConfig, EngineStats, Firing, NodeEngine, NodeId,
-    StepOutput, Sym, Tuple, Value,
+    base_rule_sym, CompiledProgram, EngineConfig, EngineStats, Firing, Interner, NodeEngine,
+    NodeId, StepOutput, Sym, Tuple, Value,
 };
 use provenance::{ProvenanceSystem, QueryKind, QueryOptions, QueryResult, TraversalOrder};
 use serde::Serialize;
-use simnet::Topology;
+use simnet::{Link, Topology, TopologyEvent};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -224,6 +228,50 @@ struct QueryFanoutReport {
     bfs_beats_dfs: bool,
 }
 
+/// One row of the incremental-snapshot comparison: the same churned run
+/// (converged platform + deterministic link churn) captured once, then fed
+/// record-by-record into one log backend through a [`SnapshotCapturer`]
+/// (periodic checkpoints + deltas) and compared against the pre-incremental
+/// full-upload chain. Correctness is part of the measurement:
+/// `matches_full` asserts the materialized snapshot at every capture index
+/// is bit-identical to the full chain's, so CI can gate on it per backend.
+#[derive(Serialize)]
+struct SnapshotReplayReport {
+    scenario: String,
+    /// Backend name ("mem", "segment_file", "kv").
+    backend: String,
+    /// Snapshots captured in the run (1 post-fixpoint + 1 per churn event).
+    captures: usize,
+    /// Checkpoint cadence of the incremental chain (a checkpoint every Nth
+    /// capture, deltas in between).
+    checkpoint_every: usize,
+    /// Checkpoint records the capturer emitted.
+    checkpoints: usize,
+    /// Delta records the capturer emitted.
+    deltas: usize,
+    /// Upload bytes of the reference chain (every capture shipped in full).
+    full_bytes: u64,
+    /// Upload bytes of the incremental chain (checkpoints + deltas).
+    incremental_bytes: u64,
+    /// Dictionary bytes carried by delta records alone — sublinear after
+    /// warmup: once the run stops minting names, every further delta ships
+    /// zero dictionary bytes.
+    delta_dict_bytes: u64,
+    /// Dictionary bytes of the *last* record (a delta after warmup, so CI
+    /// gates this to 0).
+    tail_dict_bytes: u64,
+    /// Backend storage footprint after all appends.
+    storage_bytes: usize,
+    /// Footprint after a compaction pass (never larger than
+    /// `storage_bytes`; answers are unchanged).
+    compacted_bytes: usize,
+    /// Wall-clock microseconds for a full replay walk (materialize every
+    /// snapshot via cached delta application, diff consecutive pairs).
+    replay_wall_us: u64,
+    /// True when every materialized snapshot equals the full chain's.
+    matches_full: bool,
+}
+
 #[derive(Serialize)]
 struct BenchResults {
     /// Schema marker for downstream tooling.
@@ -259,6 +307,13 @@ struct BenchResults {
     /// standard scenarios, with measured (simulated-clock) latency. CI gates
     /// `bfs_beats_dfs`.
     query_fanout: Vec<QueryFanoutReport>,
+    /// Incremental snapshots through every pluggable log backend: the same
+    /// churned run captured as checkpoints + dictionary-diffed deltas vs the
+    /// full-upload baseline. CI gates `matches_full` on every row,
+    /// `incremental_bytes <= full_bytes` everywhere (strictly below on the
+    /// pathvector ladder), compaction never growing the footprint, and the
+    /// post-warmup delta dictionary cost being zero.
+    snapshot_replay: Vec<SnapshotReplayReport>,
 }
 
 /// Wire size of a value under the pre-interning encoding (addresses carried
@@ -819,6 +874,123 @@ fn probe_comparison(name: &str, program: &str, topology: Topology) -> JoinProbeC
     }
 }
 
+/// Converge a platform, churn it deterministically and capture a canonical
+/// snapshot (plus the interner watermark at capture time) after the fixpoint
+/// and after every event — the one run every backend's chain is built from.
+fn churned_captures(program: &str, topology: Topology) -> Vec<(SystemSnapshot, usize)> {
+    let mut nt =
+        NetTrails::new(program, topology, NetTrailsConfig::default()).expect("program compiles");
+    nt.seed_links_from_topology();
+    nt.run_to_fixpoint();
+
+    // A fixed down / cost-change / restore schedule over the topology's
+    // undirected links, derived from the topology itself so every scenario
+    // gets real routing churn without hard-coded node names.
+    let mut pairs: Vec<(String, String, i64)> = nt
+        .network()
+        .topology()
+        .links()
+        .filter(|l| l.from < l.to)
+        .map(|l| (l.from.clone(), l.to.clone(), l.cost))
+        .collect();
+    pairs.sort();
+    let mut events = Vec::new();
+    for i in 0..9usize {
+        let (a, b, cost) = pairs[i % pairs.len()].clone();
+        events.push(match i % 3 {
+            0 => TopologyEvent::LinkDown { a, b },
+            1 => TopologyEvent::CostChange {
+                a,
+                b,
+                cost: cost + 1 + i as i64,
+            },
+            _ => {
+                // Restore the link taken down two events earlier.
+                let (a, b, cost) = pairs[(i - 2) % pairs.len()].clone();
+                TopologyEvent::LinkUp(Link::new(&a, &b, cost))
+            }
+        });
+    }
+
+    let mut captures = vec![(nt.capture_snapshot(), Interner::watermark())];
+    for event in &events {
+        nt.apply_topology_event(event);
+        captures.push((nt.capture_snapshot(), Interner::watermark()));
+    }
+    captures
+}
+
+/// Feed the same captured run into every log backend as an incremental
+/// checkpoint + delta chain and compare against the full-upload baseline.
+fn snapshot_replay_sweep(
+    scenario: &str,
+    program: &str,
+    topology: Topology,
+    checkpoint_every: usize,
+) -> Vec<SnapshotReplayReport> {
+    let captures = churned_captures(program, topology);
+
+    // The reference: every capture uploaded in full (the pre-incremental
+    // upload path, kept as `LogStore::add`).
+    let mut full = LogStore::new();
+    for (snap, _) in &captures {
+        full.add(snap.clone());
+    }
+    let full_bytes = full.uploaded_bytes();
+
+    let seg_dir =
+        std::env::temp_dir().join(format!("ntl-bench-seg-{}-{scenario}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&seg_dir);
+    let backends: Vec<Box<dyn LogBackend>> = vec![
+        Box::new(MemBackend::new()),
+        Box::new(SegmentFileBackend::open(&seg_dir).expect("segment dir opens")),
+        Box::new(KvBackend::new()),
+    ];
+
+    let mut rows = Vec::new();
+    for backend in backends {
+        let mut store = LogStore::with_backend(backend);
+        let mut capturer = SnapshotCapturer::new(checkpoint_every);
+        for (snap, watermark) in &captures {
+            store.append_record(capturer.capture_with_watermark(snap.clone(), *watermark));
+        }
+        let matches_full = captures
+            .iter()
+            .enumerate()
+            .all(|(i, (snap, _))| store.get(i).as_ref() == Some(snap));
+        let tail_dict_bytes = store
+            .record(store.len() - 1)
+            .map(|r| r.dict_bytes())
+            .unwrap_or(0) as u64;
+        let storage_bytes = store.storage_bytes();
+
+        let start = Instant::now();
+        let mut replay = Replay::new(&store);
+        while replay.step().is_some() {}
+        let replay_wall_us = start.elapsed().as_micros() as u64;
+
+        let compacted_bytes = store.compact().bytes_after;
+        rows.push(SnapshotReplayReport {
+            scenario: scenario.to_string(),
+            backend: store.backend_name().to_string(),
+            captures: captures.len(),
+            checkpoint_every,
+            checkpoints: store.checkpoint_count(),
+            deltas: store.delta_count(),
+            full_bytes,
+            incremental_bytes: store.uploaded_bytes(),
+            delta_dict_bytes: store.delta_dict_bytes(),
+            tail_dict_bytes,
+            storage_bytes,
+            compacted_bytes,
+            replay_wall_us,
+            matches_full,
+        });
+    }
+    let _ = std::fs::remove_dir_all(&seg_dir);
+    rows
+}
+
 fn main() {
     println!("NetTrails experiment report (see DESIGN.md section 2 and EXPERIMENTS.md)\n");
     println!(
@@ -1012,8 +1184,42 @@ fn main() {
         );
     }
 
+    let mut snapshot_replay = snapshot_replay_sweep(
+        "pathvector_ladder6",
+        protocols::pathvector::PROGRAM,
+        Topology::ladder(6),
+        4,
+    );
+    snapshot_replay.extend(snapshot_replay_sweep(
+        "mincost_ladder6",
+        protocols::mincost::PROGRAM,
+        Topology::ladder(6),
+        4,
+    ));
+    println!("\nIncremental snapshots (checkpoint + delta chains vs full uploads, per backend):");
+    for r in &snapshot_replay {
+        println!(
+            "  {:20} [{:12}] {:2} captures ({}C+{}Δ, every {}) full={:>8}B incr={:>8}B \
+             dictΔ={:>5}B tail={:>2}B stored={:>8}B compacted={:>8}B replay={:>6}us identical={}",
+            r.scenario,
+            r.backend,
+            r.captures,
+            r.checkpoints,
+            r.deltas,
+            r.checkpoint_every,
+            r.full_bytes,
+            r.incremental_bytes,
+            r.delta_dict_bytes,
+            r.tail_dict_bytes,
+            r.storage_bytes,
+            r.compacted_bytes,
+            r.replay_wall_us,
+            r.matches_full,
+        );
+    }
+
     let results = BenchResults {
-        format: "nettrails-bench-results/v7".to_string(),
+        format: "nettrails-bench-results/v8".to_string(),
         experiment_wall_ms,
         tables,
         join_probes,
@@ -1023,6 +1229,7 @@ fn main() {
         parallel_fixpoint,
         vectorized_joins,
         query_fanout,
+        snapshot_replay,
     };
     let json = serde_json::to_string_pretty(&results).expect("results serialize");
     std::fs::write(RESULTS_PATH, &json).expect("write BENCH_results.json");

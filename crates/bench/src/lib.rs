@@ -7,7 +7,7 @@
 //! EXPERIMENTS.md can record paper-claim vs. measured side by side.
 
 use bgp::{AsTopology, BgpHarness, TraceGenerator};
-use logstore::{LogStore, NodeSnapshot, Replay, SystemSnapshot};
+use logstore::{LogStore, Replay, SystemSnapshot};
 use nettrails::{ExperimentRow, NetTrails, NetTrailsConfig, ReportTable};
 use provenance::{QueryEngine, QueryKind, QueryOptions, QueryResult, TraversalOrder};
 use simnet::{Topology, TopologyEvent};
@@ -31,24 +31,10 @@ pub fn mincost_ladder(n: usize) -> NetTrails {
     converged(protocols::mincost::PROGRAM, Topology::ladder(n), true)
 }
 
-/// Capture a full system snapshot of a platform.
+/// Capture a full system snapshot of a platform (the canonical capture path
+/// lives on the platform itself since the incremental-snapshot refactor).
 pub fn capture_snapshot(nt: &NetTrails) -> SystemSnapshot {
-    let mut snap = SystemSnapshot {
-        time: nt.now(),
-        topology: nt.network().topology().clone(),
-        graph: nt.provenance_graph(),
-        traffic: nt.network().stats().clone(),
-        ..Default::default()
-    };
-    for node in nt.nodes() {
-        let engine = nt.engine(&node).expect("engine exists");
-        snap.nodes.insert(
-            node,
-            NodeSnapshot::capture(&node, engine.database(), nt.provenance()),
-        );
-    }
-    snap.stamp_dictionary();
-    snap
+    nt.capture_snapshot()
 }
 
 /// E2 — provenance of a running MINCOST program (Figures 2 and 3): graph size,

@@ -112,6 +112,15 @@ impl Interner {
             strings: p.strings.iter().map(|s| s.to_string()).collect(),
         }
     }
+
+    /// The current dictionary watermark: the number of symbols minted so
+    /// far. The pool is append-only, so two watermarks delimit exactly the
+    /// symbols minted between them — incremental snapshot uploads record a
+    /// watermark at every checkpoint and ship only
+    /// [`InternerSnapshot::diff_since`] that watermark afterwards.
+    pub fn watermark() -> usize {
+        Interner::len()
+    }
 }
 
 /// A serializable dump of the intern pool: the dictionary a snapshot carries
@@ -140,6 +149,25 @@ impl InternerSnapshot {
     pub fn restore(&self) {
         for s in &self.strings {
             intern(s);
+        }
+    }
+
+    /// The dictionary entries minted at or after `watermark` (an id-order
+    /// index previously obtained from [`Interner::watermark`] by the process
+    /// that captured this snapshot). This is the *dictionary diff* an
+    /// incremental snapshot ships: a delta whose base checkpoint recorded
+    /// `watermark` only needs the symbols minted since, because every older
+    /// id already resolves on the receiving side. Restoring a checkpoint and
+    /// then its deltas' diffs **in capture order** reconstructs the full
+    /// dictionary ([`InternerSnapshot::restore`] is append/idempotent, so
+    /// applying diffs in order can never un-intern or reorder anything).
+    pub fn diff_since(&self, watermark: usize) -> InternerSnapshot {
+        InternerSnapshot {
+            strings: self
+                .strings
+                .get(watermark..)
+                .map(<[String]>::to_vec)
+                .unwrap_or_default(),
         }
     }
 
@@ -539,6 +567,54 @@ mod tests {
         assert!(snap.wire_size() >= 8 + "snapshot-node".len());
         snap.restore(); // idempotent
         assert_eq!(Interner::snapshot().len(), snap.len());
+    }
+
+    #[test]
+    fn dictionary_diff_covers_the_symbols_minted_since_the_watermark() {
+        // The pool is process-global and other test threads may mint
+        // concurrently, so assert containment and order, not exact contents.
+        let _ = Sym::new("diff-warmup-symbol");
+        let watermark = Interner::watermark();
+        let before = Interner::snapshot().diff_since(watermark);
+        assert!(!before.strings.iter().any(|s| s == "diff-warmup-symbol"));
+        let fresh = [
+            "diff-fresh-one-9431",
+            "diff-fresh-two-9431",
+            "diff-fresh-three-9431",
+        ];
+        for s in fresh {
+            let _ = Sym::new(s);
+        }
+        let diff = Interner::snapshot().diff_since(watermark);
+        let positions: Vec<usize> = fresh
+            .iter()
+            .map(|f| {
+                diff.strings
+                    .iter()
+                    .position(|s| s == f)
+                    .expect("minted symbol appears in the diff")
+            })
+            .collect();
+        assert!(
+            positions.windows(2).all(|w| w[0] < w[1]),
+            "diff preserves mint (id) order: {positions:?}"
+        );
+        // Re-interning an old symbol mints nothing: the warmup symbol never
+        // enters a later diff.
+        let _ = Sym::new("diff-warmup-symbol");
+        assert!(!Interner::snapshot()
+            .diff_since(watermark)
+            .strings
+            .iter()
+            .any(|s| s == "diff-warmup-symbol"));
+        // A watermark past the end yields an empty diff, not a panic.
+        assert!(Interner::snapshot()
+            .diff_since(Interner::watermark() + 100)
+            .is_empty());
+        // Applying diffs in order is idempotent: every entry resolves after
+        // restore, and re-restoring changes nothing it covers.
+        diff.restore();
+        assert!(diff.strings.iter().all(|s| Sym::lookup(s).is_some()));
     }
 
     #[test]

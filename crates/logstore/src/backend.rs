@@ -1,0 +1,246 @@
+//! The pluggable storage layer underneath [`crate::LogStore`].
+//!
+//! The Log Store of Section 2.3 is an append-only sequence of records — full
+//! [`SystemSnapshot`] checkpoints interleaved with [`SnapshotDelta`]s that
+//! carry only what changed since the previous capture. *Where* those records
+//! live is a [`LogBackend`] decision: in memory ([`MemBackend`]), in
+//! append-only segment files ([`crate::SegmentFileBackend`]), or in a page/KV
+//! layout ([`crate::KvBackend`]). The façade materializes point-in-time
+//! snapshots from checkpoint + delta chains regardless of the backend.
+
+use crate::delta::SnapshotDelta;
+use crate::snapshot::SystemSnapshot;
+use serde::{Deserialize, Serialize};
+use simnet::SimTime;
+
+/// One record of the log: a full checkpoint or an incremental delta against
+/// the previous record's materialized state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LogRecord {
+    /// A full system snapshot (self-contained recovery point).
+    Checkpoint(SystemSnapshot),
+    /// The changes since the previous record's materialized snapshot.
+    Delta(SnapshotDelta),
+}
+
+impl LogRecord {
+    /// The capture time the record is stamped with.
+    pub fn time(&self) -> SimTime {
+        match self {
+            LogRecord::Checkpoint(s) => s.time,
+            LogRecord::Delta(d) => d.time,
+        }
+    }
+
+    /// The record's kind tag (cheap to index without decoding the payload).
+    pub fn kind(&self) -> RecordKind {
+        match self {
+            LogRecord::Checkpoint(_) => RecordKind::Checkpoint,
+            LogRecord::Delta(_) => RecordKind::Delta,
+        }
+    }
+
+    /// Upload cost of shipping this record to the central store.
+    pub fn upload_bytes(&self) -> usize {
+        match self {
+            LogRecord::Checkpoint(s) => s.upload_bytes(),
+            LogRecord::Delta(d) => d.upload_bytes(),
+        }
+    }
+
+    /// The dictionary bytes this record carries: the full stamped dictionary
+    /// for a checkpoint, only the symbols minted since the last capture for
+    /// a delta. Deltas' dictionary cost goes to zero once the system stops
+    /// minting new names — the "sublinear after warmup" property.
+    pub fn dict_bytes(&self) -> usize {
+        match self {
+            LogRecord::Checkpoint(s) => s.dictionary.wire_size(),
+            LogRecord::Delta(d) => d.dict_diff.wire_size(),
+        }
+    }
+}
+
+/// The kind of a [`LogRecord`], kept in every backend's in-memory index so
+/// chain walks (find the nearest checkpoint at or before an index) never
+/// decode record payloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RecordKind {
+    /// A full snapshot.
+    Checkpoint,
+    /// An incremental delta.
+    Delta,
+}
+
+/// What a compaction pass reclaimed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CompactionStats {
+    /// Backend storage footprint before the pass.
+    pub bytes_before: usize,
+    /// Footprint after the pass.
+    pub bytes_after: usize,
+    /// Live records carried across the pass (compaction never drops a
+    /// record — every `at(time)` answer is preserved).
+    pub records: usize,
+}
+
+/// A storage backend for the log: an ordered sequence of [`LogRecord`]s.
+///
+/// Backends keep records in capture-time order (ties broken by arrival) and
+/// maintain an in-memory `(time, kind)` index so `at` is a binary search and
+/// chain walks never touch the payload encoding. `append` inserts at the
+/// position its time dictates; the [`crate::LogStore`] façade enforces the
+/// chain invariants (deltas append at the end, checkpoints never split an
+/// existing checkpoint→delta chain) before calling in.
+pub trait LogBackend: std::fmt::Debug {
+    /// A short name for reports ("mem", "segment_file", "kv").
+    fn name(&self) -> &'static str;
+
+    /// Insert a record at the position its capture time dictates (records
+    /// with equal times keep arrival order).
+    fn append(&mut self, record: LogRecord);
+
+    /// Decode the record at a logical index.
+    fn get(&self, index: usize) -> Option<LogRecord>;
+
+    /// Capture times of every record, in logical order.
+    fn time_index(&self) -> &[SimTime];
+
+    /// Record kinds, in logical order (parallel to [`Self::time_index`]).
+    fn kind_index(&self) -> &[RecordKind];
+
+    /// Number of stored records.
+    fn len(&self) -> usize {
+        self.time_index().len()
+    }
+
+    /// True when no record is stored.
+    fn is_empty(&self) -> bool {
+        self.time_index().is_empty()
+    }
+
+    /// Index of the latest record captured at or before `time`
+    /// (`partition_point` binary search over the time index).
+    fn at(&self, time: SimTime) -> Option<usize> {
+        self.time_index()
+            .partition_point(|t| *t <= time)
+            .checked_sub(1)
+    }
+
+    /// Iterate over every record in logical order.
+    fn iter(&self) -> Box<dyn Iterator<Item = LogRecord> + '_> {
+        Box::new((0..self.len()).filter_map(move |i| self.get(i)))
+    }
+
+    /// Push buffered writes to durable storage (no-op for volatile backends).
+    fn flush(&mut self) {}
+
+    /// Reclaim dead storage (truncated tails, page padding, superseded
+    /// segments) without changing any `get`/`at` answer.
+    fn compact(&mut self) -> CompactionStats;
+
+    /// Current storage footprint in bytes.
+    fn storage_bytes(&self) -> usize;
+}
+
+/// The default backend: records held in a `Vec`, exactly the pre-refactor
+/// behavior of `LogStore`'s internal `Vec<SystemSnapshot>`.
+#[derive(Debug, Default)]
+pub struct MemBackend {
+    records: Vec<LogRecord>,
+    times: Vec<SimTime>,
+    kinds: Vec<RecordKind>,
+}
+
+impl MemBackend {
+    /// Create an empty in-memory backend.
+    pub fn new() -> Self {
+        MemBackend::default()
+    }
+}
+
+impl LogBackend for MemBackend {
+    fn name(&self) -> &'static str {
+        "mem"
+    }
+
+    fn append(&mut self, record: LogRecord) {
+        let time = record.time();
+        let pos = self.times.partition_point(|t| *t <= time);
+        self.times.insert(pos, time);
+        self.kinds.insert(pos, record.kind());
+        self.records.insert(pos, record);
+    }
+
+    fn get(&self, index: usize) -> Option<LogRecord> {
+        self.records.get(index).cloned()
+    }
+
+    fn time_index(&self) -> &[SimTime] {
+        &self.times
+    }
+
+    fn kind_index(&self) -> &[RecordKind] {
+        &self.kinds
+    }
+
+    fn compact(&mut self) -> CompactionStats {
+        let bytes = self.storage_bytes();
+        CompactionStats {
+            bytes_before: bytes,
+            bytes_after: bytes,
+            records: self.records.len(),
+        }
+    }
+
+    fn storage_bytes(&self) -> usize {
+        self.records.iter().map(LogRecord::upload_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn checkpoint_at(secs: u64) -> LogRecord {
+        LogRecord::Checkpoint(SystemSnapshot {
+            time: SimTime::from_secs(secs),
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn mem_backend_keeps_records_in_time_order() {
+        let mut b = MemBackend::new();
+        b.append(checkpoint_at(10));
+        b.append(checkpoint_at(5));
+        b.append(checkpoint_at(7));
+        let secs: Vec<u64> = b
+            .time_index()
+            .iter()
+            .map(|t| t.as_micros() / 1_000_000)
+            .collect();
+        assert_eq!(secs, vec![5, 7, 10]);
+        assert_eq!(b.get(0).unwrap().time(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn at_is_a_binary_search_over_the_time_index() {
+        let mut b = MemBackend::new();
+        for s in [2, 4, 6, 8] {
+            b.append(checkpoint_at(s));
+        }
+        assert_eq!(b.at(SimTime::from_secs(5)), Some(1));
+        assert_eq!(b.at(SimTime::from_secs(8)), Some(3));
+        assert_eq!(b.at(SimTime::from_secs(1)), None);
+        assert_eq!(b.at(SimTime::from_secs(99)), Some(3));
+    }
+
+    #[test]
+    fn mem_compaction_is_a_noop_that_reports_the_footprint() {
+        let mut b = MemBackend::new();
+        b.append(checkpoint_at(1));
+        let stats = b.compact();
+        assert_eq!(stats.bytes_before, stats.bytes_after);
+        assert_eq!(stats.records, 1);
+    }
+}

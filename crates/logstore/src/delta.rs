@@ -1,0 +1,384 @@
+//! Incremental snapshot deltas.
+//!
+//! Uploading a full [`SystemSnapshot`] at every capture re-ships everything —
+//! full tables, the full provenance graph, and the full identifier
+//! dictionary. A [`SnapshotDelta`] instead carries only what changed since
+//! the previous capture: per-node tuple additions/removals (removals priced
+//! as bare [`TupleId`]s), provenance-graph vertex/edge edits, the topology
+//! and traffic counters only when they moved, and a *dictionary diff* — just
+//! the symbols minted since the last capture's interner watermark
+//! (`InternerSnapshot::diff_since`). Applying a delta to the previous
+//! materialized snapshot reproduces the next snapshot bit-for-bit, which the
+//! equivalence proptest verifies across every backend.
+
+use crate::snapshot::{tuple_sort_key, NodeSnapshot, SystemSnapshot};
+use nt_runtime::{Addr, InternerSnapshot, Tuple, TupleId};
+use provenance::{ProvEdge, ProvStoreStats, ProvVertex, VertexId};
+use serde::{Deserialize, Serialize};
+use simnet::{SimTime, Topology, TrafficStats};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Changes to one node's captured state.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct NodeDelta {
+    /// Tuples that appeared, per relation (in the relation's canonical
+    /// order).
+    pub added: BTreeMap<String, Vec<Tuple>>,
+    /// Tuples that disappeared, per relation, as content-addressed ids — an
+    /// id is 8 bytes on the wire, the tuple itself is not re-shipped.
+    pub removed: BTreeMap<String, Vec<TupleId>>,
+    /// New provenance-store sizes, when they changed.
+    pub provenance: Option<ProvStoreStats>,
+}
+
+impl NodeDelta {
+    /// True when the node did not change.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty() && self.provenance.is_none()
+    }
+
+    /// Diff one node's state between two captures.
+    pub fn between(prev: &NodeSnapshot, next: &NodeSnapshot) -> Self {
+        let mut delta = NodeDelta::default();
+        let relations: BTreeSet<&String> =
+            prev.relations.keys().chain(next.relations.keys()).collect();
+        for rel in relations {
+            let empty = Vec::new();
+            let before = prev.relations.get(rel).unwrap_or(&empty);
+            let after = next.relations.get(rel).unwrap_or(&empty);
+            let before_ids: BTreeSet<TupleId> = before.iter().map(Tuple::id).collect();
+            let after_ids: BTreeSet<TupleId> = after.iter().map(Tuple::id).collect();
+            let added: Vec<Tuple> = after
+                .iter()
+                .filter(|t| !before_ids.contains(&t.id()))
+                .cloned()
+                .collect();
+            let removed: Vec<TupleId> = before
+                .iter()
+                .map(Tuple::id)
+                .filter(|id| !after_ids.contains(id))
+                .collect();
+            if !added.is_empty() {
+                delta.added.insert(rel.clone(), added);
+            }
+            if !removed.is_empty() {
+                delta.removed.insert(rel.clone(), removed);
+            }
+        }
+        if prev.provenance != next.provenance {
+            delta.provenance = Some(next.provenance);
+        }
+        delta
+    }
+
+    /// Upload cost: added tuples at full wire size, removals at one id each,
+    /// changed provenance stats as a fixed-width record.
+    pub fn upload_bytes(&self) -> usize {
+        let added: usize = self
+            .added
+            .values()
+            .flat_map(|ts| ts.iter().map(Tuple::wire_size))
+            .sum();
+        let removed: usize = self.removed.values().map(|ids| ids.len() * 8).sum();
+        // One interned relation id per touched relation, plus the stats
+        // record (five counters) when it changed.
+        added
+            + removed
+            + (self.added.len() + self.removed.len()) * 4
+            + if self.provenance.is_some() { 40 } else { 0 }
+    }
+}
+
+/// Changes to the centralized provenance graph.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct GraphDelta {
+    /// Vertices that appeared or changed (applied as overwrites).
+    pub vertices_added: Vec<(VertexId, ProvVertex)>,
+    /// Vertices that disappeared.
+    pub vertices_removed: Vec<VertexId>,
+    /// Edges that appeared.
+    pub edges_added: Vec<ProvEdge>,
+    /// Edges that disappeared.
+    pub edges_removed: Vec<ProvEdge>,
+}
+
+impl GraphDelta {
+    /// True when the graph did not change.
+    pub fn is_empty(&self) -> bool {
+        self.vertices_added.is_empty()
+            && self.vertices_removed.is_empty()
+            && self.edges_added.is_empty()
+            && self.edges_removed.is_empty()
+    }
+
+    /// Diff the graph between two captures.
+    pub fn between(prev: &provenance::ProvGraph, next: &provenance::ProvGraph) -> Self {
+        let mut delta = GraphDelta::default();
+        for (vid, vertex) in &next.vertices {
+            if prev.vertices.get(vid) != Some(vertex) {
+                delta.vertices_added.push((*vid, vertex.clone()));
+            }
+        }
+        for vid in prev.vertices.keys() {
+            if !next.vertices.contains_key(vid) {
+                delta.vertices_removed.push(*vid);
+            }
+        }
+        let before: BTreeSet<ProvEdge> = prev.edges.iter().copied().collect();
+        let after: BTreeSet<ProvEdge> = next.edges.iter().copied().collect();
+        delta.edges_added = after.difference(&before).copied().collect();
+        delta.edges_removed = before.difference(&after).copied().collect();
+        delta
+    }
+
+    /// Upload cost: full vertices for additions, bare ids for removals, two
+    /// vertex ids per edge edit.
+    pub fn upload_bytes(&self) -> usize {
+        self.vertices_added
+            .iter()
+            .map(|(_, v)| 8 + v.wire_size())
+            .sum::<usize>()
+            + self.vertices_removed.len() * 8
+            + (self.edges_added.len() + self.edges_removed.len()) * 16
+    }
+}
+
+/// The changes between two consecutive system captures. Applying a delta to
+/// the previous capture's materialized snapshot yields the next one,
+/// bit-identical.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SnapshotDelta {
+    /// Capture time of the *next* snapshot (the one this delta materializes).
+    pub time: SimTime,
+    /// Per-node changes, keyed by node name.
+    pub nodes: BTreeMap<Addr, NodeDelta>,
+    /// Nodes that disappeared from the capture.
+    pub nodes_removed: Vec<Addr>,
+    /// The new topology, shipped in full when it changed.
+    pub topology: Option<Topology>,
+    /// Provenance-graph edits.
+    pub graph: GraphDelta,
+    /// The new cumulative traffic counters, when they moved.
+    pub traffic: Option<TrafficStats>,
+    /// The symbols minted since the previous capture's interner watermark —
+    /// the *only* dictionary content this delta ships. Empty once the system
+    /// stops minting new names.
+    pub dict_diff: InternerSnapshot,
+}
+
+impl SnapshotDelta {
+    /// Diff two consecutive captures. `dict_diff` is the dictionary slice
+    /// minted between the two captures' interner watermarks; the capture
+    /// path ([`crate::SnapshotCapturer`]) computes it from recorded
+    /// watermarks so the cost is independent of what else the process
+    /// interned since.
+    pub fn between(
+        prev: &SystemSnapshot,
+        next: &SystemSnapshot,
+        dict_diff: InternerSnapshot,
+    ) -> Self {
+        let mut delta = SnapshotDelta {
+            time: next.time,
+            dict_diff,
+            ..Default::default()
+        };
+        for (addr, next_node) in &next.nodes {
+            match prev.nodes.get(addr) {
+                Some(prev_node) => {
+                    let nd = NodeDelta::between(prev_node, next_node);
+                    if !nd.is_empty() {
+                        delta.nodes.insert(*addr, nd);
+                    }
+                }
+                None => {
+                    let nd = NodeDelta::between(&NodeSnapshot::default(), next_node);
+                    delta.nodes.insert(*addr, nd);
+                }
+            }
+        }
+        for addr in prev.nodes.keys() {
+            if !next.nodes.contains_key(addr) {
+                delta.nodes_removed.push(*addr);
+            }
+        }
+        if prev.topology != next.topology {
+            delta.topology = Some(next.topology.clone());
+        }
+        delta.graph = GraphDelta::between(&prev.graph, &next.graph);
+        if prev.traffic != next.traffic {
+            delta.traffic = Some(next.traffic.clone());
+        }
+        delta
+    }
+
+    /// Apply the delta in place, turning the previous capture's materialized
+    /// snapshot into the next one. Tuple vectors are re-sorted into the
+    /// canonical capture order so the result is bit-identical to the full
+    /// snapshot; the caller re-stamps the dictionary afterwards
+    /// (see [`SystemSnapshot::stamp_dictionary`]).
+    pub fn apply(&self, base: &mut SystemSnapshot) {
+        base.time = self.time;
+        for addr in &self.nodes_removed {
+            base.nodes.remove(addr);
+        }
+        for (addr, nd) in &self.nodes {
+            let node = base.nodes.entry(*addr).or_insert_with(|| NodeSnapshot {
+                node: *addr,
+                ..Default::default()
+            });
+            for (rel, removed) in &nd.removed {
+                let gone: BTreeSet<TupleId> = removed.iter().copied().collect();
+                if let Some(tuples) = node.relations.get_mut(rel) {
+                    tuples.retain(|t| !gone.contains(&t.id()));
+                }
+            }
+            for (rel, added) in &nd.added {
+                node.relations
+                    .entry(rel.clone())
+                    .or_default()
+                    .extend(added.iter().cloned());
+            }
+            for rel in nd.removed.keys().chain(nd.added.keys()) {
+                if let Some(tuples) = node.relations.get_mut(rel) {
+                    tuples.sort_by_key(tuple_sort_key);
+                }
+            }
+            node.relations.retain(|_, tuples| !tuples.is_empty());
+            if let Some(stats) = nd.provenance {
+                node.provenance = stats;
+            }
+        }
+        if let Some(topology) = &self.topology {
+            base.topology = topology.clone();
+        }
+        for vid in &self.graph.vertices_removed {
+            base.graph.vertices.remove(vid);
+        }
+        for (vid, vertex) in &self.graph.vertices_added {
+            base.graph.vertices.insert(*vid, vertex.clone());
+        }
+        if !self.graph.edges_added.is_empty() || !self.graph.edges_removed.is_empty() {
+            let gone: BTreeSet<ProvEdge> = self.graph.edges_removed.iter().copied().collect();
+            base.graph.edges.retain(|e| !gone.contains(e));
+            base.graph
+                .edges
+                .extend(self.graph.edges_added.iter().copied());
+            base.graph.edges.sort();
+            base.graph.edges.dedup();
+        }
+        if !self.graph.is_empty() {
+            base.graph.rebuild_adjacency();
+        }
+        if let Some(traffic) = &self.traffic {
+            base.traffic = traffic.clone();
+        }
+    }
+
+    /// Upload cost of shipping this delta: per-node edits, graph edits, the
+    /// topology/traffic payloads only when present, the dictionary diff, and
+    /// a small fixed header. An empty delta still costs the header — capture
+    /// cadence is not free.
+    pub fn upload_bytes(&self) -> usize {
+        let nodes: usize = self.nodes.values().map(NodeDelta::upload_bytes).sum();
+        8 + nodes
+            + self.nodes.len() * 4
+            + self.nodes_removed.len() * 4
+            + self.topology.as_ref().map(Topology::wire_size).unwrap_or(0)
+            + self.graph.upload_bytes()
+            + self
+                .traffic
+                .as_ref()
+                .map(TrafficStats::wire_size)
+                .unwrap_or(0)
+            + self.dict_diff.wire_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nt_runtime::Value;
+
+    fn node_with(name: &str, costs: &[i64]) -> NodeSnapshot {
+        let mut node = NodeSnapshot {
+            node: name.into(),
+            ..Default::default()
+        };
+        let mut tuples: Vec<Tuple> = costs
+            .iter()
+            .map(|c| Tuple::new("cost", vec![Value::addr(name), Value::Int(*c)]))
+            .collect();
+        tuples.sort_by_key(tuple_sort_key);
+        node.relations.insert("cost".into(), tuples);
+        node
+    }
+
+    fn snapshot_with(secs: u64, costs: &[i64]) -> SystemSnapshot {
+        let mut snap = SystemSnapshot {
+            time: SimTime::from_secs(secs),
+            ..Default::default()
+        };
+        snap.nodes.insert("n1".into(), node_with("n1", costs));
+        snap.stamp_dictionary();
+        snap
+    }
+
+    #[test]
+    fn delta_round_trips_to_the_next_snapshot() {
+        let a = snapshot_with(1, &[1, 2, 3]);
+        let b = snapshot_with(2, &[2, 3, 4, 5]);
+        let delta = SnapshotDelta::between(&a, &b, InternerSnapshot::default());
+        let mut materialized = a.clone();
+        delta.apply(&mut materialized);
+        materialized.stamp_dictionary();
+        assert_eq!(materialized, b);
+    }
+
+    #[test]
+    fn removals_are_priced_as_ids_not_tuples() {
+        let a = snapshot_with(1, &[1, 2, 3]);
+        let b = snapshot_with(2, &[1]);
+        let delta = SnapshotDelta::between(&a, &b, InternerSnapshot::default());
+        let full = b.upload_bytes();
+        assert!(
+            delta.upload_bytes() < full,
+            "a shrinking capture must cost less than re-shipping it: {} vs {}",
+            delta.upload_bytes(),
+            full
+        );
+    }
+
+    #[test]
+    fn unchanged_capture_produces_a_near_empty_delta() {
+        let a = snapshot_with(1, &[1, 2]);
+        let b = snapshot_with(2, &[1, 2]);
+        let delta = SnapshotDelta::between(&a, &b, InternerSnapshot::default());
+        assert!(delta.nodes.is_empty());
+        assert!(delta.topology.is_none());
+        assert!(delta.graph.is_empty());
+        assert!(delta.traffic.is_none());
+        assert_eq!(delta.upload_bytes(), 8, "only the header remains");
+    }
+
+    #[test]
+    fn node_appearance_and_disappearance_round_trip() {
+        let mut a = snapshot_with(1, &[1]);
+        let mut b = snapshot_with(2, &[1]);
+        b.nodes.insert("n2".into(), node_with("n2", &[7]));
+        b.stamp_dictionary();
+        let delta = SnapshotDelta::between(&a, &b, InternerSnapshot::default());
+        let mut forward = a.clone();
+        delta.apply(&mut forward);
+        forward.stamp_dictionary();
+        assert_eq!(forward, b);
+
+        // And the reverse direction drops the node again.
+        std::mem::swap(&mut a, &mut b);
+        let delta = SnapshotDelta::between(&a, &b, InternerSnapshot::default());
+        assert_eq!(delta.nodes_removed, vec![Addr::new("n2")]);
+        let mut back = a.clone();
+        delta.apply(&mut back);
+        back.stamp_dictionary();
+        assert_eq!(back, b);
+    }
+}

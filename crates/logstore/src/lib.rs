@@ -15,16 +15,36 @@
 //!   relations, its provenance-store sizes, and simple utilization counters;
 //! * [`SystemSnapshot`] — the combined snapshot of every node plus the
 //!   topology and the assembled provenance graph;
-//! * [`LogStore`] — the central, append-only store of snapshots with JSON
-//!   (de)serialization and upload-size accounting;
+//! * [`SnapshotDelta`] — the changes between two consecutive captures:
+//!   per-node tuple diffs, graph edits, and a *dictionary diff* carrying only
+//!   the symbols minted since the previous capture's interner watermark;
+//! * [`SnapshotCapturer`] — the capture path that turns full captures into a
+//!   checkpoint + delta record stream ([`LogRecord`]);
+//! * [`LogBackend`] — the pluggable storage layer: [`MemBackend`] (default,
+//!   volatile), [`SegmentFileBackend`] (append-only segment files with
+//!   footer indexes, fsync on seal, and truncated-tail recovery on open),
+//!   and [`KvBackend`] (page/KV layout keyed by `(epoch, seq)`);
+//! * [`LogStore`] — the central store, a thin façade over a backend: reads
+//!   materialize full snapshots from checkpoint + delta chains, JSON
+//!   (de)serialization and upload-size accounting are unchanged;
 //! * [`Replay`] — iteration over the stored snapshots with per-step diffs
 //!   (which tuples appeared / disappeared between consecutive snapshots),
 //!   which is what the visualizer's replay slider consumes.
 
+pub mod backend;
+pub mod capture;
+pub mod delta;
+pub mod kv;
 pub mod replay;
+pub mod segment;
 pub mod snapshot;
 pub mod store;
 
+pub use backend::{CompactionStats, LogBackend, LogRecord, MemBackend, RecordKind};
+pub use capture::SnapshotCapturer;
+pub use delta::{GraphDelta, NodeDelta, SnapshotDelta};
+pub use kv::KvBackend;
 pub use replay::{Replay, SnapshotDiff};
+pub use segment::SegmentFileBackend;
 pub use snapshot::{NodeSnapshot, SystemSnapshot};
 pub use store::LogStore;

@@ -93,29 +93,51 @@ impl SnapshotDiff {
 }
 
 /// An iterator-style replay cursor over a log store.
+///
+/// The store holds checkpoint/delta records, so the cursor keeps the
+/// *materialized* snapshot at its position cached: stepping over a delta
+/// record applies it to the cached snapshot instead of re-walking the chain
+/// from the last checkpoint, making a full replay O(records), not
+/// O(records × chain length).
 #[derive(Debug)]
 pub struct Replay<'a> {
     store: &'a LogStore,
     position: usize,
+    current: Option<SystemSnapshot>,
 }
 
 impl<'a> Replay<'a> {
     /// Start a replay at the first snapshot.
     pub fn new(store: &'a LogStore) -> Self {
-        Replay { store, position: 0 }
+        Replay {
+            store,
+            position: 0,
+            current: store.get(0),
+        }
     }
 
-    /// The snapshot the cursor currently points at.
-    pub fn current(&self) -> Option<&'a SystemSnapshot> {
-        self.store.get(self.position)
+    /// The materialized snapshot the cursor currently points at.
+    pub fn current(&self) -> Option<&SystemSnapshot> {
+        self.current.as_ref()
     }
 
     /// Advance to the next snapshot, returning the diff from the previous one.
     pub fn step(&mut self) -> Option<SnapshotDiff> {
-        let current = self.store.get(self.position)?;
-        let next = self.store.get(self.position + 1)?;
+        let record = self.store.record(self.position + 1)?;
+        let current = self.current.as_ref()?;
+        let next = match record {
+            crate::LogRecord::Checkpoint(snapshot) => snapshot,
+            crate::LogRecord::Delta(delta) => {
+                let mut next = current.clone();
+                delta.apply(&mut next);
+                next.stamp_dictionary();
+                next
+            }
+        };
+        let diff = SnapshotDiff::between(current, &next);
         self.position += 1;
-        Some(SnapshotDiff::between(current, next))
+        self.current = Some(next);
+        Some(diff)
     }
 
     /// Remaining steps.
@@ -124,17 +146,10 @@ impl<'a> Replay<'a> {
     }
 
     /// Jump to the snapshot closest to (at or before) `time`, as when a user
-    /// drags the replay slider.
+    /// drags the replay slider — a binary search over the record index.
     pub fn seek(&mut self, time: SimTime) {
-        let mut pos = 0;
-        for (i, s) in self.store.snapshots().iter().enumerate() {
-            if s.time <= time {
-                pos = i;
-            } else {
-                break;
-            }
-        }
-        self.position = pos;
+        self.position = self.store.index_at(time).unwrap_or(0);
+        self.current = self.store.get(self.position);
     }
 }
 

@@ -1,0 +1,413 @@
+//! Durable log storage: append-only segment files.
+//!
+//! Records are framed into numbered segment files (`seg-00000.ntl`):
+//!
+//! ```text
+//! frame   := [u32 payload_len][u8 kind][u64 time_us][u64 fnv64(payload)][payload]
+//! footer  := [u32 0xFFFF_FFFF][u32 count][count × (u64 offset, u64 time_us, u8 kind)][u64 magic]
+//! ```
+//!
+//! A segment is *sealed* once it reaches its record capacity: the footer
+//! index is appended and the file is fsynced, making the segment immutable.
+//! Opening a directory recovers every record by scanning frames (the header
+//! carries time and kind, so recovery never decodes JSON payloads): a
+//! truncated tail — an incomplete header, an incomplete payload, or a
+//! checksum mismatch, i.e. a crash mid-append — silently ends that segment's
+//! scan, keeping the intact prefix. Compaction rewrites all live records
+//! into fresh sealed segments, reclaiming dead tail bytes.
+
+use crate::backend::{CompactionStats, LogBackend, LogRecord, RecordKind};
+use simnet::SimTime;
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+const FOOTER_SENTINEL: u32 = 0xFFFF_FFFF;
+const FOOTER_MAGIC: u64 = 0x4e54_4c4f_4753_4547; // "NTLOGSEG"
+const FRAME_HEADER: usize = 4 + 1 + 8 + 8;
+
+/// How many records a segment holds before it is sealed.
+pub const DEFAULT_SEGMENT_CAPACITY: usize = 8;
+
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn kind_byte(kind: RecordKind) -> u8 {
+    match kind {
+        RecordKind::Checkpoint => 0,
+        RecordKind::Delta => 1,
+    }
+}
+
+fn byte_kind(b: u8) -> Option<RecordKind> {
+    match b {
+        0 => Some(RecordKind::Checkpoint),
+        1 => Some(RecordKind::Delta),
+        _ => None,
+    }
+}
+
+/// Where one record lives on disk.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    segment: u32,
+    offset: u64,
+    payload_len: u32,
+    time: SimTime,
+    kind: RecordKind,
+}
+
+#[derive(Debug)]
+struct ActiveSegment {
+    file: File,
+    number: u32,
+    records: Vec<(u64, SimTime, RecordKind)>,
+    bytes: u64,
+}
+
+/// The append-only segment-file backend.
+#[derive(Debug)]
+pub struct SegmentFileBackend {
+    dir: PathBuf,
+    slots: Vec<Slot>,
+    times: Vec<SimTime>,
+    kinds: Vec<RecordKind>,
+    active: Option<ActiveSegment>,
+    next_segment: u32,
+    segment_capacity: usize,
+    storage_bytes: u64,
+}
+
+impl SegmentFileBackend {
+    /// Open (or create) a segment directory, recovering every intact record
+    /// already on disk. Records are indexed in capture-time order with file
+    /// order breaking ties; new appends go to a fresh segment, never into a
+    /// possibly-torn existing one.
+    pub fn open(dir: impl AsRef<Path>) -> std::io::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        let mut segment_files: Vec<(u32, PathBuf)> = fs::read_dir(&dir)?
+            .filter_map(|e| e.ok())
+            .filter_map(|e| {
+                let path = e.path();
+                let name = path.file_name()?.to_str()?.to_string();
+                let number: u32 = name
+                    .strip_prefix("seg-")?
+                    .strip_suffix(".ntl")?
+                    .parse()
+                    .ok()?;
+                Some((number, path))
+            })
+            .collect();
+        segment_files.sort();
+
+        let mut backend = SegmentFileBackend {
+            dir,
+            slots: Vec::new(),
+            times: Vec::new(),
+            kinds: Vec::new(),
+            active: None,
+            next_segment: segment_files.last().map(|(n, _)| n + 1).unwrap_or(0),
+            segment_capacity: DEFAULT_SEGMENT_CAPACITY,
+            storage_bytes: 0,
+        };
+        let mut recovered: Vec<Slot> = Vec::new();
+        for (number, path) in &segment_files {
+            let bytes = fs::read(path)?;
+            backend.storage_bytes += bytes.len() as u64;
+            recovered.extend(scan_segment(*number, &bytes));
+        }
+        // Logical order: capture time, file order as the stable tiebreak
+        // (recovered is already in file order, and sort_by_key is stable).
+        recovered.sort_by_key(|s| s.time);
+        for slot in recovered {
+            backend.times.push(slot.time);
+            backend.kinds.push(slot.kind);
+            backend.slots.push(slot);
+        }
+        Ok(backend)
+    }
+
+    /// Override how many records a segment holds before sealing.
+    pub fn with_segment_capacity(mut self, capacity: usize) -> Self {
+        self.segment_capacity = capacity.max(1);
+        self
+    }
+
+    fn segment_path(&self, number: u32) -> PathBuf {
+        self.dir.join(format!("seg-{number:05}.ntl"))
+    }
+
+    fn ensure_active(&mut self) -> std::io::Result<()> {
+        if self.active.is_none() {
+            let number = self.next_segment;
+            self.next_segment += 1;
+            let file = OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(self.segment_path(number))?;
+            self.active = Some(ActiveSegment {
+                file,
+                number,
+                records: Vec::new(),
+                bytes: 0,
+            });
+        }
+        Ok(())
+    }
+
+    fn seal_active(&mut self) -> std::io::Result<()> {
+        let Some(mut active) = self.active.take() else {
+            return Ok(());
+        };
+        let mut footer = Vec::new();
+        footer.extend_from_slice(&FOOTER_SENTINEL.to_le_bytes());
+        footer.extend_from_slice(&(active.records.len() as u32).to_le_bytes());
+        for (offset, time, kind) in &active.records {
+            footer.extend_from_slice(&offset.to_le_bytes());
+            footer.extend_from_slice(&time.as_micros().to_le_bytes());
+            footer.push(kind_byte(*kind));
+        }
+        footer.extend_from_slice(&FOOTER_MAGIC.to_le_bytes());
+        active.file.write_all(&footer)?;
+        active.file.sync_all()?;
+        self.storage_bytes += footer.len() as u64;
+        Ok(())
+    }
+
+    fn append_record(&mut self, record: &LogRecord) -> std::io::Result<Slot> {
+        self.ensure_active()?;
+        let payload = serde_json::to_string(record)
+            .map_err(|e| std::io::Error::other(e.to_string()))?
+            .into_bytes();
+        let time = record.time();
+        let kind = record.kind();
+        let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.push(kind_byte(kind));
+        frame.extend_from_slice(&time.as_micros().to_le_bytes());
+        frame.extend_from_slice(&fnv64(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+
+        let active = self.active.as_mut().expect("active segment");
+        let offset = active.bytes;
+        active.file.write_all(&frame)?;
+        active.bytes += frame.len() as u64;
+        active.records.push((offset, time, kind));
+        self.storage_bytes += frame.len() as u64;
+        let slot = Slot {
+            segment: active.number,
+            offset,
+            payload_len: payload.len() as u32,
+            time,
+            kind,
+        };
+        if active.records.len() >= self.segment_capacity {
+            self.seal_active()?;
+        }
+        Ok(slot)
+    }
+
+    fn read_slot(&self, slot: &Slot) -> std::io::Result<LogRecord> {
+        let mut file = File::open(self.segment_path(slot.segment))?;
+        file.seek(SeekFrom::Start(slot.offset + FRAME_HEADER as u64))?;
+        let mut payload = vec![0u8; slot.payload_len as usize];
+        file.read_exact(&mut payload)?;
+        let text = String::from_utf8(payload).map_err(|e| std::io::Error::other(e.to_string()))?;
+        serde_json::from_str(&text).map_err(|e| std::io::Error::other(e.to_string()))
+    }
+}
+
+/// Scan one segment's bytes, returning the slots of every intact record. A
+/// truncated or corrupt tail ends the scan; the footer sentinel ends it
+/// cleanly.
+fn scan_segment(number: u32, bytes: &[u8]) -> Vec<Slot> {
+    let mut slots = Vec::new();
+    let mut offset = 0usize;
+    while offset + FRAME_HEADER <= bytes.len() {
+        let len = u32::from_le_bytes(bytes[offset..offset + 4].try_into().unwrap());
+        if len == FOOTER_SENTINEL {
+            break; // sealed segment's footer index
+        }
+        let Some(kind) = byte_kind(bytes[offset + 4]) else {
+            break;
+        };
+        let time_us = u64::from_le_bytes(bytes[offset + 5..offset + 13].try_into().unwrap());
+        let checksum = u64::from_le_bytes(bytes[offset + 13..offset + 21].try_into().unwrap());
+        let payload_start = offset + FRAME_HEADER;
+        let payload_end = payload_start + len as usize;
+        if payload_end > bytes.len() {
+            break; // truncated tail: incomplete payload
+        }
+        if fnv64(&bytes[payload_start..payload_end]) != checksum {
+            break; // torn write
+        }
+        slots.push(Slot {
+            segment: number,
+            offset: offset as u64,
+            payload_len: len,
+            time: SimTime::from_micros(time_us),
+            kind,
+        });
+        offset = payload_end;
+    }
+    slots
+}
+
+impl LogBackend for SegmentFileBackend {
+    fn name(&self) -> &'static str {
+        "segment_file"
+    }
+
+    fn append(&mut self, record: LogRecord) {
+        let slot = self
+            .append_record(&record)
+            .expect("segment append must not fail");
+        let pos = self.times.partition_point(|t| *t <= slot.time);
+        self.times.insert(pos, slot.time);
+        self.kinds.insert(pos, slot.kind);
+        self.slots.insert(pos, slot);
+    }
+
+    fn get(&self, index: usize) -> Option<LogRecord> {
+        let slot = self.slots.get(index)?;
+        self.read_slot(slot).ok()
+    }
+
+    fn time_index(&self) -> &[SimTime] {
+        &self.times
+    }
+
+    fn kind_index(&self) -> &[RecordKind] {
+        &self.kinds
+    }
+
+    fn flush(&mut self) {
+        if let Some(active) = &mut self.active {
+            let _ = active.file.sync_all();
+        }
+    }
+
+    fn compact(&mut self) -> CompactionStats {
+        let bytes_before = self.storage_bytes as usize;
+        let records: Vec<LogRecord> = self.iter().collect();
+        let old_segments: Vec<u32> = (0..self.next_segment).collect();
+        self.active = None;
+        self.slots.clear();
+        self.times.clear();
+        self.kinds.clear();
+        self.storage_bytes = 0;
+        for record in records {
+            LogBackend::append(self, record);
+        }
+        // The tail segment stays unsealed, exactly as after normal appends —
+        // sealing it here would *add* a footer and grow the footprint.
+        if let Some(active) = &mut self.active {
+            let _ = active.file.sync_all();
+        }
+        let live: std::collections::BTreeSet<u32> = self.slots.iter().map(|s| s.segment).collect();
+        for number in old_segments {
+            if !live.contains(&number) {
+                let _ = fs::remove_file(self.segment_path(number));
+            }
+        }
+        CompactionStats {
+            bytes_before,
+            bytes_after: self.storage_bytes as usize,
+            records: self.slots.len(),
+        }
+    }
+
+    fn storage_bytes(&self) -> usize {
+        self.storage_bytes as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::SystemSnapshot;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ntl-segtest-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn checkpoint_at(secs: u64) -> LogRecord {
+        LogRecord::Checkpoint(SystemSnapshot {
+            time: SimTime::from_secs(secs),
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn records_survive_drop_and_reopen() {
+        let dir = tempdir("reopen");
+        {
+            let mut b = SegmentFileBackend::open(&dir).unwrap();
+            for s in [1, 2, 3] {
+                b.append(checkpoint_at(s));
+            }
+            b.flush();
+        }
+        let b = SegmentFileBackend::open(&dir).unwrap();
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.get(2).unwrap().time(), SimTime::from_secs(3));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_tail_is_dropped_on_recovery() {
+        let dir = tempdir("truncate");
+        {
+            let mut b = SegmentFileBackend::open(&dir)
+                .unwrap()
+                .with_segment_capacity(100);
+            for s in [1, 2, 3] {
+                b.append(checkpoint_at(s));
+            }
+            b.flush();
+        }
+        // Chop bytes off the tail of the only segment, simulating a crash
+        // mid-append.
+        let seg = dir.join("seg-00000.ntl");
+        let bytes = fs::read(&seg).unwrap();
+        fs::write(&seg, &bytes[..bytes.len() - 10]).unwrap();
+        let b = SegmentFileBackend::open(&dir).unwrap();
+        assert_eq!(b.len(), 2, "intact prefix survives, torn record dropped");
+        assert_eq!(b.get(1).unwrap().time(), SimTime::from_secs(2));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_reclaims_dead_tail_bytes() {
+        let dir = tempdir("compact");
+        {
+            let mut b = SegmentFileBackend::open(&dir)
+                .unwrap()
+                .with_segment_capacity(100);
+            for s in [1, 2, 3, 4] {
+                b.append(checkpoint_at(s));
+            }
+            b.flush();
+        }
+        let seg = dir.join("seg-00000.ntl");
+        let bytes = fs::read(&seg).unwrap();
+        fs::write(&seg, &bytes[..bytes.len() - 5]).unwrap();
+        let mut b = SegmentFileBackend::open(&dir).unwrap();
+        assert_eq!(b.len(), 3);
+        let stats = b.compact();
+        assert!(stats.bytes_after <= stats.bytes_before);
+        assert_eq!(stats.records, 3);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.get(0).unwrap().time(), SimTime::from_secs(1));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -18,15 +18,29 @@ pub struct NodeSnapshot {
     pub provenance: ProvStoreStats,
 }
 
+/// The canonical intra-relation tuple order used by captures and delta
+/// application. The debug rendering distinguishes value variants (`Str` vs
+/// `Addr`) that display identically, so the key is injective enough to make
+/// "same multiset of tuples" imply "same vector" — the property the
+/// bit-identical delta materialization relies on.
+pub fn tuple_sort_key(t: &Tuple) -> String {
+    format!("{t:?}")
+}
+
 impl NodeSnapshot {
-    /// Capture a node's state from its runtime database and provenance store.
+    /// Capture a node's state from its runtime database and provenance
+    /// store. Tuples are stored in the canonical [`tuple_sort_key`] order so
+    /// that a delta applied to the previous capture reproduces this one
+    /// bit-for-bit regardless of table slot order.
     pub fn capture(node: &str, db: &Database, provenance: &ProvenanceSystem) -> Self {
         let mut relations = BTreeMap::new();
         for table in db.tables() {
             if table.schema.name.starts_with("__out::") || table.is_empty() {
                 continue;
             }
-            relations.insert(table.schema.name.clone(), table.tuples());
+            let mut tuples = table.tuples();
+            tuples.sort_by_key(tuple_sort_key);
+            relations.insert(table.schema.name.clone(), tuples);
         }
         NodeSnapshot {
             node: node.into(),
@@ -130,9 +144,10 @@ impl SystemSnapshot {
         self.nodes.values().map(NodeSnapshot::tuple_count).sum()
     }
 
-    /// Total upload size of all per-node snapshots, plus the one-time
-    /// dictionary shipped alongside them. An unstamped snapshot is priced as
-    /// if its dictionary had been stamped — the cost is derived state, so
+    /// Total upload size: all per-node snapshots, the topology, the
+    /// provenance graph, the traffic counters, plus the one-time dictionary
+    /// shipped alongside them. An unstamped snapshot is priced as if its
+    /// dictionary had been stamped — the cost is derived state, so
     /// accounting cannot be silently skipped by forgetting
     /// [`SystemSnapshot::stamp_dictionary`].
     pub fn upload_bytes(&self) -> usize {
@@ -145,6 +160,9 @@ impl SystemSnapshot {
             .values()
             .map(NodeSnapshot::upload_bytes)
             .sum::<usize>()
+            + self.topology.wire_size()
+            + self.graph.wire_size()
+            + self.traffic.wire_size()
             + dict_bytes
     }
 

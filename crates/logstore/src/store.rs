@@ -1,40 +1,107 @@
 //! The central Log Store.
 
+use crate::backend::{CompactionStats, LogBackend, LogRecord, MemBackend, RecordKind};
 use crate::snapshot::SystemSnapshot;
 use serde::{Deserialize, Serialize};
 use simnet::SimTime;
+use std::collections::BTreeSet;
 
-/// The append-only store of system snapshots that lives at the visualization
-/// node. Snapshots are kept in capture-time order; the store tracks how many
-/// bytes have been uploaded to it (the centralization cost of Section 2.3).
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+/// The store of system snapshots that lives at the visualization node,
+/// now a thin façade over a pluggable [`LogBackend`]. Records are full
+/// checkpoints or incremental deltas; every read (`get`, `at`, `snapshots`)
+/// *materializes* a full [`SystemSnapshot`] by walking back to the nearest
+/// checkpoint and applying the delta chain forward, so callers never see the
+/// encoding. The store tracks how many bytes have been uploaded to it (the
+/// centralization cost of Section 2.3), with delta dictionary bytes broken
+/// out separately.
+#[derive(Debug)]
 pub struct LogStore {
-    snapshots: Vec<SystemSnapshot>,
+    backend: Box<dyn LogBackend>,
     uploaded_bytes: u64,
+    delta_dict_bytes: u64,
+    checkpoints: usize,
+    deltas: usize,
+}
+
+impl Default for LogStore {
+    fn default() -> Self {
+        LogStore::new()
+    }
 }
 
 impl LogStore {
-    /// Create an empty store.
+    /// An empty store over the default in-memory backend.
     pub fn new() -> Self {
-        LogStore::default()
+        LogStore::with_backend(Box::new(MemBackend::new()))
     }
 
-    /// Append a snapshot (snapshots must arrive in non-decreasing time
-    /// order; out-of-order snapshots are inserted at the right position).
+    /// An empty store over an explicit backend.
+    pub fn with_backend(backend: Box<dyn LogBackend>) -> Self {
+        LogStore {
+            backend,
+            uploaded_bytes: 0,
+            delta_dict_bytes: 0,
+            checkpoints: 0,
+            deltas: 0,
+        }
+    }
+
+    /// The backend's short name ("mem", "segment_file", "kv").
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.name()
+    }
+
+    /// Append a full snapshot as a checkpoint record (snapshots must arrive
+    /// in non-decreasing time order; out-of-order snapshots are inserted at
+    /// the right position). This is the pre-incremental upload path and
+    /// remains the API for callers that do not run a
+    /// [`crate::SnapshotCapturer`].
     pub fn add(&mut self, snapshot: SystemSnapshot) {
-        self.uploaded_bytes += snapshot.upload_bytes() as u64;
-        let pos = self.snapshots.partition_point(|s| s.time <= snapshot.time);
-        self.snapshots.insert(pos, snapshot);
+        self.append_record(LogRecord::Checkpoint(snapshot));
     }
 
-    /// Number of stored snapshots.
+    /// Append a checkpoint or delta record, charging its upload cost.
+    ///
+    /// Chain invariants are enforced here, once, for every backend: a delta
+    /// only makes sense appended at the end (it diffs against the previous
+    /// record's materialized state), and a late-arriving checkpoint may slot
+    /// in anywhere *except* immediately before a delta — that would splice a
+    /// foreign base under an existing chain and corrupt every materialization
+    /// after it.
+    pub fn append_record(&mut self, record: LogRecord) {
+        let time = record.time();
+        let pos = self.backend.time_index().partition_point(|t| *t <= time);
+        match record.kind() {
+            RecordKind::Delta => {
+                assert!(
+                    pos == self.backend.len() && !self.backend.is_empty(),
+                    "delta records must append at the end of a non-empty log \
+                     (delta at {time:?} would land at {pos}/{})",
+                    self.backend.len()
+                );
+                self.deltas += 1;
+                self.delta_dict_bytes += record.dict_bytes() as u64;
+            }
+            RecordKind::Checkpoint => {
+                assert!(
+                    self.backend.kind_index().get(pos) != Some(&RecordKind::Delta),
+                    "checkpoint at {time:?} would split an existing checkpoint→delta chain"
+                );
+                self.checkpoints += 1;
+            }
+        }
+        self.uploaded_bytes += record.upload_bytes() as u64;
+        self.backend.append(record);
+    }
+
+    /// Number of stored records (each materializes one snapshot).
     pub fn len(&self) -> usize {
-        self.snapshots.len()
+        self.backend.len()
     }
 
-    /// True when no snapshot is stored.
+    /// True when no record is stored.
     pub fn is_empty(&self) -> bool {
-        self.snapshots.is_empty()
+        self.backend.is_empty()
     }
 
     /// Total bytes uploaded to the store.
@@ -42,49 +109,175 @@ impl LogStore {
         self.uploaded_bytes
     }
 
-    /// All snapshots in time order.
-    pub fn snapshots(&self) -> &[SystemSnapshot] {
-        &self.snapshots
+    /// Dictionary bytes carried by delta records alone — the incremental
+    /// dictionary cost. Sublinear in snapshot count after warmup: once the
+    /// system stops minting names, every further delta ships zero.
+    pub fn delta_dict_bytes(&self) -> u64 {
+        self.delta_dict_bytes
     }
 
-    /// The snapshot at a given index.
-    pub fn get(&self, index: usize) -> Option<&SystemSnapshot> {
-        self.snapshots.get(index)
+    /// Number of checkpoint records.
+    pub fn checkpoint_count(&self) -> usize {
+        self.checkpoints
+    }
+
+    /// Number of delta records.
+    pub fn delta_count(&self) -> usize {
+        self.deltas
+    }
+
+    /// The backend's current storage footprint in bytes.
+    pub fn storage_bytes(&self) -> usize {
+        self.backend.storage_bytes()
+    }
+
+    /// Push buffered writes to durable storage.
+    pub fn flush(&mut self) {
+        self.backend.flush();
+    }
+
+    /// Reclaim dead backend storage without changing any answer.
+    pub fn compact(&mut self) -> CompactionStats {
+        self.backend.compact()
+    }
+
+    /// The raw record at an index (checkpoint or delta, undecoded by any
+    /// materialization) — what the replay timeline and the bench accounting
+    /// read.
+    pub fn record(&self, index: usize) -> Option<LogRecord> {
+        self.backend.get(index)
+    }
+
+    /// Every record in time order.
+    pub fn records(&self) -> Vec<LogRecord> {
+        self.backend.iter().collect()
+    }
+
+    /// All snapshots in time order, materialized.
+    pub fn snapshots(&self) -> Vec<SystemSnapshot> {
+        (0..self.len()).filter_map(|i| self.get(i)).collect()
+    }
+
+    /// The snapshot at a given index, materialized from the nearest
+    /// checkpoint at or before it plus the delta chain between them.
+    pub fn get(&self, index: usize) -> Option<SystemSnapshot> {
+        if index >= self.len() {
+            return None;
+        }
+        let kinds = self.backend.kind_index();
+        let base = (0..=index)
+            .rev()
+            .find(|i| kinds[*i] == RecordKind::Checkpoint)?;
+        let Some(LogRecord::Checkpoint(mut snapshot)) = self.backend.get(base) else {
+            return None;
+        };
+        for i in base + 1..=index {
+            let LogRecord::Delta(delta) = self.backend.get(i)? else {
+                return None;
+            };
+            delta.apply(&mut snapshot);
+        }
+        if base != index {
+            snapshot.stamp_dictionary();
+        }
+        Some(snapshot)
+    }
+
+    /// The index of the latest record captured at or before `time` — a
+    /// `partition_point` binary search over the backend's time index.
+    pub fn index_at(&self, time: SimTime) -> Option<usize> {
+        self.backend.at(time)
     }
 
     /// The latest snapshot taken at or before `time` (what the visualizer
-    /// shows when the user pauses the replay at `time`).
-    pub fn at(&self, time: SimTime) -> Option<&SystemSnapshot> {
-        self.snapshots.iter().rev().find(|s| s.time <= time)
+    /// shows when the user pauses the replay at `time`), materialized.
+    pub fn at(&self, time: SimTime) -> Option<SystemSnapshot> {
+        self.get(self.index_at(time)?)
     }
 
     /// Serialize the whole store to pretty JSON (the on-disk format consumed
-    /// by the visualizer).
+    /// by the visualizer). Snapshots are materialized, so the export is
+    /// backend- and encoding-independent — exactly what the pre-incremental
+    /// format contained.
     pub fn to_json(&self) -> serde_json::Result<String> {
-        serde_json::to_string_pretty(self)
+        let doc = StoreJson {
+            snapshots: self.snapshots(),
+            uploaded_bytes: self.uploaded_bytes,
+        };
+        serde_json::to_string_pretty(&doc)
     }
 
-    /// Load a store from JSON. Every snapshot's identifier dictionary is
-    /// restored into the local intern pool so the fixed-width ids inside the
-    /// snapshots resolve.
+    /// Load a store (in-memory backend) from JSON. The snapshots'
+    /// identifier dictionaries are restored into the local intern pool so
+    /// the fixed-width ids inside them resolve — each dictionary entry
+    /// exactly once, in time order, skipping symbols the pool already holds,
+    /// rather than re-walking every snapshot's full dictionary.
     pub fn from_json(json: &str) -> serde_json::Result<Self> {
-        let store: Self = serde_json::from_str(json)?;
-        for snap in &store.snapshots {
-            snap.restore_dictionary();
+        let doc: StoreJson = serde_json::from_str(json)?;
+        let mut by_time: Vec<&SystemSnapshot> = doc.snapshots.iter().collect();
+        by_time.sort_by_key(|s| s.time);
+        let mut seen: BTreeSet<&str> = BTreeSet::new();
+        for snap in by_time {
+            for s in &snap.dictionary.strings {
+                if seen.insert(s) && nt_runtime::Sym::lookup(s).is_none() {
+                    nt_runtime::Sym::new(s);
+                }
+            }
         }
-        Ok(store)
+        let mut backend = MemBackend::new();
+        let mut checkpoints = 0;
+        for snap in doc.snapshots {
+            backend.append(LogRecord::Checkpoint(snap));
+            checkpoints += 1;
+        }
+        Ok(LogStore {
+            backend: Box::new(backend),
+            uploaded_bytes: doc.uploaded_bytes,
+            delta_dict_bytes: 0,
+            checkpoints,
+            deltas: 0,
+        })
     }
+}
+
+/// The stable JSON document shape: materialized snapshots plus the upload
+/// counter, unchanged from the pre-backend format.
+#[derive(Serialize, Deserialize)]
+struct StoreJson {
+    snapshots: Vec<SystemSnapshot>,
+    uploaded_bytes: u64,
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::capture::SnapshotCapturer;
+    use crate::kv::KvBackend;
+    use crate::snapshot::NodeSnapshot;
+    use nt_runtime::{InternerSnapshot, Tuple, Value};
 
     fn snapshot_at(secs: u64) -> SystemSnapshot {
         SystemSnapshot {
             time: SimTime::from_secs(secs),
             ..Default::default()
         }
+    }
+
+    fn snapshot_with_costs(secs: u64, costs: &[i64]) -> SystemSnapshot {
+        let mut node = NodeSnapshot {
+            node: "n1".into(),
+            ..Default::default()
+        };
+        let mut tuples: Vec<Tuple> = costs
+            .iter()
+            .map(|c| Tuple::new("cost", vec![Value::addr("n1"), Value::Int(*c)]))
+            .collect();
+        tuples.sort_by_key(crate::snapshot::tuple_sort_key);
+        node.relations.insert("cost".into(), tuples);
+        let mut snap = snapshot_at(secs);
+        snap.nodes.insert("n1".into(), node);
+        snap.stamp_dictionary();
+        snap
     }
 
     #[test]
@@ -129,6 +322,21 @@ mod tests {
     }
 
     #[test]
+    fn json_round_trip_materializes_delta_records() {
+        let mut capturer = SnapshotCapturer::new(2);
+        let mut store = LogStore::new();
+        for (secs, costs) in [(1, vec![1]), (2, vec![1, 2]), (3, vec![2, 3])] {
+            store.append_record(capturer.capture(snapshot_with_costs(secs, &costs)));
+        }
+        assert!(store.delta_count() > 0);
+        let json = store.to_json().unwrap();
+        let loaded = LogStore::from_json(&json).unwrap();
+        assert_eq!(loaded.len(), 3);
+        assert_eq!(loaded.snapshots(), store.snapshots());
+        assert_eq!(loaded.uploaded_bytes(), store.uploaded_bytes());
+    }
+
+    #[test]
     fn upload_bytes_accumulate() {
         let mut store = LogStore::new();
         assert_eq!(store.uploaded_bytes(), 0);
@@ -136,5 +344,55 @@ mod tests {
         assert_eq!(store.uploaded_bytes(), 0, "empty snapshot uploads nothing");
         assert!(store.get(0).is_some());
         assert!(store.get(5).is_none());
+    }
+
+    #[test]
+    fn deltas_materialize_through_any_backend() {
+        let mut capturer = SnapshotCapturer::new(3);
+        let mut store = LogStore::with_backend(Box::new(KvBackend::new()));
+        let captures = [
+            snapshot_with_costs(1, &[1]),
+            snapshot_with_costs(2, &[1, 2]),
+            snapshot_with_costs(3, &[2]),
+            snapshot_with_costs(4, &[2, 5, 7]),
+        ];
+        for snap in &captures {
+            store.append_record(capturer.capture(snap.clone()));
+        }
+        assert_eq!(store.backend_name(), "kv");
+        assert_eq!(store.checkpoint_count(), 2);
+        assert_eq!(store.delta_count(), 2);
+        for (i, expected) in captures.iter().enumerate() {
+            assert_eq!(store.get(i).as_ref(), Some(expected), "index {i}");
+        }
+        assert_eq!(
+            store.at(SimTime::from_secs(3)).unwrap(),
+            captures[2],
+            "at() materializes through the delta chain"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "delta records must append at the end")]
+    fn out_of_order_delta_is_rejected() {
+        let mut store = LogStore::new();
+        store.add(snapshot_at(10));
+        store.append_record(LogRecord::Delta(crate::delta::SnapshotDelta {
+            time: SimTime::from_secs(5),
+            dict_diff: InternerSnapshot::default(),
+            ..Default::default()
+        }));
+    }
+
+    #[test]
+    #[should_panic(expected = "would split an existing checkpoint")]
+    fn checkpoint_cannot_split_a_delta_chain() {
+        let mut store = LogStore::new();
+        store.add(snapshot_with_costs(1, &[1]));
+        store.append_record(LogRecord::Delta(crate::delta::SnapshotDelta {
+            time: SimTime::from_secs(5),
+            ..Default::default()
+        }));
+        store.add(snapshot_at(3));
     }
 }

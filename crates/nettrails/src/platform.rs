@@ -336,6 +336,35 @@ impl NetTrails {
         ProvGraph::from_system(&self.provenance)
     }
 
+    /// Capture the whole system as a [`logstore::SystemSnapshot`]: every
+    /// node's visible relations, the topology, the assembled provenance
+    /// graph, the traffic counters, stamped with the identifier dictionary.
+    /// The snapshot is *canonical* — tuple vectors and graph edges are in
+    /// their sorted capture order — so the incremental capture path
+    /// ([`logstore::SnapshotCapturer`]) can materialize it back
+    /// bit-identically from a checkpoint + delta chain.
+    pub fn capture_snapshot(&self) -> logstore::SystemSnapshot {
+        let mut graph = self.provenance_graph();
+        graph.edges.sort();
+        graph.rebuild_adjacency();
+        let mut snap = logstore::SystemSnapshot {
+            time: self.now(),
+            topology: self.network.topology().clone(),
+            graph,
+            traffic: self.network.stats().clone(),
+            ..Default::default()
+        };
+        for node in self.nodes() {
+            let engine = self.engines.get(&node).expect("engine exists");
+            snap.nodes.insert(
+                node,
+                logstore::NodeSnapshot::capture(node.as_str(), engine.database(), &self.provenance),
+            );
+        }
+        snap.stamp_dictionary();
+        snap
+    }
+
     /// A node's engine, if it exists.
     pub fn engine(&self, node: &str) -> Option<&NodeEngine> {
         self.engines.get(&Addr::new(node))

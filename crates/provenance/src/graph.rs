@@ -135,6 +135,20 @@ where
     Ok(entries.into_iter().collect())
 }
 
+impl ProvVertex {
+    /// Approximate upload cost of shipping this vertex in a snapshot: the
+    /// identifier, the interned location id, flags, and (for known tuples)
+    /// the tuple payload. Names travel once in the snapshot dictionary.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            ProvVertex::Tuple { tuple, .. } => {
+                8 + 4 + 1 + tuple.as_ref().map(Tuple::wire_size).unwrap_or(0)
+            }
+            ProvVertex::RuleExec { .. } => 8 + 4 + 4,
+        }
+    }
+}
+
 impl ProvGraph {
     /// Assemble the centralized graph from every node's provenance store.
     pub fn from_system(system: &ProvenanceSystem) -> Self {
@@ -217,6 +231,16 @@ impl ProvGraph {
     /// True when the posting lists are in sync with `edges`.
     fn adjacency_built(&self) -> bool {
         self.edges.is_empty() || !self.out_adj.is_empty()
+    }
+
+    /// Approximate upload cost of shipping the whole graph in a snapshot:
+    /// every vertex plus two vertex ids per edge.
+    pub fn wire_size(&self) -> usize {
+        self.vertices
+            .values()
+            .map(ProvVertex::wire_size)
+            .sum::<usize>()
+            + self.edges.len() * 16
     }
 
     /// Number of tuple vertices.

@@ -41,7 +41,7 @@ pub mod system;
 /// sharded apply phase, the query executor pump) keep working unchanged.
 pub use nt_pool as pool;
 
-pub use graph::{ProvEdge, ProvGraph, ProvVertex};
+pub use graph::{ProvEdge, ProvGraph, ProvVertex, VertexId};
 pub use proql::{parse_query as parse_proql, ProqlQuery, ProqlResult};
 pub use query::{
     ProofTree, QueryBatch, QueryEngine, QueryExecutor, QueryHandle, QueryKind, QueryMode, QueryOp,

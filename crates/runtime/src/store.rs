@@ -17,7 +17,7 @@
 //! A [`Table`] has two interchangeable representations behind one API:
 //!
 //! * **Columnar** (the default): tuples live column-major in a
-//!   [`ColumnStore`]-shaped arena — one dictionary-encoded `u32` column per
+//!   `ColumnStore`-shaped arena — one dictionary-encoded `u32` column per
 //!   `Addr`-valued attribute (the dictionary *is* the process-global intern
 //!   pool, so encoding is free), plain `Vec<i64>` / `Vec<f64>` columns for
 //!   numeric attributes, and a `Vec<Value>` overflow column for strings,

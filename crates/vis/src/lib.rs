@@ -15,12 +15,17 @@
 //!   Poincaré unit disk, plus the *focus change* transformation (a Möbius
 //!   translation) used for the smooth refocusing the paper describes,
 //! * [`ascii`] — plain-text rendering of proof trees and topology summaries
-//!   for terminal exploration (used by the examples).
+//!   for terminal exploration (used by the examples),
+//! * [`timeline`] — plain-text rendering of the Log Store's checkpoint/delta
+//!   record stream (times, kinds, upload costs), read purely through the
+//!   pluggable-backend trait surface.
 
 pub mod ascii;
 pub mod dot;
 pub mod hypertree;
+pub mod timeline;
 
 pub use ascii::{render_proof_tree, render_topology_summary};
 pub use dot::{provenance_to_dot, topology_to_dot};
 pub use hypertree::{focus_on, HyperPoint, HypertreeLayout};
+pub use timeline::render_replay_timeline;

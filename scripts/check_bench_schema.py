@@ -63,6 +63,24 @@ deterministic and machine-independent:
   this is the executor genuinely overlapping hops, not a latency formula;
 * records must match between the traversals (the fan-out changes the
   schedule, never the work), and breadth-first must not ship more frames.
+
+The `snapshot_replay` section (format v8) gates the incremental
+checkpoint + delta snapshot chains against the full-upload baseline, across
+every pluggable log backend:
+
+* every row must be bit-identical to the full chain (`matches_full` true) —
+  materializing any capture through its delta chain reproduces exactly the
+  snapshot a full upload would have stored, on every backend;
+* every scenario must cover all three backends (mem, segment_file, kv) —
+  the comparison is only meaningful when the same records flow through each;
+* `incremental_bytes <= full_bytes` on every row, and strictly below on the
+  pathvector ladder rows (the headline scenario — equality there means the
+  deltas saved nothing);
+* compaction must never grow the footprint
+  (`compacted_bytes <= storage_bytes`);
+* `tail_dict_bytes` must be 0 — after warmup the run mints no new names, so
+  the last delta's dictionary diff must be empty (the sublinear-dictionary
+  property).
 """
 
 import json
@@ -158,10 +176,29 @@ REQUIRED_SECTIONS = {
         "fanout_speedup",
         "bfs_beats_dfs",
     },
+    "snapshot_replay": {
+        "scenario",
+        "backend",
+        "captures",
+        "checkpoint_every",
+        "checkpoints",
+        "deltas",
+        "full_bytes",
+        "incremental_bytes",
+        "delta_dict_bytes",
+        "tail_dict_bytes",
+        "storage_bytes",
+        "compacted_bytes",
+        "replay_wall_us",
+        "matches_full",
+    },
 }
 
 # The format marker every report must carry (bumped with the schema).
-REQUIRED_FORMAT = "nettrails-bench-results/v7"
+REQUIRED_FORMAT = "nettrails-bench-results/v8"
+
+# The log backends every snapshot_replay scenario must cover.
+REQUIRED_LOG_BACKENDS = {"mem", "segment_file", "kv"}
 
 # The shard-count sweep every report must cover.
 REQUIRED_SHARD_SWEEP = [1, 2, 4, 8]
@@ -429,6 +466,62 @@ def check_query_fanout(fresh):
     )
 
 
+def check_snapshot_replay(fresh):
+    """Regression gates on the incremental-snapshot comparison (see module
+    doc)."""
+    rows = fresh.get("snapshot_replay", [])
+    by_scenario = {}
+    for row in rows:
+        by_scenario.setdefault(row["scenario"], set()).add(row["backend"])
+    for scenario, backends in sorted(by_scenario.items()):
+        if backends != REQUIRED_LOG_BACKENDS:
+            sys.exit(
+                f"snapshot_replay[{scenario!r}] must cover backends "
+                f"{sorted(REQUIRED_LOG_BACKENDS)}, found {sorted(backends)}."
+            )
+    for row in rows:
+        scenario = f"{row['scenario']} [{row['backend']}]"
+        if not row["matches_full"]:
+            sys.exit(
+                f"snapshot_replay[{scenario}]: materializing through the "
+                "delta chain is NOT bit-identical to the full-upload chain "
+                "(matches_full=false). Incremental snapshots broke replay."
+            )
+        if row["incremental_bytes"] > row["full_bytes"]:
+            sys.exit(
+                f"snapshot_replay[{scenario}]: the incremental chain "
+                f"uploaded more than the full chain "
+                f"({row['incremental_bytes']} > {row['full_bytes']} bytes). "
+                "Deltas stopped paying for themselves."
+            )
+        if (
+            "pathvector" in row["scenario"]
+            and row["incremental_bytes"] >= row["full_bytes"]
+        ):
+            sys.exit(
+                f"snapshot_replay[{scenario}]: the headline scenario must "
+                "upload strictly less incrementally "
+                f"({row['incremental_bytes']} vs {row['full_bytes']} bytes)."
+            )
+        if row["compacted_bytes"] > row["storage_bytes"]:
+            sys.exit(
+                f"snapshot_replay[{scenario}]: compaction grew the backend "
+                f"footprint ({row['storage_bytes']} -> "
+                f"{row['compacted_bytes']} bytes)."
+            )
+        if row["tail_dict_bytes"] != 0:
+            sys.exit(
+                f"snapshot_replay[{scenario}]: the last delta carried "
+                f"{row['tail_dict_bytes']} dictionary bytes; after warmup "
+                "the dictionary diff must be empty (the sublinear-dictionary "
+                "property)."
+            )
+    print(
+        f"snapshot_replay gate OK ({len(rows)} rows, every backend "
+        "bit-identical to the full chain, incremental never larger)"
+    )
+
+
 def main():
     if len(sys.argv) != 3:
         sys.exit(__doc__)
@@ -452,6 +545,7 @@ def main():
     check_parallel_fixpoint(fresh)
     check_vectorized_joins(fresh)
     check_query_fanout(fresh)
+    check_snapshot_replay(fresh)
 
     if committed.get("format") != fresh.get("format"):
         sys.exit(

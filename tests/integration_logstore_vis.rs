@@ -1,28 +1,16 @@
 //! Integration tests for the log store, replay and the visualizer backend.
 
-use logstore::{LogStore, NodeSnapshot, Replay, SnapshotDiff, SystemSnapshot};
+use logstore::{KvBackend, LogStore, Replay, SnapshotCapturer, SnapshotDiff, SystemSnapshot};
 use nettrails::{NetTrails, NetTrailsConfig};
+use nt_runtime::Interner;
 use provenance::{QueryKind, QueryResult};
 use simnet::{Topology, TopologyEvent};
-use vis::{provenance_to_dot, render_proof_tree, topology_to_dot, HypertreeLayout};
+use vis::{
+    provenance_to_dot, render_proof_tree, render_replay_timeline, topology_to_dot, HypertreeLayout,
+};
 
 fn snapshot(nt: &NetTrails) -> SystemSnapshot {
-    let mut snap = SystemSnapshot {
-        time: nt.now(),
-        topology: nt.network().topology().clone(),
-        graph: nt.provenance_graph(),
-        traffic: nt.network().stats().clone(),
-        ..Default::default()
-    };
-    for node in nt.nodes() {
-        let engine = nt.engine(&node).unwrap();
-        snap.nodes.insert(
-            node,
-            NodeSnapshot::capture(&node, engine.database(), nt.provenance()),
-        );
-    }
-    snap.stamp_dictionary();
-    snap
+    nt.capture_snapshot()
 }
 
 fn platform() -> NetTrails {
@@ -128,4 +116,62 @@ fn visualizer_exports_are_well_formed_for_real_provenance() {
         layout.len()
     );
     assert!(layout.max_norm() < 1.0);
+}
+
+#[test]
+fn incremental_chain_replays_and_renders_through_a_kv_backend() {
+    let mut nt = platform();
+    let mut full = LogStore::new();
+    let mut store = LogStore::with_backend(Box::new(KvBackend::new()));
+    let mut capturer = SnapshotCapturer::new(3);
+    let events = [
+        TopologyEvent::LinkDown {
+            a: "n1".into(),
+            b: "n2".into(),
+        },
+        TopologyEvent::LinkDown {
+            a: "n2".into(),
+            b: "n5".into(),
+        },
+        TopologyEvent::LinkUp(simnet::Link::new("n1", "n2", 2)),
+    ];
+    let snap = snapshot(&nt);
+    full.add(snap.clone());
+    store.append_record(capturer.capture_with_watermark(snap, Interner::watermark()));
+    for event in &events {
+        nt.apply_topology_event(event);
+        let snap = snapshot(&nt);
+        full.add(snap.clone());
+        store.append_record(capturer.capture_with_watermark(snap, Interner::watermark()));
+    }
+
+    assert_eq!(store.backend_name(), "kv");
+    assert_eq!(store.checkpoint_count(), 2);
+    assert_eq!(store.delta_count(), 2);
+    assert_eq!(
+        store.snapshots(),
+        full.snapshots(),
+        "delta chains materialize exactly what full uploads stored"
+    );
+    assert!(
+        store.uploaded_bytes() < full.uploaded_bytes(),
+        "deltas upload less than full snapshots ({} vs {})",
+        store.uploaded_bytes(),
+        full.uploaded_bytes()
+    );
+
+    // The replay walk over the incremental chain sees the same link churn
+    // the full chain records.
+    let mut replay = Replay::new(&store);
+    let mut removed = Vec::new();
+    while let Some(diff) = replay.step() {
+        removed.extend(diff.links_removed);
+    }
+    assert!(removed.contains(&("n1".into(), "n2".into())));
+    assert!(removed.contains(&("n2".into(), "n5".into())));
+
+    // The timeline renderer reads the store through the backend trait only.
+    let timeline = render_replay_timeline(&store);
+    assert!(timeline.contains("[kv]"));
+    assert!(timeline.contains("4 records (2 checkpoints, 2 deltas)"));
 }
