@@ -272,6 +272,52 @@ struct SnapshotReplayReport {
     matches_full: bool,
 }
 
+/// One scenario-suite row: a seeded topology family converged under a
+/// trace-driven workload (link churn, flash-crowd query storms, or mixed
+/// concurrent protocols), with throughput and measured (simulated-clock)
+/// query latency. `matches_seed` re-derives the topology and trace from the
+/// spec's seed and — on slice rows — re-runs the whole scenario and compares
+/// replay digests, so CI gates bit-identical replays per PR.
+#[derive(Serialize)]
+struct ScenarioSuiteReport {
+    scenario: String,
+    family: String,
+    workload: String,
+    seed: u64,
+    /// True for representative-slice rows (run per-PR); false for the
+    /// nightly-only 10^4-node rows.
+    slice: bool,
+    nodes: usize,
+    links: usize,
+    anchors: usize,
+    converge_rounds: usize,
+    converged_tuples: usize,
+    converge_wall_ms: f64,
+    replay_wall_ms: f64,
+    /// Simulated span of the replay.
+    sim_ms: f64,
+    churn_events: usize,
+    queries: usize,
+    /// Insertions + deletions during replay (incremental recomputation
+    /// volume).
+    tuples_touched: usize,
+    deliveries: usize,
+    /// Trace events (churn + queries) per wall-clock second of replay.
+    events_per_sec: f64,
+    /// Tuples touched per wall-clock second of replay.
+    tuples_per_sec: f64,
+    /// Median measured query latency (simulated milliseconds).
+    p50_latency_ms: f64,
+    /// 99th-percentile measured query latency (simulated milliseconds).
+    p99_latency_ms: f64,
+    /// Seed determinism: topology and trace digests re-derived from the seed
+    /// match the run, and (slice rows) an independent re-run reproduced the
+    /// replay digest bit-for-bit.
+    matches_seed: bool,
+    /// Machine-independent digest of final state + latencies + counters.
+    replay_digest: String,
+}
+
 #[derive(Serialize)]
 struct BenchResults {
     /// Schema marker for downstream tooling.
@@ -314,6 +360,14 @@ struct BenchResults {
     /// pathvector ladder), compaction never growing the footprint, and the
     /// post-warmup delta dictionary cost being zero.
     snapshot_replay: Vec<SnapshotReplayReport>,
+    /// Internet-scale scenario suite: seeded topology families (fat-tree,
+    /// AS-graph, small-world, mobility mesh) under trace-driven workloads
+    /// (churn, query storms, mixed concurrent protocols), with throughput
+    /// and measured p50/p99 query latency. Per-PR runs carry the
+    /// representative slice; `NT_SCENARIO_SCALE=full` (nightly) adds the
+    /// 10^4-node rows. CI gates `matches_seed` and `p99 >= p50` on every
+    /// row.
+    scenario_suite: Vec<ScenarioSuiteReport>,
 }
 
 /// Wire size of a value under the pre-interning encoding (addresses carried
@@ -991,6 +1045,43 @@ fn snapshot_replay_sweep(
     rows
 }
 
+/// Run one scenario spec and fold it into a report row. Slice rows are run
+/// twice — the second run must reproduce the replay digest bit-for-bit for
+/// `matches_seed` to hold, which is the per-PR determinism gate.
+fn scenario_suite_row(spec: &scenario::ScenarioSpec) -> ScenarioSuiteReport {
+    let outcome = scenario::run_scenario(spec);
+    let mut matches_seed = scenario::verify_seed(spec, &outcome);
+    if spec.slice {
+        let rerun = scenario::run_scenario(spec);
+        matches_seed &= rerun.replay_digest == outcome.replay_digest;
+    }
+    ScenarioSuiteReport {
+        scenario: outcome.name.clone(),
+        family: outcome.family.clone(),
+        workload: outcome.workload.clone(),
+        seed: spec.seed,
+        slice: spec.slice,
+        nodes: outcome.nodes,
+        links: outcome.links,
+        anchors: outcome.anchors,
+        converge_rounds: outcome.converge_rounds,
+        converged_tuples: outcome.converged_tuples,
+        converge_wall_ms: outcome.converge_wall_ms,
+        replay_wall_ms: outcome.replay_wall_ms,
+        sim_ms: outcome.sim_ms,
+        churn_events: outcome.churn_events,
+        queries: outcome.queries,
+        tuples_touched: outcome.tuples_touched,
+        deliveries: outcome.deliveries,
+        events_per_sec: outcome.events_per_sec(),
+        tuples_per_sec: outcome.tuples_per_sec(),
+        p50_latency_ms: outcome.p50_ms(),
+        p99_latency_ms: outcome.p99_ms(),
+        matches_seed,
+        replay_digest: format!("{:016x}", outcome.replay_digest),
+    }
+}
+
 fn main() {
     println!("NetTrails experiment report (see DESIGN.md section 2 and EXPERIMENTS.md)\n");
     println!(
@@ -1218,8 +1309,43 @@ fn main() {
         );
     }
 
+    let scenario_scale = match std::env::var("NT_SCENARIO_SCALE").as_deref() {
+        Ok("full") => scenario::SuiteScale::Full,
+        _ => scenario::SuiteScale::Slice,
+    };
+    let scenario_suite: Vec<ScenarioSuiteReport> = scenario::suite(scenario_scale)
+        .iter()
+        .map(scenario_suite_row)
+        .collect();
+    println!(
+        "\nScenario suite ({} scale; NT_SCENARIO_SCALE=full for the nightly sweep):",
+        if scenario_scale == scenario::SuiteScale::Full {
+            "full"
+        } else {
+            "slice"
+        }
+    );
+    for r in &scenario_suite {
+        println!(
+            "  {:28} nodes={:>6} links={:>6} churn={:>5} queries={:>5} \
+             events/s={:>8.0} tuples/s={:>9.0} p50={:>5.1}ms p99={:>5.1}ms \
+             seeded={} digest={}",
+            r.scenario,
+            r.nodes,
+            r.links,
+            r.churn_events,
+            r.queries,
+            r.events_per_sec,
+            r.tuples_per_sec,
+            r.p50_latency_ms,
+            r.p99_latency_ms,
+            r.matches_seed,
+            r.replay_digest,
+        );
+    }
+
     let results = BenchResults {
-        format: "nettrails-bench-results/v8".to_string(),
+        format: "nettrails-bench-results/v9".to_string(),
         experiment_wall_ms,
         tables,
         join_probes,
@@ -1230,6 +1356,7 @@ fn main() {
         vectorized_joins,
         query_fanout,
         snapshot_replay,
+        scenario_suite,
     };
     let json = serde_json::to_string_pretty(&results).expect("results serialize");
     std::fs::write(RESULTS_PATH, &json).expect("write BENCH_results.json");

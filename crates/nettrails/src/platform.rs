@@ -313,6 +313,14 @@ impl NetTrails {
         self.network.now()
     }
 
+    /// Advance the simulated clock to `t` without delivering anything (no-op
+    /// if `t` is in the past). Trace-driven workloads use this to model idle
+    /// gaps between scheduled events, so measured latencies ride the same
+    /// clock as the trace schedule.
+    pub fn advance_clock_to(&mut self, t: SimTime) {
+        self.network.advance_time_to(t);
+    }
+
     /// The distributed provenance store.
     pub fn provenance(&self) -> &ProvenanceSystem {
         &self.provenance

@@ -1,0 +1,99 @@
+//! # scenario — the internet-scale scenario suite
+//!
+//! The paper evaluates NetTrails on realistic distributed settings: AS-level
+//! topologies derived from RouteViews, mobile DSR networks, multiple
+//! declarative protocols running concurrently. This crate is the reproduction
+//! counterpart: seeded topology families at 10^3–10^4 nodes
+//! ([`TopologyFamily`]), deterministic trace schedules of link churn and
+//! flash-crowd query storms ([`WorkloadTrace`]), and a replay driver
+//! ([`run_scenario`]) that executes a trace against a full [`nettrails`]
+//! platform and reports throughput plus p50/p99 query latency *measured* off
+//! the simulated clock.
+//!
+//! Everything downstream of a [`ScenarioSpec`] is a pure function of its
+//! `u64` seed: the topology, the trace, the replayed engine state and the
+//! replay digest. `scripts/check_bench_schema.py` gates exactly that —
+//! `matches_seed` must hold for every row of the `scenario_suite` section of
+//! `BENCH_results.json`, and the committed digests must match a fresh run.
+
+pub mod driver;
+pub mod programs;
+pub mod spec;
+pub mod suite;
+pub mod trace;
+
+pub use driver::{run_scenario, run_scenario_with_workers, ScenarioOutcome};
+pub use spec::{ScenarioSpec, TopologyFamily, WorkloadKind};
+pub use suite::{suite, verify_seed, SuiteScale};
+pub use trace::{TraceAction, TraceStep, WorkloadTrace};
+
+/// Nearest-rank percentile over an ascending-sorted slice (`p` in `0..=100`).
+/// Returns 0.0 for an empty slice.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// FNV-1a, the digest primitive shared by traces and replay outcomes. The
+/// inputs are simulated-clock quantities and sorted tuple dumps, never wall
+/// clock, so digests are machine-independent.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv(u64);
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Fnv {
+    /// Fold raw bytes into the digest.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// Fold a `u64` (little-endian) into the digest.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Fold an `f64`'s bit pattern into the digest.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// The digest value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 50.0), 2.0);
+        assert_eq!(percentile(&v, 99.0), 4.0);
+        assert_eq!(percentile(&v, 100.0), 4.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[7.5], 99.0), 7.5);
+    }
+
+    #[test]
+    fn fnv_depends_on_input() {
+        let mut a = Fnv::default();
+        a.write(b"hello");
+        let mut b = Fnv::default();
+        b.write(b"hellp");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -1,0 +1,90 @@
+//! End-to-end scenario replay: sanity of a full run and the bit-identity
+//! contract — a trace replays identically across runs and across engine
+//! worker counts.
+
+use proptest::prelude::*;
+use scenario::{
+    run_scenario, run_scenario_with_workers, verify_seed, ScenarioSpec, TopologyFamily,
+    WorkloadKind,
+};
+
+fn small_spec(workload: WorkloadKind, seed: u64) -> ScenarioSpec {
+    ScenarioSpec {
+        family: TopologyFamily::SmallWorld {
+            n: 32,
+            k: 4,
+            beta_percent: 20,
+        },
+        workload,
+        seed,
+        anchors: 3,
+        max_hops: 3,
+        churn_steps: 9,
+        storm_queries: 6,
+        slice: true,
+    }
+}
+
+#[test]
+fn a_full_scenario_run_reports_sane_measurements() {
+    let spec = small_spec(WorkloadKind::Mixed, 42);
+    let outcome = run_scenario(&spec);
+    assert_eq!(outcome.nodes, 32);
+    assert!(outcome.converge_rounds > 0);
+    assert!(
+        outcome.converged_tuples > 0,
+        "routes derived at convergence"
+    );
+    assert!(outcome.churn_events > 0);
+    assert!(outcome.queries > 0, "storms ran");
+    assert_eq!(outcome.queries, outcome.latencies_ms.len());
+    assert!(
+        outcome.latencies_ms.iter().all(|&l| l >= 0.0),
+        "latency is measured off the simulated clock"
+    );
+    assert!(outcome.p99_ms() >= outcome.p50_ms());
+    assert!(outcome.tuples_touched > 0, "churn reached the engines");
+    assert!(outcome.sim_ms > 0.0, "the replay consumed simulated time");
+    assert!(verify_seed(&spec, &outcome));
+}
+
+#[test]
+fn storms_measure_nonzero_latency_on_remote_queries() {
+    let spec = small_spec(WorkloadKind::Storm, 7);
+    let outcome = run_scenario(&spec);
+    assert!(outcome.queries >= 3 * 6, "three storm waves");
+    assert!(
+        outcome.latencies_ms.iter().any(|&l| l > 0.0),
+        "some session crossed the wire"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn replay_is_bit_identical_across_runs_and_worker_counts(
+        seed in any::<u64>(),
+        workload_idx in 0usize..3,
+    ) {
+        let workload = [WorkloadKind::Churn, WorkloadKind::Storm, WorkloadKind::Mixed]
+            [workload_idx];
+        let spec = small_spec(workload, seed);
+        let base = run_scenario(&spec);
+        let again = run_scenario(&spec);
+        prop_assert_eq!(base.replay_digest, again.replay_digest);
+        prop_assert_eq!(&base.latencies_ms, &again.latencies_ms);
+        for workers in [2usize, 4] {
+            let parallel = run_scenario_with_workers(&spec, workers);
+            prop_assert_eq!(
+                base.replay_digest,
+                parallel.replay_digest,
+                "worker count {} must not change the replay",
+                workers
+            );
+            prop_assert_eq!(base.queries, parallel.queries);
+            prop_assert_eq!(base.tuples_touched, parallel.tuples_touched);
+        }
+        prop_assert!(verify_seed(&spec, &base));
+    }
+}

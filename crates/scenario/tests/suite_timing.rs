@@ -1,0 +1,39 @@
+//! Wall-clock probes for the suite. Ignored by default — run them when
+//! tuning scenario sizes:
+//!
+//! ```sh
+//! cargo test --release -p scenario --test suite_timing -- --ignored --nocapture
+//! NT_SCENARIO_SCALE=full cargo test --release -p scenario --test suite_timing -- --ignored --nocapture
+//! ```
+
+use scenario::{run_scenario, suite, SuiteScale};
+
+#[test]
+#[ignore = "timing probe, run explicitly when tuning suite sizes"]
+fn time_the_suite() {
+    let scale = match std::env::var("NT_SCENARIO_SCALE").as_deref() {
+        Ok("full") => SuiteScale::Full,
+        _ => SuiteScale::Slice,
+    };
+    let mut total = 0.0;
+    for spec in suite(scale) {
+        let outcome = run_scenario(&spec);
+        total += outcome.converge_wall_ms + outcome.replay_wall_ms;
+        println!(
+            "{:<28} nodes={:<6} links={:<6} tuples={:<8} converge={:>8.0}ms replay={:>8.0}ms \
+             rounds={:<4} churn={:<4} queries={:<4} p50={:.1}ms p99={:.1}ms",
+            outcome.name,
+            outcome.nodes,
+            outcome.links,
+            outcome.converged_tuples,
+            outcome.converge_wall_ms,
+            outcome.replay_wall_ms,
+            outcome.converge_rounds,
+            outcome.churn_events,
+            outcome.queries,
+            outcome.p50_ms(),
+            outcome.p99_ms(),
+        );
+    }
+    println!("total: {:.1}s", total / 1000.0);
+}

@@ -109,6 +109,18 @@ impl RandomWaypoint {
         }
     }
 
+    /// A mobility mesh sized for the scenario suite: `n` nodes on a square
+    /// field scaled so the expected radio degree stays ~8 regardless of `n`
+    /// (area = n * pi * range^2 / 8), radio range 100 m, pedestrian-to-slow-
+    /// vehicle speeds (1-6 m/s, so per-second link flips stay a few percent
+    /// of the link set), waypoints precomputed out to `horizon_secs`.
+    /// Deterministic per seed.
+    pub fn mesh(n: usize, horizon_secs: f64, seed: u64) -> Self {
+        let range = 100.0;
+        let side = (n as f64 * std::f64::consts::PI * range * range / 8.0).sqrt();
+        RandomWaypoint::new(n, side, side, range, 1.0, 6.0, horizon_secs, seed)
+    }
+
     /// The field dimensions.
     pub fn field(&self) -> (f64, f64) {
         self.field
@@ -121,36 +133,29 @@ impl RandomWaypoint {
 
     /// Link up/down events between two sample instants, as
     /// `(new_links, lost_links)` of *bidirectional* pairs (each pair reported
-    /// once, `a < b`).
+    /// once, `a < b`). Diffs the two link sets directly — O(E log E), not
+    /// O(n^2) over node pairs — so churn sampling stays cheap at scenario
+    /// scale.
     pub fn link_changes(&self, t0: f64, t1: f64) -> LinkChanges {
         let before = self.topology_at(t0);
         let after = self.topology_at(t1);
         let mut up = Vec::new();
         let mut down = Vec::new();
-        let nodes: Vec<String> = self.nodes();
-        for (i, a) in nodes.iter().enumerate() {
-            for b in nodes.iter().skip(i + 1) {
-                let was = before.has_link(a, b);
-                let is = after.has_link(a, b);
-                if !was && is {
-                    up.push((a.clone(), b.clone()));
-                } else if was && !is {
-                    down.push((a.clone(), b.clone()));
-                }
+        for l in after.links().filter(|l| l.from < l.to) {
+            if !before.has_link(&l.from, &l.to) {
+                up.push((l.from.clone(), l.to.clone()));
+            }
+        }
+        for l in before.links().filter(|l| l.from < l.to) {
+            if !after.has_link(&l.from, &l.to) {
+                down.push((l.from.clone(), l.to.clone()));
             }
         }
         (up, down)
     }
-}
 
-impl MobilityModel for RandomWaypoint {
-    fn nodes(&self) -> Vec<String> {
-        self.motions.iter().map(|m| m.name.clone()).collect()
-    }
-
-    fn position(&self, node: &str, t_secs: f64) -> Option<Point> {
-        let motion = self.motions.iter().find(|m| m.name == node)?;
-        // Find the leg containing t (or clamp to the last one).
+    /// Leg interpolation for one node's motion at `t_secs`.
+    fn position_of(motion: &NodeMotion, t_secs: f64) -> Option<Point> {
         let leg = motion
             .legs
             .iter()
@@ -169,20 +174,52 @@ impl MobilityModel for RandomWaypoint {
             y: from.y + (to.y - from.y) * frac,
         })
     }
+}
 
+impl MobilityModel for RandomWaypoint {
+    fn nodes(&self) -> Vec<String> {
+        self.motions.iter().map(|m| m.name.clone()).collect()
+    }
+
+    fn position(&self, node: &str, t_secs: f64) -> Option<Point> {
+        let motion = self.motions.iter().find(|m| m.name == node)?;
+        Self::position_of(motion, t_secs)
+    }
+
+    /// The radio link set at `t_secs`. Positions are computed once per node
+    /// and bucketed on a grid of `range`-sized cells, so only nodes in
+    /// adjacent cells are distance-tested: ~O(n + links) instead of the
+    /// all-pairs O(n^2), which is what keeps 10^3-node mesh scenarios (and
+    /// their per-second churn sampling) affordable. The resulting link set is
+    /// identical to the all-pairs scan.
     fn topology_at(&self, t_secs: f64) -> Topology {
         let mut topo = Topology::new();
-        let nodes = self.nodes();
-        for n in &nodes {
-            topo.add_node(n.clone());
+        let mut points = Vec::with_capacity(self.motions.len());
+        for m in &self.motions {
+            topo.add_node(m.name.clone());
+            points.push(Self::position_of(m, t_secs).expect("motion has legs"));
         }
-        for (i, a) in nodes.iter().enumerate() {
-            let pa = self.position(a, t_secs).expect("known node");
-            for b in nodes.iter().skip(i + 1) {
-                let pb = self.position(b, t_secs).expect("known node");
-                if pa.distance(&pb) <= self.range {
-                    topo.add_link(Link::new(a.clone(), b.clone(), self.link_cost));
-                    topo.add_link(Link::new(b.clone(), a.clone(), self.link_cost));
+        let cell = self.range.max(1e-9);
+        let cell_of = |p: &Point| ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64);
+        let mut grid: std::collections::BTreeMap<(i64, i64), Vec<usize>> =
+            std::collections::BTreeMap::new();
+        for (i, p) in points.iter().enumerate() {
+            grid.entry(cell_of(p)).or_default().push(i);
+        }
+        for (i, pa) in points.iter().enumerate() {
+            let (cx, cy) = cell_of(pa);
+            for dx in -1..=1 {
+                for dy in -1..=1 {
+                    let Some(bucket) = grid.get(&(cx + dx, cy + dy)) else {
+                        continue;
+                    };
+                    for &j in bucket {
+                        if j > i && pa.distance(&points[j]) <= self.range {
+                            let (a, b) = (&self.motions[i].name, &self.motions[j].name);
+                            topo.add_link(Link::new(a.clone(), b.clone(), self.link_cost));
+                            topo.add_link(Link::new(b.clone(), a.clone(), self.link_cost));
+                        }
+                    }
                 }
             }
         }
@@ -234,6 +271,25 @@ mod tests {
         // Symmetric links.
         for l in topo.links() {
             assert!(topo.has_link(&l.to, &l.from));
+        }
+    }
+
+    #[test]
+    fn grid_link_set_matches_the_all_pairs_scan() {
+        let m = RandomWaypoint::mesh(100, 30.0, 4);
+        for t in [0.0, 12.5] {
+            let topo = m.topology_at(t);
+            let nodes = m.nodes();
+            for (i, a) in nodes.iter().enumerate() {
+                for b in nodes.iter().skip(i + 1) {
+                    let close = m
+                        .position(a, t)
+                        .unwrap()
+                        .distance(&m.position(b, t).unwrap())
+                        <= m.range();
+                    assert_eq!(topo.has_link(a, b), close, "{a}-{b} at t={t}");
+                }
+            }
         }
     }
 

@@ -81,6 +81,28 @@ every pluggable log backend:
 * `tail_dict_bytes` must be 0 — after warmup the run mints no new names, so
   the last delta's dictionary diff must be empty (the sublinear-dictionary
   property).
+
+The `scenario_suite` section (format v9) gates the internet-scale scenario
+suite — seeded topology generators replayed under trace-driven workloads:
+
+* every required topology family (fat_tree, internet_as, small_world, mesh)
+  and every workload kind (churn, storm, mixed) must appear among the
+  slice rows — a missing scenario kind fails the check outright;
+* the static slice families (fat_tree, internet_as, small_world) must each
+  carry at least one >= 10^3-node row, the ISSUE's scale floor for the
+  per-PR gate;
+* every row must be seed-deterministic (`matches_seed` true): topology and
+  trace digests re-derive from the seed, and slice rows additionally re-ran
+  the whole replay and reproduced the digest bit-for-bit;
+* every row must have measured latency (`queries >= 1`) with
+  `p99_latency_ms >= p50_latency_ms` — the latencies are simulated-clock
+  measurements of real query sessions, so a p99 below p50 means the
+  percentile bookkeeping broke;
+* throughput must be positive (`events_per_sec > 0`);
+* the replay digest of every slice row present in both files must match the
+  committed baseline exactly — the digests are machine-independent, so any
+  drift is a behavior change that must ship with a regenerated
+  BENCH_results.json.
 """
 
 import json
@@ -192,10 +214,35 @@ REQUIRED_SECTIONS = {
         "replay_wall_us",
         "matches_full",
     },
+    "scenario_suite": {
+        "scenario",
+        "family",
+        "workload",
+        "seed",
+        "slice",
+        "nodes",
+        "links",
+        "anchors",
+        "converge_rounds",
+        "converged_tuples",
+        "converge_wall_ms",
+        "replay_wall_ms",
+        "sim_ms",
+        "churn_events",
+        "queries",
+        "tuples_touched",
+        "deliveries",
+        "events_per_sec",
+        "tuples_per_sec",
+        "p50_latency_ms",
+        "p99_latency_ms",
+        "matches_seed",
+        "replay_digest",
+    },
 }
 
 # The format marker every report must carry (bumped with the schema).
-REQUIRED_FORMAT = "nettrails-bench-results/v8"
+REQUIRED_FORMAT = "nettrails-bench-results/v9"
 
 # The log backends every snapshot_replay scenario must cover.
 REQUIRED_LOG_BACKENDS = {"mem", "segment_file", "kv"}
@@ -225,6 +272,13 @@ WALL_TOLERANCE = 1.5
 WALL_SLACK_US = 5000
 GATED_SHARDS = 4
 BASELINE_SHARDS = 1
+
+# The topology families and workload kinds the scenario-suite slice must
+# cover, and the node floor for the static (non-mesh) families.
+REQUIRED_SCENARIO_FAMILIES = {"fat_tree", "internet_as", "small_world", "mesh"}
+REQUIRED_SCENARIO_WORKLOADS = {"churn", "storm", "mixed"}
+SCENARIO_STATIC_NODE_FLOOR = 1000
+SCENARIO_FLOOR_FAMILIES = {"fat_tree", "internet_as", "small_world"}
 
 
 def check_required_sections(name, doc):
@@ -522,6 +576,96 @@ def check_snapshot_replay(fresh):
     )
 
 
+def check_scenario_suite(committed, fresh):
+    """Regression gates on the internet-scale scenario suite (see module
+    doc)."""
+    rows = fresh.get("scenario_suite", [])
+    slice_rows = [r for r in rows if r["slice"]]
+
+    families = {r["family"] for r in slice_rows}
+    missing = REQUIRED_SCENARIO_FAMILIES - families
+    if missing:
+        sys.exit(
+            f"scenario_suite: slice is missing topology families "
+            f"{sorted(missing)} (found {sorted(families)}). Every generator "
+            "family must be exercised per-PR."
+        )
+    workloads = {r["workload"] for r in slice_rows}
+    missing = REQUIRED_SCENARIO_WORKLOADS - workloads
+    if missing:
+        sys.exit(
+            f"scenario_suite: slice is missing workload kinds "
+            f"{sorted(missing)} (found {sorted(workloads)}). Every workload "
+            "must be exercised per-PR."
+        )
+    for family in sorted(SCENARIO_FLOOR_FAMILIES):
+        biggest = max(
+            (r["nodes"] for r in slice_rows if r["family"] == family),
+            default=0,
+        )
+        if biggest < SCENARIO_STATIC_NODE_FLOOR:
+            sys.exit(
+                f"scenario_suite: family {family!r} peaks at {biggest} nodes "
+                f"in the slice; the per-PR gate requires at least one "
+                f">= {SCENARIO_STATIC_NODE_FLOOR}-node row per static family."
+            )
+
+    for row in rows:
+        scenario = row["scenario"]
+        if not row["matches_seed"]:
+            sys.exit(
+                f"scenario_suite[{scenario!r}]: NOT seed-deterministic "
+                "(matches_seed=false). The topology, trace, or replay no "
+                "longer reproduces from the seed."
+            )
+        if row["queries"] < 1:
+            sys.exit(
+                f"scenario_suite[{scenario!r}]: the replay ran no query "
+                "sessions — the row carries no measured latency."
+            )
+        if row["p99_latency_ms"] < row["p50_latency_ms"]:
+            sys.exit(
+                f"scenario_suite[{scenario!r}]: p99 latency "
+                f"({row['p99_latency_ms']:.1f}ms) is below p50 "
+                f"({row['p50_latency_ms']:.1f}ms); percentile bookkeeping "
+                "broke."
+            )
+        if row["events_per_sec"] <= 0:
+            sys.exit(
+                f"scenario_suite[{scenario!r}]: non-positive replay "
+                "throughput (events_per_sec="
+                f"{row['events_per_sec']}); the trace replayed nothing."
+            )
+
+    committed_digests = {
+        r["scenario"]: r["replay_digest"]
+        for r in committed.get("scenario_suite", [])
+        if r["slice"]
+    }
+    compared = 0
+    for row in slice_rows:
+        baseline = committed_digests.get(row["scenario"])
+        if baseline is None:
+            continue
+        compared += 1
+        if row["replay_digest"] != baseline:
+            sys.exit(
+                f"scenario_suite[{row['scenario']!r}]: replay digest drifted "
+                f"({baseline} -> {row['replay_digest']}). The digest is "
+                "machine-independent, so this is a behavior change — commit "
+                "the regenerated BENCH_results.json in the same change."
+            )
+    if compared == 0:
+        sys.exit(
+            "scenario_suite: no slice row of the regenerated report matches "
+            "a committed scenario name — the committed baseline is stale."
+        )
+    print(
+        f"scenario_suite gate OK ({len(rows)} rows, {len(slice_rows)} slice; "
+        f"{compared} replay digests bit-identical to the committed baseline)"
+    )
+
+
 def main():
     if len(sys.argv) != 3:
         sys.exit(__doc__)
@@ -546,6 +690,7 @@ def main():
     check_vectorized_joins(fresh)
     check_query_fanout(fresh)
     check_snapshot_replay(fresh)
+    check_scenario_suite(committed, fresh)
 
     if committed.get("format") != fresh.get("format"):
         sys.exit(
