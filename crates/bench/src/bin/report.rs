@@ -318,6 +318,65 @@ struct ScenarioSuiteReport {
     replay_digest: String,
 }
 
+/// One multi-tenant query-service scenario: 10^3+ concurrent provenance
+/// sessions from ≥8 tenants against a churning AS-graph, run under merged
+/// and per-session frame sealing. CI gates the merged/split digest match,
+/// the frames-per-destination win, sublinear frame and dictionary growth
+/// across the session scales, `p99 >= p50` and the fairness ratio.
+#[derive(Serialize)]
+struct QueryServiceReport {
+    scenario: String,
+    seed: u64,
+    /// True for representative-slice rows (run per-PR); false for the
+    /// nightly-only full-sweep rows.
+    slice: bool,
+    nodes: usize,
+    links: usize,
+    tenants: usize,
+    /// Sessions offered across all waves (admitted + rejected).
+    offered: usize,
+    /// Sessions rejected with an explicit `Overloaded` at enqueue.
+    rejected: usize,
+    /// Sessions that completed with a result.
+    completed: usize,
+    /// Sessions cancelled at their deadline (queued or in flight).
+    expired: usize,
+    churn_events: usize,
+    /// Query-plane frames shipped with cross-session merging on / off.
+    frames_merged: u64,
+    frames_split: u64,
+    /// Distinct frame destinations observed during the run.
+    dests: usize,
+    frames_per_dest_merged: f64,
+    frames_per_dest_split: f64,
+    /// First-use dictionary bytes charged under each sealing mode (equal:
+    /// the per-destination dictionary is shared across sessions either way).
+    dict_bytes_merged: u64,
+    dict_bytes_split: u64,
+    /// Median / 99th-percentile completed-session latency (simulated ms).
+    p50_latency_ms: f64,
+    p99_latency_ms: f64,
+    /// Completed sessions per wall-clock second of the merged-mode run.
+    sessions_per_sec: f64,
+    /// Completed sessions per tenant, sorted by tenant name.
+    per_tenant_completed: Vec<(String, u64)>,
+    /// max/min completed sessions across tenants (equal offered load).
+    fairness_ratio: f64,
+    /// Merged-mode per-session outcomes digest equals per-session sealing.
+    merged_matches_split: bool,
+    /// An independent merged-mode re-run reproduced the digest.
+    matches_rerun: bool,
+    /// A 2-worker merged-mode run reproduced the digest (or the row did not
+    /// request worker verification; see `ServiceScenarioSpec`).
+    matches_workers: bool,
+    /// Simulated span of the merged-mode run.
+    sim_ms: f64,
+    converge_wall_ms: f64,
+    run_wall_ms: f64,
+    /// Machine-independent digest of per-session outcomes + tenant counters.
+    service_digest: String,
+}
+
 #[derive(Serialize)]
 struct BenchResults {
     /// Schema marker for downstream tooling.
@@ -368,6 +427,13 @@ struct BenchResults {
     /// 10^4-node rows. CI gates `matches_seed` and `p99 >= p50` on every
     /// row.
     scenario_suite: Vec<ScenarioSuiteReport>,
+    /// Multi-tenant query service: admission control, deficit-round-robin
+    /// fair scheduling and cross-session frame flushing driven at 10^3+
+    /// concurrent sessions from ≥8 tenants on a churning AS-graph. CI gates
+    /// `merged_matches_split`/`matches_rerun`/`matches_workers`, the
+    /// frames-per-destination win and its sublinear growth in session
+    /// count, `p99 >= p50` and `fairness_ratio <= 1.5` on every row.
+    query_service: Vec<QueryServiceReport>,
 }
 
 /// Wire size of a value under the pre-interning encoding (addresses carried
@@ -1082,6 +1148,44 @@ fn scenario_suite_row(spec: &scenario::ScenarioSpec) -> ScenarioSuiteReport {
     }
 }
 
+/// Run one query-service spec (merged + split + verification re-runs happen
+/// inside [`scenario::run_service_scenario`]) and fold it into a report row.
+fn query_service_row(spec: &scenario::ServiceScenarioSpec) -> QueryServiceReport {
+    let outcome = scenario::run_service_scenario(spec);
+    QueryServiceReport {
+        scenario: outcome.name.clone(),
+        seed: spec.seed,
+        slice: spec.slice,
+        nodes: outcome.nodes,
+        links: outcome.links,
+        tenants: outcome.tenants,
+        offered: outcome.offered,
+        rejected: outcome.rejected,
+        completed: outcome.completed,
+        expired: outcome.expired,
+        churn_events: outcome.churn_events,
+        frames_merged: outcome.frames_merged,
+        frames_split: outcome.frames_split,
+        dests: outcome.dests,
+        frames_per_dest_merged: outcome.frames_per_dest_merged,
+        frames_per_dest_split: outcome.frames_per_dest_split,
+        dict_bytes_merged: outcome.dict_bytes_merged,
+        dict_bytes_split: outcome.dict_bytes_split,
+        p50_latency_ms: outcome.p50_ms(),
+        p99_latency_ms: outcome.p99_ms(),
+        sessions_per_sec: outcome.sessions_per_sec(),
+        per_tenant_completed: outcome.per_tenant_completed.clone(),
+        fairness_ratio: outcome.fairness_ratio,
+        merged_matches_split: outcome.merged_matches_split,
+        matches_rerun: outcome.matches_rerun,
+        matches_workers: outcome.matches_workers,
+        sim_ms: outcome.sim_ms,
+        converge_wall_ms: outcome.converge_wall_ms,
+        run_wall_ms: outcome.run_wall_ms,
+        service_digest: format!("{:016x}", outcome.service_digest),
+    }
+}
+
 fn main() {
     println!("NetTrails experiment report (see DESIGN.md section 2 and EXPERIMENTS.md)\n");
     println!(
@@ -1344,8 +1448,60 @@ fn main() {
         );
     }
 
+    let query_service: Vec<QueryServiceReport> = scenario::service_suite(scenario_scale)
+        .iter()
+        .map(query_service_row)
+        .collect();
+    println!(
+        "\nQuery service ({} scale; merged vs per-session frame sealing):",
+        if scenario_scale == scenario::SuiteScale::Full {
+            "full"
+        } else {
+            "slice"
+        }
+    );
+    for r in &query_service {
+        println!(
+            "  {:28} tenants={:>2} offered={:>5} done={:>5} rej={:>4} exp={:>4} \
+             frames/dest={:>7.1} (split {:>7.1}) dict={:>7}B p50={:>6.2}ms p99={:>6.2}ms \
+             eq={} digest={}",
+            r.scenario,
+            r.tenants,
+            r.offered,
+            r.completed,
+            r.rejected,
+            r.expired,
+            r.frames_per_dest_merged,
+            r.frames_per_dest_split,
+            r.dict_bytes_merged,
+            r.p50_latency_ms,
+            r.p99_latency_ms,
+            r.merged_matches_split && r.matches_rerun && r.matches_workers,
+            r.service_digest,
+        );
+        // Per-tenant fairness: under equal offered load the max/min
+        // completed-session ratio is gated at <= 1.5 by the schema checker.
+        println!(
+            "    {:8} {:>9} {:>10}   fairness max/min = {:.3}",
+            "tenant", "completed", "share", r.fairness_ratio
+        );
+        let total: u64 = r.per_tenant_completed.iter().map(|(_, c)| c).sum();
+        for (tenant, completed) in &r.per_tenant_completed {
+            println!(
+                "    {:8} {:>9} {:>9.1}%",
+                tenant,
+                completed,
+                if total == 0 {
+                    0.0
+                } else {
+                    100.0 * *completed as f64 / total as f64
+                }
+            );
+        }
+    }
+
     let results = BenchResults {
-        format: "nettrails-bench-results/v9".to_string(),
+        format: "nettrails-bench-results/v10".to_string(),
         experiment_wall_ms,
         tables,
         join_probes,
@@ -1357,6 +1513,7 @@ fn main() {
         query_fanout,
         snapshot_replay,
         scenario_suite,
+        query_service,
     };
     let json = serde_json::to_string_pretty(&results).expect("results serialize");
     std::fs::write(RESULTS_PATH, &json).expect("write BENCH_results.json");

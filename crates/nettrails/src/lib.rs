@@ -55,7 +55,8 @@ pub mod report;
 
 pub use demo::{DemoOutcome, DemoScript, DemoStep};
 pub use platform::{
-    NetMessage, NetTrails, NetTrailsConfig, PlatformStats, QuerySession, RunReport,
+    NetMessage, NetTrails, NetTrailsConfig, PlatformStats, QuerySession, RunReport, ServiceBuilder,
+    ServiceRequest, ServiceSession,
 };
 pub use report::{ExperimentRow, ReportTable};
 

@@ -105,6 +105,14 @@ pub struct NetTrailsConfig {
     /// row-major reference layout; either backing yields bit-identical
     /// engine output (see `nt_runtime::store`).
     pub columnar_storage: bool,
+    /// Merge concurrent query sessions' records into one frame per
+    /// (source, destination, direction) at each flush, sharing one first-use
+    /// dictionary charge (`QueryExecutor::set_frame_merging`). Off by
+    /// default: one frame per session, the PR 5 baseline the query-service
+    /// experiment compares against. Either mode yields bit-identical
+    /// results, visits, cache hits and per-session stats — merging only
+    /// collapses frame counts and per-message framing overhead.
+    pub merge_query_frames: bool,
 }
 
 impl Default for NetTrailsConfig {
@@ -120,6 +128,7 @@ impl Default for NetTrailsConfig {
             fixpoint_workers: 1,
             fixpoint_dispatch_threshold: nt_runtime::FIXPOINT_DISPATCH_THRESHOLD,
             columnar_storage: true,
+            merge_query_frames: false,
         }
     }
 }
@@ -175,6 +184,15 @@ impl NetTrailsConfig {
     pub fn with_fixpoint_workers(workers: usize) -> Self {
         NetTrailsConfig {
             fixpoint_workers: workers,
+            ..NetTrailsConfig::default()
+        }
+    }
+
+    /// A configuration that merges concurrent query sessions' frames per
+    /// destination (the query-service wire discipline).
+    pub fn with_merged_query_frames() -> Self {
+        NetTrailsConfig {
+            merge_query_frames: true,
             ..NetTrailsConfig::default()
         }
     }
@@ -275,13 +293,15 @@ impl NetTrails {
         // topologies.
         let query_engine =
             QueryEngine::with_hop_rtt_ms(2.0 * config.network.default_latency_ms as f64);
+        let mut query_executor = QueryExecutor::new();
+        query_executor.set_frame_merging(config.merge_query_frames);
         Ok(NetTrails {
             program,
             engines,
             network,
             provenance,
             query_engine,
-            query_executor: QueryExecutor::new(),
+            query_executor,
             stray_misrouted: 0,
             config,
             source: program_src.to_string(),
@@ -605,6 +625,27 @@ impl NetTrails {
         self.query_vid(target.id())
     }
 
+    /// Open a tenant-attributed request builder for the query service:
+    ///
+    /// ```ignore
+    /// let request = nt.service("ops")
+    ///     .deadline_ms(40.0)
+    ///     .query(&suspicious_route)
+    ///     .kind(QueryKind::Lineage)
+    ///     .request();
+    /// ```
+    ///
+    /// Unlike [`NetTrails::query`], nothing is submitted here: the built
+    /// [`ServiceRequest`] is handed to `qsvc::QueryService::enqueue`, which
+    /// owns admission, per-tenant fair scheduling and deadline enforcement.
+    pub fn service(&mut self, tenant: &str) -> ServiceBuilder<'_> {
+        ServiceBuilder {
+            nt: self,
+            tenant: tenant.to_string(),
+            deadline_ms: None,
+        }
+    }
+
     /// Open a query session addressed directly by VID.
     pub fn query_vid(&mut self, vid: TupleId) -> QuerySession<'_> {
         let querier = self
@@ -687,6 +728,23 @@ impl NetTrails {
             .take_result(handle)
             .expect("session finished");
         (result.expect("query was cancelled, not completed"), stats)
+    }
+
+    /// Non-panicking redemption of a finished session: `Some` with the
+    /// result and final stats when the session completed, `None` when it was
+    /// cancelled (its stats remain available through
+    /// [`NetTrails::cancel_query`]'s return value at cancel time) or when
+    /// the handle is unknown / still running. Unlike
+    /// [`NetTrails::wait_query`] this never pumps the network — callers that
+    /// multiplex many sessions (the query service) drive
+    /// [`NetTrails::poll_queries`] themselves and redeem whichever handles
+    /// have finished.
+    pub fn try_wait_query(&mut self, handle: QueryHandle) -> Option<(QueryResult, QueryStats)> {
+        if !self.query_executor.is_done(handle) {
+            return None;
+        }
+        let (result, stats) = self.query_executor.take_result(handle)?;
+        Some((result?, stats))
     }
 
     /// Cancel a running session: outstanding subtrees are abandoned, one
@@ -891,6 +949,128 @@ impl QuerySession<'_> {
     }
 }
 
+/// A query spec attributed to a tenant, plus an optional per-session
+/// deadline, ready for `qsvc::QueryService::enqueue`. Built by
+/// [`NetTrails::service`]; carries no platform borrow, so requests can be
+/// batched up front and admitted later.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceRequest {
+    /// Tenant the session is accounted to.
+    pub tenant: String,
+    /// The compiled query.
+    pub spec: QuerySpec,
+    /// Deadline relative to admission (simulated milliseconds): a session
+    /// still unfinished this long after it was *enqueued* is cancelled and
+    /// counted expired. `None` never expires.
+    pub deadline_ms: Option<f64>,
+}
+
+/// Tenant-scoped entry point to the query service; see [`NetTrails::service`].
+#[derive(Debug)]
+pub struct ServiceBuilder<'a> {
+    nt: &'a mut NetTrails,
+    tenant: String,
+    deadline_ms: Option<f64>,
+}
+
+impl<'a> ServiceBuilder<'a> {
+    /// Give every request built from this builder a deadline, in simulated
+    /// milliseconds from enqueue time.
+    pub fn deadline_ms(mut self, ms: f64) -> Self {
+        self.deadline_ms = Some(ms);
+        self
+    }
+
+    /// Start building a request against `target`'s proof tree.
+    pub fn query(self, target: &Tuple) -> ServiceSession<'a> {
+        let vid = target.id();
+        self.query_vid(vid)
+    }
+
+    /// Start building a request addressed directly by VID.
+    pub fn query_vid(self, vid: TupleId) -> ServiceSession<'a> {
+        let ServiceBuilder {
+            nt,
+            tenant,
+            deadline_ms,
+        } = self;
+        ServiceSession {
+            session: nt.query_vid(vid),
+            tenant,
+            deadline_ms,
+        }
+    }
+}
+
+/// A fluent request builder mirroring [`QuerySession`]'s surface, finished
+/// with [`ServiceSession::request`] instead of submitting directly.
+#[derive(Debug)]
+pub struct ServiceSession<'a> {
+    session: QuerySession<'a>,
+    tenant: String,
+    deadline_ms: Option<f64>,
+}
+
+impl ServiceSession<'_> {
+    /// Issue the query from this node (default: the target's home).
+    pub fn from_node(mut self, querier: &str) -> Self {
+        self.session = self.session.from_node(querier);
+        self
+    }
+
+    /// Which provenance question to ask (default: [`QueryKind::Lineage`]).
+    pub fn kind(mut self, kind: QueryKind) -> Self {
+        self.session = self.session.kind(kind);
+        self
+    }
+
+    /// Traversal order (default: depth-first).
+    pub fn traversal(mut self, traversal: TraversalOrder) -> Self {
+        self.session = self.session.traversal(traversal);
+        self
+    }
+
+    /// Reuse cached sub-results from previous queries.
+    pub fn cached(mut self) -> Self {
+        self.session = self.session.cached();
+        self
+    }
+
+    /// Threshold pruning: stop descending below this depth.
+    pub fn max_depth(mut self, depth: usize) -> Self {
+        self.session = self.session.max_depth(depth);
+        self
+    }
+
+    /// Replace the whole option set at once.
+    pub fn options(mut self, options: QueryOptions) -> Self {
+        self.session = self.session.options(options);
+        self
+    }
+
+    /// Deadline in simulated milliseconds from enqueue time (overrides the
+    /// builder-level deadline).
+    pub fn deadline_ms(mut self, ms: f64) -> Self {
+        self.deadline_ms = Some(ms);
+        self
+    }
+
+    /// Finish the request without submitting it; hand the result to
+    /// `qsvc::QueryService::enqueue`.
+    pub fn request(self) -> ServiceRequest {
+        let ServiceSession {
+            session,
+            tenant,
+            deadline_ms,
+        } = self;
+        ServiceRequest {
+            tenant,
+            spec: session.spec,
+            deadline_ms,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1089,6 +1269,144 @@ mod tests {
             full.records
         );
         let _ = nt.take_query_partials(handle);
+    }
+
+    /// `try_wait_query` is the non-panicking redemption path: `None` while
+    /// running, `Some` exactly once on completion, `None` after cancellation.
+    #[test]
+    fn try_wait_query_never_panics_on_cancelled_sessions() {
+        let mut nt = mincost_on(Topology::line(4));
+        let (_, target) = nt
+            .find_tuple("minCost", |t| {
+                t.values[0].as_addr() == Some("n1") && t.values[1].as_addr() == Some("n4")
+            })
+            .unwrap();
+        let handle = nt.query(&target).from_node("n4").submit();
+        assert!(
+            nt.try_wait_query(handle).is_none(),
+            "still running: no result yet"
+        );
+        while !nt.query_done(handle) {
+            assert!(nt.poll_queries(), "session stalled");
+        }
+        let (result, stats) = nt.try_wait_query(handle).expect("completed session");
+        assert!(stats.latency_ms > 0.0);
+        let (expected, _) = nt.query(&target).from_node("n4").run();
+        assert_eq!(result, expected);
+        assert!(
+            nt.try_wait_query(handle).is_none(),
+            "results are redeemed at most once"
+        );
+
+        // A cancelled session redeems to None instead of panicking.
+        let cancelled = nt.query(&target).from_node("n4").submit();
+        nt.poll_queries();
+        nt.cancel_query(cancelled);
+        assert!(nt.query_done(cancelled));
+        assert!(nt.try_wait_query(cancelled).is_none());
+    }
+
+    /// End-to-end over the simulated network, merged sealing is
+    /// observationally identical to per-session sealing for concurrent
+    /// sessions — same results and same per-session stats (including
+    /// measured latency) — while shipping strictly fewer query frames.
+    #[test]
+    fn merged_query_frames_match_per_session_sealing_end_to_end() {
+        let run = |config: NetTrailsConfig| {
+            let mut nt =
+                NetTrails::new(protocols::mincost::PROGRAM, Topology::ring(5), config).unwrap();
+            nt.seed_links_from_topology();
+            nt.run_to_fixpoint();
+            let (_, target) = nt
+                .find_tuple("minCost", |t| {
+                    t.values[0].as_addr() == Some("n1") && t.values[1].as_addr() == Some("n3")
+                })
+                .unwrap();
+            let handles: Vec<QueryHandle> = ["n3", "n3", "n5", "n1"]
+                .iter()
+                .enumerate()
+                .map(|(i, querier)| {
+                    let traversal = if i % 2 == 0 {
+                        TraversalOrder::BreadthFirst
+                    } else {
+                        TraversalOrder::DepthFirst
+                    };
+                    nt.query(&target)
+                        .from_node(querier)
+                        .traversal(traversal)
+                        .submit()
+                })
+                .collect();
+            while handles.iter().any(|h| !nt.query_done(*h)) {
+                assert!(nt.poll_queries(), "sessions stalled");
+            }
+            let outcomes: Vec<_> = handles
+                .iter()
+                .map(|h| nt.try_wait_query(*h).expect("completed"))
+                .collect();
+            // Per-session bytes/dict_bytes are excluded: first-use
+            // dictionary attribution follows frame order within a flush, so
+            // merging may shift a shared symbol's charge between concurrent
+            // sessions. The totals are compared instead.
+            let per_session: Vec<_> = outcomes
+                .iter()
+                .map(|(result, s)| {
+                    (
+                        result.clone(),
+                        s.messages,
+                        s.records,
+                        s.vertices_visited,
+                        s.cache_hits,
+                        s.latency_ms,
+                    )
+                })
+                .collect();
+            let totals: (u64, u64) = outcomes
+                .iter()
+                .fold((0, 0), |(b, d), (_, s)| (b + s.bytes, d + s.dict_bytes));
+            (per_session, totals, nt.query_executor().traffic().messages)
+        };
+        let (merged, merged_totals, merged_frames) =
+            run(NetTrailsConfig::with_merged_query_frames());
+        let (split, split_totals, split_frames) = run(NetTrailsConfig::default());
+        assert_eq!(merged, split, "results and per-session stats");
+        assert_eq!(merged_totals, split_totals, "total bytes and dict bytes");
+        assert!(
+            merged_frames < split_frames,
+            "merging collapses concurrent frames ({merged_frames} vs {split_frames})"
+        );
+    }
+
+    /// The service builder compiles tenant-attributed requests without
+    /// submitting anything.
+    #[test]
+    fn service_builder_attributes_requests_to_tenants() {
+        let mut nt = mincost_on(Topology::line(3));
+        let (_, target) = nt
+            .find_tuple("minCost", |t| {
+                t.values[0].as_addr() == Some("n1") && t.values[1].as_addr() == Some("n3")
+            })
+            .unwrap();
+        let request = nt
+            .service("ops")
+            .deadline_ms(40.0)
+            .query(&target)
+            .from_node("n3")
+            .kind(QueryKind::BaseTuples)
+            .traversal(TraversalOrder::BreadthFirst)
+            .request();
+        assert_eq!(request.tenant, "ops");
+        assert_eq!(request.deadline_ms, Some(40.0));
+        assert_eq!(request.spec.vid, target.id());
+        assert_eq!(request.spec.querier.as_str(), "n3");
+        assert_eq!(request.spec.kind, QueryKind::BaseTuples);
+        assert_eq!(nt.query_executor().active_sessions(), 0);
+        // The request is an ordinary spec: submitting it by hand completes.
+        let handle = nt.submit_query(request.spec);
+        while !nt.query_done(handle) {
+            assert!(nt.poll_queries());
+        }
+        assert!(nt.try_wait_query(handle).is_some());
     }
 
     /// The query cache, like the stores it mirrors, is invalidated by

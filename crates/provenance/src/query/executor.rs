@@ -546,6 +546,11 @@ pub struct QueryExecutor {
     /// so later frames carry only first-use entries.
     dict_sent: HashMap<NodeId, HashSet<&'static str>>,
     staged: Vec<StagedOp>,
+    /// Merge concurrent sessions' records into one frame per (endpoints,
+    /// direction) at [`QueryExecutor::poll`] time (see
+    /// [`QueryExecutor::set_frame_merging`]). Off by default: one frame per
+    /// session, the PR 5 baseline.
+    merge_frames: bool,
     /// Cumulative traffic across sessions.
     traffic: TrafficStats,
 }
@@ -578,6 +583,24 @@ impl QueryExecutor {
     /// configuration with savings it did not earn).
     pub fn reset_dictionaries(&mut self) {
         self.dict_sent.clear();
+    }
+
+    /// Enable (or disable) cross-session frame merging: when on, one
+    /// [`QueryExecutor::poll`] seals all concurrent sessions' records for a
+    /// destination into a single frame per direction instead of one frame
+    /// per session, sharing the destination's first-use dictionary charge.
+    /// Per-destination delivery order is unchanged — within a merged frame
+    /// records stay grouped by session in the order the per-session frames
+    /// would have been sealed — so results, visit counts and cache hits are
+    /// bit-identical to per-session sealing; only the frame count drops.
+    pub fn set_frame_merging(&mut self, on: bool) {
+        self.merge_frames = on;
+    }
+
+    /// True when [`QueryExecutor::poll`] merges concurrent sessions' records
+    /// into shared per-destination frames.
+    pub fn frame_merging(&self) -> bool {
+        self.merge_frames
     }
 
     /// Number of sessions still executing.
@@ -669,10 +692,20 @@ impl QueryExecutor {
     }
 
     /// Seal every staged record into per-destination [`QueryBatch`] frames
-    /// (one frame per session, direction and destination; first-use
-    /// dictionary headers) and return them for shipment. Accounting happens
-    /// here: each frame counts one message against its session and the
-    /// cumulative traffic.
+    /// with first-use dictionary headers and return them for shipment.
+    ///
+    /// By default each frame carries one session's records (one frame per
+    /// session, direction and destination — the PR 5 baseline). With
+    /// [`QueryExecutor::set_frame_merging`] on, concurrent sessions' records
+    /// for the same (endpoints, direction) seal into a single shared frame.
+    /// Either way the records stay grouped by session, in the first-staged
+    /// order the per-session frames would have been sealed and delivered in,
+    /// so merging never reorders per-destination processing.
+    ///
+    /// Accounting happens here, per contributing session: one message, its
+    /// own record bodies, and the dictionary entries its records are first
+    /// to reference toward that destination. For single-session frames this
+    /// degenerates to charging the whole frame to its session.
     pub fn poll(&mut self) -> Vec<QueryBatch> {
         if self.staged.is_empty() {
             return Vec::new();
@@ -681,8 +714,9 @@ impl QueryExecutor {
         // Group by (session, endpoints, direction) in first-appearance order
         // so frame sealing — and therefore dictionary first-use accounting —
         // is deterministic.
-        let mut order: Vec<(u64, NodeId, NodeId, bool)> = Vec::new();
-        let mut groups: HashMap<(u64, NodeId, NodeId, bool), Vec<QueryOp>> = HashMap::new();
+        type SessionKey = (u64, NodeId, NodeId, bool);
+        let mut order: Vec<SessionKey> = Vec::new();
+        let mut groups: HashMap<SessionKey, Vec<QueryOp>> = HashMap::new();
         for s in staged {
             let key = (s.qid, s.from, s.to, s.op.is_request());
             let group = groups.entry(key).or_default();
@@ -691,49 +725,75 @@ impl QueryExecutor {
             }
             group.push(s.op);
         }
-        let mut batches = Vec::new();
-        for key in order {
-            let (qid, from, to, _) = key;
-            let ops = groups.remove(&key).expect("group exists");
-            let mut needed: BTreeSet<&'static str> = BTreeSet::new();
-            for op in &ops {
-                op.dictionary(&mut needed);
+        // Fold session groups into frames: merged mode coalesces every
+        // session group sharing (endpoints, direction) into the frame keyed
+        // by the first of them; per-session mode keeps one group per frame.
+        let frames: Vec<Vec<SessionKey>> = if self.merge_frames {
+            let mut frame_order: Vec<(NodeId, NodeId, bool)> = Vec::new();
+            let mut folded: HashMap<(NodeId, NodeId, bool), Vec<SessionKey>> = HashMap::new();
+            for key in order {
+                let fkey = (key.1, key.2, key.3);
+                let members = folded.entry(fkey).or_default();
+                if members.is_empty() {
+                    frame_order.push(fkey);
+                }
+                members.push(key);
             }
-            let sent = self.dict_sent.entry(to).or_default();
-            let dict: Vec<String> = needed
+            frame_order
                 .into_iter()
-                .filter(|s| sent.insert(s))
-                .map(str::to_string)
-                .collect();
+                .map(|fkey| folded.remove(&fkey).expect("frame exists"))
+                .collect()
+        } else {
+            order.into_iter().map(|key| vec![key]).collect()
+        };
+        let mut batches = Vec::new();
+        for members in frames {
+            let (_, from, to, _) = members[0];
+            let sent = self.dict_sent.entry(to).or_default();
+            let mut dict: Vec<String> = Vec::new();
+            let mut ops: Vec<QueryOp> = Vec::new();
+            for key in members {
+                let qid = key.0;
+                let group = groups.remove(&key).expect("group exists");
+                let mut needed: BTreeSet<&'static str> = BTreeSet::new();
+                for op in &group {
+                    op.dictionary(&mut needed);
+                }
+                // The session pays for exactly the entries its records are
+                // first to ship toward this destination.
+                let header: usize = needed
+                    .into_iter()
+                    .filter(|s| sent.insert(s))
+                    .map(|s| {
+                        dict.push(s.to_string());
+                        nt_runtime::dict_entry_wire_size(s)
+                    })
+                    .sum();
+                let body: usize = group.iter().map(QueryOp::wire_size).sum();
+                let stats = match self.sessions.get_mut(&qid) {
+                    Some(session) => Some(&mut session.stats),
+                    None => self.finished.get_mut(&qid).map(|f| &mut f.stats),
+                };
+                // A vanished session (cancelled and redeemed): its records
+                // still fly and are charged to cumulative traffic only.
+                if let Some(stats) = stats {
+                    stats.messages += 1;
+                    stats.records += group.len() as u64;
+                    stats.bytes += (body + header) as u64;
+                    stats.dict_bytes += header as u64;
+                }
+                ops.extend(group);
+            }
+            // Keep the wire contract: dictionary entries travel sorted.
+            dict.sort();
             let batch = QueryBatch {
                 from,
                 to,
                 dict,
                 ops,
             };
-            let payload = batch.wire_size();
-            let header = batch.header_bytes();
-            let stats = match self.sessions.get_mut(&qid) {
-                Some(session) => &mut session.stats,
-                None => match self.finished.get_mut(&qid) {
-                    Some(finished) => &mut finished.stats,
-                    None => {
-                        // Session vanished (cancelled and redeemed): the
-                        // frame still flies and is charged to the cumulative
-                        // traffic only.
-                        self.traffic
-                            .record_batch(&from, &to, QUERY_CATEGORY, payload, batch.len());
-                        batches.push(batch);
-                        continue;
-                    }
-                },
-            };
-            stats.messages += 1;
-            stats.records += batch.len() as u64;
-            stats.bytes += payload as u64;
-            stats.dict_bytes += header as u64;
             self.traffic
-                .record_batch(&from, &to, QUERY_CATEGORY, payload, batch.len());
+                .record_batch(&from, &to, QUERY_CATEGORY, batch.wire_size(), batch.len());
             batches.push(batch);
         }
         batches
@@ -1950,6 +2010,166 @@ mod tests {
             stats.records < full.records,
             "abandoned subtrees stop consuming traffic"
         );
+    }
+
+    /// Drain several concurrent sessions off one executor with an
+    /// immediate-delivery pump (frames from one poll are delivered in seal
+    /// order, the same per-destination order the simulated network
+    /// preserves).
+    fn drain_concurrent(ex: &mut QueryExecutor, sys: &ProvenanceSystem, handles: &[QueryHandle]) {
+        let mut safety = 0;
+        while handles.iter().any(|h| !ex.is_done(*h)) {
+            let batches = ex.poll();
+            assert!(!batches.is_empty(), "pending sessions must stage frames");
+            for batch in batches {
+                ex.deliver(sys, batch, SimTime::ZERO);
+            }
+            safety += 1;
+            assert!(safety < 10_000, "sessions failed to converge");
+        }
+    }
+
+    /// Satellite regression: with cross-session merging on, interleaved
+    /// sessions never re-ship a symbol already charged to a destination in
+    /// the same poll — the second session rides the first's shared first-use
+    /// dictionary header — and [`QueryExecutor::reset_dictionaries`]
+    /// restores exactly one full charge for the next interleaved pair.
+    #[test]
+    fn merged_frames_never_reship_a_symbol_within_one_poll() {
+        let (sys, best) = sample_system();
+        let spec = |querier: &str| QuerySpec {
+            querier: NodeId::new(querier),
+            vid: best.id(),
+            kind: QueryKind::Lineage,
+            mode: QueryMode::Distributed,
+            options: QueryOptions::default(),
+        };
+        // Solo baseline: the dictionary charge one session pays alone.
+        let mut solo = QueryExecutor::new();
+        solo.set_frame_merging(true);
+        let (_, solo_stats) = run_distributed(
+            &mut solo,
+            &sys,
+            "n1",
+            &best,
+            QueryKind::Lineage,
+            &QueryOptions::default(),
+        );
+        assert!(solo_stats.dict_bytes > 0, "responses carry strings");
+
+        let mut ex = QueryExecutor::new();
+        ex.set_frame_merging(true);
+        let a = ex.submit(&sys, spec("n1"), SimTime::ZERO);
+        let b = ex.submit(&sys, spec("n1"), SimTime::ZERO);
+        // Interleaved drain, asserting per poll that no destination is ever
+        // sent the same dictionary entry twice.
+        let mut shipped: HashMap<NodeId, HashSet<String>> = HashMap::new();
+        let mut safety = 0;
+        while !(ex.is_done(a) && ex.is_done(b)) {
+            let batches = ex.poll();
+            assert!(!batches.is_empty());
+            for batch in &batches {
+                let seen = shipped.entry(batch.to).or_default();
+                for entry in &batch.dict {
+                    assert!(
+                        seen.insert(entry.clone()),
+                        "symbol {entry:?} re-shipped to {}",
+                        batch.to
+                    );
+                }
+            }
+            for batch in batches {
+                ex.deliver(&sys, batch, SimTime::ZERO);
+            }
+            safety += 1;
+            assert!(safety < 10_000);
+        }
+        let (_, sa) = ex.take_result(a).expect("done");
+        let (_, sb) = ex.take_result(b).expect("done");
+        assert_eq!(
+            sa.dict_bytes + sb.dict_bytes,
+            solo_stats.dict_bytes,
+            "two interleaved sessions pay one shared first-use charge"
+        );
+        // reset_dictionaries survives merging: the next interleaved pair
+        // re-ships the full charge exactly once more.
+        ex.reset_dictionaries();
+        let c = ex.submit(&sys, spec("n1"), SimTime::ZERO);
+        let d = ex.submit(&sys, spec("n1"), SimTime::ZERO);
+        drain_concurrent(&mut ex, &sys, &[c, d]);
+        let (_, sc) = ex.take_result(c).expect("done");
+        let (_, sd) = ex.take_result(d).expect("done");
+        assert_eq!(sc.dict_bytes + sd.dict_bytes, solo_stats.dict_bytes);
+    }
+
+    /// Merged sealing is observationally identical to per-session sealing
+    /// for interleaved sessions: per-session results and stats (messages,
+    /// records, bytes, dictionary bytes, visits, cache hits) are equal —
+    /// merging collapses frames on the wire without touching any session's
+    /// view of its own execution.
+    #[test]
+    fn merged_sealing_matches_per_session_sealing_for_interleaved_sessions() {
+        let (sys, best) = sample_system();
+        for traversal in [TraversalOrder::DepthFirst, TraversalOrder::BreadthFirst] {
+            let options = QueryOptions {
+                traversal,
+                use_cache: true,
+                ..QueryOptions::default()
+            };
+            let specs: Vec<QuerySpec> = ["n1", "n1", "n2", "n3"]
+                .iter()
+                .map(|querier| QuerySpec {
+                    querier: NodeId::new(querier),
+                    vid: best.id(),
+                    kind: QueryKind::Lineage,
+                    mode: QueryMode::Distributed,
+                    options: options.clone(),
+                })
+                .collect();
+            let run = |merge: bool| {
+                let mut ex = QueryExecutor::new();
+                ex.set_frame_merging(merge);
+                let handles: Vec<QueryHandle> = specs
+                    .iter()
+                    .map(|spec| ex.submit(&sys, spec.clone(), SimTime::ZERO))
+                    .collect();
+                drain_concurrent(&mut ex, &sys, &handles);
+                let outcomes: Vec<_> = handles
+                    .iter()
+                    .map(|h| ex.take_result(*h).expect("done"))
+                    .collect();
+                // Per-session bytes/dict_bytes are excluded: first-use
+                // dictionary attribution follows frame order within a
+                // flush, so merging may shift a shared symbol's charge
+                // between concurrent sessions. Totals are compared instead.
+                let per_session: Vec<_> = outcomes
+                    .iter()
+                    .map(|(result, s)| {
+                        (
+                            result.clone(),
+                            s.messages,
+                            s.records,
+                            s.vertices_visited,
+                            s.cache_hits,
+                            s.latency_ms,
+                        )
+                    })
+                    .collect();
+                let totals: (u64, u64) = outcomes
+                    .iter()
+                    .fold((0, 0), |(b, d), (_, s)| (b + s.bytes, d + s.dict_bytes));
+                (per_session, totals, ex.traffic().messages)
+            };
+            let (merged, merged_totals, merged_frames) = run(true);
+            let (split, split_totals, split_frames) = run(false);
+            assert_eq!(merged, split, "{traversal:?}: per-session outcomes");
+            assert_eq!(merged_totals, split_totals, "{traversal:?}: totals");
+            assert!(
+                merged_frames < split_frames,
+                "{traversal:?}: merging must collapse concurrent frames \
+                 ({merged_frames} vs {split_frames})"
+            );
+        }
     }
 
     /// Partial results stream as root-level derivations complete.

@@ -13,6 +13,14 @@
 //! Requests are tiny and string-free (ids and digests only); responses carry
 //! completed proof subtrees, whose interned rule/node/relation names are what
 //! the dictionary headers pay for.
+//!
+//! With cross-session merging on (`QueryExecutor::set_frame_merging`), one
+//! frame may carry records from several concurrent sessions: each session's
+//! records stay contiguous and in staging order, sessions appear in
+//! first-staging order, and the frame's dictionary header is the union of
+//! first-use entries across all of them — charged to the destination once,
+//! however many sessions reference the same symbol. Receivers need no new
+//! decoding logic: every record still names its session via [`QueryOp::qid`].
 
 use crate::query::api::{ProofTree, RuleExecNode};
 use crate::store::{collect_addr_names, RuleExecId};
@@ -187,9 +195,20 @@ impl QueryBatch {
     }
 
     /// True when every record is a request (frames are homogeneous: the
-    /// executor never mixes directions within one frame).
+    /// executor never mixes directions within one frame, even when merging
+    /// sessions — direction is part of the merge key).
     pub fn is_request(&self) -> bool {
         self.ops.iter().all(QueryOp::is_request)
+    }
+
+    /// Number of distinct sessions whose records ride this frame. `1` for
+    /// every frame under per-session sealing; merged frames report how many
+    /// concurrent sessions shared this shipment (and its dictionary header).
+    pub fn session_count(&self) -> usize {
+        let mut qids: Vec<u64> = self.ops.iter().map(QueryOp::qid).collect();
+        qids.sort_unstable();
+        qids.dedup();
+        qids.len()
     }
 }
 
@@ -303,5 +322,18 @@ mod tests {
         assert!(!batch.is_empty());
         assert!(!batch.is_request(), "mixed frames count as responses");
         assert_eq!(batch.ops[0].qid(), 4);
+    }
+
+    #[test]
+    fn session_count_reports_distinct_qids() {
+        let mut batch = QueryBatch {
+            from: NodeId::new("n1"),
+            to: NodeId::new("n2"),
+            dict: Vec::new(),
+            ops: vec![QueryOp::Cancel { qid: 4 }, QueryOp::Cancel { qid: 4 }],
+        };
+        assert_eq!(batch.session_count(), 1);
+        batch.ops.push(QueryOp::Cancel { qid: 9 });
+        assert_eq!(batch.session_count(), 2, "merged frames count sessions");
     }
 }

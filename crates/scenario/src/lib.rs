@@ -18,11 +18,15 @@
 
 pub mod driver;
 pub mod programs;
+pub mod service;
 pub mod spec;
 pub mod suite;
 pub mod trace;
 
 pub use driver::{run_scenario, run_scenario_with_workers, ScenarioOutcome};
+pub use service::{
+    run_service_scenario, service_suite, ServiceScenarioOutcome, ServiceScenarioSpec,
+};
 pub use spec::{ScenarioSpec, TopologyFamily, WorkloadKind};
 pub use suite::{suite, verify_seed, SuiteScale};
 pub use trace::{TraceAction, TraceStep, WorkloadTrace};

@@ -1,0 +1,581 @@
+//! The query-service workload: flash-crowd waves of concurrent provenance
+//! sessions from many tenants against a churning `internet_as` topology.
+//!
+//! Each scenario converges an anchored pathvector program, then replays a
+//! sequence of waves: before every wave after the first, seeded link churn
+//! reshapes the topology (previously failed links recover, fresh ones
+//! fail); each wave then offers a burst of sessions round-robin across the
+//! tenants through [`qsvc::QueryService`] and drives the service until the
+//! wave drains. Every wave's offering is equal across tenants, so the
+//! completed-session fairness ratio is a meaningful gate (≤ 1.5).
+//!
+//! Every row runs **twice**: once with cross-session frame merging
+//! ([`NetTrailsConfig::with_merged_query_frames`]) and once with per-session
+//! sealing, over the identical request sequence. The per-session digest —
+//! tenants, expiry flags, every [`provenance::QueryStats`] field including
+//! measured latency — must be bit-identical across the two modes
+//! ([`ServiceScenarioOutcome::merged_matches_split`]): merging collapses
+//! frames on the wire without perturbing any session's execution. The only
+//! sanctioned difference is the frame count itself, which the bench gates
+//! as sublinear in session count.
+
+use crate::programs::{self, PATHVECTOR_RESULTS};
+use crate::spec::TopologyFamily;
+use crate::Fnv;
+use nettrails::{NetTrails, NetTrailsConfig};
+use nt_runtime::Tuple;
+use provenance::{QueryKind, TraversalOrder};
+use qsvc::{QueryService, ServiceConfig, TenantStats};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use simnet::{Link, TopologyEvent};
+use std::time::Instant;
+
+/// One query-service scenario row: an `internet_as` topology, a tenant
+/// population, and a wave schedule of offered sessions.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServiceScenarioSpec {
+    /// Seed for the topology, the request sequence and the churn.
+    pub seed: u64,
+    /// `internet_as` node count.
+    pub nodes: usize,
+    /// `internet_as` preferential-attachment degree.
+    pub degree: usize,
+    /// Anchor destinations the pathvector program routes toward.
+    pub anchors: usize,
+    /// Hop bound of the routing program.
+    pub max_hops: usize,
+    /// Tenant population; every wave offers sessions round-robin across it.
+    pub tenants: usize,
+    /// Sessions offered per wave. Link churn precedes every wave after the
+    /// first.
+    pub waves: Vec<usize>,
+    /// Links failed before each churned wave.
+    pub churn_per_wave: usize,
+    /// Global in-flight session budget ([`ServiceConfig::max_in_flight`]).
+    pub max_in_flight: usize,
+    /// Per-tenant queue cap ([`ServiceConfig::queue_cap`]); a wave offering
+    /// more than this per tenant is deterministically `Overloaded`.
+    pub queue_cap: usize,
+    /// Deadline given to every `deadline_every`-th session (simulated ms).
+    pub deadline_ms: f64,
+    /// Session stride between deadlines (`0` disables deadlines).
+    pub deadline_every: usize,
+    /// Also rerun the merged mode with 2 fixpoint workers and require a
+    /// bit-identical digest (worker-count independence).
+    pub verify_workers: bool,
+    /// Member of the per-PR CI slice (false: nightly full sweep only).
+    pub slice: bool,
+}
+
+impl ServiceScenarioSpec {
+    /// Row identifier: family, node count and total sessions offered.
+    pub fn name(&self) -> String {
+        format!("svc_internet_as_{}_s{}", self.nodes, self.offered())
+    }
+
+    /// Total sessions offered across all waves.
+    pub fn offered(&self) -> usize {
+        self.waves.iter().sum()
+    }
+}
+
+/// What one query-service scenario produced. Wall-clock fields vary by
+/// machine; everything else — [`ServiceScenarioOutcome::service_digest`] in
+/// particular — is a pure function of the spec.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServiceScenarioOutcome {
+    /// Row identifier (see [`ServiceScenarioSpec::name`]).
+    pub name: String,
+    /// Nodes in the generated topology.
+    pub nodes: usize,
+    /// Directed links at generation time.
+    pub links: usize,
+    /// Tenant population.
+    pub tenants: usize,
+    /// Sessions offered (accepted + rejected).
+    pub offered: usize,
+    /// Sessions rejected `Overloaded` at admission.
+    pub rejected: usize,
+    /// Sessions that completed with a result.
+    pub completed: usize,
+    /// Sessions cancelled by deadline (queued or in flight).
+    pub expired: usize,
+    /// Link churn events applied between waves.
+    pub churn_events: usize,
+    /// Completed sessions' measured latencies, sorted ascending (simulated
+    /// clock; identical in both sealing modes).
+    pub latencies_ms: Vec<f64>,
+    /// Query frames shipped under merged sealing.
+    pub frames_merged: u64,
+    /// Query frames shipped under per-session sealing.
+    pub frames_split: u64,
+    /// Distinct frame destinations (identical in both modes).
+    pub dests: usize,
+    /// `frames_merged / dests`.
+    pub frames_per_dest_merged: f64,
+    /// `frames_split / dests`.
+    pub frames_per_dest_split: f64,
+    /// Dictionary bytes charged across all sessions, merged sealing.
+    pub dict_bytes_merged: u64,
+    /// Dictionary bytes charged across all sessions, per-session sealing
+    /// (equal to merged: first-use dictionary state is per destination,
+    /// shared across sessions, in both modes).
+    pub dict_bytes_split: u64,
+    /// Completed sessions per tenant, in tenant-name order.
+    pub per_tenant_completed: Vec<(String, u64)>,
+    /// Max/min completed sessions across tenants.
+    pub fairness_ratio: f64,
+    /// Per-session digests (tenant, expiry, every `QueryStats` field) are
+    /// bit-identical between merged and per-session sealing.
+    pub merged_matches_split: bool,
+    /// A second merged run reproduced the digest bit-for-bit.
+    pub matches_rerun: bool,
+    /// The digest is identical with 2 fixpoint workers (`true` when the
+    /// spec did not request the check).
+    pub matches_workers: bool,
+    /// Digest of the merged run: completions, tenant accounting, frame and
+    /// dictionary counters.
+    pub service_digest: u64,
+    /// Simulated span of the merged run.
+    pub sim_ms: f64,
+    /// Wall-clock time of initial convergence (machine-dependent).
+    pub converge_wall_ms: f64,
+    /// Wall-clock time of the merged run's waves (machine-dependent).
+    pub run_wall_ms: f64,
+}
+
+impl ServiceScenarioOutcome {
+    /// Median completed-session latency (simulated milliseconds).
+    pub fn p50_ms(&self) -> f64 {
+        crate::percentile(&self.latencies_ms, 50.0)
+    }
+
+    /// 99th-percentile completed-session latency (simulated milliseconds).
+    pub fn p99_ms(&self) -> f64 {
+        crate::percentile(&self.latencies_ms, 99.0)
+    }
+
+    /// Completed sessions per wall-clock second of the merged run.
+    pub fn sessions_per_sec(&self) -> f64 {
+        self.completed as f64 / (self.run_wall_ms / 1000.0).max(1e-9)
+    }
+}
+
+const SERVICE_KINDS: [QueryKind; 4] = [
+    QueryKind::Lineage,
+    QueryKind::BaseTuples,
+    QueryKind::ParticipatingNodes,
+    QueryKind::DerivationCount,
+];
+
+/// Everything one sealing-mode run measures.
+struct ModeRun {
+    digest: u64,
+    latencies_ms: Vec<f64>,
+    offered: usize,
+    rejected: u64,
+    completed: usize,
+    expired: usize,
+    churn_events: usize,
+    per_tenant: Vec<(String, TenantStats)>,
+    fairness: f64,
+    frames: u64,
+    dests: usize,
+    dict_bytes: u64,
+    links: usize,
+    sim_ms: f64,
+    converge_wall_ms: f64,
+    run_wall_ms: f64,
+}
+
+/// Run one scenario in both sealing modes (plus determinism reruns) and
+/// assemble the comparison.
+pub fn run_service_scenario(spec: &ServiceScenarioSpec) -> ServiceScenarioOutcome {
+    let merged = run_mode(spec, true, 1);
+    let split = run_mode(spec, false, 1);
+    let rerun = run_mode(spec, true, 1);
+    let matches_workers = if spec.verify_workers {
+        run_mode(spec, true, 2).digest == merged.digest
+    } else {
+        true
+    };
+    let mut latencies_ms = merged.latencies_ms.clone();
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    ServiceScenarioOutcome {
+        name: spec.name(),
+        nodes: spec.nodes,
+        links: merged.links,
+        tenants: spec.tenants,
+        offered: merged.offered,
+        rejected: merged.rejected as usize,
+        completed: merged.completed,
+        expired: merged.expired,
+        churn_events: merged.churn_events,
+        latencies_ms,
+        frames_merged: merged.frames,
+        frames_split: split.frames,
+        dests: merged.dests,
+        frames_per_dest_merged: merged.frames as f64 / merged.dests.max(1) as f64,
+        frames_per_dest_split: split.frames as f64 / split.dests.max(1) as f64,
+        dict_bytes_merged: merged.dict_bytes,
+        dict_bytes_split: split.dict_bytes,
+        per_tenant_completed: merged
+            .per_tenant
+            .iter()
+            .map(|(name, stats)| (name.clone(), stats.completed))
+            .collect(),
+        fairness_ratio: merged.fairness,
+        merged_matches_split: merged.digest == split.digest,
+        matches_rerun: merged.digest == rerun.digest,
+        matches_workers,
+        service_digest: merged.digest,
+        sim_ms: merged.sim_ms,
+        converge_wall_ms: merged.converge_wall_ms,
+        run_wall_ms: merged.run_wall_ms,
+    }
+}
+
+/// One full run of the wave schedule in one sealing mode.
+fn run_mode(spec: &ServiceScenarioSpec, merge_frames: bool, workers: usize) -> ModeRun {
+    let topology = TopologyFamily::InternetAs {
+        n: spec.nodes,
+        m: spec.degree,
+    }
+    .build(spec.seed);
+    let links = topology.link_count();
+    let program = programs::anchored_pathvector(spec.max_hops);
+    let config = NetTrailsConfig {
+        merge_query_frames: merge_frames,
+        fixpoint_workers: workers,
+        ..NetTrailsConfig::default()
+    };
+    let mut nt = NetTrails::new(&program, topology, config).expect("service program compiles");
+
+    let converge_start = Instant::now();
+    nt.seed_links_from_topology();
+    for anchor in pick_anchors(spec, &nt) {
+        let tuple = programs::anchor_tuple(&anchor);
+        nt.insert_fact(&anchor, tuple);
+    }
+    nt.run_to_fixpoint();
+    let converge_wall_ms = converge_start.elapsed().as_secs_f64() * 1000.0;
+
+    let run_start = Instant::now();
+    let t0 = nt.now();
+    let mut svc = QueryService::new(ServiceConfig {
+        max_in_flight: spec.max_in_flight,
+        queue_cap: spec.queue_cap,
+        quantum: 1,
+    });
+    let mut qrng = StdRng::seed_from_u64(spec.seed ^ 0x9e37_79b9_7f4a_7c15);
+    let mut crng = StdRng::seed_from_u64(spec.seed ^ 0x3c6e_f372_fe94_f82b);
+    let mut rejected = 0u64;
+    let mut churn_events = 0usize;
+    let mut completions = Vec::new();
+    let mut downed: Vec<Link> = Vec::new();
+    let mut session = 0usize;
+    for (wave, &count) in spec.waves.iter().enumerate() {
+        if wave > 0 {
+            // Failed links recover, fresh ones fail: the topology churns but
+            // stays near its generated shape.
+            for link in downed.drain(..) {
+                nt.apply_topology_event(&TopologyEvent::LinkUp(link));
+                churn_events += 1;
+            }
+            let pairs: Vec<Link> = nt
+                .network()
+                .topology()
+                .links()
+                .filter(|l| l.from < l.to)
+                .cloned()
+                .collect();
+            for _ in 0..spec.churn_per_wave {
+                let link = pairs[crng.gen_range(0..pairs.len())].clone();
+                nt.apply_topology_event(&TopologyEvent::LinkDown {
+                    a: link.from.clone(),
+                    b: link.to.clone(),
+                });
+                downed.push(link);
+                churn_events += 1;
+            }
+        }
+        // Snapshot the queryable state, sorted by display form so the pick
+        // order never depends on interner ids.
+        let mut candidates: Vec<(String, Tuple)> = Vec::new();
+        for rel in PATHVECTOR_RESULTS {
+            for (addr, tuple) in nt.relation(rel) {
+                candidates.push((format!("{} {}", addr.as_str(), tuple), tuple));
+            }
+        }
+        candidates.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut queriers: Vec<String> = nt.nodes().iter().map(|a| a.as_str().to_string()).collect();
+        queriers.sort();
+        assert!(
+            !candidates.is_empty() && !queriers.is_empty(),
+            "churn must not disconnect every route"
+        );
+        // Offer the wave round-robin across tenants: equal load, so the
+        // fairness ratio is meaningful and overload rejects every tenant
+        // equally.
+        for i in 0..count {
+            let tenant = format!("t{:02}", i % spec.tenants);
+            let (_, target) = &candidates[qrng.gen_range(0..candidates.len())];
+            let querier = &queriers[qrng.gen_range(0..queriers.len())];
+            let traversal = if session.is_multiple_of(2) {
+                TraversalOrder::BreadthFirst
+            } else {
+                TraversalOrder::DepthFirst
+            };
+            let mut builder = nt
+                .service(&tenant)
+                .query(target)
+                .from_node(querier)
+                .kind(SERVICE_KINDS[session % SERVICE_KINDS.len()])
+                .traversal(traversal);
+            if spec.deadline_every > 0 && session % spec.deadline_every == spec.deadline_every - 1 {
+                builder = builder.deadline_ms(spec.deadline_ms);
+            }
+            session += 1;
+            let request = builder.request();
+            if svc.enqueue(&nt, request).is_err() {
+                rejected += 1;
+            }
+        }
+        svc.run(&mut nt);
+        completions.extend(svc.take_completions());
+    }
+    let run_wall_ms = run_start.elapsed().as_secs_f64() * 1000.0;
+    let sim_ms = (nt.now().as_secs_f64() - t0.as_secs_f64()) * 1000.0;
+
+    let per_tenant = svc.tenant_stats();
+    let traffic = nt.query_executor().traffic();
+    let mut dests: Vec<&str> = traffic
+        .by_link
+        .keys()
+        .map(|k| k.split("->").nth(1).expect("by_link keys are src->dst"))
+        .collect();
+    dests.sort_unstable();
+    dests.dedup();
+    let dict_bytes = per_tenant
+        .iter()
+        .map(|(_, stats)| stats.rollup.dict_bytes)
+        .sum();
+
+    // Digest: every completion (tenant, expiry, per-session stats) in
+    // completion order, plus per-tenant accounting. Two measures are
+    // deliberately kept out of the per-session digest: frame counts (the
+    // one sanctioned difference between sealing modes) and per-session
+    // `bytes`/`dict_bytes` (first-use dictionary *attribution* follows
+    // frame order within a flush, so merging may shift a shared symbol's
+    // charge between concurrent sessions — the run-wide totals, hashed
+    // below, are mode-invariant). Everything else — messages, records,
+    // visits, cache hits, measured latency — must be bit-identical across
+    // merged, per-session and rerun digests.
+    let mut h = Fnv::default();
+    let mut latencies_ms = Vec::new();
+    let mut completed = 0usize;
+    let mut expired = 0usize;
+    let mut total_bytes = 0u64;
+    let mut total_dict = 0u64;
+    for c in &completions {
+        h.write(c.tenant.as_bytes());
+        h.write_u64(c.ticket);
+        h.write_u64(c.expired as u64);
+        h.write_u64(c.stats.messages);
+        h.write_u64(c.stats.records);
+        h.write_u64(c.stats.vertices_visited);
+        h.write_u64(c.stats.cache_hits);
+        h.write_f64(c.stats.latency_ms);
+        total_bytes += c.stats.bytes;
+        total_dict += c.stats.dict_bytes;
+        if c.expired {
+            expired += 1;
+        } else {
+            completed += 1;
+            latencies_ms.push(c.stats.latency_ms);
+        }
+    }
+    h.write_u64(total_bytes);
+    h.write_u64(total_dict);
+    for (name, stats) in &per_tenant {
+        h.write(name.as_bytes());
+        for v in [
+            stats.offered,
+            stats.rejected,
+            stats.admitted,
+            stats.completed,
+            stats.expired,
+        ] {
+            h.write_u64(v);
+        }
+    }
+    h.write_u64(churn_events as u64);
+    h.write_f64(sim_ms);
+
+    ModeRun {
+        digest: h.finish(),
+        latencies_ms,
+        offered: spec.offered(),
+        rejected,
+        completed,
+        expired,
+        churn_events,
+        fairness: svc.fairness_ratio(),
+        per_tenant,
+        frames: traffic.messages,
+        dests: dests.len(),
+        dict_bytes,
+        links,
+        sim_ms,
+        converge_wall_ms,
+        run_wall_ms,
+    }
+}
+
+/// Seeded anchor pick (same discipline as the trace driver: sorted
+/// connected names, seeded choice).
+fn pick_anchors(spec: &ServiceScenarioSpec, nt: &NetTrails) -> Vec<String> {
+    let mut names: Vec<String> = nt
+        .network()
+        .topology()
+        .nodes()
+        .filter(|n| nt.network().topology().degree(n) > 0)
+        .map(str::to_string)
+        .collect();
+    names.sort();
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0xbb67_ae85_84ca_a73b);
+    let mut picked = Vec::new();
+    while picked.len() < spec.anchors.min(names.len()) {
+        let candidate = names[rng.gen_range(0..names.len())].clone();
+        if !picked.contains(&candidate) {
+            picked.push(candidate);
+        }
+    }
+    picked.sort();
+    picked
+}
+
+/// The query-service suite: the per-PR CI slice, extended by the nightly
+/// full sweep.
+pub fn service_suite(scale: crate::SuiteScale) -> Vec<ServiceScenarioSpec> {
+    let base = ServiceScenarioSpec {
+        seed: 0,
+        nodes: 192,
+        degree: 2,
+        anchors: 4,
+        max_hops: 4,
+        tenants: 8,
+        waves: Vec::new(),
+        churn_per_wave: 6,
+        max_in_flight: 64,
+        queue_cap: 4096,
+        deadline_ms: 3.0,
+        deadline_every: 13,
+        verify_workers: false,
+        slice: true,
+    };
+    let mut specs = vec![
+        // The small row: the sublinearity baseline, plus the (cheap)
+        // worker-count independence check.
+        ServiceScenarioSpec {
+            seed: 10101,
+            waves: vec![64, 64, 128],
+            verify_workers: true,
+            ..base.clone()
+        },
+        // The 10^3-session flash crowd: 1024 sessions offered in one wave
+        // (128 per tenant), against a queue cap of 112 — every tenant is
+        // equally Overloaded for its last 16, deterministically.
+        ServiceScenarioSpec {
+            seed: 10102,
+            waves: vec![128, 128, 1024],
+            max_in_flight: 256,
+            queue_cap: 112,
+            ..base.clone()
+        },
+    ];
+    if scale == crate::SuiteScale::Full {
+        specs.push(ServiceScenarioSpec {
+            seed: 10201,
+            nodes: 512,
+            waves: vec![256, 256, 2048],
+            max_in_flight: 512,
+            queue_cap: 224,
+            slice: false,
+            ..base
+        });
+    }
+    specs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> ServiceScenarioSpec {
+        ServiceScenarioSpec {
+            seed: 77,
+            nodes: 24,
+            degree: 2,
+            anchors: 2,
+            max_hops: 3,
+            tenants: 4,
+            waves: vec![16, 24],
+            churn_per_wave: 2,
+            max_in_flight: 8,
+            queue_cap: 4,
+            deadline_ms: 2.0,
+            deadline_every: 5,
+            verify_workers: true,
+            slice: true,
+        }
+    }
+
+    #[test]
+    fn service_scenarios_are_deterministic_and_mode_equivalent() {
+        let outcome = run_service_scenario(&tiny_spec());
+        assert!(outcome.merged_matches_split, "sealing modes must agree");
+        assert!(outcome.matches_rerun, "reruns must agree");
+        assert!(outcome.matches_workers, "worker counts must agree");
+        assert_eq!(outcome.offered, 40);
+        assert!(outcome.rejected > 0, "queue cap of 4 rejects a 6-deep wave");
+        assert!(outcome.completed > 0);
+        assert_eq!(
+            outcome.completed + outcome.expired + outcome.rejected,
+            outcome.offered
+        );
+        assert!(outcome.churn_events > 0);
+        assert!(
+            outcome.frames_merged < outcome.frames_split,
+            "merging must collapse concurrent frames ({} vs {})",
+            outcome.frames_merged,
+            outcome.frames_split
+        );
+        assert_eq!(
+            outcome.dict_bytes_merged, outcome.dict_bytes_split,
+            "first-use dictionary state is shared per destination in both modes"
+        );
+        assert!(outcome.p99_ms() >= outcome.p50_ms());
+        assert!(outcome.fairness_ratio.is_finite());
+    }
+
+    #[test]
+    fn suite_slices_cover_the_flash_crowd_scales() {
+        let slice = service_suite(crate::SuiteScale::Slice);
+        assert_eq!(slice.len(), 2);
+        assert!(slice.iter().all(|s| s.slice));
+        assert!(slice.iter().all(|s| s.tenants >= 8));
+        assert!(
+            slice.iter().any(|s| s.offered() >= 1000),
+            "the slice must include a 10^3-session row"
+        );
+        let full = service_suite(crate::SuiteScale::Full);
+        assert!(full.len() > slice.len());
+        assert!(full.iter().any(|s| s.offered() >= 2000));
+        let mut names: Vec<String> = full.iter().map(|s| s.name()).collect();
+        names.dedup();
+        assert_eq!(names.len(), full.len(), "row names are unique");
+    }
+}

@@ -103,6 +103,30 @@ suite — seeded topology generators replayed under trace-driven workloads:
   committed baseline exactly — the digests are machine-independent, so any
   drift is a behavior change that must ship with a regenerated
   BENCH_results.json.
+
+The `query_service` section (format v10) gates the multi-tenant provenance
+query service — admission control, deficit-round-robin fairness and
+cross-session frame flushing:
+
+* the slice must carry a >= 10^3-session row from >= 8 tenants — the scale
+  at which merged sealing's sublinear frame growth is observable;
+* merged sealing must be observationally invisible on every row:
+  `merged_matches_split` (per-session results, visits, cache hits, records,
+  frames and measured latency identical to per-session sealing),
+  `matches_rerun` (an independent re-run reproduces the digest) and
+  `matches_workers` (worker count does not change the digest);
+* merged frames-per-destination must beat per-session sealing on every
+  >= 10^3-session row, and across the slice's session scales both
+  frames/destination and first-use dictionary bytes must grow *sublinearly*
+  in offered sessions (the ratio of the big row to the small row stays
+  under the session-count ratio);
+* the per-destination dictionary is shared across sessions under both
+  sealing modes, so `dict_bytes_merged == dict_bytes_split` exactly;
+* `p99_latency_ms >= p50_latency_ms` (simulated-clock session latencies);
+* under equal offered load the per-tenant fairness ratio (max/min completed
+  sessions) must stay <= 1.5 — the deficit-round-robin scheduler's bound;
+* the service digest of every slice row present in both files must match
+  the committed baseline exactly, same rule as the scenario suite.
 """
 
 import json
@@ -239,10 +263,42 @@ REQUIRED_SECTIONS = {
         "matches_seed",
         "replay_digest",
     },
+    "query_service": {
+        "scenario",
+        "seed",
+        "slice",
+        "nodes",
+        "links",
+        "tenants",
+        "offered",
+        "rejected",
+        "completed",
+        "expired",
+        "churn_events",
+        "frames_merged",
+        "frames_split",
+        "dests",
+        "frames_per_dest_merged",
+        "frames_per_dest_split",
+        "dict_bytes_merged",
+        "dict_bytes_split",
+        "p50_latency_ms",
+        "p99_latency_ms",
+        "sessions_per_sec",
+        "per_tenant_completed",
+        "fairness_ratio",
+        "merged_matches_split",
+        "matches_rerun",
+        "matches_workers",
+        "sim_ms",
+        "converge_wall_ms",
+        "run_wall_ms",
+        "service_digest",
+    },
 }
 
 # The format marker every report must carry (bumped with the schema).
-REQUIRED_FORMAT = "nettrails-bench-results/v9"
+REQUIRED_FORMAT = "nettrails-bench-results/v10"
 
 # The log backends every snapshot_replay scenario must cover.
 REQUIRED_LOG_BACKENDS = {"mem", "segment_file", "kv"}
@@ -272,6 +328,13 @@ WALL_TOLERANCE = 1.5
 WALL_SLACK_US = 5000
 GATED_SHARDS = 4
 BASELINE_SHARDS = 1
+
+# The query-service slice must drive at least this many concurrent sessions
+# from at least this many tenants, and the deficit-round-robin scheduler must
+# keep the max/min completed-sessions ratio under this bound.
+QUERY_SERVICE_SESSION_FLOOR = 1000
+QUERY_SERVICE_TENANT_FLOOR = 8
+QUERY_SERVICE_MAX_FAIRNESS = 1.5
 
 # The topology families and workload kinds the scenario-suite slice must
 # cover, and the node floor for the static (non-mesh) families.
@@ -666,6 +729,128 @@ def check_scenario_suite(committed, fresh):
     )
 
 
+def check_query_service(committed, fresh):
+    """Regression gates on the multi-tenant query service (see module doc)."""
+    rows = fresh.get("query_service", [])
+    slice_rows = [r for r in rows if r["slice"]]
+
+    at_scale = [r for r in slice_rows if r["offered"] >= QUERY_SERVICE_SESSION_FLOOR]
+    if not at_scale:
+        biggest = max((r["offered"] for r in slice_rows), default=0)
+        sys.exit(
+            f"query_service: the slice peaks at {biggest} offered sessions; "
+            f"the per-PR gate requires a >= {QUERY_SERVICE_SESSION_FLOOR}-"
+            "session row (sublinear frame growth is only observable at "
+            "scale)."
+        )
+    for row in rows:
+        scenario = row["scenario"]
+        if row["tenants"] < QUERY_SERVICE_TENANT_FLOOR:
+            sys.exit(
+                f"query_service[{scenario!r}]: only {row['tenants']} tenants; "
+                f"the gate requires >= {QUERY_SERVICE_TENANT_FLOOR} so "
+                "fairness is measured under real contention."
+            )
+        for flag in ("merged_matches_split", "matches_rerun", "matches_workers"):
+            if not row[flag]:
+                sys.exit(
+                    f"query_service[{scenario!r}]: {flag}=false. Merged frame "
+                    "sealing must be observationally invisible — identical "
+                    "per-session outcomes, deterministic across re-runs and "
+                    "worker counts."
+                )
+        if row["dict_bytes_merged"] != row["dict_bytes_split"]:
+            sys.exit(
+                f"query_service[{scenario!r}]: dictionary bytes diverge "
+                f"between sealing modes ({row['dict_bytes_merged']} merged "
+                f"vs {row['dict_bytes_split']} split); the per-destination "
+                "first-use dictionary must be shared either way."
+            )
+        if row["offered"] >= QUERY_SERVICE_SESSION_FLOOR and (
+            row["frames_per_dest_merged"] >= row["frames_per_dest_split"]
+        ):
+            sys.exit(
+                f"query_service[{scenario!r}]: merged sealing ships "
+                f"{row['frames_per_dest_merged']:.1f} frames/destination vs "
+                f"{row['frames_per_dest_split']:.1f} per-session at "
+                f"{row['offered']} sessions — cross-session flushing is not "
+                "merging anything."
+            )
+        if row["p99_latency_ms"] < row["p50_latency_ms"]:
+            sys.exit(
+                f"query_service[{scenario!r}]: p99 latency "
+                f"({row['p99_latency_ms']:.2f}ms) is below p50 "
+                f"({row['p50_latency_ms']:.2f}ms); percentile bookkeeping "
+                "broke."
+            )
+        fairness = row["fairness_ratio"]
+        if (
+            not isinstance(fairness, (int, float))
+            or fairness != fairness  # NaN
+            or fairness > QUERY_SERVICE_MAX_FAIRNESS
+        ):
+            sys.exit(
+                f"query_service[{scenario!r}]: fairness ratio {fairness} "
+                f"exceeds {QUERY_SERVICE_MAX_FAIRNESS} — under equal offered "
+                "load the deficit-round-robin scheduler must keep tenant "
+                "completions within that bound."
+            )
+
+    # Sublinearity across the slice's session scales: frames/destination and
+    # dictionary bytes must grow strictly slower than offered sessions.
+    small = min(slice_rows, key=lambda r: r["offered"])
+    big = max(slice_rows, key=lambda r: r["offered"])
+    if big["offered"] > small["offered"]:
+        session_ratio = big["offered"] / small["offered"]
+        frame_ratio = big["frames_per_dest_merged"] / max(
+            small["frames_per_dest_merged"], 1e-9
+        )
+        if frame_ratio >= session_ratio:
+            sys.exit(
+                f"query_service: frames/destination grew {frame_ratio:.2f}x "
+                f"from {small['offered']} to {big['offered']} sessions "
+                f"(>= the {session_ratio:.2f}x session growth) — merged "
+                "flushing is supposed to make that sublinear."
+            )
+        dict_ratio = big["dict_bytes_merged"] / max(small["dict_bytes_merged"], 1)
+        if dict_ratio >= session_ratio:
+            sys.exit(
+                f"query_service: dictionary bytes grew {dict_ratio:.2f}x "
+                f"from {small['offered']} to {big['offered']} sessions "
+                f"(>= the {session_ratio:.2f}x session growth) — the shared "
+                "first-use dictionary charge is supposed to make that "
+                "sublinear."
+            )
+
+    committed_digests = {
+        r["scenario"]: r["service_digest"]
+        for r in committed.get("query_service", [])
+        if r["slice"]
+    }
+    compared = 0
+    for row in slice_rows:
+        baseline = committed_digests.get(row["scenario"])
+        if baseline is None:
+            continue
+        compared += 1
+        if row["service_digest"] != baseline:
+            sys.exit(
+                f"query_service[{row['scenario']!r}]: service digest drifted "
+                f"({baseline} -> {row['service_digest']}). The digest is "
+                "machine-independent, so this is a behavior change — commit "
+                "the regenerated BENCH_results.json in the same change."
+            )
+    if compared == 0:
+        sys.exit(
+            "query_service: no slice row of the regenerated report matches a "
+            "committed scenario name — the committed baseline is stale."
+        )
+    print(
+        f"query_service gate OK ({len(rows)} rows, {len(slice_rows)} slice; "
+        f"{compared} service digests bit-identical to the committed baseline)"
+    )
+
+
 def main():
     if len(sys.argv) != 3:
         sys.exit(__doc__)
@@ -691,6 +876,7 @@ def main():
     check_query_fanout(fresh)
     check_snapshot_replay(fresh)
     check_scenario_suite(committed, fresh)
+    check_query_service(committed, fresh)
 
     if committed.get("format") != fresh.get("format"):
         sys.exit(

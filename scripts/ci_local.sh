@@ -34,7 +34,7 @@ test_job() {
     echo "==> [test] cargo build --benches --workspace"
     cargo build --benches --workspace
 
-    echo "==> [test] bench schema + regression gates (incl. scenario slice)"
+    echo "==> [test] bench schema + regression gates (incl. scenario + query-service slices)"
     regen="$(mktemp -d)"
     trap 'rm -rf "$regen"' EXIT
     (cd "$regen" && cargo run --release --manifest-path "$OLDPWD/Cargo.toml" -p nettrails-bench --bin report > /dev/null)
@@ -45,7 +45,7 @@ nightly_job() {
     echo "==> [nightly] cargo build --release --workspace"
     cargo build --release --workspace
 
-    echo "==> [nightly] full scenario sweep + gates (NT_SCENARIO_SCALE=full)"
+    echo "==> [nightly] full scenario + query-service sweep + gates (NT_SCENARIO_SCALE=full)"
     regen="$(mktemp -d)"
     trap 'rm -rf "$regen"' EXIT
     (cd "$regen" && NT_SCENARIO_SCALE=full cargo run --release --manifest-path "$OLDPWD/Cargo.toml" -p nettrails-bench --bin report)

@@ -10,11 +10,21 @@
 //! Breadth-first fan-out may only *reduce* frames (same-flush coalescing),
 //! and its measured completion latency on multi-hop proofs must not exceed
 //! depth-first's.
+//!
+//! The third property covers the query service's cross-session frame
+//! merging: with `NetTrailsConfig::merge_query_frames`, concurrent
+//! sessions' records share one frame per (source, destination, direction),
+//! and every session must still be bit-identical — results, visits, cache
+//! hits, records, frames charged, measured latency — to per-session
+//! sealing, across kinds × traversals × cancellation storms.
 
 use nettrails::{NetTrails, NetTrailsConfig};
 use proptest::prelude::*;
-use provenance::{QueryKind, QueryMode, QueryOptions, QueryResult, TraversalOrder};
+use provenance::{
+    QueryHandle, QueryKind, QueryMode, QueryOptions, QueryResult, QueryStats, TraversalOrder,
+};
 use simnet::{Topology, TopologyEvent};
+use std::collections::BTreeMap;
 
 fn topology_for(kind: usize, size: usize) -> Topology {
     match kind % 3 {
@@ -138,6 +148,136 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// Cross-session frame merging is observationally invisible: for random
+    /// mixes of concurrent sessions — kinds × traversals × depth pruning —
+    /// interrupted by cancellation storms at random pump steps, every
+    /// session's result, visit count, cache hits, records, charged frames
+    /// and measured latency are bit-identical to per-session sealing, and
+    /// the run-wide byte totals match. (Sessions run uncached here:
+    /// cross-session cache *fill* is schedule-dependent by design — whether
+    /// one session's freshly cached subtree is visible to another depends
+    /// on frame arrival interleaving — while per-session cache equivalence
+    /// against the local oracle is covered above.)
+    #[test]
+    fn merged_frame_sealing_matches_per_session_sealing(
+        topo_kind in 0usize..3,
+        size in 0usize..6,
+        program_idx in 0usize..2,
+        sessions in proptest::collection::vec(
+            // (target, querier, kind, traversal, max_depth)
+            (0usize..64, 0usize..8, 0usize..4, 0usize..2, 0usize..4),
+            2..10,
+        ),
+        storm in proptest::collection::vec(
+            // (session to cancel, pump step to cancel at)
+            (0usize..16, 1usize..8),
+            0..4,
+        ),
+    ) {
+        let topology = topology_for(topo_kind, size);
+        let program = if program_idx == 0 {
+            protocols::mincost::PROGRAM
+        } else {
+            protocols::pathvector::PROGRAM
+        };
+        let relation = if program_idx == 0 { "minCost" } else { "bestPathCost" };
+        let run = |merge: bool| {
+            let config = if merge {
+                NetTrailsConfig::with_merged_query_frames()
+            } else {
+                NetTrailsConfig::default()
+            };
+            let mut nt = NetTrails::new(program, topology.clone(), config)
+                .expect("program compiles");
+            nt.seed_links_from_topology();
+            nt.run_to_fixpoint();
+            let targets = nt.relation(relation);
+            if targets.is_empty() {
+                return (Vec::new(), (0, 0), 0);
+            }
+            let nodes: Vec<String> = nt.nodes().iter().map(|a| a.as_str().to_string()).collect();
+            let handles: Vec<QueryHandle> = sessions
+                .iter()
+                .map(|&(t, q, kind, traversal, depth)| {
+                    let (_, target) = &targets[t % targets.len()];
+                    let options = QueryOptions {
+                        use_cache: false,
+                        traversal: if traversal == 0 {
+                            TraversalOrder::DepthFirst
+                        } else {
+                            TraversalOrder::BreadthFirst
+                        },
+                        max_depth: (depth > 0).then_some(depth),
+                        max_derivations_per_vertex: None,
+                    };
+                    nt.query(target)
+                        .from_node(&nodes[q % nodes.len()])
+                        .kind(kind_for(kind))
+                        .options(options)
+                        .submit()
+                })
+                .collect();
+            let mut cancel_at: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+            for &(s, step) in &storm {
+                cancel_at.entry(step).or_default().push(s % handles.len());
+            }
+            // Drive the flock to completion, firing the cancellation storm
+            // at its scheduled pump steps. Cancelled sessions keep the
+            // stats they accrued up to the cancel.
+            let mut cancelled: BTreeMap<usize, QueryStats> = BTreeMap::new();
+            let mut step = 0usize;
+            while handles.iter().any(|h| !nt.query_done(*h)) {
+                if let Some(victims) = cancel_at.get(&step) {
+                    for &v in victims {
+                        if !nt.query_done(handles[v]) {
+                            let stats = nt.cancel_query(handles[v]);
+                            cancelled.insert(v, stats);
+                        }
+                    }
+                }
+                if handles.iter().all(|h| nt.query_done(*h)) {
+                    break;
+                }
+                assert!(nt.poll_queries(), "sessions stalled");
+                step += 1;
+                assert!(step < 100_000, "sessions failed to converge");
+            }
+            let mut outcomes = Vec::new();
+            let mut totals = (0u64, 0u64);
+            for (i, handle) in handles.iter().enumerate() {
+                // Per-session bytes are summed, not compared individually:
+                // first-use dictionary attribution follows frame order
+                // within a flush, so merging may shift a shared symbol's
+                // charge between concurrent sessions.
+                let (result, stats) = match nt.try_wait_query(*handle) {
+                    Some((result, stats)) => (Some(result), stats),
+                    None => (None, cancelled.remove(&i).expect("cancelled session")),
+                };
+                totals.0 += stats.bytes;
+                totals.1 += stats.dict_bytes;
+                outcomes.push((
+                    result,
+                    stats.messages,
+                    stats.records,
+                    stats.vertices_visited,
+                    stats.cache_hits,
+                    stats.latency_ms,
+                ));
+            }
+            (outcomes, totals, nt.query_executor().traffic().messages)
+        };
+        let (merged, merged_totals, merged_frames) = run(true);
+        let (split, split_totals, split_frames) = run(false);
+        prop_assert_eq!(merged, split, "per-session outcomes must be identical");
+        prop_assert_eq!(merged_totals, split_totals, "run-wide byte totals");
+        prop_assert!(
+            merged_frames <= split_frames,
+            "merging never ships more frames ({} vs {})",
+            merged_frames,
+            split_frames
+        );
     }
 
     /// On multi-hop proofs the measured breadth-first completion time is
